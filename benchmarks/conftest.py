@@ -1,0 +1,59 @@
+"""Shared fixtures and scale knobs for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper at a reduced
+scale so the whole suite finishes in minutes; the `paper_scale` constants
+document what the full-scale run would use (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.problems.generators import generate_qkp_benchmark_suite, generate_qkp_instance
+
+# Paper-scale parameters (Sec. 4): 40 instances, 100 items, 1000 initial
+# states, 100 SA runs per state, 1000 SA iterations.
+PAPER_SCALE = {
+    "num_instances": 40,
+    "num_items": 100,
+    "num_initial_states": 1000,
+    "sa_iterations": 1000,
+    "filter_cases_per_instance": 20,
+}
+
+# Benchmark-scale parameters: same protocol, smaller counts.
+BENCH_SCALE = {
+    "num_instances": 6,
+    "num_items": 40,
+    "num_initial_states": 4,
+    "sa_iterations": 80,
+    "filter_cases_per_instance": 20,
+}
+
+
+@pytest.fixture(scope="session")
+def qkp_suite():
+    """Scaled-down stand-in for the 40-instance cedric.cnam.fr QKP suite."""
+    return generate_qkp_benchmark_suite(
+        num_instances=BENCH_SCALE["num_instances"],
+        num_items=BENCH_SCALE["num_items"],
+        seed=2024,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_capacity_suite():
+    """QKP instances with modest capacities, keeping the D-QUBO dimension small
+    enough that the baseline annealer runs quickly inside a benchmark."""
+    return [
+        generate_qkp_instance(num_items=25, density=density, max_weight=8,
+                              seed=500 + index, name=f"bench_qkp_{index}")
+        for index, density in enumerate((0.25, 0.5, 0.75, 1.0))
+    ]
+
+
+@pytest.fixture(scope="session")
+def chip_demo_qkp():
+    """A small QKP standing in for the chip-demo example of Fig. 7(e)."""
+    return generate_qkp_instance(num_items=10, density=0.6, max_weight=8,
+                                 max_profit=10, seed=7, name="chip_demo")

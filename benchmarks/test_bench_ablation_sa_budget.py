@@ -1,0 +1,36 @@
+"""Ablation: HyCiM success rate versus the SA iteration budget.
+
+The paper fixes the budget at 1000 iterations; this ablation sweeps the budget
+on a mid-size QKP instance and shows the success-rate curve saturating --
+useful for sizing the annealer when the paper's budget is not available.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import sweep_sa_budget
+from repro.problems.generators import generate_qkp_instance
+
+
+def test_ablation_success_rate_vs_sa_budget(benchmark):
+    problem = generate_qkp_instance(num_items=30, density=0.5, max_weight=10, seed=888)
+    budgets = (5, 20, 60, 150)
+
+    def run():
+        return sweep_sa_budget(problem, budgets=budgets, num_runs=4,
+                               threshold=0.95, seed=2)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nSA-budget ablation (30-item QKP, threshold 95% of reference):\n"
+          + format_table(
+              ["SA iterations (sweeps)", "success rate", "mean normalized value"],
+              [[int(p.parameter), f"{p.success_rate * 100:.0f}%",
+                f"{p.mean_normalized_value:.3f}"] for p in points]))
+
+    # Quality improves (weakly) with budget and saturates near the reference.
+    values = [p.mean_normalized_value for p in points]
+    assert all(b >= a - 0.05 for a, b in zip(values, values[1:]))
+    assert points[0].mean_normalized_value < points[-1].mean_normalized_value + 1e-9
+    assert points[-1].mean_normalized_value >= 0.95
+    assert points[-1].success_rate >= 0.75
+    # A tiny budget is clearly insufficient.
+    assert points[0].mean_normalized_value < 0.97

@@ -1,0 +1,35 @@
+"""Fig. 7(d): column-current linearity of the 32x32 FeFET crossbar chip.
+
+The fabricated chip shows the summed column current growing linearly with the
+number of activated cells (0..24).  The benchmark sweeps the same range on the
+crossbar simulator with realistic device variation and read noise and checks
+the linear fit quality.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import run_crossbar_linearity
+
+
+def test_fig7d_column_current_linearity(benchmark):
+    def run():
+        return run_crossbar_linearity(
+            array_size=32,
+            counts=range(0, 25, 2),
+            on_current_variation_sigma=0.05,
+            current_noise_sigma=0.01,
+            seed=7,
+        )
+
+    counts, currents, r_squared = benchmark(run)
+
+    print(f"\nFig. 7(d): column current vs activated cells, r^2 = {r_squared:.5f}")
+
+    assert counts[-1] == 24
+    assert r_squared > 0.98                       # visually linear, as on the chip
+    assert currents[0] == 0.0
+    assert currents[-1] > currents[len(currents) // 2] > currents[1]
+
+    # The slope corresponds to roughly one cell ON-current per activated cell.
+    slope = np.polyfit(counts, currents, 1)[0]
+    assert 0.8e-6 < slope < 1.2 * 2e-6

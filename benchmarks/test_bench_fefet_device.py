@@ -1,0 +1,43 @@
+"""Fig. 2(b): multi-level ID-VG characteristics of a FeFET device population.
+
+The paper programs 60 devices into four polarisation states and measures the
+resulting ID-VG curves.  The benchmark regenerates the population with the
+behavioural device model and checks the property the architecture relies on:
+the four states are separable by appropriately placed read voltages.
+"""
+
+import numpy as np
+
+from repro.fefet.device import FeFETParameters, measure_id_vg_population
+from repro.fefet.variability import VariabilityModel
+
+
+def test_fig2b_multilevel_id_vg_population(benchmark):
+    params = FeFETParameters()
+    variability = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.15, seed=60)
+
+    def run():
+        return measure_id_vg_population(num_devices=60, parameters=params,
+                                        variability=variability, seed=60)
+
+    gate_voltages, currents = benchmark(run)
+
+    # 4 states x 60 devices x sweep points.
+    assert currents.shape[0] == 4
+    assert currents.shape[1] == 60
+
+    # For each pair of adjacent states there is a read voltage that separates
+    # them by more than an order of magnitude in median current (the read
+    # margin the staircase pulses of the filter rely on).
+    for level in range(3):
+        boundary = 0.5 * (params.threshold_voltages[level]
+                          + params.threshold_voltages[level + 1])
+        idx = int(np.argmin(np.abs(gate_voltages - boundary)))
+        on_median = np.median(currents[level, :, idx])
+        off_median = np.median(currents[level + 1, :, idx])
+        assert on_median > 30 * off_median
+
+    # ON/OFF window: the lowest-VT state conducts ~uA, the highest ~nA at 1 V.
+    idx_1v = int(np.argmin(np.abs(gate_voltages - 1.0)))
+    assert currents[0, :, idx_1v].mean() > 1e-6
+    assert currents[3, :, idx_1v].mean() < 1e-7

@@ -1,0 +1,47 @@
+"""Fig. 8: Monte-Carlo validation of the inequality filter.
+
+The paper draws 20 configurations (10 feasible, 10 infeasible) for each of the
+40 QKP instances -- 800 cases -- and shows the working-array matchline voltage
+landing above the replica level for every feasible case and below it for every
+infeasible case.  The benchmark runs the same protocol on a reduced instance
+count with device variability enabled.
+"""
+
+from repro.analysis.experiments import run_filter_validation
+from repro.fefet.variability import VariabilityModel
+
+
+def test_fig8_filter_classifies_monte_carlo_configurations(benchmark, qkp_suite):
+    variability = VariabilityModel(threshold_sigma=0.02, on_current_sigma=0.1, seed=8)
+
+    def run():
+        return run_filter_validation(
+            qkp_suite,
+            samples_per_instance=20,
+            filter_rows=16,
+            variability=variability,
+            seed=8,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    feasible = result.normalized_voltages[result.ground_truth_feasible]
+    infeasible = result.normalized_voltages[~result.ground_truth_feasible]
+    print(f"\nFig. 8: {result.num_cases} cases, accuracy "
+          f"{result.metrics['accuracy'] * 100:.2f}%, "
+          f"feasible ML in [{feasible.min():.3f}, {feasible.max():.3f}], "
+          f"infeasible ML in [{infeasible.min():.3f}, {infeasible.max():.3f}]")
+
+    # 20 cases per instance, half feasible / half infeasible by construction.
+    assert result.num_cases == 20 * len(qkp_suite)
+    assert result.ground_truth_feasible.sum() == result.num_cases // 2
+
+    # The filter separates the two classes perfectly (paper Fig. 8).
+    assert result.metrics["accuracy"] == 1.0
+    assert result.metrics["false_positive_rate"] == 0.0
+    assert result.metrics["false_negative_rate"] == 0.0
+
+    # Voltage picture: feasible points at/above the normalized replica level
+    # (1.0), infeasible points strictly below.
+    assert feasible.min() >= 1.0 - 1e-9
+    assert infeasible.max() < 1.0

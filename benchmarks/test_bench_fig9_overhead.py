@@ -1,0 +1,78 @@
+"""Fig. 9(a,b,c): hardware overhead of HyCiM vs the D-QUBO baseline.
+
+For 40 QKP instances with 100 items the paper reports:
+  (a) (Q_ij)_MAX of 4.0e4 .. 2.6e7 for D-QUBO (16-25 bit quantization) versus
+      100 (7 bits) for HyCiM -- a 56-72% bit reduction;
+  (b) QUBO dimension 200 .. 2636 for D-QUBO versus 100 for HyCiM -- a search
+      space reduction of 2^100 .. 2^2536;
+  (c) an overall hardware size saving of 88.06% .. 99.96%.
+
+The D-QUBO side is characterised analytically, so this benchmark runs at the
+paper's full scale (40 instances, 100 items).
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import run_hardware_overhead_study
+from repro.analysis.reporting import format_table
+from repro.problems.generators import generate_qkp_instance
+
+
+def test_fig9_hardware_overhead_full_scale(benchmark):
+    # 40 instances with 100 items; capacities spread over 100..2500 so the
+    # D-QUBO dimensions cover the 200..2636 range reported in Fig. 9(b).
+    densities = (0.25, 0.5, 0.75, 1.0)
+    capacities = np.linspace(100, 2500, 40).astype(int)
+    suite = [
+        generate_qkp_instance(num_items=100, density=densities[i % 4],
+                              capacity=int(capacities[i]), seed=2024 + i,
+                              name=f"qkp_{i:02d}")
+        for i in range(40)
+    ]
+
+    def run():
+        return run_hardware_overhead_study(suite)
+
+    records = benchmark(run)
+
+    rows = [[r.instance_name,
+             r.dqubo_report.max_abs_coefficient,
+             r.dqubo_report.num_variables,
+             r.dqubo_report.bits_per_element,
+             r.hycim_report.max_abs_coefficient,
+             r.hycim_report.bits_per_element,
+             f"{r.hardware_saving * 100:.2f}%"]
+            for r in records[:8]]
+    print("\nFig. 9 (first 8 instances):\n" + format_table(
+        ["instance", "D-QUBO Qmax", "D-QUBO n", "D-QUBO bits",
+         "HyCiM Qmax", "HyCiM bits", "HW saving"], rows))
+
+    assert len(records) == 40
+
+    dqubo_qmax = np.array([r.dqubo_report.max_abs_coefficient for r in records])
+    dqubo_dims = np.array([r.dqubo_report.num_variables for r in records])
+    hycim_dims = np.array([r.hycim_report.num_variables for r in records])
+    savings = np.array([r.hardware_saving for r in records])
+    bit_reductions = np.array([r.bit_reduction for r in records])
+
+    # Fig. 9(a): D-QUBO Q_max spans ~1e4..1e7+, HyCiM stays at the profit scale.
+    assert dqubo_qmax.min() > 1e4
+    assert dqubo_qmax.max() > 1e6
+    assert all(r.hycim_report.max_abs_coefficient <= 100 for r in records)
+    assert all(r.hycim_report.bits_per_element == 7 for r in records)
+    assert all(15 <= r.dqubo_report.bits_per_element <= 25 for r in records)
+    # Bit reduction in (or around) the paper's 56-72% band.
+    assert 0.5 <= bit_reductions.min() and bit_reductions.max() <= 0.75
+
+    # Fig. 9(b): HyCiM dimension fixed at 100; D-QUBO dimension 200..2600.
+    assert np.all(hycim_dims == 100)
+    assert dqubo_dims.min() >= 200
+    assert dqubo_dims.max() <= 2636
+    reductions = dqubo_dims - hycim_dims
+    assert reductions.min() >= 100
+    assert reductions.max() >= 2000
+
+    # Fig. 9(c): hardware savings in the high-80s to >99.9% range.
+    assert savings.min() >= 0.85
+    assert savings.max() >= 0.999
+    assert np.mean(savings) >= 0.95

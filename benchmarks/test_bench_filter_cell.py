@@ -1,0 +1,37 @@
+"""Fig. 4(c): transient behaviour of filter cells storing weights 0..4.
+
+The paper shows that, after the four staircase read phases, the matchline of a
+single filter cell settles at a voltage that decreases linearly with the
+stored weight.  The benchmark sweeps all five storable weights on a
+single-cell column and checks the linear relationship of paper Eq. (7)/(8).
+"""
+
+import numpy as np
+
+from repro.cim.filter_array import FilterArrayConfig, WorkingArray
+
+
+def test_fig4c_matchline_voltage_linear_in_stored_weight(benchmark):
+    config = FilterArrayConfig(num_rows=1, discharge_per_unit=0.05)
+
+    def run():
+        voltages = []
+        for weight in range(5):
+            array = WorkingArray([weight], config=config)
+            waveform = array.phase_waveform([1])
+            voltages.append(waveform[-1])
+        return np.array(voltages)
+
+    final_voltages = benchmark(run)
+
+    # Five distinct levels, monotonically decreasing with the stored weight.
+    assert final_voltages.shape == (5,)
+    assert np.all(np.diff(final_voltages) < 0)
+
+    # Linearity: equal steps of discharge_per_unit between adjacent weights.
+    steps = -np.diff(final_voltages)
+    np.testing.assert_allclose(steps, 0.05, rtol=1e-6)
+
+    # ML stays at VDD when the input bit is 0 regardless of the stored weight.
+    array = WorkingArray([4], config=config)
+    assert array.evaluate([0]).voltage == config.supply_voltage

@@ -1,0 +1,13 @@
+"""Pytest path bootstrap.
+
+Makes ``src/`` importable even when the package has not been installed, so
+``pytest tests/`` and ``pytest benchmarks/`` work straight from a checkout
+(including fully offline environments where editable installs are awkward).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,91 @@
+"""Inequality-filter demo: the worked example of paper Fig. 4(c) / Fig. 5(f).
+
+Walks through the FeFET-based CiM inequality filter at cell and array level:
+
+1. a single 1FeFET1R cell storing weights 0..4 and its matchline voltage after
+   the four staircase read phases (Fig. 4(c));
+2. the full filter (working array + replica array + comparator) evaluating
+   the inequality 4x1 + 7x2 + 2x3 <= 9 over all eight input configurations
+   (Fig. 5(f));
+3. the same filter under device variability and matchline noise.
+
+Run with:  python examples/inequality_filter_demo.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.cim.filter_array import FilterArrayConfig, WorkingArray
+from repro.cim.inequality_filter import InequalityFilter
+from repro.core.constraints import InequalityConstraint
+from repro.fefet.variability import VariabilityModel
+
+
+def cell_level_demo() -> None:
+    """Fig. 4(c): matchline voltage vs stored weight after the 4 read phases."""
+    print("=== Filter cell (Fig. 4(c)) ===")
+    config = FilterArrayConfig(num_rows=1, discharge_per_unit=0.05)
+    rows = []
+    for weight in range(5):
+        array = WorkingArray([weight], config=config)
+        waveform = array.phase_waveform([1])
+        rows.append([weight] + [f"{v:.2f}" for v in waveform])
+    print(format_table(["stored w", "after phase 1", "phase 2", "phase 3", "phase 4"],
+                       rows))
+    print("The final matchline voltage drops linearly with the stored weight "
+          "(Eq. (7)/(8)).\n")
+
+
+def array_level_demo() -> None:
+    """Fig. 5(f): classify all 8 configurations of 4x1 + 7x2 + 2x3 <= 9."""
+    print("=== Inequality filter (Fig. 5(f)) ===")
+    constraint = InequalityConstraint([4, 7, 2], 9)
+    cim_filter = InequalityFilter(constraint)
+    rows = []
+    for bits in range(8):
+        x = [(bits >> k) & 1 for k in range(3)]
+        decision = cim_filter.evaluate(x)
+        rows.append(["".join(str(v) for v in x),
+                     f"{constraint.lhs(x):.0f}",
+                     f"{decision.working_readout.voltage:.3f} V",
+                     f"{decision.replica_readout.voltage:.3f} V",
+                     "feasible" if decision.feasible else "INFEASIBLE"])
+    print(format_table(["x1x2x3", "w.x", "ML", "replica ML", "decision"], rows))
+    print("Six configurations stay above the replica matchline, two drop "
+          "below it and are filtered out.\n")
+
+
+def non_ideal_demo() -> None:
+    """The same filter with FeFET variability and matchline noise."""
+    print("=== Filter under non-idealities ===")
+    rng = np.random.default_rng(0)
+    weights = rng.integers(1, 51, size=100)
+    capacity = int(weights.sum() * 0.4)
+    constraint = InequalityConstraint(weights, capacity)
+    cim_filter = InequalityFilter(
+        constraint,
+        variability=VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.15,
+                                     seed=1),
+        matchline_noise_sigma=0.002,
+    )
+    configurations = rng.integers(0, 2, size=(200, 100)).astype(float)
+    accuracy = cim_filter.classification_accuracy(configurations, rng=rng)
+    print(f"100-item constraint, 200 random configurations, device variability "
+          f"and 2 mV matchline noise: classification accuracy = {accuracy * 100:.1f}%")
+
+
+def main() -> None:
+    cell_level_demo()
+    array_level_demo()
+    non_ideal_demo()
+
+
+if __name__ == "__main__":
+    main()

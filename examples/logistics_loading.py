@@ -1,0 +1,121 @@
+"""Domain scenario: cargo loading with synergy profits (logistics).
+
+The paper's introduction motivates COPs with inequality constraints through
+logistics and resource-allocation applications.  This example models a cargo
+van with a weight limit and a set of delivery orders.  Each order has an
+individual revenue and *pairwise* synergy revenues (orders for the same
+neighbourhood share a trip), which makes the problem a quadratic knapsack:
+
+    maximise   sum_i revenue_i x_i + sum_{i<j} synergy_ij x_i x_j
+    subject to sum_i weight_i x_i <= payload limit
+
+The script builds the instance from named orders, solves it with HyCiM and
+prints the chosen manifest, then compares against the greedy dispatcher rule.
+
+Run with:  python examples/logistics_loading.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.annealing import HyCiMSolver, KnapsackNeighborhoodMove
+from repro.annealing.schedule import GeometricSchedule
+from repro.exact import solve_qkp_greedy
+from repro.problems import QuadraticKnapsackProblem
+
+# Order name, weight (kg), standalone revenue.
+ORDERS = [
+    ("machine-parts-A", 180, 420),
+    ("machine-parts-B", 160, 380),
+    ("fresh-produce", 120, 300),
+    ("bakery-retail", 60, 150),
+    ("pharmacy-north", 40, 220),
+    ("pharmacy-south", 45, 210),
+    ("furniture-flatpack", 230, 510),
+    ("electronics-hub", 90, 340),
+    ("garden-center", 140, 260),
+    ("office-supplies", 70, 180),
+    ("catering-event", 110, 330),
+    ("bookstore", 50, 120),
+]
+
+# Pairs of orders that share a district: delivering both in one trip earns a
+# synergy bonus (same driver, one detour saved).
+SYNERGIES = {
+    ("machine-parts-A", "machine-parts-B"): 160,
+    ("pharmacy-north", "pharmacy-south"): 120,
+    ("fresh-produce", "bakery-retail"): 90,
+    ("electronics-hub", "office-supplies"): 70,
+    ("catering-event", "bakery-retail"): 60,
+    ("furniture-flatpack", "garden-center"): 80,
+    ("bookstore", "office-supplies"): 40,
+}
+
+PAYLOAD_LIMIT_KG = 800
+
+
+def build_problem() -> QuadraticKnapsackProblem:
+    names = [name for name, _, _ in ORDERS]
+    index = {name: i for i, name in enumerate(names)}
+    n = len(ORDERS)
+    profits = np.zeros((n, n))
+    weights = np.zeros(n)
+    for i, (_, weight, revenue) in enumerate(ORDERS):
+        profits[i, i] = revenue
+        weights[i] = weight
+    for (a, b), bonus in SYNERGIES.items():
+        i, j = index[a], index[b]
+        profits[i, j] = bonus
+        profits[j, i] = bonus
+    return QuadraticKnapsackProblem(profits=profits, weights=weights,
+                                    capacity=PAYLOAD_LIMIT_KG, name="van-loading")
+
+
+def describe(problem: QuadraticKnapsackProblem, selection: np.ndarray,
+             label: str) -> None:
+    names = [name for name, _, _ in ORDERS]
+    chosen = [names[i] for i in range(len(names)) if selection[i] == 1]
+    print(f"\n{label}")
+    print(f"  revenue: {problem.objective(selection):.0f}")
+    print(f"  payload: {problem.total_weight(selection):.0f} / {problem.capacity:.0f} kg")
+    print(f"  manifest ({len(chosen)} orders): {', '.join(chosen)}")
+
+
+def main() -> None:
+    problem = build_problem()
+    print(f"Cargo-loading QKP: {problem.num_items} orders, "
+          f"payload limit {problem.capacity:.0f} kg")
+
+    # Dispatcher baseline: greedy best revenue-per-kg.
+    greedy = solve_qkp_greedy(problem)
+    describe(problem, greedy.configuration, "Greedy dispatcher rule")
+
+    # HyCiM with the simulated FeFET filter and crossbar.
+    solver = HyCiMSolver(
+        problem,
+        use_hardware=True,
+        num_iterations=200,
+        moves_per_iteration=problem.num_items,
+        move_generator=KnapsackNeighborhoodMove(),
+        schedule=GeometricSchedule(5000.0, 5.0),
+        seed=3,
+    )
+    result = solver.solve(initial=np.zeros(problem.num_items),
+                          rng=np.random.default_rng(3))
+    describe(problem, result.best_configuration, "HyCiM loading plan")
+
+    improvement = result.best_objective - greedy.value
+    print(f"\nHyCiM improvement over the greedy rule: {improvement:+.0f} revenue "
+          f"({improvement / greedy.value * 100:+.1f}%)")
+    print(f"Infeasible loadings filtered before any QUBO computation: "
+          f"{result.num_infeasible_skipped}")
+
+
+if __name__ == "__main__":
+    main()

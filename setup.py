@@ -1,0 +1,10 @@
+"""Setuptools shim for offline editable installs.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` can fall back to the legacy ``setup.py develop`` path on
+machines without the ``wheel`` package (PEP 660 editable builds need it).
+"""
+
+from setuptools import setup
+
+setup()

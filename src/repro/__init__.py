@@ -1,0 +1,36 @@
+"""HyCiM reproduction: a hybrid computing-in-memory QUBO solver framework.
+
+This package reproduces "HyCiM: A Hybrid Computing-in-Memory QUBO Solver for
+General Combinatorial Optimization Problems with Inequality Constraints"
+(Qian et al., DAC 2024) as a pure-Python library:
+
+* :mod:`repro.core` -- QUBO/Ising models, the inequality-QUBO transformation
+  and the D-QUBO baseline transformation.
+* :mod:`repro.problems` -- COP definitions and instance generators.
+* :mod:`repro.exact` -- exact / reference solvers.
+* :mod:`repro.fefet` -- behavioural FeFET device and 1FeFET1R cell models.
+* :mod:`repro.cim` -- CiM inequality filter, crossbar and cost model.
+* :mod:`repro.annealing` -- SA engines, the HyCiM solver and the D-QUBO
+  baseline annealer.
+* :mod:`repro.analysis` -- experiment runners for every table and figure.
+"""
+
+from repro.core import InequalityQUBO, IsingModel, QUBOModel, to_dqubo, to_inequality_qubo
+from repro.problems import QuadraticKnapsackProblem, generate_qkp_instance
+from repro.annealing import DQUBOAnnealer, HyCiMSolver, SimulatedAnnealer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QUBOModel",
+    "IsingModel",
+    "InequalityQUBO",
+    "to_inequality_qubo",
+    "to_dqubo",
+    "QuadraticKnapsackProblem",
+    "generate_qkp_instance",
+    "HyCiMSolver",
+    "DQUBOAnnealer",
+    "SimulatedAnnealer",
+    "__version__",
+]

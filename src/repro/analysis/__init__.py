@@ -1,0 +1,50 @@
+"""Experiment harness: metrics, per-figure experiment runners and reporting.
+
+Every table and figure of the paper's evaluation section has a corresponding
+runner in :mod:`repro.analysis.experiments`; the benchmark suite under
+``benchmarks/`` is a thin wrapper around these runners, so the same code can
+be driven at reduced scale (CI) or at paper scale (overnight run).
+"""
+
+from repro.analysis.metrics import (
+    normalized_values,
+    search_space_reduction_bits,
+    success_rate,
+)
+from repro.analysis.reporting import format_table, render_markdown_table
+from repro.analysis.sweeps import SweepPoint, sweep_filter_noise, sweep_sa_budget
+from repro.analysis.experiments import (
+    EnergyEvolutionResult,
+    FilterValidationResult,
+    HardwareOverheadRecord,
+    SolverSummaryRow,
+    SolvingEfficiencyResult,
+    run_crossbar_linearity,
+    run_energy_evolution,
+    run_filter_validation,
+    run_hardware_overhead_study,
+    run_solver_summary,
+    run_solving_efficiency_study,
+)
+
+__all__ = [
+    "success_rate",
+    "normalized_values",
+    "search_space_reduction_bits",
+    "format_table",
+    "render_markdown_table",
+    "SweepPoint",
+    "sweep_sa_budget",
+    "sweep_filter_noise",
+    "FilterValidationResult",
+    "HardwareOverheadRecord",
+    "SolvingEfficiencyResult",
+    "EnergyEvolutionResult",
+    "SolverSummaryRow",
+    "run_filter_validation",
+    "run_hardware_overhead_study",
+    "run_solving_efficiency_study",
+    "run_energy_evolution",
+    "run_crossbar_linearity",
+    "run_solver_summary",
+]

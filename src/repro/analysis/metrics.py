@@ -1,0 +1,85 @@
+"""Evaluation metrics used throughout the paper reproduction."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def normalized_values(values: Iterable[float], reference: float) -> np.ndarray:
+    """Solver outputs normalised by a reference value (Fig. 10 y-axis).
+
+    ``reference`` is typically the best-known QKP value of the instance; a
+    normalised value of 1.0 means the solver matched it.
+    """
+    if reference <= 0:
+        raise ValueError("reference value must be positive")
+    return np.asarray(list(values), dtype=float) / reference
+
+
+def success_rate(values: Iterable[float], reference: float,
+                 threshold: float = 0.95) -> float:
+    """Fraction of runs reaching at least ``threshold * reference``.
+
+    The paper defines the "optimal QKP value" as 95% of the true optimum
+    (Sec. 4.3); a run is a success when its output meets that bar.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("success_rate needs at least one value")
+    if reference <= 0:
+        raise ValueError("reference value must be positive")
+    return float(np.mean(arr >= threshold * reference))
+
+
+def search_space_reduction_bits(hycim_dimension: int, dqubo_dimension: int) -> int:
+    """Search-space reduction in powers of two (Fig. 9(b) / abstract).
+
+    D-QUBO explores ``2^(n+C)`` configurations while HyCiM explores ``2^n``;
+    the reduction factor is ``2^(dqubo_dimension - hycim_dimension)``; this
+    helper returns the exponent.
+    """
+    if hycim_dimension < 0 or dqubo_dimension < 0:
+        raise ValueError("dimensions must be non-negative")
+    return dqubo_dimension - hycim_dimension
+
+
+def mean_success_rate(per_instance_rates: Sequence[float]) -> float:
+    """Average of per-instance success rates (the headline 98.54% / 10.75%)."""
+    arr = np.asarray(list(per_instance_rates), dtype=float)
+    if arr.size == 0:
+        raise ValueError("at least one instance rate is required")
+    if np.any((arr < 0) | (arr > 1)):
+        raise ValueError("success rates must be within [0, 1]")
+    return float(arr.mean())
+
+
+def classification_metrics(predictions: Sequence[bool],
+                           truths: Sequence[bool]) -> dict:
+    """Accuracy / false-positive / false-negative rates of filter decisions.
+
+    "Positive" means *feasible*.  Used by the Fig. 8 validation and the
+    filter-noise ablation.
+    """
+    pred = np.asarray(list(predictions), dtype=bool)
+    truth = np.asarray(list(truths), dtype=bool)
+    if pred.shape != truth.shape or pred.size == 0:
+        raise ValueError("predictions and truths must be non-empty and aligned")
+    accuracy = float(np.mean(pred == truth))
+    positives = truth
+    negatives = ~truth
+    false_negative_rate = (
+        float(np.mean(~pred[positives])) if positives.any() else 0.0
+    )
+    false_positive_rate = (
+        float(np.mean(pred[negatives])) if negatives.any() else 0.0
+    )
+    return {
+        "accuracy": accuracy,
+        "false_positive_rate": false_positive_rate,
+        "false_negative_rate": false_negative_rate,
+        "num_cases": int(pred.size),
+    }

@@ -1,0 +1,54 @@
+"""Plain-text and markdown table rendering for experiment reports.
+
+The benchmark harnesses print the same rows the paper's tables/figures report
+(per-instance Q_max, dimensions, savings, success rates); these helpers keep
+that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with column alignment."""
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError("every row must have one cell per header")
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_row(header_cells), separator]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    header_cells = [str(h) for h in headers]
+    body = [[_stringify(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError("every row must have one cell per header")
+    lines = ["| " + " | ".join(header_cells) + " |",
+             "| " + " | ".join("---" for _ in header_cells) + " |"]
+    lines.extend("| " + " | ".join(row) + " |" for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Parameter-sweep utilities for solver studies.
+
+The paper fixes the SA budget at 1000 iterations; practitioners adopting the
+library will want to know how success rate trades off against the annealing
+budget and against hardware non-idealities.  These helpers run such sweeps
+with a consistent protocol and return plain records that the benchmarks and
+examples can print or assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import success_rate
+from repro.annealing.hycim import HyCiMSolver
+from repro.annealing.moves import KnapsackNeighborhoodMove
+from repro.annealing.schedule import GeometricSchedule
+from repro.exact.local_search import reference_qkp_value
+from repro.fefet.variability import VariabilityModel
+from repro.problems.qkp import QuadraticKnapsackProblem
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the swept value and the resulting metrics."""
+
+    parameter: float
+    success_rate: float
+    mean_normalized_value: float
+    num_runs: int
+
+
+def _solve_batch(problem: QuadraticKnapsackProblem, sa_iterations: int,
+                 num_runs: int, seed: int,
+                 use_hardware: bool = False,
+                 variability: Optional[VariabilityModel] = None,
+                 matchline_noise_sigma: float = 0.0) -> List[float]:
+    """Run ``num_runs`` HyCiM descents and return the achieved QKP values."""
+    q_scale = float(np.max(np.abs(problem.profits)))
+    schedule = GeometricSchedule(20.0 * q_scale, max(0.02 * q_scale, 1e-3))
+    solver = HyCiMSolver(
+        problem,
+        use_hardware=use_hardware,
+        num_iterations=sa_iterations,
+        moves_per_iteration=problem.num_items,
+        move_generator=KnapsackNeighborhoodMove(),
+        schedule=schedule,
+        variability=variability,
+        matchline_noise_sigma=matchline_noise_sigma,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    values = []
+    for run in range(num_runs):
+        initial = problem.random_feasible_configuration(rng)
+        result = solver.solve(initial=initial, rng=np.random.default_rng(seed + run))
+        values.append(result.best_objective or 0.0)
+    return values
+
+
+def sweep_sa_budget(
+    problem: QuadraticKnapsackProblem,
+    budgets: Sequence[int] = (10, 25, 50, 100, 200),
+    num_runs: int = 5,
+    threshold: float = 0.95,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Success rate versus the number of SA iterations (sweeps).
+
+    The reference value is computed once per problem; each budget point runs
+    ``num_runs`` independent descents from random feasible initial states.
+    """
+    if num_runs < 1:
+        raise ValueError("num_runs must be positive")
+    reference = reference_qkp_value(problem, seed=seed)
+    points = []
+    for budget in budgets:
+        if budget < 1:
+            raise ValueError("SA budgets must be positive")
+        values = _solve_batch(problem, sa_iterations=int(budget), num_runs=num_runs,
+                              seed=seed)
+        points.append(SweepPoint(
+            parameter=float(budget),
+            success_rate=success_rate(values, reference, threshold),
+            mean_normalized_value=float(np.mean(values) / reference),
+            num_runs=num_runs,
+        ))
+    return points
+
+
+def sweep_filter_noise(
+    problem: QuadraticKnapsackProblem,
+    noise_levels: Sequence[float] = (0.0, 0.005, 0.02, 0.1),
+    sa_iterations: int = 60,
+    num_runs: int = 4,
+    threshold: float = 0.95,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Success rate versus matchline readout noise with the hardware filter.
+
+    Quantifies how analog filter errors (occasional mis-classifications near
+    the capacity boundary) propagate to end-to-end solution quality.
+    """
+    if num_runs < 1:
+        raise ValueError("num_runs must be positive")
+    reference = reference_qkp_value(problem, seed=seed)
+    variability = VariabilityModel(threshold_sigma=0.02, on_current_sigma=0.1, seed=seed)
+    points = []
+    for noise in noise_levels:
+        if noise < 0:
+            raise ValueError("noise levels must be non-negative")
+        values = _solve_batch(problem, sa_iterations=sa_iterations, num_runs=num_runs,
+                              seed=seed, use_hardware=True, variability=variability,
+                              matchline_noise_sigma=float(noise))
+        points.append(SweepPoint(
+            parameter=float(noise),
+            success_rate=success_rate(values, reference, threshold),
+            mean_normalized_value=float(np.mean(values) / reference),
+            num_runs=num_runs,
+        ))
+    return points

@@ -1,0 +1,80 @@
+"""Result object shared by every solver in the repository."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a single annealing run.
+
+    Attributes
+    ----------
+    best_configuration:
+        Best (lowest-energy feasible) configuration found.  For the D-QUBO
+        baseline this is the *decoded* problem-variable part.
+    best_energy:
+        Energy of the best configuration under the solver's internal
+        objective (QUBO value for HyCiM, penalised QUBO value for D-QUBO).
+    best_objective:
+        The native problem objective of the best configuration (e.g. the QKP
+        profit), when the solver knows how to compute it.
+    feasible:
+        Whether the best configuration satisfies the original constraints.
+    energy_history:
+        Internal energy of the incumbent after each iteration (recorded only
+        when history tracking is enabled; Fig. 7(f) plots this).
+    num_iterations:
+        Total SA iterations executed.
+    num_feasible_evaluations:
+        Iterations whose candidate passed the feasibility check and therefore
+        required a QUBO computation.
+    num_infeasible_skipped:
+        Iterations whose candidate was rejected by the inequality filter
+        before any QUBO computation (HyCiM's saving mechanism).
+    num_accepted_moves:
+        Accepted Metropolis moves.
+    solver_name:
+        Label used in experiment reports.
+    metadata:
+        Free-form extras (temperatures, seeds, instance name, ...).
+    """
+
+    best_configuration: np.ndarray
+    best_energy: float
+    best_objective: Optional[float] = None
+    feasible: bool = True
+    energy_history: List[float] = field(default_factory=list)
+    num_iterations: int = 0
+    num_feasible_evaluations: int = 0
+    num_infeasible_skipped: int = 0
+    num_accepted_moves: int = 0
+    solver_name: str = "solver"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def infeasible_fraction(self) -> float:
+        """Fraction of iterations filtered out as infeasible."""
+        if self.num_iterations == 0:
+            return 0.0
+        return self.num_infeasible_skipped / self.num_iterations
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of iterations whose move was accepted."""
+        if self.num_iterations == 0:
+            return 0.0
+        return self.num_accepted_moves / self.num_iterations
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        objective = "n/a" if self.best_objective is None else f"{self.best_objective:.4g}"
+        return (
+            f"[{self.solver_name}] energy={self.best_energy:.4g} objective={objective} "
+            f"feasible={self.feasible} iterations={self.num_iterations} "
+            f"skipped={self.num_infeasible_skipped} accepted={self.num_accepted_moves}"
+        )

@@ -1,0 +1,65 @@
+"""Computing-in-memory (CiM) hardware simulators.
+
+Behavioural, array-level models of the two FeFET CiM blocks of HyCiM:
+
+* the **inequality filter** (paper Sec. 3.3, Figs. 4-5): a matchline-based
+  working array whose end-of-evaluation voltage is proportional to
+  ``-(w . x)``, a replica array encoding ``-C`` and a 2-stage voltage
+  comparator producing the feasible / infeasible decision;
+* the **QUBO crossbar** (paper Sec. 3.4, Figs. 6-7): a bit-sliced 1FeFET1R
+  crossbar that evaluates ``x^T Q x`` with analog column currents, ADC
+  quantization and device variability;
+* the **cost model** used by the hardware-overhead study (Fig. 9(c)).
+"""
+
+from repro.cim.adc import ADCModel
+from repro.cim.comparator import TwoStageComparator
+from repro.cim.filter_array import FilterArrayConfig, MatchlineReadout, WorkingArray
+from repro.cim.replica import ReplicaArray
+from repro.cim.inequality_filter import FilterDecision, InequalityFilter
+from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
+from repro.cim.energy_model import (
+    EnergyModelParameters,
+    RunCost,
+    crossbar_evaluation_energy,
+    dqubo_run_cost,
+    energy_saving,
+    filter_evaluation_energy,
+    hycim_run_cost,
+)
+from repro.cim.cost_model import (
+    CostModelParameters,
+    HardwareCost,
+    crossbar_cost,
+    dqubo_hardware_cost,
+    hardware_size_saving,
+    hycim_hardware_cost,
+    inequality_filter_cost,
+)
+
+__all__ = [
+    "ADCModel",
+    "TwoStageComparator",
+    "FilterArrayConfig",
+    "MatchlineReadout",
+    "WorkingArray",
+    "ReplicaArray",
+    "FilterDecision",
+    "InequalityFilter",
+    "CrossbarConfig",
+    "FeFETCrossbar",
+    "CostModelParameters",
+    "HardwareCost",
+    "EnergyModelParameters",
+    "RunCost",
+    "filter_evaluation_energy",
+    "crossbar_evaluation_energy",
+    "hycim_run_cost",
+    "dqubo_run_cost",
+    "energy_saving",
+    "crossbar_cost",
+    "inequality_filter_cost",
+    "hycim_hardware_cost",
+    "dqubo_hardware_cost",
+    "hardware_size_saving",
+]

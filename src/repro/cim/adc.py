@@ -1,0 +1,86 @@
+"""Analog-to-digital converter model for crossbar column readout.
+
+The crossbar (paper Fig. 6(a)) senses every column current with an ADC before
+the digital add-shift-sum stage.  The behavioural model quantizes a
+non-negative analog value to ``2^bits`` uniform levels over ``[0, full_scale]``
+with optional input-referred noise, clipping out-of-range inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class ADCModel:
+    """Uniform ADC with ``bits`` of resolution over ``[0, full_scale]``.
+
+    Parameters
+    ----------
+    bits:
+        Resolution in bits (1..16 supported).
+    full_scale:
+        Analog input that maps to the top code.
+    noise_sigma:
+        Standard deviation of Gaussian input-referred noise, in the same
+        units as the input (0 disables noise).
+    seed:
+        RNG seed for the noise source.
+    """
+
+    bits: int = 8
+    full_scale: float = 1.0
+    noise_sigma: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError("ADC resolution must be between 1 and 16 bits")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of output codes (``2^bits``)."""
+        return 1 << self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Analog value of one least-significant bit."""
+        return self.full_scale / (self.num_levels - 1)
+
+    def convert(self, value: float) -> int:
+        """Quantize a single analog value to its output code."""
+        noisy = value + (self._rng.normal(0.0, self.noise_sigma) if self.noise_sigma else 0.0)
+        clipped = min(max(noisy, 0.0), self.full_scale)
+        return int(round(clipped / self.lsb))
+
+    def convert_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`convert` over an array of analog values."""
+        arr = np.asarray(values, dtype=float)
+        if self.noise_sigma:
+            arr = arr + self._rng.normal(0.0, self.noise_sigma, size=arr.shape)
+        clipped = np.clip(arr, 0.0, self.full_scale)
+        return np.round(clipped / self.lsb).astype(int)
+
+    def reconstruct(self, code: int) -> float:
+        """Analog value corresponding to an output code (mid-tread)."""
+        return float(code) * self.lsb
+
+    def reconstruct_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`reconstruct`."""
+        return np.asarray(codes, dtype=float) * self.lsb
+
+    def quantize(self, value: float) -> float:
+        """Round-trip convert + reconstruct (quantized analog value)."""
+        return self.reconstruct(self.convert(value))
+
+    def quantize_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`quantize`."""
+        return self.reconstruct_array(self.convert_array(values))

@@ -1,0 +1,145 @@
+"""Analytical hardware cost model (paper Fig. 9(c)).
+
+The paper extracts wiring parasitics from DESTINY and reports the hardware
+*size saving* of HyCiM (inequality filter + crossbar) over a D-QUBO annealer
+built on the same crossbar substrate.  The relative saving is dominated by
+two exactly-computable quantities -- the QUBO matrix dimension and the bit
+planes per element -- so an analytical model in units of bit cells (with
+configurable peripheral overheads) reproduces the reported 88%-99.96% range.
+
+All areas are reported in units of ``F^2`` (squared feature size) so the
+numbers are technology-agnostic; an optional feature size converts to um^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantization import QuantizationReport
+
+
+@dataclass(frozen=True)
+class CostModelParameters:
+    """Area parameters of the CiM macros (in ``F^2`` unless noted).
+
+    Defaults follow typical published numbers for 28 nm FeFET CiM macros:
+    a 1FeFET1R cell is a few tens of F^2, a column ADC and its sample-and-hold
+    dominate the periphery, and the matchline comparator is small.
+    """
+
+    cell_area: float = 40.0
+    adc_area: float = 1.5e4
+    sense_amp_area: float = 2.0e3
+    comparator_area: float = 4.0e3
+    wordline_driver_area: float = 120.0
+    bitline_driver_area: float = 120.0
+    adc_share: int = 8
+    feature_size_nm: float = 28.0
+
+    def __post_init__(self) -> None:
+        if self.cell_area <= 0:
+            raise ValueError("cell_area must be positive")
+        if self.adc_share < 1:
+            raise ValueError("adc_share must be at least 1")
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Area breakdown of a CiM macro.
+
+    Attributes
+    ----------
+    array_area:
+        Area of the memory cells.
+    periphery_area:
+        Drivers, ADCs, sense amplifiers, comparators.
+    num_cells:
+        Number of 1-bit cells in the arrays.
+    """
+
+    array_area: float
+    periphery_area: float
+    num_cells: int
+
+    @property
+    def total_area(self) -> float:
+        """Total macro area (``F^2``)."""
+        return self.array_area + self.periphery_area
+
+    def total_area_um2(self, feature_size_nm: float = 28.0) -> float:
+        """Total area converted to um^2 for a given feature size."""
+        f_um = feature_size_nm * 1e-3
+        return self.total_area * f_um * f_um
+
+    def __add__(self, other: "HardwareCost") -> "HardwareCost":
+        if not isinstance(other, HardwareCost):
+            return NotImplemented
+        return HardwareCost(
+            array_area=self.array_area + other.array_area,
+            periphery_area=self.periphery_area + other.periphery_area,
+            num_cells=self.num_cells + other.num_cells,
+        )
+
+
+def crossbar_cost(num_variables: int, bits_per_element: int,
+                  params: CostModelParameters = CostModelParameters()) -> HardwareCost:
+    """Area of a bit-sliced QUBO crossbar for an ``n x n`` matrix.
+
+    The crossbar holds ``n * n * bits`` one-bit cells (paper Sec. 4.2), one
+    wordline driver per row, one bitline driver per physical column and one
+    ADC shared by ``adc_share`` physical columns through a MUX (Fig. 6(a)).
+    """
+    if num_variables < 1 or bits_per_element < 1:
+        raise ValueError("num_variables and bits_per_element must be positive")
+    physical_columns = num_variables * bits_per_element
+    num_cells = num_variables * physical_columns
+    array_area = num_cells * params.cell_area
+    num_adcs = -(-physical_columns // params.adc_share)  # ceil division
+    periphery = (
+        num_variables * params.wordline_driver_area
+        + physical_columns * params.bitline_driver_area
+        + num_adcs * params.adc_area
+        + num_adcs * params.sense_amp_area
+    )
+    return HardwareCost(array_area=array_area, periphery_area=periphery, num_cells=num_cells)
+
+
+def inequality_filter_cost(num_rows: int, num_columns: int,
+                           params: CostModelParameters = CostModelParameters()) -> HardwareCost:
+    """Area of one inequality filter: working + replica arrays + comparator."""
+    if num_rows < 1 or num_columns < 1:
+        raise ValueError("num_rows and num_columns must be positive")
+    cells_per_array = num_rows * num_columns
+    num_cells = 2 * cells_per_array
+    array_area = num_cells * params.cell_area
+    periphery = (
+        2 * num_columns * params.wordline_driver_area
+        + 2 * num_rows * params.bitline_driver_area
+        + params.comparator_area
+    )
+    return HardwareCost(array_area=array_area, periphery_area=periphery, num_cells=num_cells)
+
+
+def hycim_hardware_cost(report: QuantizationReport, filter_rows: int = 16,
+                        params: CostModelParameters = CostModelParameters()) -> HardwareCost:
+    """Total HyCiM hardware: QUBO crossbar + one inequality filter."""
+    crossbar = crossbar_cost(report.num_variables, report.bits_per_element, params)
+    filter_block = inequality_filter_cost(filter_rows, report.num_variables, params)
+    return crossbar + filter_block
+
+
+def dqubo_hardware_cost(report: QuantizationReport,
+                        params: CostModelParameters = CostModelParameters()) -> HardwareCost:
+    """Total D-QUBO hardware: a (much larger) crossbar only."""
+    return crossbar_cost(report.num_variables, report.bits_per_element, params)
+
+
+def hardware_size_saving(hycim: HardwareCost, dqubo: HardwareCost) -> float:
+    """Fractional area saving of HyCiM over the D-QUBO implementation.
+
+    The quantity reported per instance in Fig. 9(c):
+    ``1 - area(HyCiM) / area(D-QUBO)``.
+    """
+    if dqubo.total_area <= 0:
+        raise ValueError("D-QUBO area must be positive")
+    return 1.0 - hycim.total_area / dqubo.total_area

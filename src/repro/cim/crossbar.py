@@ -1,0 +1,248 @@
+"""FeFET-based CiM crossbar for QUBO computation (paper Sec. 3.4, Fig. 6(a)).
+
+The crossbar stores the QUBO matrix ``Q`` bit-sliced: each matrix element is
+quantized to ``M`` magnitude bits, and every bit plane of every column of
+``Q`` occupies one physical crossbar column of 1-bit 1FeFET1R cells.  During a
+QUBO computation the input vector ``x`` drives both the wordlines (gates,
+``x^T``) and the drain lines (``x``); every cell therefore contributes
+``x_j * q_bit * x_i`` to its column current (the single-transistor
+multiplication of Fig. 2(c)).  Column currents are digitised by per-column
+ADCs and combined by the add-shift-sum peripheral logic into the VMV result
+``x^T Q x``.
+
+Signed matrices are handled with the standard differential mapping: positive
+and negative parts of ``Q`` are stored in separate bit-sliced planes and
+subtracted digitally.
+
+The model includes the analog non-idealities that matter at array level:
+per-cell ON-current variation (static, sampled at program time), readout
+noise and ADC quantization.  With all non-idealities disabled the crossbar is
+bit-exact with the quantized matrix, which the unit tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cim.adc import ADCModel
+from repro.core.qubo import QUBOModel
+from repro.fefet.variability import VariabilityModel
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Configuration of the bit-sliced QUBO crossbar.
+
+    Attributes
+    ----------
+    weight_bits:
+        Magnitude bits ``M`` per matrix element.
+    cell_on_current:
+        Nominal ON current of one cell (amperes); sets the analog scale of the
+        column currents reported by :meth:`FeFETCrossbar.column_current`.
+    current_noise_sigma:
+        Relative (fractional) Gaussian read noise applied to every column
+        current at every evaluation.
+    adc_bits:
+        Column ADC resolution.  ``None`` disables ADC quantization (ideal
+        digitisation), which is also the setting used when a plane's dynamic
+        range already fits the ADC.
+    on_current_variation_sigma:
+        Log-normal sigma of the static per-cell ON-current variation sampled
+        at program time.
+    seed:
+        RNG seed for all stochastic components.
+    """
+
+    weight_bits: int = 7
+    cell_on_current: float = 2e-6
+    current_noise_sigma: float = 0.0
+    adc_bits: Optional[int] = None
+    on_current_variation_sigma: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.weight_bits <= 32:
+            raise ValueError("weight_bits must be between 1 and 32")
+        if self.cell_on_current <= 0:
+            raise ValueError("cell_on_current must be positive")
+        if self.current_noise_sigma < 0 or self.on_current_variation_sigma < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if self.adc_bits is not None and not 1 <= self.adc_bits <= 16:
+            raise ValueError("adc_bits must be between 1 and 16")
+
+
+class FeFETCrossbar:
+    """A bit-sliced FeFET crossbar programmed with a QUBO matrix.
+
+    Use :meth:`from_qubo` to build one; :meth:`compute_energy` evaluates
+    ``x^T Q x`` (plus the model offset) through the analog pipeline.
+    """
+
+    def __init__(self, qubo: QUBOModel, config: Optional[CrossbarConfig] = None) -> None:
+        self.config = config or CrossbarConfig()
+        self.qubo = qubo
+        self._rng = np.random.default_rng(self.config.seed)
+        self._program(qubo.matrix)
+
+    @classmethod
+    def from_qubo(cls, qubo: QUBOModel,
+                  config: Optional[CrossbarConfig] = None) -> "FeFETCrossbar":
+        """Program a crossbar with the given QUBO model."""
+        return cls(qubo, config=config)
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def _program(self, matrix: np.ndarray) -> None:
+        """Quantize the matrix, slice it into bit planes and sample variability."""
+        n = matrix.shape[0]
+        self._n = n
+        bits = self.config.weight_bits
+        max_abs = float(np.max(np.abs(matrix))) if matrix.size else 0.0
+        is_integer_matrix = bool(np.all(np.abs(matrix - np.round(matrix)) < 1e-9))
+        if max_abs == 0.0:
+            self._scale = 1.0
+        elif is_integer_matrix and max_abs <= 2 ** bits - 1:
+            # Integer matrices that already fit the bit budget are stored
+            # losslessly (scale 1), which makes the crossbar bit-exact for the
+            # HyCiM QKP mapping (Q_max <= 100 with 7-bit cells).
+            self._scale = 1.0
+        else:
+            self._scale = (2 ** bits - 1) / max_abs
+        positive = np.maximum(matrix, 0.0)
+        negative = np.maximum(-matrix, 0.0)
+        self._pos_quantized = np.round(positive * self._scale).astype(np.int64)
+        self._neg_quantized = np.round(negative * self._scale).astype(np.int64)
+
+        # Bit planes: planes[b][j, i] in {0, 1} is bit b of |Q_ji| for sign s.
+        self._pos_planes = self._slice_bits(self._pos_quantized)
+        self._neg_planes = self._slice_bits(self._neg_quantized)
+
+        # Static per-cell ON-current factors, one per cell of each plane.
+        sigma = self.config.on_current_variation_sigma
+        if sigma > 0:
+            var = VariabilityModel(threshold_sigma=0.0, on_current_sigma=sigma,
+                                   seed=self.config.seed)
+            self._pos_factors = np.stack(
+                [var.sample_on_current_factors(n * n).reshape(n, n) for _ in range(bits)]
+            )
+            self._neg_factors = np.stack(
+                [var.sample_on_current_factors(n * n).reshape(n, n) for _ in range(bits)]
+            )
+        else:
+            self._pos_factors = np.ones((bits, n, n))
+            self._neg_factors = np.ones((bits, n, n))
+
+        # Column ADC covering the worst-case column current (all n cells ON).
+        if self.config.adc_bits is not None:
+            self._adc = ADCModel(bits=self.config.adc_bits, full_scale=float(n),
+                                 seed=self.config.seed)
+        else:
+            self._adc = None
+
+    def _slice_bits(self, quantized: np.ndarray) -> np.ndarray:
+        """Return an array of shape ``(bits, n, n)`` of 0/1 bit planes."""
+        bits = self.config.weight_bits
+        planes = np.zeros((bits, quantized.shape[0], quantized.shape[1]))
+        for b in range(bits):
+            planes[b] = (quantized >> b) & 1
+        return planes
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        """QUBO dimension ``n``."""
+        return self._n
+
+    @property
+    def num_cells(self) -> int:
+        """Total 1-bit cells used (both signs, all bit planes)."""
+        return 2 * self.config.weight_bits * self._n * self._n
+
+    @property
+    def quantization_scale(self) -> float:
+        """Multiplier mapping matrix values to integer codes."""
+        return self._scale
+
+    def quantized_matrix(self) -> np.ndarray:
+        """The signed, quantized matrix actually stored (in original units)."""
+        return (self._pos_quantized - self._neg_quantized) / self._scale
+
+    def quantization_error(self) -> float:
+        """Max absolute difference between the stored and the exact matrix."""
+        return float(np.max(np.abs(self.quantized_matrix() - self.qubo.matrix)))
+
+    # ------------------------------------------------------------------ #
+    # Analog evaluation
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, planes: np.ndarray, factors: np.ndarray,
+                    x: np.ndarray) -> float:
+        """Add-shift-sum accumulation of one sign's bit planes."""
+        total = 0.0
+        for b in range(self.config.weight_bits):
+            effective = planes[b] * factors[b]
+            # Column current of column i: sum_j x_j * cell_ji * x_i.
+            column_currents = (x @ effective) * x
+            if self.config.current_noise_sigma > 0:
+                noise = self._rng.normal(0.0, self.config.current_noise_sigma,
+                                         size=column_currents.shape)
+                column_currents = column_currents * (1.0 + noise)
+                column_currents = np.maximum(column_currents, 0.0)
+            if self._adc is not None:
+                column_currents = self._adc.quantize_array(column_currents)
+            total += float(column_currents.sum()) * (2 ** b)
+        return total
+
+    def compute_energy(self, x: Sequence[int]) -> float:
+        """Evaluate ``x^T Q x + offset`` through the analog crossbar pipeline."""
+        vec = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if vec.shape[0] != self._n:
+            raise ValueError(f"input length {vec.shape[0]} != crossbar dimension {self._n}")
+        if not np.all((vec == 0) | (vec == 1)):
+            raise ValueError("crossbar inputs must be binary")
+        positive = self._accumulate(self._pos_planes, self._pos_factors, vec)
+        negative = self._accumulate(self._neg_planes, self._neg_factors, vec)
+        return (positive - negative) / self._scale + self.qubo.offset
+
+    def compute_energies(self, configurations: np.ndarray) -> np.ndarray:
+        """Evaluate a batch of configurations (one row each)."""
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        return np.array([self.compute_energy(row) for row in batch])
+
+    def column_current(self, num_activated_cells: int) -> float:
+        """Analog current of a column with ``num_activated_cells`` cells ON.
+
+        Reproduces the linearity measurement of Fig. 7(d): the summed column
+        current grows linearly with the number of activated cells, with the
+        configured per-cell variation and read noise superimposed.
+        """
+        if not 0 <= num_activated_cells <= self._n:
+            raise ValueError(
+                f"num_activated_cells must be within 0..{self._n}"
+            )
+        factors = (
+            VariabilityModel(threshold_sigma=0.0,
+                             on_current_sigma=self.config.on_current_variation_sigma,
+                             seed=None if self.config.seed is None else self.config.seed + 1)
+            .sample_on_current_factors(num_activated_cells)
+            if self.config.on_current_variation_sigma > 0
+            else np.ones(num_activated_cells)
+        )
+        current = float(np.sum(self.config.cell_on_current * factors))
+        if self.config.current_noise_sigma > 0:
+            current *= 1.0 + float(self._rng.normal(0.0, self.config.current_noise_sigma))
+        return max(0.0, current)
+
+    def linearity_sweep(self, counts: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Column current versus activated-cell count over a sweep of counts."""
+        counts_arr = np.asarray(list(counts), dtype=int)
+        currents = np.array([self.column_current(int(c)) for c in counts_arr])
+        return counts_arr, currents

@@ -1,0 +1,154 @@
+"""Energy and latency model of the HyCiM CiM macros.
+
+The paper argues that filtering infeasible configurations *before* the QUBO
+computation saves energy as well as area (Sec. 4.2 "indicating improved energy
+efficiency and performance").  This module provides a per-operation
+energy/latency model so that full SA runs can be costed: a filter evaluation
+is cheap (one matchline discharge plus a comparator decision), a crossbar VMV
+evaluation is expensive (all bit planes, column ADC conversions, add-shift
+logic), and the D-QUBO baseline pays the crossbar price on *every* iteration
+over a much larger array.
+
+All values are behavioural defaults in picojoules / nanoseconds representative
+of published 28 nm FeFET CiM macros; they are parameters, not measurements,
+and only relative comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annealing.result import SolveResult
+from repro.core.quantization import QuantizationReport
+
+
+@dataclass(frozen=True)
+class EnergyModelParameters:
+    """Per-operation energy (pJ) and latency (ns) constants.
+
+    Attributes
+    ----------
+    matchline_discharge_energy_per_cell:
+        Charge drawn per conducting filter cell during the four-phase
+        evaluation.
+    comparator_energy:
+        One 2-stage comparator decision.
+    crossbar_read_energy_per_cell:
+        One 1FeFET1R cell read during a VMV evaluation.
+    adc_conversion_energy:
+        One column ADC conversion.
+    digital_accumulate_energy:
+        Add-shift-sum work per column per bit plane.
+    sa_logic_energy:
+        SA logic work per iteration (candidate generation + acceptance).
+    filter_latency / crossbar_latency / sa_logic_latency:
+        Per-operation latencies (the filter and crossbar operate sequentially
+        within one HyCiM iteration).
+    """
+
+    matchline_discharge_energy_per_cell: float = 0.02
+    comparator_energy: float = 0.05
+    crossbar_read_energy_per_cell: float = 0.01
+    adc_conversion_energy: float = 1.5
+    digital_accumulate_energy: float = 0.05
+    sa_logic_energy: float = 2.0
+    filter_latency: float = 4.0
+    crossbar_latency: float = 10.0
+    sa_logic_latency: float = 2.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.matchline_discharge_energy_per_cell, self.comparator_energy,
+            self.crossbar_read_energy_per_cell, self.adc_conversion_energy,
+            self.digital_accumulate_energy, self.sa_logic_energy,
+            self.filter_latency, self.crossbar_latency, self.sa_logic_latency,
+        )
+        if any(v < 0 for v in values):
+            raise ValueError("energy/latency parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class RunCost:
+    """Total energy (pJ) and latency (ns) of one SA run."""
+
+    energy: float
+    latency: float
+    num_filter_evaluations: int
+    num_crossbar_evaluations: int
+
+    def __add__(self, other: "RunCost") -> "RunCost":
+        if not isinstance(other, RunCost):
+            return NotImplemented
+        return RunCost(
+            energy=self.energy + other.energy,
+            latency=self.latency + other.latency,
+            num_filter_evaluations=self.num_filter_evaluations + other.num_filter_evaluations,
+            num_crossbar_evaluations=self.num_crossbar_evaluations + other.num_crossbar_evaluations,
+        )
+
+
+def filter_evaluation_energy(num_items: int, filter_rows: int,
+                             params: EnergyModelParameters = EnergyModelParameters()) -> float:
+    """Energy of one inequality-filter evaluation (working + replica + comparator)."""
+    if num_items < 1 or filter_rows < 1:
+        raise ValueError("num_items and filter_rows must be positive")
+    cells = 2 * num_items * filter_rows
+    return cells * params.matchline_discharge_energy_per_cell + params.comparator_energy
+
+
+def crossbar_evaluation_energy(report: QuantizationReport, adc_share: int = 8,
+                               params: EnergyModelParameters = EnergyModelParameters()) -> float:
+    """Energy of one full VMV evaluation on a bit-sliced crossbar."""
+    if adc_share < 1:
+        raise ValueError("adc_share must be positive")
+    n = report.num_variables
+    bits = report.bits_per_element
+    cell_reads = n * n * bits
+    physical_columns = n * bits
+    conversions = physical_columns
+    accumulate = physical_columns
+    return (cell_reads * params.crossbar_read_energy_per_cell
+            + conversions * params.adc_conversion_energy
+            + accumulate * params.digital_accumulate_energy)
+
+
+def hycim_run_cost(result: SolveResult, report: QuantizationReport,
+                   filter_rows: int = 16,
+                   params: EnergyModelParameters = EnergyModelParameters()) -> RunCost:
+    """Cost of a HyCiM SA run: every proposal pays for the filter, only the
+    feasible ones pay for the crossbar."""
+    filter_evals = result.num_feasible_evaluations + result.num_infeasible_skipped
+    crossbar_evals = result.num_feasible_evaluations
+    energy = (
+        filter_evals * filter_evaluation_energy(report.num_variables, filter_rows, params)
+        + crossbar_evals * crossbar_evaluation_energy(report, params=params)
+        + result.num_iterations * params.sa_logic_energy
+    )
+    latency = (
+        filter_evals * params.filter_latency
+        + crossbar_evals * params.crossbar_latency
+        + result.num_iterations * params.sa_logic_latency
+    )
+    return RunCost(energy=energy, latency=latency,
+                   num_filter_evaluations=filter_evals,
+                   num_crossbar_evaluations=crossbar_evals)
+
+
+def dqubo_run_cost(result: SolveResult, report: QuantizationReport,
+                   params: EnergyModelParameters = EnergyModelParameters()) -> RunCost:
+    """Cost of a D-QUBO SA run: every iteration pays for a (much larger) crossbar
+    evaluation and there is no filter."""
+    crossbar_evals = result.num_iterations
+    energy = (crossbar_evals * crossbar_evaluation_energy(report, params=params)
+              + result.num_iterations * params.sa_logic_energy)
+    latency = crossbar_evals * params.crossbar_latency + result.num_iterations * params.sa_logic_latency
+    return RunCost(energy=energy, latency=latency,
+                   num_filter_evaluations=0,
+                   num_crossbar_evaluations=crossbar_evals)
+
+
+def energy_saving(hycim: RunCost, dqubo: RunCost) -> float:
+    """Fractional energy saving of HyCiM over the D-QUBO run (``1 - E_h/E_d``)."""
+    if dqubo.energy <= 0:
+        raise ValueError("D-QUBO energy must be positive")
+    return 1.0 - hycim.energy / dqubo.energy

@@ -1,0 +1,269 @@
+"""Matchline-based working array of the inequality filter (paper Fig. 4-5(a)).
+
+An ``m x n`` array of 1FeFET1R cells.  Column ``i`` stores the item weight
+``w_i`` decomposed into ``m`` cell weights ``w_ij in {0..k}`` with
+``w_i = sum_j w_ij``; all matchlines are tied together and share a precharge
+capacitance ``C_ML``.  During an evaluation the staircase read pulses turn ON
+every cell whose stored weight admits the current phase; each conducting cell
+removes an (approximately constant) packet of charge, so the final matchline
+voltage obeys paper Eq. (9):
+
+    V_ML  =  V_DD - dV * sum_i w_i x_i        (clipped at ground)
+
+``dV`` is the discharge per unit of stored weight and is a configuration
+parameter chosen by the enclosing :class:`~repro.cim.inequality_filter.
+InequalityFilter` so the replica voltage sits mid-rail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fefet.cell import CellParameters, OneFeFETOneRCell
+from repro.fefet.variability import VariabilityModel
+
+
+def decompose_weight(weight: int, num_rows: int, max_cell_weight: int) -> List[int]:
+    """Decompose an integer item weight into per-cell weights.
+
+    ``weight = sum_j w_j`` with each ``w_j in {0..max_cell_weight}`` and at
+    most ``num_rows`` cells (paper Sec. 3.3: "each item weight w_i is
+    decomposed into multiple w_ij values").  Raises when the weight does not
+    fit in the column.
+    """
+    if weight < 0:
+        raise ValueError("weights must be non-negative")
+    if weight > num_rows * max_cell_weight:
+        raise ValueError(
+            f"weight {weight} exceeds column capacity {num_rows * max_cell_weight}"
+        )
+    cells = []
+    remaining = int(weight)
+    for _ in range(num_rows):
+        portion = min(remaining, max_cell_weight)
+        cells.append(portion)
+        remaining -= portion
+    return cells
+
+
+@dataclass(frozen=True)
+class FilterArrayConfig:
+    """Configuration of a filter working/replica array.
+
+    Attributes
+    ----------
+    num_rows:
+        Cells per column ``m`` (paper evaluation: 16, giving a per-item weight
+        range of 0..64 with 4-level cells).
+    cell:
+        1FeFET1R cell parameters (defines ``max_cell_weight`` and V_DD).
+    discharge_per_unit:
+        Matchline voltage drop per unit of stored-weight-times-input (volts).
+    noise_sigma:
+        Gaussian noise (volts) added to each matchline readout, modelling
+        charge-injection/kT-C noise.
+    """
+
+    num_rows: int = 16
+    cell: CellParameters = field(default_factory=CellParameters)
+    discharge_per_unit: float = 1e-3
+    noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1:
+            raise ValueError("num_rows must be positive")
+        if self.discharge_per_unit <= 0:
+            raise ValueError("discharge_per_unit must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+
+    @property
+    def max_cell_weight(self) -> int:
+        """Largest weight a single cell can store."""
+        return self.cell.max_weight
+
+    @property
+    def max_column_weight(self) -> int:
+        """Largest item weight a column can store (``m * k``)."""
+        return self.num_rows * self.cell.max_weight
+
+    @property
+    def supply_voltage(self) -> float:
+        """Matchline precharge voltage ``V_DD``."""
+        return self.cell.supply_voltage
+
+
+@dataclass(frozen=True)
+class MatchlineReadout:
+    """Result of one filter evaluation (four staircase phases).
+
+    Attributes
+    ----------
+    voltage:
+        Final matchline voltage including noise and ground clipping.
+    ideal_voltage:
+        Noise-free, unclipped value ``V_DD - dV * w.x``.
+    discharge:
+        Total voltage removed from the precharged matchline.
+    weighted_sum:
+        The effective ``w . x`` seen by the array (includes any cell-level
+        conduction errors caused by device variability).
+    """
+
+    voltage: float
+    ideal_voltage: float
+    discharge: float
+    weighted_sum: float
+
+
+class WorkingArray:
+    """An ``m x n`` filter array storing an item-weight vector.
+
+    Parameters
+    ----------
+    weights:
+        Integer item weights ``w_i`` (one per column).
+    config:
+        Array configuration.
+    variability:
+        Optional device variability; sampled per cell at program time.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[int],
+        config: Optional[FilterArrayConfig] = None,
+        variability: Optional[VariabilityModel] = None,
+    ) -> None:
+        self.config = config or FilterArrayConfig()
+        self._stored_weights = np.array([int(round(w)) for w in weights], dtype=int)
+        if np.any(self._stored_weights < 0):
+            raise ValueError("item weights must be non-negative")
+        if np.any(self._stored_weights > self.config.max_column_weight):
+            raise ValueError(
+                "an item weight exceeds the column capacity "
+                f"{self.config.max_column_weight}; increase num_rows"
+            )
+        self._variability = variability
+        self._cells: List[List[OneFeFETOneRCell]] = []
+        self._effective_weights = np.zeros(self.num_columns)
+        self._program()
+
+    def _program(self) -> None:
+        """Decompose weights into cells and record effective conduction counts."""
+        self._cells = []
+        effective = np.zeros(self.num_columns)
+        for column, weight in enumerate(self._stored_weights):
+            cell_weights = decompose_weight(int(weight), self.config.num_rows,
+                                            self.config.max_cell_weight)
+            column_cells = []
+            column_effective = 0
+            for cell_weight in cell_weights:
+                cell = OneFeFETOneRCell(parameters=self.config.cell, weight=cell_weight,
+                                        variability=self._variability)
+                column_cells.append(cell)
+                # The number of staircase phases during which the cell
+                # conducts is the weight it effectively contributes (Eq. (7)).
+                column_effective += cell.conduction_count(input_bit=1)
+            self._cells.append(column_cells)
+            effective[column] = column_effective
+        self._effective_weights = effective
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_columns(self) -> int:
+        """Number of items ``n`` (columns)."""
+        return self._stored_weights.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        """Cells per column ``m``."""
+        return self.config.num_rows
+
+    @property
+    def stored_weights(self) -> np.ndarray:
+        """The programmed item weights."""
+        return self._stored_weights.copy()
+
+    @property
+    def effective_weights(self) -> np.ndarray:
+        """Per-column conduction counts actually realised by the cells.
+
+        Equal to :attr:`stored_weights` for ideal devices; may deviate by a
+        few units under strong threshold variability.
+        """
+        return self._effective_weights.copy()
+
+    def cell(self, row: int, column: int) -> OneFeFETOneRCell:
+        """Access an individual cell (row-major within a column)."""
+        return self._cells[column][row]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def reprogram(self, weights: Sequence[int]) -> None:
+        """Erase and reprogram the array with a new weight vector."""
+        new_weights = np.array([int(round(w)) for w in weights], dtype=int)
+        if new_weights.shape[0] != self.num_columns:
+            raise ValueError("reprogramming must keep the number of columns")
+        if np.any(new_weights < 0) or np.any(new_weights > self.config.max_column_weight):
+            raise ValueError("a weight is out of the representable range")
+        self._stored_weights = new_weights
+        self._program()
+
+    def evaluate(self, x: Sequence[int],
+                 rng: Optional[np.random.Generator] = None) -> MatchlineReadout:
+        """Run the four-phase evaluation for input configuration ``x``.
+
+        Returns the end-of-evaluation matchline voltage (Eq. (9)).
+        """
+        inputs = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if inputs.shape[0] != self.num_columns:
+            raise ValueError(
+                f"input configuration length {inputs.shape[0]} != {self.num_columns} columns"
+            )
+        if not np.all((inputs == 0) | (inputs == 1)):
+            raise ValueError("input configuration must be binary")
+        weighted_sum = float(self._effective_weights @ inputs)
+        discharge = self.config.discharge_per_unit * weighted_sum
+        ideal_voltage = self.config.supply_voltage - discharge
+        noise = 0.0
+        if self.config.noise_sigma > 0:
+            generator = rng or np.random.default_rng()
+            noise = float(generator.normal(0.0, self.config.noise_sigma))
+        voltage = max(0.0, ideal_voltage + noise)
+        return MatchlineReadout(
+            voltage=voltage,
+            ideal_voltage=ideal_voltage,
+            discharge=discharge,
+            weighted_sum=weighted_sum,
+        )
+
+    def phase_waveform(self, x: Sequence[int]) -> np.ndarray:
+        """Matchline voltage after each of the four staircase phases.
+
+        Reproduces the transient view of Fig. 4(c)/5(f): phase ``j`` discharges
+        the matchline by one unit for every column whose cell-weight admits
+        that phase and whose input bit is 1.
+        """
+        inputs = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if inputs.shape[0] != self.num_columns:
+            raise ValueError("input configuration length mismatch")
+        voltage = self.config.supply_voltage
+        waveform = []
+        for phase in range(1, self.config.max_cell_weight + 1):
+            conducting = 0
+            for column in range(self.num_columns):
+                if inputs[column] != 1:
+                    continue
+                for cell in self._cells[column]:
+                    if cell.conducts(phase, input_bit=1):
+                        conducting += 1
+            voltage = max(0.0, voltage - self.config.discharge_per_unit * conducting)
+            waveform.append(voltage)
+        return np.array(waveform)

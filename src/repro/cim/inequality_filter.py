@@ -1,0 +1,197 @@
+"""The complete FeFET-based CiM inequality filter (paper Sec. 3.3, Fig. 5(b)).
+
+One :class:`~repro.cim.filter_array.WorkingArray` storing the constraint
+weights ``w``, one :class:`~repro.cim.replica.ReplicaArray` encoding the bound
+``C`` and a :class:`~repro.cim.comparator.TwoStageComparator`.  For an input
+configuration ``x`` the filter produces a single-bit feasible/infeasible
+decision
+
+    feasible  <=>  V_ML(working) >= V_ML(replica)  <=>  w . x <= C
+
+in one analog evaluation, which is what lets the HyCiM annealer skip the QUBO
+computation for infeasible configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cim.comparator import TwoStageComparator
+from repro.cim.filter_array import FilterArrayConfig, MatchlineReadout, WorkingArray
+from repro.cim.replica import ReplicaArray
+from repro.core.constraints import InequalityConstraint
+from repro.fefet.cell import CellParameters
+from repro.fefet.variability import VariabilityModel
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of one inequality-filter evaluation.
+
+    Attributes
+    ----------
+    feasible:
+        The comparator's decision (``True`` means ``w . x <= C``).
+    working_readout, replica_readout:
+        The two matchline readouts that were compared.
+    normalized_voltage:
+        Working matchline voltage divided by the replica voltage -- the
+        quantity plotted in Fig. 8 (feasible points land at >= 1.0).
+    """
+
+    feasible: bool
+    working_readout: MatchlineReadout
+    replica_readout: MatchlineReadout
+
+    @property
+    def normalized_voltage(self) -> float:
+        if self.replica_readout.voltage == 0.0:
+            return np.inf
+        return self.working_readout.voltage / self.replica_readout.voltage
+
+
+class InequalityFilter:
+    """CiM filter evaluating one inequality constraint ``w . x <= C``.
+
+    Parameters
+    ----------
+    constraint:
+        The inequality to accelerate.  Weights must be non-negative integers
+        (the QKP benchmark guarantees this); the capacity must be a
+        non-negative integer.
+    num_rows:
+        Cells per column of both arrays (paper evaluation: 16).  When the
+        largest constraint weight does not fit in ``num_rows`` cells the
+        array is automatically deepened to the smallest row count that can
+        store it (more rows per column is the paper's own scaling knob).
+    cell_parameters:
+        1FeFET1R cell parameters (4-level cells by default).
+    variability:
+        Optional FeFET variability applied to working and replica cells.
+    comparator:
+        Optional pre-built comparator (a noise-free one is created otherwise).
+    matchline_noise_sigma:
+        Readout noise per matchline evaluation (volts).
+    discharge_fraction:
+        Fraction of ``V_DD`` the replica matchline discharges; the discharge
+        per unit weight is derived from it so the comparison point sits
+        mid-rail regardless of the capacity magnitude.
+    """
+
+    def __init__(
+        self,
+        constraint: InequalityConstraint,
+        num_rows: int = 16,
+        cell_parameters: Optional[CellParameters] = None,
+        variability: Optional[VariabilityModel] = None,
+        comparator: Optional[TwoStageComparator] = None,
+        matchline_noise_sigma: float = 0.0,
+        discharge_fraction: float = 0.6,
+    ) -> None:
+        weights = constraint.weight_vector
+        if np.any(weights < 0):
+            raise ValueError("the inequality filter requires non-negative weights")
+        if np.any(np.abs(weights - np.round(weights)) > 1e-9):
+            raise ValueError("the inequality filter requires integer weights")
+        if constraint.bound < 0:
+            raise ValueError("the inequality bound must be non-negative")
+        if not 0.0 < discharge_fraction < 1.0:
+            raise ValueError("discharge_fraction must be in (0, 1)")
+
+        self.constraint = constraint
+        cell = cell_parameters or CellParameters()
+        capacity = max(1.0, float(constraint.bound))
+        discharge_per_unit = discharge_fraction * cell.supply_voltage / capacity
+        # Deepen the arrays when an item weight (or the per-column share of
+        # the capacity) exceeds what `num_rows` cells can represent.
+        max_weight = float(weights.max()) if weights.size else 0.0
+        required_rows = int(np.ceil(max(max_weight, 1.0) / cell.max_weight))
+        if weights.size:
+            capacity_rows = int(np.ceil(capacity / (weights.size * cell.max_weight)))
+            required_rows = max(required_rows, capacity_rows)
+        num_rows = max(num_rows, required_rows)
+        self.config = FilterArrayConfig(
+            num_rows=num_rows,
+            cell=cell,
+            discharge_per_unit=discharge_per_unit,
+            noise_sigma=matchline_noise_sigma,
+        )
+        int_weights = [int(round(w)) for w in weights]
+        self.working_array = WorkingArray(int_weights, config=self.config,
+                                          variability=variability)
+        self.replica_array = ReplicaArray(
+            capacity=float(round(constraint.bound)),
+            num_columns=len(int_weights),
+            config=self.config,
+            variability=variability,
+        )
+        self.comparator = comparator or TwoStageComparator()
+        self._num_evaluations = 0
+        self._num_feasible = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_items(self) -> int:
+        """Number of constraint variables (working-array columns)."""
+        return self.working_array.num_columns
+
+    @property
+    def num_evaluations(self) -> int:
+        """How many configurations the filter has evaluated."""
+        return self._num_evaluations
+
+    @property
+    def num_feasible_decisions(self) -> int:
+        """How many evaluations were declared feasible."""
+        return self._num_feasible
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, x: Sequence[int],
+                 rng: Optional[np.random.Generator] = None) -> FilterDecision:
+        """Evaluate one input configuration and return the filter decision."""
+        working = self.working_array.evaluate(x, rng=rng)
+        replica = self.replica_array.evaluate(rng=rng)
+        feasible = self.comparator.decide(working.voltage, replica.voltage)
+        self._num_evaluations += 1
+        if feasible:
+            self._num_feasible += 1
+        return FilterDecision(feasible=feasible, working_readout=working,
+                              replica_readout=replica)
+
+    def is_feasible(self, x: Sequence[int],
+                    rng: Optional[np.random.Generator] = None) -> bool:
+        """Single-bit decision (the signal routed to the SA logic in Fig. 3)."""
+        return self.evaluate(x, rng=rng).feasible
+
+    def evaluate_batch(self, configurations: np.ndarray,
+                       rng: Optional[np.random.Generator] = None) -> list[FilterDecision]:
+        """Evaluate a batch of configurations, one decision per row."""
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        return [self.evaluate(row, rng=rng) for row in batch]
+
+    def classification_accuracy(self, configurations: np.ndarray,
+                                rng: Optional[np.random.Generator] = None) -> float:
+        """Fraction of configurations classified identically to exact arithmetic.
+
+        This is the functional-validation metric behind Fig. 8: for ideal
+        devices the accuracy is 1.0 on all 800 Monte-Carlo cases.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        correct = 0
+        for row in batch:
+            decision = self.evaluate(row, rng=rng)
+            truth = self.constraint.is_satisfied(row)
+            if decision.feasible == truth:
+                correct += 1
+        return correct / batch.shape[0]

@@ -1,0 +1,92 @@
+"""Replica array of the inequality filter (paper Fig. 5(b)).
+
+The replica array is structurally identical to the working array but stores a
+precomputed weight vector ``w'`` and is driven with a fixed input ``x'`` such
+that ``sum_i w'_i x'_i = C``.  Its matchline therefore settles at a voltage
+proportional to ``-C`` (paper Eq. (10)), providing the comparison threshold
+for the voltage comparator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cim.filter_array import FilterArrayConfig, MatchlineReadout, WorkingArray
+from repro.fefet.variability import VariabilityModel
+
+
+def distribute_capacity(capacity: int, num_columns: int, max_column_weight: int) -> List[int]:
+    """Spread the capacity ``C`` over replica columns.
+
+    Greedy fill: columns store ``max_column_weight`` until the remainder fits
+    in one more column.  Raises when the capacity cannot be represented by the
+    array at all.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if capacity > num_columns * max_column_weight:
+        raise ValueError(
+            f"capacity {capacity} exceeds replica array range "
+            f"{num_columns * max_column_weight}"
+        )
+    weights = []
+    remaining = int(capacity)
+    for _ in range(num_columns):
+        portion = min(remaining, max_column_weight)
+        weights.append(portion)
+        remaining -= portion
+    return weights
+
+
+class ReplicaArray:
+    """A replica filter array encoding the capacity ``C``.
+
+    Parameters
+    ----------
+    capacity:
+        The inequality bound ``C`` to encode.
+    num_columns:
+        Number of columns (matches the working array so parasitics track).
+    config:
+        Shared array configuration -- *must* be the same object/values as the
+        working array for the voltage comparison to be meaningful.
+    variability:
+        Optional device variability, sampled per replica cell.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        num_columns: int,
+        config: Optional[FilterArrayConfig] = None,
+        variability: Optional[VariabilityModel] = None,
+    ) -> None:
+        self.config = config or FilterArrayConfig()
+        if abs(capacity - round(capacity)) > 1e-9:
+            raise ValueError("the replica array encodes integer capacities only")
+        self.capacity = int(round(capacity))
+        weights = distribute_capacity(self.capacity, num_columns, self.config.max_column_weight)
+        self._array = WorkingArray(weights, config=self.config, variability=variability)
+        # Fixed input configuration x' = all ones, so w'.x' = C exactly.
+        self._fixed_input = np.ones(num_columns)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of replica columns."""
+        return self._array.num_columns
+
+    @property
+    def stored_weights(self) -> np.ndarray:
+        """The precomputed replica weight vector ``w'``."""
+        return self._array.stored_weights
+
+    @property
+    def encoded_capacity(self) -> float:
+        """The capacity value effectively realised by the replica cells."""
+        return float(self._array.effective_weights @ self._fixed_input)
+
+    def evaluate(self, rng: Optional[np.random.Generator] = None) -> MatchlineReadout:
+        """Replica matchline readout (voltage proportional to ``-C``)."""
+        return self._array.evaluate(self._fixed_input, rng=rng)

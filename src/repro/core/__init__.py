@@ -1,0 +1,49 @@
+"""Core QUBO / Ising machinery and the HyCiM inequality-QUBO transformation.
+
+This package contains the mathematical core of the reproduction:
+
+* :class:`~repro.core.qubo.QUBOModel` -- dense/sparse quadratic unconstrained
+  binary optimization model with evaluation, algebra and serialization.
+* :class:`~repro.core.ising.IsingModel` -- Ising Hamiltonian with lossless
+  conversion to and from QUBO form.
+* :mod:`repro.core.constraints` -- linear (in)equality constraint objects.
+* :mod:`repro.core.transformation` -- the paper's inequality-QUBO form
+  ``E(x) = [w.x <= C] * x^T Q x`` (Sec. 3.2).
+* :mod:`repro.core.dqubo` -- the conventional D-QUBO transformation with
+  one-hot (and log) slack variables (paper Fig. 1(b)), used as a baseline.
+* :mod:`repro.core.quantization` -- bit-width / search-space analysis used by
+  the hardware-overhead study (Fig. 9).
+"""
+
+from repro.core.constraints import (
+    EqualityConstraint,
+    LinearConstraint,
+    InequalityConstraint,
+)
+from repro.core.ising import IsingModel
+from repro.core.qubo import QUBOModel
+from repro.core.transformation import InequalityQUBO, to_inequality_qubo
+from repro.core.dqubo import DQUBOTransformation, SlackEncoding, to_dqubo
+from repro.core.quantization import (
+    QuantizationReport,
+    matrix_bit_width,
+    quantization_report,
+    search_space_bits,
+)
+
+__all__ = [
+    "QUBOModel",
+    "IsingModel",
+    "LinearConstraint",
+    "InequalityConstraint",
+    "EqualityConstraint",
+    "InequalityQUBO",
+    "to_inequality_qubo",
+    "DQUBOTransformation",
+    "SlackEncoding",
+    "to_dqubo",
+    "QuantizationReport",
+    "matrix_bit_width",
+    "quantization_report",
+    "search_space_bits",
+]

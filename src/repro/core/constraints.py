@@ -1,0 +1,97 @@
+"""Linear constraint objects over binary variables.
+
+COPs with inequality constraints (knapsack, QKP, bin packing, ...) carry one
+or more constraints of the form ``w . x <= C`` (or ``== C``).  These objects
+are the interface between problem definitions (:mod:`repro.problems`), the
+inequality-QUBO transformation (:mod:`repro.core.transformation`), the
+D-QUBO penalty construction (:mod:`repro.core.dqubo`) and the CiM inequality
+filter (:mod:`repro.cim.inequality_filter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """Base class for a linear constraint ``w . x  (sense)  bound``.
+
+    Parameters
+    ----------
+    weights:
+        Coefficient vector ``w`` (one entry per binary variable).
+    bound:
+        Right-hand side constant.
+    name:
+        Optional label used in reports.
+    """
+
+    weights: tuple
+    bound: float
+    name: str = "constraint"
+
+    def __init__(self, weights: Iterable[float], bound: float, name: str = "constraint"):
+        object.__setattr__(self, "weights", tuple(float(w) for w in weights))
+        object.__setattr__(self, "bound", float(bound))
+        object.__setattr__(self, "name", str(name))
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables the constraint spans."""
+        return len(self.weights)
+
+    @property
+    def weight_vector(self) -> np.ndarray:
+        """Coefficients as a NumPy array."""
+        return np.asarray(self.weights, dtype=float)
+
+    def lhs(self, x: Iterable[float]) -> float:
+        """Evaluate the left-hand side ``w . x``."""
+        vec = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if vec.shape[0] != self.num_variables:
+            raise ValueError(
+                f"configuration length {vec.shape[0]} != constraint arity {self.num_variables}"
+            )
+        return float(self.weight_vector @ vec)
+
+    def is_satisfied(self, x: Iterable[float]) -> bool:
+        """Whether ``x`` satisfies the constraint (implemented by subclasses)."""
+        raise NotImplementedError
+
+    def violation(self, x: Iterable[float]) -> float:
+        """Non-negative violation magnitude (0 when satisfied)."""
+        raise NotImplementedError
+
+
+class InequalityConstraint(LinearConstraint):
+    """A ``w . x <= C`` constraint -- the constraint class HyCiM targets."""
+
+    def is_satisfied(self, x: Iterable[float]) -> bool:
+        return self.lhs(x) <= self.bound + 1e-9
+
+    def violation(self, x: Iterable[float]) -> float:
+        return max(0.0, self.lhs(x) - self.bound)
+
+    def slack(self, x: Iterable[float]) -> float:
+        """Remaining capacity ``C - w.x`` (may be negative when violated)."""
+        return self.bound - self.lhs(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InequalityConstraint(n={self.num_variables}, C={self.bound:g}, name={self.name!r})"
+
+
+class EqualityConstraint(LinearConstraint):
+    """A ``w . x == C`` constraint (special case; see paper Sec. 3.2)."""
+
+    def is_satisfied(self, x: Iterable[float]) -> bool:
+        return abs(self.lhs(x) - self.bound) <= 1e-9
+
+    def violation(self, x: Iterable[float]) -> float:
+        return abs(self.lhs(x) - self.bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EqualityConstraint(n={self.num_variables}, C={self.bound:g}, name={self.name!r})"

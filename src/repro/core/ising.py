@@ -1,0 +1,141 @@
+"""Ising Hamiltonian model and lossless QUBO conversion.
+
+The paper's Eq. (1) defines the Ising Hamiltonian
+
+    H(sigma) = sum_{i,j} J_ij sigma_i sigma_j + sum_i h_i sigma_i,
+
+with spins ``sigma_i in {-1, +1}``.  Applying the variable change
+``sigma_i = 1 - 2 x_i`` (``x_i in {0, 1}``) maps it to an equivalent QUBO
+form up to a constant offset; both directions are implemented here and are
+exact (tested as a round-trip property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+
+
+def _as_spin_vector(sigma: Iterable[float], n: int) -> np.ndarray:
+    vec = np.asarray(list(sigma) if not isinstance(sigma, np.ndarray) else sigma, dtype=float)
+    if vec.ndim != 1 or vec.shape[0] != n:
+        raise ValueError(f"expected a spin vector of length {n}, got shape {vec.shape}")
+    if not np.all(np.isin(vec, (-1.0, 1.0))):
+        raise ValueError("Ising inputs must be +/-1 spin vectors")
+    return vec
+
+
+@dataclass
+class IsingModel:
+    """Ising Hamiltonian with couplings ``J`` and fields ``h``.
+
+    ``couplings`` is stored upper-triangular with a zero diagonal (a constant
+    ``J_ii sigma_i^2 = J_ii`` is folded into :attr:`offset`).
+    """
+
+    couplings: np.ndarray
+    fields: np.ndarray
+    offset: float = 0.0
+    spin_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        j = np.asarray(self.couplings, dtype=float)
+        h = np.asarray(self.fields, dtype=float)
+        if j.ndim != 2 or j.shape[0] != j.shape[1]:
+            raise ValueError(f"coupling matrix must be square, got {j.shape}")
+        if h.ndim != 1 or h.shape[0] != j.shape[0]:
+            raise ValueError("field vector length must match coupling dimension")
+        # sigma_i^2 == 1, so diagonal couplings are constants.
+        self.offset = float(self.offset + np.trace(j))
+        folded = np.triu(j, k=1) + np.triu(j.T, k=1)
+        self.couplings = folded
+        self.fields = h
+        if not self.spin_names:
+            self.spin_names = tuple(f"s{i}" for i in range(j.shape[0]))
+
+    @property
+    def num_spins(self) -> int:
+        """Number of spins ``N``."""
+        return self.fields.shape[0]
+
+    def energy(self, sigma: Iterable[float]) -> float:
+        """Hamiltonian value for a +/-1 spin configuration."""
+        vec = _as_spin_vector(sigma, self.num_spins)
+        return float(vec @ self.couplings @ vec + self.fields @ vec) + self.offset
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_qubo(self) -> QUBOModel:
+        """Convert to an equivalent QUBO via ``sigma_i = 1 - 2 x_i``.
+
+        The resulting QUBO satisfies ``qubo.energy(x) == ising.energy(1-2x)``
+        exactly for every binary ``x``.
+        """
+        n = self.num_spins
+        j = self.couplings
+        h = self.fields
+        q = np.zeros((n, n))
+        offset = self.offset
+        # sigma_i sigma_j = (1-2x_i)(1-2x_j) = 1 - 2x_i - 2x_j + 4x_i x_j
+        for i in range(n):
+            for k in range(i + 1, n):
+                coeff = j[i, k]
+                if coeff == 0.0:
+                    continue
+                q[i, k] += 4 * coeff
+                q[i, i] += -2 * coeff
+                q[k, k] += -2 * coeff
+                offset += coeff
+        # sigma_i = 1 - 2 x_i
+        for i in range(n):
+            q[i, i] += -2 * h[i]
+            offset += h[i]
+        return QUBOModel(q, offset=offset)
+
+    @classmethod
+    def from_qubo(cls, qubo: QUBOModel) -> "IsingModel":
+        """Convert a QUBO to an equivalent Ising model (``x_i = (1-sigma_i)/2``)."""
+        n = qubo.num_variables
+        q = qubo.matrix
+        j = np.zeros((n, n))
+        h = np.zeros(n)
+        offset = qubo.offset
+        # x_i x_j = (1-sigma_i)(1-sigma_j)/4
+        for i in range(n):
+            for k in range(i + 1, n):
+                coeff = q[i, k]
+                if coeff == 0.0:
+                    continue
+                j[i, k] += coeff / 4.0
+                h[i] += -coeff / 4.0
+                h[k] += -coeff / 4.0
+                offset += coeff / 4.0
+        # x_i = (1 - sigma_i)/2
+        for i in range(n):
+            coeff = q[i, i]
+            h[i] += -coeff / 2.0
+            offset += coeff / 2.0
+        return cls(j, h, offset=offset)
+
+    def brute_force_minimum(self) -> Tuple[np.ndarray, float]:
+        """Exhaustive ground-state search (``N <= 24``)."""
+        n = self.num_spins
+        if n > 24:
+            raise ValueError("brute_force_minimum limited to N <= 24")
+        best_energy = np.inf
+        best = np.ones(n)
+        for bits in range(1 << n):
+            sigma = np.array([1.0 if (bits >> k) & 1 else -1.0 for k in range(n)])
+            e = self.energy(sigma)
+            if e < best_energy:
+                best_energy = e
+                best = sigma
+        return best, float(best_energy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IsingModel(N={self.num_spins}, offset={self.offset:.3g})"

@@ -1,0 +1,103 @@
+"""Quantization / search-space analysis for crossbar mapping (paper Fig. 9).
+
+When a QUBO matrix is mapped onto a bit-sliced CiM crossbar, the number of
+bit planes needed per element is ``ceil(log2 (Q_ij)_MAX)`` (paper Sec. 4.2).
+D-QUBO's penalty terms inflate ``(Q_ij)_MAX`` to ``1e4 .. 1e7`` (16-25 bits),
+whereas HyCiM keeps the raw problem coefficients (<= 100 for the QKP
+benchmark, 7 bits).  This module computes those quantities plus the derived
+search-space and hardware-size figures used in the Fig. 9 reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.dqubo import DQUBOTransformation
+from repro.core.qubo import QUBOModel
+from repro.core.transformation import InequalityQUBO
+
+QuantizableModel = Union[QUBOModel, InequalityQUBO, DQUBOTransformation]
+
+
+def _extract_qubo(model: QuantizableModel) -> QUBOModel:
+    """Return the underlying QUBO matrix of any supported model type."""
+    if isinstance(model, QUBOModel):
+        return model
+    if isinstance(model, (InequalityQUBO, DQUBOTransformation)):
+        return model.qubo
+    raise TypeError(f"unsupported model type {type(model).__name__}")
+
+
+def matrix_bit_width(model: QuantizableModel) -> int:
+    """Bits per matrix element: ``ceil(log2 (Q_ij)_MAX)``, minimum 1.
+
+    The paper quantises magnitudes only (sign handled by the peripheral
+    add/shift logic), so the bit width is driven by the largest absolute
+    coefficient.
+    """
+    qubo = _extract_qubo(model)
+    q_max = qubo.max_abs_coefficient
+    if q_max <= 1.0:
+        return 1
+    return int(math.ceil(math.log2(q_max)))
+
+
+def search_space_bits(model: QuantizableModel) -> int:
+    """``log2`` of the search-space size (the QUBO dimension ``n``)."""
+    qubo = _extract_qubo(model)
+    return qubo.num_variables
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Per-model quantization summary used by the hardware cost model.
+
+    Attributes
+    ----------
+    num_variables:
+        QUBO matrix dimension ``n`` (Fig. 9(b)).
+    max_abs_coefficient:
+        ``(Q_ij)_MAX`` (Fig. 9(a)).
+    bits_per_element:
+        ``ceil(log2 (Q_ij)_MAX)`` -- crossbar bit planes per element.
+    crossbar_cells:
+        Total 1-bit cells required for the matrix: ``n * n * bits``.
+    search_space_bits:
+        ``log2`` of the number of candidate configurations.
+    """
+
+    num_variables: int
+    max_abs_coefficient: float
+    bits_per_element: int
+    crossbar_cells: int
+    search_space_bits: int
+
+    def bit_reduction_vs(self, other: "QuantizationReport") -> float:
+        """Fractional reduction in per-element bits relative to ``other``.
+
+        Fig. 9(a) reports 56-72% reduction of HyCiM vs D-QUBO; this helper
+        computes ``1 - self.bits / other.bits``.
+        """
+        if other.bits_per_element == 0:
+            return 0.0
+        return 1.0 - self.bits_per_element / other.bits_per_element
+
+    def search_space_reduction_bits_vs(self, other: "QuantizationReport") -> int:
+        """How many powers of two smaller this model's search space is."""
+        return other.search_space_bits - self.search_space_bits
+
+
+def quantization_report(model: QuantizableModel) -> QuantizationReport:
+    """Build a :class:`QuantizationReport` for a QUBO-like model."""
+    qubo = _extract_qubo(model)
+    n = qubo.num_variables
+    bits = matrix_bit_width(model)
+    return QuantizationReport(
+        num_variables=n,
+        max_abs_coefficient=qubo.max_abs_coefficient,
+        bits_per_element=bits,
+        crossbar_cells=n * n * bits,
+        search_space_bits=search_space_bits(model),
+    )

@@ -1,0 +1,25 @@
+"""Exact and reference heuristic solvers.
+
+The success-rate metric of the paper (Fig. 10, Table 1) is defined relative
+to the "optimal QKP value" (95% of the true optimum counts as a success).
+On 100-item QKP instances the true optimum is not tractable exactly, so --
+matching common practice for this benchmark family -- a strong
+greedy + local-search reference (:func:`repro.exact.greedy.solve_qkp_greedy`
+followed by :func:`repro.exact.local_search.improve_qkp_local_search`) stands
+in for the best-known value.  Small instances used in tests are verified
+against exhaustive search (:mod:`repro.exact.brute_force`) and, for linear
+knapsack, dynamic programming (:mod:`repro.exact.dp_knapsack`).
+"""
+
+from repro.exact.brute_force import solve_brute_force
+from repro.exact.dp_knapsack import solve_knapsack_dp
+from repro.exact.greedy import solve_qkp_greedy
+from repro.exact.local_search import improve_qkp_local_search, reference_qkp_value
+
+__all__ = [
+    "solve_brute_force",
+    "solve_knapsack_dp",
+    "solve_qkp_greedy",
+    "improve_qkp_local_search",
+    "reference_qkp_value",
+]

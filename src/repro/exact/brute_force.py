@@ -1,0 +1,93 @@
+"""Exhaustive search over all binary configurations of a small COP.
+
+Used as ground truth in unit tests and for the small chip-demo problems
+(Fig. 7(e,f)).  Refuses to run above 22 variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.problems.base import CombinatorialProblem
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Result of an exhaustive search.
+
+    Attributes
+    ----------
+    best_configuration:
+        The optimal feasible binary vector.
+    best_value:
+        Its native objective value.
+    num_feasible:
+        How many of the ``2^n`` configurations were feasible.
+    num_evaluated:
+        Total configurations enumerated (``2^n``).
+    """
+
+    best_configuration: np.ndarray
+    best_value: float
+    num_feasible: int
+    num_evaluated: int
+
+
+def solve_brute_force(problem: CombinatorialProblem,
+                      max_variables: int = 22) -> BruteForceResult:
+    """Enumerate every configuration of ``problem`` and return the best feasible one.
+
+    Parameters
+    ----------
+    problem:
+        Any COP implementing the common interface.
+    max_variables:
+        Safety limit; raises ``ValueError`` when exceeded.
+    """
+    n = problem.num_variables
+    if n > max_variables:
+        raise ValueError(f"brute force limited to {max_variables} variables, problem has {n}")
+    best_value: Optional[float] = None
+    best_x = np.zeros(n)
+    num_feasible = 0
+    maximize = problem.is_maximization
+    for bits in range(1 << n):
+        x = np.array([(bits >> k) & 1 for k in range(n)], dtype=float)
+        if not problem.is_feasible(x):
+            continue
+        num_feasible += 1
+        value = problem.objective(x)
+        if best_value is None or (value > best_value if maximize else value < best_value):
+            best_value = value
+            best_x = x
+    if best_value is None:
+        raise RuntimeError("problem has no feasible configuration")
+    return BruteForceResult(
+        best_configuration=best_x,
+        best_value=float(best_value),
+        num_feasible=num_feasible,
+        num_evaluated=1 << n,
+    )
+
+
+def enumerate_feasible(problem: CombinatorialProblem,
+                       max_variables: int = 22) -> Tuple[np.ndarray, np.ndarray]:
+    """Return all feasible configurations and their objective values.
+
+    Useful for validating the inequality filter against ground truth on toy
+    instances (Fig. 5(f) reproduces the 8-configuration example this way).
+    """
+    n = problem.num_variables
+    if n > max_variables:
+        raise ValueError(f"enumeration limited to {max_variables} variables, problem has {n}")
+    configurations = []
+    values = []
+    for bits in range(1 << n):
+        x = np.array([(bits >> k) & 1 for k in range(n)], dtype=float)
+        if problem.is_feasible(x):
+            configurations.append(x)
+            values.append(problem.objective(x))
+    return np.array(configurations), np.array(values)

@@ -1,0 +1,76 @@
+"""Dynamic programming for the linear 0/1 knapsack problem.
+
+Exact in pseudo-polynomial time ``O(n * C)`` for integer weights; used as the
+reference optimum for the "Knapsack" row of the Table 1 reproduction and as a
+cross-check of the annealers on linear instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.problems.knapsack import KnapsackProblem
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """Exact knapsack solution.
+
+    Attributes
+    ----------
+    best_configuration:
+        Optimal selection vector.
+    best_value:
+        Optimal total profit.
+    total_weight:
+        Weight of the optimal selection.
+    """
+
+    best_configuration: np.ndarray
+    best_value: float
+    total_weight: float
+
+
+def solve_knapsack_dp(problem: KnapsackProblem) -> DPResult:
+    """Solve a 0/1 knapsack exactly with the classic weight-indexed DP table.
+
+    Weights and capacity must be integers (the benchmark instances are);
+    raises ``ValueError`` otherwise.
+    """
+    weights = problem.weights
+    profits = problem.profits
+    capacity = problem.capacity
+    if np.any(np.abs(weights - np.round(weights)) > 1e-9):
+        raise ValueError("dynamic programming requires integer weights")
+    if abs(capacity - round(capacity)) > 1e-9:
+        raise ValueError("dynamic programming requires an integer capacity")
+    w = np.round(weights).astype(int)
+    c = int(round(capacity))
+    n = problem.num_items
+
+    # table[i][r] = best profit using items 0..i-1 with remaining capacity r
+    table = np.zeros((n + 1, c + 1))
+    for i in range(1, n + 1):
+        wi = w[i - 1]
+        pi = profits[i - 1]
+        table[i, :] = table[i - 1, :]
+        if wi <= c:
+            take = table[i - 1, : c + 1 - wi] + pi
+            keep = table[i - 1, wi:]
+            table[i, wi:] = np.maximum(keep, take)
+
+    # Backtrack to recover the selection.
+    selection = np.zeros(n)
+    remaining = c
+    for i in range(n, 0, -1):
+        if table[i, remaining] != table[i - 1, remaining]:
+            selection[i - 1] = 1.0
+            remaining -= w[i - 1]
+    total_weight = float(w @ selection)
+    return DPResult(
+        best_configuration=selection,
+        best_value=float(table[n, c]),
+        total_weight=total_weight,
+    )

@@ -1,0 +1,26 @@
+"""Behavioural FeFET device substrate.
+
+The paper's circuits are simulated in SPECTRE with the Preisach FeFET compact
+model; this package provides the behavioural Python equivalent the CiM
+simulators in :mod:`repro.cim` are built on:
+
+* :class:`~repro.fefet.device.FeFETDevice` -- a multi-level FeFET whose
+  programmed polarisation state sets its threshold voltage (paper Fig. 2(a,b)).
+* :class:`~repro.fefet.cell.OneFeFETOneRCell` -- the 1FeFET1R bit cell whose
+  series resistor clamps the ON current and suppresses device-to-device
+  variability (paper Fig. 4(a,b)).
+* :class:`~repro.fefet.variability.VariabilityModel` -- threshold-voltage and
+  ON-current variation sampled per device.
+"""
+
+from repro.fefet.device import FeFETDevice, FeFETParameters
+from repro.fefet.cell import OneFeFETOneRCell, CellParameters
+from repro.fefet.variability import VariabilityModel
+
+__all__ = [
+    "FeFETDevice",
+    "FeFETParameters",
+    "OneFeFETOneRCell",
+    "CellParameters",
+    "VariabilityModel",
+]

@@ -1,0 +1,173 @@
+"""The 1FeFET1R bit cell (paper Fig. 4(a)).
+
+A single FeFET in series with a resistor ``R``.  The resistor serves two
+purposes that the paper relies on:
+
+1. **Current clamping** -- when the FeFET is ON its channel resistance is much
+   smaller than ``R``, so the cell current is set by ``~V_DD / R`` rather than
+   by the (variable) transistor ON current, which suppresses device-to-device
+   variability (Fig. 4(b));
+2. **Multi-level weight storage** -- for the inequality filter, a cell stores
+   an integer weight ``w in {0 .. k}`` by programming the FeFET threshold so
+   that the cell conducts for exactly the ``w`` lowest staircase read
+   voltages ``V_read,j`` with ``j <= w`` (Fig. 4(b,c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.fefet.device import FeFETDevice, FeFETParameters
+from repro.fefet.variability import VariabilityModel
+
+
+@dataclass(frozen=True)
+class CellParameters:
+    """Electrical parameters of the 1FeFET1R cell and its read scheme.
+
+    Attributes
+    ----------
+    device:
+        Parameters of the embedded FeFET.
+    series_resistance:
+        The clamping resistor ``R`` (ohms).
+    supply_voltage:
+        ``V_DD`` used to precharge matchlines and bias drains (paper: 2 V).
+    max_weight:
+        Largest integer weight a cell can store (paper filter cells: 4;
+        the evaluation arrays use weight decomposition to reach 64 per item).
+    read_voltages:
+        Staircase read voltages ``V_read,1 .. V_read,max_weight`` ordered from
+        the *largest* stored weight they probe down to the smallest, i.e.
+        ``read_voltages[j-1]`` turns ON every cell storing ``w >= j``.
+    """
+
+    device: FeFETParameters = field(default_factory=FeFETParameters)
+    series_resistance: float = 50e3
+    supply_voltage: float = 2.0
+    max_weight: int = 4
+    read_voltages: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.series_resistance <= 0:
+            raise ValueError("series resistance must be positive")
+        if self.supply_voltage <= 0:
+            raise ValueError("supply voltage must be positive")
+        if self.max_weight < 1:
+            raise ValueError("max_weight must be at least 1")
+        if self.max_weight > self.device.num_levels - 1:
+            raise ValueError(
+                "max_weight requires at least max_weight+1 device levels "
+                f"({self.max_weight + 1} needed, {self.device.num_levels} available)"
+            )
+        if not self.read_voltages:
+            # Default staircase: V_read,j sits between the thresholds of the
+            # level storing weight j and the level storing weight j-1, so a
+            # cell storing weight w conducts exactly for j <= w.
+            thresholds = self.device.threshold_voltages
+            voltages = []
+            for j in range(1, self.max_weight + 1):
+                # Weight w is stored as device level (max_weight - w); see
+                # OneFeFETOneRCell.program_weight for the mapping rationale.
+                level_for_w_ge_j = self.max_weight - j
+                v_low = thresholds[level_for_w_ge_j]
+                v_high = thresholds[level_for_w_ge_j + 1]
+                voltages.append(0.5 * (v_low + v_high))
+            object.__setattr__(self, "read_voltages", tuple(voltages))
+        if len(self.read_voltages) != self.max_weight:
+            raise ValueError("one read voltage per non-zero weight value is required")
+
+    @property
+    def clamped_current(self) -> float:
+        """ON-state cell current set by the series resistor (``~V_DD / R``)."""
+        return self.supply_voltage / self.series_resistance
+
+
+@dataclass
+class OneFeFETOneRCell:
+    """A 1FeFET1R cell storing an integer weight for the inequality filter.
+
+    The weight-to-level mapping is ``level = max_weight - weight``: a larger
+    stored weight means a *lower* threshold, so the cell conducts for more of
+    the descending staircase read pulses (paper Fig. 4(b)).
+    """
+
+    parameters: CellParameters = field(default_factory=CellParameters)
+    weight: int = 0
+    variability: Optional[VariabilityModel] = None
+
+    def __post_init__(self) -> None:
+        self._check_weight(self.weight)
+        self._device = FeFETDevice(
+            parameters=self.parameters.device,
+            level=self._level_for_weight(self.weight),
+            variability=self.variability,
+        )
+
+    def _check_weight(self, weight: int) -> None:
+        if not 0 <= weight <= self.parameters.max_weight:
+            raise ValueError(
+                f"weight {weight} out of range 0..{self.parameters.max_weight}"
+            )
+
+    def _level_for_weight(self, weight: int) -> int:
+        return self.parameters.max_weight - weight
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program_weight(self, weight: int) -> None:
+        """Store a new integer weight (reprograms the FeFET threshold)."""
+        self._check_weight(weight)
+        self.weight = weight
+        self._device.program(self._level_for_weight(weight))
+
+    @property
+    def device(self) -> FeFETDevice:
+        """The embedded FeFET (read-only access for inspection/tests)."""
+        return self._device
+
+    # ------------------------------------------------------------------ #
+    # Read behaviour
+    # ------------------------------------------------------------------ #
+    def conducts(self, read_index: int, input_bit: int = 1) -> bool:
+        """Whether the cell discharges the matchline during read phase ``read_index``.
+
+        ``read_index`` is 1-based (phase ``j`` applies ``V_read,j``); a cell
+        storing weight ``w`` conducts iff ``input_bit == 1`` and ``j <= w``.
+        """
+        if not 1 <= read_index <= self.parameters.max_weight:
+            raise ValueError(
+                f"read index {read_index} out of range 1..{self.parameters.max_weight}"
+            )
+        if input_bit not in (0, 1):
+            raise ValueError("input bit must be 0 or 1")
+        if input_bit == 0:
+            return False
+        gate_voltage = self.parameters.read_voltages[read_index - 1]
+        return self._device.is_on(gate_voltage)
+
+    def read_current(self, read_index: int, input_bit: int = 1) -> float:
+        """Cell current during read phase ``read_index`` (clamped by ``R``)."""
+        if not self.conducts(read_index, input_bit):
+            # Leakage through the OFF transistor.
+            gate_voltage = self.parameters.read_voltages[read_index - 1] if input_bit else 0.0
+            return self._device.drain_current(gate_voltage, self.parameters.supply_voltage)
+        transistor_current = self._device.drain_current(
+            self.parameters.read_voltages[read_index - 1], self.parameters.supply_voltage
+        )
+        return float(min(transistor_current, self.parameters.clamped_current))
+
+    def conduction_count(self, input_bit: int = 1) -> int:
+        """How many of the staircase phases discharge the matchline.
+
+        Equals the stored weight for an ideal device (the property Eq. (7)
+        relies on); variability can shift it by one for marginal thresholds.
+        """
+        return sum(
+            1 for j in range(1, self.parameters.max_weight + 1) if self.conducts(j, input_bit)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OneFeFETOneRCell(weight={self.weight}, VT={self._device.threshold_voltage:.3f} V)"

@@ -1,0 +1,226 @@
+"""Behavioural multi-level FeFET device model.
+
+A FeFET stores information in the polarisation state of its HfO2 gate
+dielectric: different write pulses shift the transistor threshold voltage
+(paper Fig. 2(a)), so a single device can be programmed to several
+distinguishable ``ID-VG`` curves (Fig. 2(b) shows 4 levels measured on 60
+devices).  The drain current model used here is the standard behavioural
+abstraction for array-level simulation:
+
+* below threshold: exponential subthreshold conduction with a fixed swing,
+  floored at ``off_current``;
+* above threshold: the device is ON and delivers ``on_current`` (the series
+  resistor of the 1FeFET1R cell, not this class, is what linearises and
+  clamps the ON current).
+
+The numbers default to the ranges visible in Fig. 2(b): ON current around
+tens of microamps, OFF current around nanoamps (ON/OFF >= 1e4), threshold
+levels spread across 0-2 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fefet.variability import VariabilityModel
+
+
+@dataclass(frozen=True)
+class FeFETParameters:
+    """Nominal electrical parameters of a multi-level FeFET.
+
+    Attributes
+    ----------
+    threshold_voltages:
+        Nominal threshold voltage of each programmable level, ordered from the
+        lowest-VT (most conductive at a given read voltage) to the highest-VT
+        state.  Level ``0`` conventionally denotes the erased / highest-VT
+        state in the filter-cell mapping, but this class is agnostic: callers
+        pick the mapping.
+    on_current:
+        Saturated ON current (amperes) once ``V_G`` exceeds threshold by more
+        than ~4 subthreshold swings.
+    off_current:
+        Leakage floor (amperes).
+    subthreshold_swing:
+        Gate-voltage increase (volts) per decade of subthreshold current.
+    read_drain_voltage:
+        Drain bias used for read operations (Fig. 2(b) uses 50 mV).
+    """
+
+    threshold_voltages: Tuple[float, ...] = (0.2, 0.6, 1.0, 1.4, 1.8)
+    on_current: float = 30e-6
+    off_current: float = 1e-9
+    subthreshold_swing: float = 0.09
+    read_drain_voltage: float = 0.05
+
+    def __post_init__(self) -> None:
+        if len(self.threshold_voltages) < 2:
+            raise ValueError("at least two programmable levels are required")
+        if list(self.threshold_voltages) != sorted(self.threshold_voltages):
+            raise ValueError("threshold voltages must be sorted ascending")
+        if self.on_current <= self.off_current:
+            raise ValueError("on_current must exceed off_current")
+        if self.subthreshold_swing <= 0:
+            raise ValueError("subthreshold swing must be positive")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of programmable polarisation states."""
+        return len(self.threshold_voltages)
+
+    @property
+    def on_off_ratio(self) -> float:
+        """Nominal ON/OFF current ratio."""
+        return self.on_current / self.off_current
+
+
+@dataclass
+class FeFETDevice:
+    """One FeFET programmed to a specific multi-level state.
+
+    Parameters
+    ----------
+    parameters:
+        Nominal device parameters (shared across an array).
+    level:
+        Programmed level index into ``parameters.threshold_voltages``.
+    variability:
+        Optional variability model; when given, a per-device threshold shift
+        and ON-current factor are sampled at construction (i.e. at program
+        time) and stay fixed for the lifetime of the device, mirroring how
+        write-verify programming freezes the device state.
+    """
+
+    parameters: FeFETParameters = field(default_factory=FeFETParameters)
+    level: int = 0
+    variability: Optional[VariabilityModel] = None
+
+    def __post_init__(self) -> None:
+        self._check_level(self.level)
+        if self.variability is not None:
+            self._threshold_shift = self.variability.sample_threshold_shift()
+            self._on_factor = self.variability.sample_on_current_factor()
+        else:
+            self._threshold_shift = 0.0
+            self._on_factor = 1.0
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.parameters.num_levels:
+            raise ValueError(
+                f"level {level} out of range for a {self.parameters.num_levels}-level device"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program(self, level: int) -> None:
+        """Program the device to a new polarisation level (write pulse).
+
+        Device-to-device variation is a property of the physical device, not
+        of the written state, so the sampled threshold shift and ON-current
+        factor are retained across reprogramming.
+        """
+        self._check_level(level)
+        self.level = level
+
+    def erase(self) -> None:
+        """Erase to the highest-threshold (least conductive) state."""
+        self.level = self.parameters.num_levels - 1
+
+    # ------------------------------------------------------------------ #
+    # Electrical behaviour
+    # ------------------------------------------------------------------ #
+    @property
+    def threshold_voltage(self) -> float:
+        """Actual threshold voltage of the current state, including variation."""
+        return self.parameters.threshold_voltages[self.level] + self._threshold_shift
+
+    @property
+    def on_current(self) -> float:
+        """Actual ON current including the sampled device variation."""
+        return self.parameters.on_current * self._on_factor
+
+    def drain_current(self, gate_voltage: float, drain_voltage: Optional[float] = None) -> float:
+        """Drain current at the given gate (and drain) bias.
+
+        The drain dependence is linear in the deep-triode read regime used by
+        the CiM arrays (``V_DS`` = tens of millivolts), normalised so that the
+        nominal :attr:`on_current` is reached at the nominal read drain bias.
+        """
+        vds = self.parameters.read_drain_voltage if drain_voltage is None else drain_voltage
+        if vds < 0:
+            raise ValueError("drain voltage must be non-negative")
+        overdrive = gate_voltage - self.threshold_voltage
+        swing = self.parameters.subthreshold_swing
+        if overdrive >= 0:
+            # Deep-triode ON current scales linearly with the drain bias.
+            current = self.on_current * (vds / self.parameters.read_drain_voltage)
+        else:
+            # Subthreshold conduction saturates with drain bias (V_DS >> kT/q),
+            # so the leakage floor does not grow with larger read biases.
+            decades = overdrive / swing
+            current = self.on_current * (10.0 ** decades)
+            current = max(current, self.parameters.off_current)
+        return float(current)
+
+    def is_on(self, gate_voltage: float) -> bool:
+        """Whether the device conducts strongly at ``gate_voltage`` (V_G >= V_T)."""
+        return gate_voltage >= self.threshold_voltage
+
+    def id_vg_curve(self, gate_voltages: Sequence[float]) -> np.ndarray:
+        """Drain current at each gate voltage (reproduces one Fig. 2(b) trace)."""
+        return np.array([self.drain_current(v) for v in gate_voltages])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeFETDevice(level={self.level}, VT={self.threshold_voltage:.3f} V, "
+            f"Ion={self.on_current * 1e6:.1f} uA)"
+        )
+
+
+def measure_id_vg_population(
+    num_devices: int = 60,
+    levels: Optional[Sequence[int]] = None,
+    gate_voltages: Optional[Sequence[float]] = None,
+    parameters: Optional[FeFETParameters] = None,
+    variability: Optional[VariabilityModel] = None,
+    seed: int = 7,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reproduce the Fig. 2(b) measurement: ID-VG curves of a device population.
+
+    Parameters
+    ----------
+    num_devices:
+        How many devices to sample per level (the paper measures 60 in total
+        across 4 states; here ``num_devices`` devices are sampled for *each*
+        requested level).
+    levels:
+        Which programmed levels to sweep (default: the four lowest levels,
+        matching the four ``q0..q3`` states in Fig. 2(b)).
+    gate_voltages:
+        Gate sweep points (default 0..2 V in 50 mV steps).
+    parameters, variability, seed:
+        Device model knobs.
+
+    Returns
+    -------
+    (gate_voltages, currents):
+        ``currents`` has shape ``(len(levels), num_devices, len(gate_voltages))``.
+    """
+    params = parameters or FeFETParameters()
+    var = variability or VariabilityModel(seed=seed)
+    if levels is None:
+        levels = list(range(min(4, params.num_levels)))
+    if gate_voltages is None:
+        gate_voltages = np.arange(0.0, 2.0 + 1e-9, 0.05)
+    vg = np.asarray(gate_voltages, dtype=float)
+    currents = np.zeros((len(levels), num_devices, vg.shape[0]))
+    for li, level in enumerate(levels):
+        for d in range(num_devices):
+            device = FeFETDevice(parameters=params, level=level, variability=var)
+            currents[li, d, :] = device.id_vg_curve(vg)
+    return vg, currents

@@ -1,0 +1,75 @@
+"""Device-to-device variability model for FeFETs.
+
+Fig. 2(b) of the paper shows ID-VG curves measured on 60 devices: the
+threshold voltage of each programmed level spreads by a few tens of
+millivolts and the ON current spreads roughly log-normally.  The 1FeFET1R
+cell (Fig. 4(a,b)) clamps the ON current with a series resistor precisely to
+suppress the latter.  This module samples both variation sources so the CiM
+simulators can be exercised with and without non-idealities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class VariabilityModel:
+    """Samples per-device threshold and ON-current deviations.
+
+    Parameters
+    ----------
+    threshold_sigma:
+        Standard deviation (in volts) of the Gaussian threshold-voltage shift
+        applied identically to every programmed level of a device.
+    on_current_sigma:
+        Log-normal sigma of the multiplicative ON-current variation
+        (``i_on_actual = i_on_nominal * lognormal(0, sigma)``).
+    seed:
+        RNG seed; separate models with the same seed sample identical devices.
+    """
+
+    threshold_sigma: float = 0.03
+    on_current_sigma: float = 0.15
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold_sigma < 0 or self.on_current_sigma < 0:
+            raise ValueError("variability sigmas must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def ideal(cls) -> "VariabilityModel":
+        """A variation-free model (useful for functional unit tests)."""
+        return cls(threshold_sigma=0.0, on_current_sigma=0.0, seed=0)
+
+    def sample_threshold_shift(self) -> float:
+        """Gaussian threshold-voltage shift for one device (volts)."""
+        if self.threshold_sigma == 0.0:
+            return 0.0
+        return float(self._rng.normal(0.0, self.threshold_sigma))
+
+    def sample_on_current_factor(self) -> float:
+        """Multiplicative ON-current factor for one device (log-normal, mean ~1)."""
+        if self.on_current_sigma == 0.0:
+            return 1.0
+        return float(self._rng.lognormal(0.0, self.on_current_sigma))
+
+    def sample_threshold_shifts(self, count: int) -> np.ndarray:
+        """Vectorised threshold shifts for ``count`` devices."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.threshold_sigma == 0.0:
+            return np.zeros(count)
+        return self._rng.normal(0.0, self.threshold_sigma, size=count)
+
+    def sample_on_current_factors(self, count: int) -> np.ndarray:
+        """Vectorised ON-current factors for ``count`` devices."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.on_current_sigma == 0.0:
+            return np.ones(count)
+        return self._rng.lognormal(0.0, self.on_current_sigma, size=count)

@@ -1,0 +1,63 @@
+"""Combinatorial optimization problem (COP) substrate.
+
+Every COP the paper references is implemented here with a common interface
+(:class:`~repro.problems.base.CombinatorialProblem`):
+
+* :class:`~repro.problems.qkp.QuadraticKnapsackProblem` -- the representative
+  problem of the paper (Sec. 3.2, Eq. (3)-(4)).
+* :class:`~repro.problems.knapsack.KnapsackProblem` -- the linear special case.
+* :class:`~repro.problems.maxcut.MaxCutProblem`,
+  :class:`~repro.problems.graph_coloring.GraphColoringProblem`,
+  :class:`~repro.problems.tsp.TravelingSalesmanProblem`,
+  :class:`~repro.problems.bin_packing.BinPackingProblem`,
+  :class:`~repro.problems.spin_glass.SherringtonKirkpatrickProblem` --
+  the COP classes listed in Table 1 for the solver comparison.
+* :mod:`repro.problems.generators` -- random instance generators, including
+  the Billionnet-Soutif style QKP generator used in place of the
+  cedric.cnam.fr dataset.
+* :mod:`repro.problems.io` -- reader/writer for the Billionnet-Soutif QKP
+  text format.
+"""
+
+from repro.problems.base import CombinatorialProblem
+from repro.problems.knapsack import KnapsackProblem
+from repro.problems.qkp import QuadraticKnapsackProblem
+from repro.problems.multidim_knapsack import (
+    MultiDimensionalKnapsackProblem,
+    generate_mdqkp_instance,
+)
+from repro.problems.maxcut import MaxCutProblem
+from repro.problems.graph_coloring import GraphColoringProblem
+from repro.problems.tsp import TravelingSalesmanProblem
+from repro.problems.bin_packing import BinPackingProblem
+from repro.problems.spin_glass import SherringtonKirkpatrickProblem
+from repro.problems.generators import (
+    generate_knapsack_instance,
+    generate_maxcut_instance,
+    generate_qkp_benchmark_suite,
+    generate_qkp_instance,
+    generate_sk_instance,
+    generate_tsp_instance,
+)
+from repro.problems.io import read_qkp_file, write_qkp_file
+
+__all__ = [
+    "CombinatorialProblem",
+    "KnapsackProblem",
+    "QuadraticKnapsackProblem",
+    "MultiDimensionalKnapsackProblem",
+    "generate_mdqkp_instance",
+    "MaxCutProblem",
+    "GraphColoringProblem",
+    "TravelingSalesmanProblem",
+    "BinPackingProblem",
+    "SherringtonKirkpatrickProblem",
+    "generate_qkp_instance",
+    "generate_qkp_benchmark_suite",
+    "generate_knapsack_instance",
+    "generate_maxcut_instance",
+    "generate_tsp_instance",
+    "generate_sk_instance",
+    "read_qkp_file",
+    "write_qkp_file",
+]

@@ -1,0 +1,111 @@
+"""Common interface for combinatorial optimization problems.
+
+A :class:`CombinatorialProblem` exposes three things the rest of the system
+needs:
+
+1. the native objective and feasibility test on binary decision vectors;
+2. a conversion to the HyCiM inequality-QUBO form (constraints detached);
+3. a conversion to a plain QUBO (for constraint-free problems, or via the
+   D-QUBO penalty route for constrained problems).
+
+Problems whose natural encoding is not a flat binary vector (graph coloring,
+TSP) document their own variable layout in the class docstring.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+from repro.core.transformation import InequalityQUBO
+
+
+class CombinatorialProblem(ABC):
+    """Abstract base class for all COPs in the reproduction."""
+
+    #: Human-readable problem class name used in reports (Table 1).
+    problem_class: str = "COP"
+
+    @property
+    @abstractmethod
+    def num_variables(self) -> int:
+        """Number of binary decision variables."""
+
+    @abstractmethod
+    def objective(self, x: Iterable[float]) -> float:
+        """Native objective value of configuration ``x`` (maximisation or
+        minimisation as defined by the concrete problem; see
+        :attr:`is_maximization`)."""
+
+    @abstractmethod
+    def is_feasible(self, x: Iterable[float]) -> bool:
+        """Whether ``x`` satisfies all problem constraints."""
+
+    @abstractmethod
+    def to_qubo(self) -> QUBOModel:
+        """Plain QUBO encoding (penalties embedded if the problem has
+        constraints).  Minimising the returned QUBO solves the problem."""
+
+    #: Whether the native objective is to be maximised.
+    is_maximization: bool = True
+
+    def to_inequality_qubo(self) -> InequalityQUBO:
+        """HyCiM inequality-QUBO form: objective QUBO + detached constraints.
+
+        Unconstrained problems return an :class:`InequalityQUBO` with an empty
+        constraint tuple, so the HyCiM solver degrades gracefully to a plain
+        CiM annealer for them.
+        """
+        return InequalityQUBO(qubo=self.to_qubo(), constraints=())
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by concrete problems
+    # ------------------------------------------------------------------ #
+    def _validate(self, x: Iterable[float]) -> np.ndarray:
+        vec = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if vec.ndim != 1 or vec.shape[0] != self.num_variables:
+            raise ValueError(
+                f"expected a binary vector of length {self.num_variables}, got shape {vec.shape}"
+            )
+        if not np.all((vec == 0) | (vec == 1)):
+            raise ValueError("decision vectors must be binary (0/1)")
+        return vec
+
+    def random_feasible_configuration(self, rng: np.random.Generator,
+                                      max_tries: int = 10_000) -> np.ndarray:
+        """Draw a uniformly random configuration and repair/retry to feasibility.
+
+        The default implementation rejects infeasible samples; problems with
+        very sparse feasible regions override this with a constructive
+        sampler.
+        """
+        for _ in range(max_tries):
+            x = rng.integers(0, 2, size=self.num_variables).astype(float)
+            if self.is_feasible(x):
+                return x
+        raise RuntimeError("failed to sample a feasible configuration")
+
+    def brute_force_best(self) -> tuple[np.ndarray, float]:
+        """Exhaustive search over feasible configurations (``n <= 22``)."""
+        n = self.num_variables
+        if n > 22:
+            raise ValueError("brute_force_best limited to n <= 22")
+        best_value = -np.inf if self.is_maximization else np.inf
+        best_x = np.zeros(n)
+        found = False
+        for bits in range(1 << n):
+            x = np.array([(bits >> k) & 1 for k in range(n)], dtype=float)
+            if not self.is_feasible(x):
+                continue
+            value = self.objective(x)
+            better = value > best_value if self.is_maximization else value < best_value
+            if better or not found:
+                best_value = value
+                best_x = x
+                found = True
+        if not found:
+            raise RuntimeError("problem has no feasible configuration")
+        return best_x, float(best_value)

@@ -1,0 +1,105 @@
+"""Reader/writer for the Billionnet-Soutif QKP benchmark file format.
+
+The cedric.cnam.fr instances the paper evaluates on (reference [28]) use a
+simple text layout:
+
+    <reference line / instance name>
+    <n>
+    <linear profits: n integers on one line>
+    <quadratic profits: upper triangle without diagonal,
+     row i has n-1-i integers, one row per line>
+    <blank line>
+    <0 or 1: constraint type flag (0 = inequality knapsack constraint)>
+    <capacity>
+    <weights: n integers on one line>
+
+This module parses and emits that layout so synthetic instances produced by
+:func:`repro.problems.generators.generate_qkp_instance` can be stored in the
+same format and, conversely, original benchmark files can be loaded when
+available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.problems.qkp import QuadraticKnapsackProblem
+
+
+def write_qkp_file(problem: QuadraticKnapsackProblem, path: Union[str, Path]) -> None:
+    """Write a QKP instance in the Billionnet-Soutif text format."""
+    n = problem.num_items
+    lines: List[str] = [problem.name, str(n)]
+    diagonal = np.diag(problem.profits).astype(int)
+    lines.append(" ".join(str(int(v)) for v in diagonal))
+    for i in range(n - 1):
+        row = problem.profits[i, i + 1:].astype(int)
+        lines.append(" ".join(str(int(v)) for v in row))
+    lines.append("")
+    lines.append("0")
+    lines.append(str(int(problem.capacity)))
+    lines.append(" ".join(str(int(w)) for w in problem.weights.astype(int)))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_qkp_file(path: Union[str, Path]) -> QuadraticKnapsackProblem:
+    """Read a QKP instance written in the Billionnet-Soutif text format."""
+    raw_lines = Path(path).read_text().splitlines()
+    if len(raw_lines) < 4:
+        raise ValueError(f"{path}: too few lines for a QKP instance")
+    name = raw_lines[0].strip()
+    n = int(raw_lines[1].strip())
+    if n < 1:
+        raise ValueError(f"{path}: invalid item count {n}")
+
+    def parse_ints(line: str) -> List[int]:
+        return [int(token) for token in line.split()]
+
+    diagonal = parse_ints(raw_lines[2])
+    if len(diagonal) != n:
+        raise ValueError(f"{path}: expected {n} linear profits, got {len(diagonal)}")
+
+    profits = np.zeros((n, n))
+    np.fill_diagonal(profits, diagonal)
+    cursor = 3
+    for i in range(n - 1):
+        row = parse_ints(raw_lines[cursor])
+        expected = n - 1 - i
+        if len(row) != expected:
+            raise ValueError(
+                f"{path}: row {i} of quadratic profits has {len(row)} entries, expected {expected}"
+            )
+        for offset, value in enumerate(row):
+            j = i + 1 + offset
+            profits[i, j] = value
+            profits[j, i] = value
+        cursor += 1
+
+    # Skip blank separator lines and the constraint-type flag.
+    while cursor < len(raw_lines) and not raw_lines[cursor].strip():
+        cursor += 1
+    if cursor >= len(raw_lines):
+        raise ValueError(f"{path}: missing constraint-type flag")
+    constraint_flag = int(raw_lines[cursor].strip())
+    if constraint_flag not in (0, 1):
+        raise ValueError(f"{path}: unexpected constraint-type flag {constraint_flag}")
+    cursor += 1
+    if cursor >= len(raw_lines):
+        raise ValueError(f"{path}: missing capacity line")
+    capacity = float(raw_lines[cursor].strip())
+    cursor += 1
+    if cursor >= len(raw_lines):
+        raise ValueError(f"{path}: missing weights line")
+    weights = parse_ints(raw_lines[cursor])
+    if len(weights) != n:
+        raise ValueError(f"{path}: expected {n} weights, got {len(weights)}")
+
+    return QuadraticKnapsackProblem(
+        profits=profits,
+        weights=np.asarray(weights, dtype=float),
+        capacity=capacity,
+        name=name or Path(path).stem,
+    )

@@ -1,0 +1,102 @@
+"""Max-Cut problem -- the canonical unconstrained COP (Table 1 baseline row).
+
+Given a weighted undirected graph ``G = (V, E)``, partition the vertices into
+two sets so that the total weight of edges crossing the partition is
+maximised.  Max-Cut maps to QUBO without any constraints, which is why most
+published Ising machines evaluate on it; here it exercises the
+"no constraint" path of the HyCiM solver.
+
+Variable layout: ``x_i = 1`` iff vertex ``i`` is in partition 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+from repro.problems.base import CombinatorialProblem
+
+
+@dataclass
+class MaxCutProblem(CombinatorialProblem):
+    """A Max-Cut instance defined by a symmetric weight matrix."""
+
+    adjacency: np.ndarray
+    name: str = "maxcut"
+
+    problem_class = "Max-Cut"
+    is_maximization = True
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.adjacency, dtype=float)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError(f"adjacency matrix must be square, got {w.shape}")
+        if not np.allclose(w, w.T):
+            raise ValueError("adjacency matrix must be symmetric")
+        if np.any(np.diag(w) != 0):
+            raise ValueError("adjacency matrix must have a zero diagonal (no self loops)")
+        self.adjacency = w
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph, weight: str = "weight",
+                   name: str = "maxcut") -> "MaxCutProblem":
+        """Build an instance from a ``networkx`` graph (default edge weight 1)."""
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        w = np.zeros((n, n))
+        for u, v, data in graph.edges(data=True):
+            value = float(data.get(weight, 1.0))
+            w[index[u], index[v]] = value
+            w[index[v], index[u]] = value
+        return cls(adjacency=w, name=name)
+
+    @property
+    def num_variables(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        """Alias for :attr:`num_variables`."""
+        return self.num_variables
+
+    def objective(self, x: Iterable[float]) -> float:
+        """Total weight of edges cut by the partition encoded in ``x``."""
+        vec = self._validate(x)
+        cut = 0.0
+        n = self.num_nodes
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.adjacency[i, j] != 0 and vec[i] != vec[j]:
+                    cut += self.adjacency[i, j]
+        return float(cut)
+
+    def is_feasible(self, x: Iterable[float]) -> bool:
+        """Every binary vector is a valid partition."""
+        self._validate(x)
+        return True
+
+    def to_qubo(self) -> QUBOModel:
+        """Standard Max-Cut QUBO: ``min sum_{(i,j)} w_ij (2 x_i x_j - x_i - x_j)``.
+
+        The minimum equals minus the maximum cut weight.
+        """
+        n = self.num_nodes
+        q = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                w = self.adjacency[i, j]
+                if w == 0:
+                    continue
+                q[i, j] += 2.0 * w
+                q[i, i] += -w
+                q[j, j] += -w
+        return QUBOModel(q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = int(np.count_nonzero(np.triu(self.adjacency, k=1)))
+        return f"MaxCutProblem(name={self.name!r}, nodes={self.num_nodes}, edges={edges})"

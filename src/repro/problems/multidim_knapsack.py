@@ -1,0 +1,182 @@
+"""Multi-dimensional (quadratic) knapsack -- several inequality constraints.
+
+The paper positions HyCiM as a solver for *general* COPs with inequality
+constraints; QKP (one capacity constraint) is its representative workload.
+The multi-dimensional quadratic knapsack problem (MD-QKP) generalises it to
+``m`` resource dimensions:
+
+    max  sum_{i,j} p_ij x_i x_j
+    s.t. sum_i w_ik x_i <= C_k      for k = 1..m,   x_i in {0, 1}
+
+Each constraint maps onto its own CiM inequality filter, so this problem
+exercises the multi-filter path of :class:`repro.annealing.hycim.HyCiMSolver`
+(one filter per row of the weight matrix), which the single-constraint QKP
+cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.constraints import InequalityConstraint
+from repro.core.qubo import QUBOModel
+from repro.core.transformation import InequalityQUBO
+from repro.problems.base import CombinatorialProblem
+
+
+@dataclass
+class MultiDimensionalKnapsackProblem(CombinatorialProblem):
+    """A quadratic knapsack with ``m`` independent capacity constraints.
+
+    Parameters
+    ----------
+    profits:
+        Symmetric ``n x n`` profit matrix (diagonal = individual profits,
+        off-diagonal = pairwise profits counted once).
+    weights:
+        ``m x n`` non-negative weight matrix; row ``k`` is the resource-``k``
+        consumption of each item.
+    capacities:
+        Length-``m`` vector of resource capacities.
+    name:
+        Instance label.
+    """
+
+    profits: np.ndarray
+    weights: np.ndarray
+    capacities: np.ndarray
+    name: str = "mdqkp"
+
+    problem_class = "Multi-dimensional Quadratic Knapsack"
+    is_maximization = True
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.profits, dtype=float)
+        w = np.asarray(self.weights, dtype=float)
+        c = np.asarray(self.capacities, dtype=float)
+        if p.ndim != 2 or p.shape[0] != p.shape[1]:
+            raise ValueError(f"profit matrix must be square, got {p.shape}")
+        if not np.allclose(p, p.T):
+            raise ValueError("profit matrix must be symmetric")
+        if w.ndim != 2 or w.shape[1] != p.shape[0]:
+            raise ValueError("weights must be an m x n matrix matching the profit dimension")
+        if c.ndim != 1 or c.shape[0] != w.shape[0]:
+            raise ValueError("capacities length must equal the number of constraints")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        if np.any(c <= 0):
+            raise ValueError("capacities must be positive")
+        self.profits = p
+        self.weights = w
+        self.capacities = c
+
+    # ------------------------------------------------------------------ #
+    # CombinatorialProblem interface
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        return self.profits.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Alias for :attr:`num_variables`."""
+        return self.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of resource dimensions ``m``."""
+        return self.weights.shape[0]
+
+    def objective(self, x: Iterable[float]) -> float:
+        vec = self._validate(x)
+        linear = float(np.diag(self.profits) @ vec)
+        pairwise = float(vec @ np.triu(self.profits, k=1) @ vec)
+        return linear + pairwise
+
+    def resource_usage(self, x: Iterable[float]) -> np.ndarray:
+        """Per-dimension resource consumption ``W x``."""
+        vec = self._validate(x)
+        return self.weights @ vec
+
+    def is_feasible(self, x: Iterable[float]) -> bool:
+        return bool(np.all(self.resource_usage(x) <= self.capacities + 1e-9))
+
+    def constraints(self) -> Tuple[InequalityConstraint, ...]:
+        """One detached inequality constraint per resource dimension."""
+        return tuple(
+            InequalityConstraint(self.weights[k], self.capacities[k],
+                                 name=f"{self.name}-resource{k}")
+            for k in range(self.num_constraints)
+        )
+
+    def to_qubo(self) -> QUBOModel:
+        """Objective-only QUBO (``Q = -P_upper``); constraints not embedded."""
+        p_upper = np.diag(np.diag(self.profits)) + np.triu(self.profits, k=1)
+        return QUBOModel(-p_upper)
+
+    def to_inequality_qubo(self) -> InequalityQUBO:
+        """HyCiM form: one inequality filter per resource dimension."""
+        return InequalityQUBO(qubo=self.to_qubo(), constraints=self.constraints())
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def random_feasible_configuration(self, rng: np.random.Generator,
+                                      max_tries: int = 10_000) -> np.ndarray:
+        """Greedy random fill respecting every resource dimension."""
+        order = rng.permutation(self.num_items)
+        x = np.zeros(self.num_items)
+        usage = np.zeros(self.num_constraints)
+        for item in order:
+            if rng.random() < 0.5:
+                continue
+            candidate_usage = usage + self.weights[:, item]
+            if np.all(candidate_usage <= self.capacities):
+                x[item] = 1.0
+                usage = candidate_usage
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiDimensionalKnapsackProblem(name={self.name!r}, n={self.num_items}, "
+            f"m={self.num_constraints})"
+        )
+
+
+def generate_mdqkp_instance(
+    num_items: int = 30,
+    num_constraints: int = 3,
+    density: float = 0.5,
+    max_profit: int = 100,
+    max_weight: int = 30,
+    tightness: float = 0.5,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> MultiDimensionalKnapsackProblem:
+    """Generate a random MD-QKP instance.
+
+    Capacities are set to ``tightness * sum_i w_ik`` per dimension, the
+    standard recipe for multi-dimensional knapsack benchmarks.
+    """
+    if num_constraints < 1:
+        raise ValueError("at least one constraint is required")
+    if not 0.0 < tightness <= 1.0:
+        raise ValueError("tightness must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    profits = np.zeros((num_items, num_items))
+    np.fill_diagonal(profits, rng.integers(1, max_profit + 1, size=num_items))
+    for i in range(num_items):
+        for j in range(i + 1, num_items):
+            if rng.random() < density:
+                value = float(rng.integers(1, max_profit + 1))
+                profits[i, j] = value
+                profits[j, i] = value
+    weights = rng.integers(1, max_weight + 1, size=(num_constraints, num_items)).astype(float)
+    capacities = np.floor(weights.sum(axis=1) * tightness)
+    capacities = np.maximum(capacities, weights.max(axis=1))
+    return MultiDimensionalKnapsackProblem(
+        profits=profits, weights=weights, capacities=capacities,
+        name=name or f"mdqkp_n{num_items}_m{num_constraints}_s{seed}")

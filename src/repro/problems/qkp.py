@@ -1,0 +1,162 @@
+"""Quadratic Knapsack Problem (QKP) -- the paper's representative COP.
+
+Paper Eq. (3)-(4):
+
+    max  sum_{i,j} p_ij x_i x_j
+    s.t. sum_i w_i x_i <= C,   x_i in {0, 1}
+
+``p_ii`` is the individual profit of item ``i`` and ``p_ij = p_ji`` (i != j)
+the extra profit earned when both ``i`` and ``j`` are selected.  The paper's
+evaluation uses 40 instances with 100 items each, following the
+Billionnet-Soutif benchmark family (weights 1..50, profits 1..100, capacity
+uniform in ``[50, sum_i w_i]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.core.constraints import InequalityConstraint
+from repro.core.qubo import QUBOModel
+from repro.core.transformation import InequalityQUBO, to_inequality_qubo
+from repro.problems.base import CombinatorialProblem
+
+
+@dataclass
+class QuadraticKnapsackProblem(CombinatorialProblem):
+    """A QKP instance.
+
+    Parameters
+    ----------
+    profits:
+        Symmetric ``n x n`` profit matrix.  ``profits[i, i]`` is the linear
+        profit of item ``i``; ``profits[i, j]`` (``i != j``) the pairwise
+        profit counted *once* in the objective.
+    weights:
+        Item weights ``w_i`` (positive).
+    capacity:
+        Knapsack capacity ``C``.
+    name:
+        Instance label (used in experiment reports).
+    """
+
+    profits: np.ndarray
+    weights: np.ndarray
+    capacity: float
+    name: str = "qkp"
+
+    problem_class = "Quadratic Knapsack"
+    is_maximization = True
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.profits, dtype=float)
+        w = np.asarray(self.weights, dtype=float)
+        if p.ndim != 2 or p.shape[0] != p.shape[1]:
+            raise ValueError(f"profit matrix must be square, got {p.shape}")
+        if not np.allclose(p, p.T):
+            raise ValueError("profit matrix must be symmetric")
+        if w.ndim != 1 or w.shape[0] != p.shape[0]:
+            raise ValueError("weights length must match profit matrix dimension")
+        if np.any(w <= 0):
+            raise ValueError("item weights must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.profits = p
+        self.weights = w
+        self.capacity = float(self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # CombinatorialProblem interface
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Alias for :attr:`num_variables` using knapsack terminology."""
+        return self.num_variables
+
+    def objective(self, x: Iterable[float]) -> float:
+        """Total profit of the selection ``x`` (pairwise profits counted once)."""
+        vec = self._validate(x)
+        linear = float(np.diag(self.profits) @ vec)
+        pairwise = float(vec @ np.triu(self.profits, k=1) @ vec)
+        return linear + pairwise
+
+    def total_weight(self, x: Iterable[float]) -> float:
+        """Total selected weight ``w . x``."""
+        vec = self._validate(x)
+        return float(self.weights @ vec)
+
+    def is_feasible(self, x: Iterable[float]) -> bool:
+        return self.total_weight(x) <= self.capacity + 1e-9
+
+    def constraint(self) -> InequalityConstraint:
+        """The capacity constraint as a standalone object."""
+        return InequalityConstraint(self.weights, self.capacity, name=f"{self.name}-capacity")
+
+    def to_qubo(self) -> QUBOModel:
+        """Objective-only QUBO: ``Q = -P_upper`` so minimisation maximises profit.
+
+        Note the constraint is *not* embedded -- use
+        :meth:`to_inequality_qubo` (HyCiM) or
+        :func:`repro.core.dqubo.to_dqubo` (baseline) to make it solvable by an
+        unconstrained annealer.
+        """
+        p_upper = np.diag(np.diag(self.profits)) + np.triu(self.profits, k=1)
+        return QUBOModel(-p_upper)
+
+    def to_inequality_qubo(self) -> InequalityQUBO:
+        """Paper Eq. (6): ``E(x) = [w.x <= C] * x^T Q x`` with ``Q = -P``."""
+        p_upper = np.diag(np.diag(self.profits)) + np.triu(self.profits, k=1)
+        symmetric = (p_upper + p_upper.T) / 2.0
+        # to_inequality_qubo folds the symmetric matrix back into the upper
+        # triangle, so pairwise profits are still counted once.
+        return to_inequality_qubo(symmetric, self.constraint(), maximize=True)
+
+    # ------------------------------------------------------------------ #
+    # Sampling helpers used by the Monte-Carlo experiments (Fig. 8, Fig. 10)
+    # ------------------------------------------------------------------ #
+    def random_feasible_configuration(self, rng: np.random.Generator,
+                                      max_tries: int = 10_000) -> np.ndarray:
+        """Constructive feasible sample: greedily add random items while they fit."""
+        order = rng.permutation(self.num_items)
+        x = np.zeros(self.num_items)
+        remaining = self.capacity
+        for idx in order:
+            if self.weights[idx] <= remaining and rng.random() < 0.5:
+                x[idx] = 1.0
+                remaining -= self.weights[idx]
+        return x
+
+    def random_infeasible_configuration(self, rng: np.random.Generator,
+                                        max_tries: int = 10_000) -> np.ndarray:
+        """Sample a configuration that violates the capacity constraint."""
+        for _ in range(max_tries):
+            # Bias towards dense selections so the capacity is exceeded.
+            prob = rng.uniform(0.5, 1.0)
+            x = (rng.random(self.num_items) < prob).astype(float)
+            if not self.is_feasible(x):
+                return x
+        raise RuntimeError(
+            "failed to sample an infeasible configuration; capacity may exceed total weight"
+        )
+
+    def density(self) -> float:
+        """Fraction of non-zero pairwise profits (the benchmark 'density' knob)."""
+        n = self.num_items
+        if n < 2:
+            return 0.0
+        pairs = n * (n - 1) // 2
+        nonzero = int(np.count_nonzero(np.triu(self.profits, k=1)))
+        return nonzero / pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuadraticKnapsackProblem(name={self.name!r}, n={self.num_items}, "
+            f"C={self.capacity:g}, density={self.density():.2f})"
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for the per-figure experiment runners (scaled-down parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    run_crossbar_linearity,
+    run_energy_evolution,
+    run_filter_validation,
+    run_hardware_overhead_study,
+    run_solving_efficiency_study,
+)
+from repro.problems.generators import generate_qkp_instance
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    """A few small QKP instances shared by the experiment tests."""
+    return [
+        generate_qkp_instance(num_items=25, density=d, max_weight=12, seed=10 + i,
+                              name=f"mini_{i}")
+        for i, d in enumerate((0.25, 0.5, 1.0))
+    ]
+
+
+class TestFilterValidation:
+    def test_ideal_filter_separates_all_cases(self, mini_suite):
+        result = run_filter_validation(mini_suite, samples_per_instance=10, seed=1)
+        assert result.num_cases == 30
+        assert result.metrics["accuracy"] == 1.0
+        feasible_voltages = result.normalized_voltages[result.ground_truth_feasible]
+        infeasible_voltages = result.normalized_voltages[~result.ground_truth_feasible]
+        # The Fig. 8 picture: feasible points at/above the replica level,
+        # infeasible below.
+        assert feasible_voltages.min() >= 1.0 - 1e-9
+        assert infeasible_voltages.max() < 1.0
+
+    def test_samples_per_instance_validation(self, mini_suite):
+        with pytest.raises(ValueError):
+            run_filter_validation(mini_suite, samples_per_instance=5)
+
+
+class TestHardwareOverhead:
+    def test_records_reproduce_fig9_shape(self, mini_suite):
+        records = run_hardware_overhead_study(mini_suite)
+        assert len(records) == len(mini_suite)
+        for record in records:
+            assert record.hycim_report.num_variables == 25
+            assert record.dqubo_report.num_variables > 25
+            assert record.dqubo_report.max_abs_coefficient > record.hycim_report.max_abs_coefficient
+            assert record.search_space_reduction_bits > 0
+            assert 0.0 < record.bit_reduction < 1.0
+            assert 0.0 < record.hardware_saving < 1.0
+
+    def test_full_scale_instances_match_paper_ranges(self):
+        # Capacities spanning the range implied by the paper's Fig. 9(b)
+        # (D-QUBO dimensions 200 .. 2636 for 100-item instances).
+        problems = [
+            generate_qkp_instance(num_items=100, density=0.5, capacity=capacity, seed=s)
+            for s, capacity in enumerate((100, 1000, 2500))
+        ]
+        records = run_hardware_overhead_study(problems)
+        for record in records:
+            assert record.hycim_report.bits_per_element == 7      # Q_max = 100
+            assert 16 <= record.dqubo_report.bits_per_element <= 25
+            assert 100 <= record.search_space_reduction_bits <= 2536
+            assert record.hardware_saving >= 0.85
+        # The largest-capacity instance approaches the paper's 99.96% saving.
+        assert records[-1].hardware_saving >= 0.995
+
+
+class TestSolvingEfficiency:
+    def test_hycim_beats_dqubo(self):
+        problems = [generate_qkp_instance(num_items=20, density=0.5, max_weight=8,
+                                          seed=33 + s) for s in range(2)]
+        result = run_solving_efficiency_study(problems, num_initial_states=3,
+                                              sa_iterations=60, seed=3)
+        assert result.hycim_mean_success > result.dqubo_mean_success
+        assert result.hycim_normalized.shape == (6,)
+        assert result.hycim_normalized.mean() > result.dqubo_normalized.mean()
+        assert len(result.instance_names) == 2
+
+
+class TestEnergyEvolution:
+    def test_runs_reach_optimum(self, tiny_qkp):
+        result = run_energy_evolution(tiny_qkp, num_runs=3, sa_iterations=60,
+                                      use_hardware=True, seed=2)
+        assert result.num_runs == 3
+        assert result.optimal_energy == pytest.approx(-25.0)
+        assert result.runs_reaching_optimum >= 2
+        for history in result.histories:
+            assert len(history) == 60
+            assert all(a >= b for a, b in zip(history, history[1:]))
+
+
+class TestCrossbarLinearity:
+    def test_linearity_r_squared_high(self):
+        counts, currents, r_squared = run_crossbar_linearity(seed=4)
+        assert counts.shape == currents.shape
+        assert r_squared > 0.98
+        assert currents[-1] > currents[0]

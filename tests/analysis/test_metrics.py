@@ -1,0 +1,72 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    classification_metrics,
+    mean_success_rate,
+    normalized_values,
+    search_space_reduction_bits,
+    success_rate,
+)
+
+
+class TestSuccessRate:
+    def test_threshold_semantics(self):
+        values = [100, 96, 94, 80]
+        assert success_rate(values, reference=100, threshold=0.95) == 0.5
+        assert success_rate(values, reference=100, threshold=0.8) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            success_rate([], 100)
+        with pytest.raises(ValueError):
+            success_rate([1.0], 0.0)
+        with pytest.raises(ValueError):
+            success_rate([1.0], 1.0, threshold=0.0)
+
+    def test_mean_success_rate(self):
+        assert mean_success_rate([1.0, 0.5, 0.0]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            mean_success_rate([])
+        with pytest.raises(ValueError):
+            mean_success_rate([1.5])
+
+
+class TestNormalizedValues:
+    def test_normalisation(self):
+        np.testing.assert_allclose(normalized_values([50, 100], 100), [0.5, 1.0])
+        with pytest.raises(ValueError):
+            normalized_values([1.0], 0.0)
+
+
+class TestSearchSpaceReduction:
+    def test_exponent_difference(self):
+        assert search_space_reduction_bits(100, 2636) == 2536
+        assert search_space_reduction_bits(100, 200) == 100
+        with pytest.raises(ValueError):
+            search_space_reduction_bits(-1, 10)
+
+
+class TestClassificationMetrics:
+    def test_perfect_classifier(self):
+        metrics = classification_metrics([True, False, True], [True, False, True])
+        assert metrics["accuracy"] == 1.0
+        assert metrics["false_positive_rate"] == 0.0
+        assert metrics["false_negative_rate"] == 0.0
+        assert metrics["num_cases"] == 3
+
+    def test_error_rates(self):
+        predictions = [True, True, False, False]
+        truths = [True, False, True, False]
+        metrics = classification_metrics(predictions, truths)
+        assert metrics["accuracy"] == 0.5
+        assert metrics["false_positive_rate"] == 0.5
+        assert metrics["false_negative_rate"] == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classification_metrics([], [])
+        with pytest.raises(ValueError):
+            classification_metrics([True], [True, False])

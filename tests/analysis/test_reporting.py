@@ -1,0 +1,42 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_table, render_markdown_table
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1] or "-" in lines[1]
+        assert len(lines) == 4
+        assert "bb" in lines[3]
+
+    def test_large_and_small_floats_use_scientific_notation(self):
+        table = format_table(["q"], [[2.6e7], [1e-5]])
+        assert "e+07" in table
+        assert "e-05" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_column_alignment(self):
+        table = format_table(["col"], [["short"], ["a much longer cell"]])
+        lines = table.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestMarkdownTable:
+    def test_renders_pipes_and_separator(self):
+        table = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,45 @@
+"""Unit tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_filter_noise, sweep_sa_budget
+from repro.problems.generators import generate_qkp_instance
+
+
+@pytest.fixture(scope="module")
+def sweep_problem():
+    return generate_qkp_instance(num_items=18, density=0.5, max_weight=8, seed=55)
+
+
+class TestSABudgetSweep:
+    def test_points_cover_requested_budgets(self, sweep_problem):
+        points = sweep_sa_budget(sweep_problem, budgets=(5, 40), num_runs=3, seed=1)
+        assert [p.parameter for p in points] == [5.0, 40.0]
+        assert all(p.num_runs == 3 for p in points)
+        assert all(0.0 <= p.success_rate <= 1.0 for p in points)
+
+    def test_larger_budget_does_not_hurt_quality(self, sweep_problem):
+        points = sweep_sa_budget(sweep_problem, budgets=(5, 60), num_runs=3, seed=2)
+        assert points[-1].mean_normalized_value >= points[0].mean_normalized_value - 0.05
+        assert points[-1].success_rate >= points[0].success_rate - 1e-9
+
+    def test_validation(self, sweep_problem):
+        with pytest.raises(ValueError):
+            sweep_sa_budget(sweep_problem, budgets=(0,), num_runs=2)
+        with pytest.raises(ValueError):
+            sweep_sa_budget(sweep_problem, budgets=(10,), num_runs=0)
+
+
+class TestFilterNoiseSweep:
+    def test_ideal_filter_point_is_strong(self, sweep_problem):
+        points = sweep_filter_noise(sweep_problem, noise_levels=(0.0, 0.05),
+                                    sa_iterations=40, num_runs=2, seed=3)
+        assert len(points) == 2
+        assert points[0].mean_normalized_value >= 0.85
+        assert all(0.0 <= p.success_rate <= 1.0 for p in points)
+
+    def test_validation(self, sweep_problem):
+        with pytest.raises(ValueError):
+            sweep_filter_noise(sweep_problem, noise_levels=(-0.1,), num_runs=1)
+        with pytest.raises(ValueError):
+            sweep_filter_noise(sweep_problem, noise_levels=(0.0,), num_runs=0)

@@ -1,0 +1,47 @@
+"""Unit tests for the SolveResult container."""
+
+import numpy as np
+
+from repro.annealing.result import SolveResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        best_configuration=np.array([1.0, 0.0]),
+        best_energy=-5.0,
+        best_objective=5.0,
+        feasible=True,
+        num_iterations=100,
+        num_feasible_evaluations=70,
+        num_infeasible_skipped=30,
+        num_accepted_moves=40,
+        solver_name="HyCiM",
+    )
+    defaults.update(overrides)
+    return SolveResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_infeasible_fraction(self):
+        assert make_result().infeasible_fraction == 0.3
+        assert make_result(num_iterations=0).infeasible_fraction == 0.0
+
+    def test_acceptance_rate(self):
+        assert make_result().acceptance_rate == 0.4
+        assert make_result(num_iterations=0).acceptance_rate == 0.0
+
+    def test_summary_mentions_key_fields(self):
+        text = make_result().summary()
+        assert "HyCiM" in text
+        assert "feasible=True" in text
+        assert "-5" in text
+
+    def test_summary_handles_missing_objective(self):
+        text = make_result(best_objective=None).summary()
+        assert "n/a" in text
+
+    def test_defaults(self):
+        result = SolveResult(best_configuration=np.zeros(3), best_energy=0.0)
+        assert result.energy_history == []
+        assert result.metadata == {}
+        assert result.feasible is True

@@ -1,0 +1,56 @@
+"""Unit tests for the ADC model."""
+
+import numpy as np
+import pytest
+
+from repro.cim.adc import ADCModel
+
+
+class TestADCModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADCModel(bits=0)
+        with pytest.raises(ValueError):
+            ADCModel(bits=20)
+        with pytest.raises(ValueError):
+            ADCModel(full_scale=0.0)
+        with pytest.raises(ValueError):
+            ADCModel(noise_sigma=-1.0)
+
+    def test_levels_and_lsb(self):
+        adc = ADCModel(bits=3, full_scale=7.0)
+        assert adc.num_levels == 8
+        assert adc.lsb == pytest.approx(1.0)
+
+    def test_ideal_conversion_round_trip(self):
+        adc = ADCModel(bits=8, full_scale=255.0)
+        for value in (0.0, 1.0, 100.0, 255.0):
+            assert adc.quantize(value) == pytest.approx(value)
+
+    def test_clipping(self):
+        adc = ADCModel(bits=4, full_scale=10.0)
+        assert adc.convert(-5.0) == 0
+        assert adc.convert(50.0) == adc.num_levels - 1
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        adc = ADCModel(bits=6, full_scale=1.0)
+        values = np.linspace(0.0, 1.0, 500)
+        quantized = adc.quantize_array(values)
+        assert np.max(np.abs(quantized - values)) <= adc.lsb / 2 + 1e-12
+
+    def test_array_and_scalar_paths_agree(self):
+        adc = ADCModel(bits=5, full_scale=3.0)
+        values = np.linspace(0.0, 3.0, 20)
+        array_codes = adc.convert_array(values)
+        scalar_codes = np.array([adc.convert(v) for v in values])
+        np.testing.assert_array_equal(array_codes, scalar_codes)
+
+    def test_noise_changes_codes_near_threshold(self):
+        noisy = ADCModel(bits=4, full_scale=1.0, noise_sigma=0.05, seed=3)
+        codes = [noisy.convert(0.5) for _ in range(200)]
+        assert len(set(codes)) > 1
+
+    def test_reconstruct_is_inverse_on_codes(self):
+        adc = ADCModel(bits=3, full_scale=7.0)
+        for code in range(adc.num_levels):
+            assert adc.convert(adc.reconstruct(code)) == code

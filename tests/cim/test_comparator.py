@@ -1,0 +1,56 @@
+"""Unit tests for the 2-stage voltage comparator model."""
+
+import numpy as np
+import pytest
+
+from repro.cim.comparator import TwoStageComparator
+
+
+class TestIdealComparator:
+    def test_decisions(self):
+        comparator = TwoStageComparator()
+        assert comparator.decide(1.0, 0.5)
+        assert comparator.decide(0.7, 0.7)
+        assert not comparator.decide(0.2, 0.9)
+        assert comparator.num_decisions == 3
+
+    def test_batch_matches_scalar(self):
+        comparator = TwoStageComparator()
+        plus = np.array([1.0, 0.5, 0.4])
+        minus = np.array([0.9, 0.5, 0.8])
+        np.testing.assert_array_equal(comparator.decide_batch(plus, minus),
+                                      [True, True, False])
+
+    def test_batch_shape_mismatch(self):
+        comparator = TwoStageComparator()
+        with pytest.raises(ValueError):
+            comparator.decide_batch(np.ones(3), np.ones(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoStageComparator(static_offset_sigma=-0.1)
+        with pytest.raises(ValueError):
+            TwoStageComparator(noise_sigma=-0.1)
+
+
+class TestNonIdealComparator:
+    def test_static_offset_is_fixed_per_instance(self):
+        comparator = TwoStageComparator(static_offset_sigma=0.01, seed=5)
+        offset = comparator.offset
+        assert offset != 0.0
+        assert comparator.offset == offset  # does not change between decisions
+
+    def test_offset_reproducible_with_seed(self):
+        a = TwoStageComparator(static_offset_sigma=0.01, seed=9)
+        b = TwoStageComparator(static_offset_sigma=0.01, seed=9)
+        assert a.offset == b.offset
+
+    def test_large_margins_are_robust_to_small_noise(self):
+        comparator = TwoStageComparator(noise_sigma=0.001, seed=2)
+        assert all(comparator.decide(1.0, 0.5) for _ in range(100))
+        assert not any(comparator.decide(0.5, 1.0) for _ in range(100))
+
+    def test_noise_flips_marginal_decisions(self):
+        comparator = TwoStageComparator(noise_sigma=0.05, seed=2)
+        decisions = [comparator.decide(0.5, 0.5) for _ in range(300)]
+        assert 0 < sum(decisions) < 300

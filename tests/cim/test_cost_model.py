@@ -1,0 +1,92 @@
+"""Unit tests for the hardware cost model (Fig. 9(c))."""
+
+import pytest
+
+from repro.cim.cost_model import (
+    CostModelParameters,
+    crossbar_cost,
+    dqubo_hardware_cost,
+    hardware_size_saving,
+    hycim_hardware_cost,
+    inequality_filter_cost,
+)
+from repro.core.quantization import QuantizationReport
+
+
+def make_report(n, qmax, bits):
+    return QuantizationReport(num_variables=n, max_abs_coefficient=qmax,
+                              bits_per_element=bits, crossbar_cells=n * n * bits,
+                              search_space_bits=n)
+
+
+class TestCrossbarCost:
+    def test_cell_count_scales_with_dimension_and_bits(self):
+        small = crossbar_cost(100, 7)
+        large = crossbar_cost(200, 7)
+        wide = crossbar_cost(100, 14)
+        assert small.num_cells == 100 * 100 * 7
+        assert large.num_cells == 4 * small.num_cells
+        assert wide.num_cells == 2 * small.num_cells
+        assert large.total_area > small.total_area
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossbar_cost(0, 7)
+        with pytest.raises(ValueError):
+            crossbar_cost(10, 0)
+
+    def test_area_units_conversion(self):
+        cost = crossbar_cost(10, 1)
+        um2 = cost.total_area_um2(feature_size_nm=28.0)
+        assert um2 == pytest.approx(cost.total_area * 0.028 ** 2)
+
+
+class TestFilterCost:
+    def test_filter_has_two_arrays(self):
+        cost = inequality_filter_cost(16, 100)
+        assert cost.num_cells == 2 * 16 * 100
+
+    def test_filter_is_small_relative_to_crossbar(self):
+        filter_cost = inequality_filter_cost(16, 100)
+        crossbar = crossbar_cost(100, 7)
+        assert filter_cost.total_area < 0.25 * crossbar.total_area
+
+
+class TestSavings:
+    def test_paper_range_is_reproduced(self):
+        """HyCiM (n=100, 7 bits, plus filter) vs D-QUBO at the two extremes the
+        paper reports: ~88% saving for the smallest D-QUBO instance (n=200,
+        16 bits) and >99.9% for the largest (n=2636, 25 bits)."""
+        hycim = hycim_hardware_cost(make_report(100, 100, 7))
+        dqubo_small = dqubo_hardware_cost(make_report(200, 4.0e4, 16))
+        dqubo_large = dqubo_hardware_cost(make_report(2636, 2.6e7, 25))
+        saving_small = hardware_size_saving(hycim, dqubo_small)
+        saving_large = hardware_size_saving(hycim, dqubo_large)
+        assert 0.85 <= saving_small <= 0.93
+        assert saving_large >= 0.999
+
+    def test_saving_monotone_in_dqubo_size(self):
+        hycim = hycim_hardware_cost(make_report(100, 100, 7))
+        savings = [
+            hardware_size_saving(hycim, dqubo_hardware_cost(make_report(n, 1e5, 17)))
+            for n in (200, 500, 1000, 2000)
+        ]
+        assert savings == sorted(savings)
+
+    def test_cost_addition(self):
+        a = crossbar_cost(10, 2)
+        b = inequality_filter_cost(4, 10)
+        combined = a + b
+        assert combined.total_area == pytest.approx(a.total_area + b.total_area)
+        assert combined.num_cells == a.num_cells + b.num_cells
+
+    def test_custom_parameters(self):
+        params = CostModelParameters(cell_area=10.0, adc_area=1000.0, adc_share=4)
+        cost = crossbar_cost(16, 2, params)
+        assert cost.array_area == pytest.approx(16 * 16 * 2 * 10.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CostModelParameters(cell_area=0.0)
+        with pytest.raises(ValueError):
+            CostModelParameters(adc_share=0)

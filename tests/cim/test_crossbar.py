@@ -1,0 +1,126 @@
+"""Unit tests for the bit-sliced FeFET QUBO crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
+from repro.core.qubo import QUBOModel
+
+
+@pytest.fixture
+def integer_qubo(rng):
+    matrix = rng.integers(-50, 51, size=(10, 10)).astype(float)
+    return QUBOModel(matrix, offset=3.0)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(weight_bits=0)
+        with pytest.raises(ValueError):
+            CrossbarConfig(cell_on_current=0.0)
+        with pytest.raises(ValueError):
+            CrossbarConfig(current_noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            CrossbarConfig(adc_bits=0)
+
+
+class TestIdealCrossbar:
+    def test_integer_matrix_is_stored_losslessly(self, integer_qubo):
+        crossbar = FeFETCrossbar.from_qubo(integer_qubo, CrossbarConfig(weight_bits=7))
+        assert crossbar.quantization_error() == 0.0
+        np.testing.assert_allclose(crossbar.quantized_matrix(), integer_qubo.matrix)
+
+    def test_energy_matches_exact_arithmetic(self, integer_qubo, rng):
+        crossbar = FeFETCrossbar.from_qubo(integer_qubo, CrossbarConfig(weight_bits=7))
+        for _ in range(20):
+            x = rng.integers(0, 2, size=10).astype(float)
+            assert crossbar.compute_energy(x) == pytest.approx(integer_qubo.energy(x))
+
+    def test_batch_energies(self, integer_qubo, rng):
+        crossbar = FeFETCrossbar.from_qubo(integer_qubo, CrossbarConfig(weight_bits=7))
+        batch = rng.integers(0, 2, size=(6, 10)).astype(float)
+        np.testing.assert_allclose(crossbar.compute_energies(batch),
+                                   integer_qubo.energies(batch))
+
+    def test_quantization_error_bounded_for_fractional_matrices(self, rng):
+        matrix = rng.normal(scale=10.0, size=(8, 8))
+        qubo = QUBOModel(matrix)
+        crossbar = FeFETCrossbar.from_qubo(qubo, CrossbarConfig(weight_bits=8))
+        max_abs = np.max(np.abs(qubo.matrix))
+        assert crossbar.quantization_error() <= max_abs / (2 ** 8 - 1)
+
+    def test_few_bits_lose_precision_gracefully(self, integer_qubo, rng):
+        coarse = FeFETCrossbar.from_qubo(integer_qubo, CrossbarConfig(weight_bits=3))
+        fine = FeFETCrossbar.from_qubo(integer_qubo, CrossbarConfig(weight_bits=7))
+        x = rng.integers(0, 2, size=10).astype(float)
+        exact = integer_qubo.energy(x)
+        assert abs(fine.compute_energy(x) - exact) <= abs(coarse.compute_energy(x) - exact) + 1e-9
+
+    def test_input_validation(self, integer_qubo):
+        crossbar = FeFETCrossbar.from_qubo(integer_qubo)
+        with pytest.raises(ValueError):
+            crossbar.compute_energy(np.zeros(5))
+        with pytest.raises(ValueError):
+            crossbar.compute_energy(np.full(10, 0.5))
+
+    def test_cell_count_accounting(self, integer_qubo):
+        crossbar = FeFETCrossbar.from_qubo(integer_qubo, CrossbarConfig(weight_bits=7))
+        assert crossbar.num_cells == 2 * 7 * 10 * 10
+        assert crossbar.num_variables == 10
+
+
+class TestNonIdealCrossbar:
+    def test_device_variation_keeps_energy_close(self, integer_qubo, rng):
+        crossbar = FeFETCrossbar.from_qubo(
+            integer_qubo,
+            CrossbarConfig(weight_bits=7, on_current_variation_sigma=0.05, seed=1),
+        )
+        for _ in range(10):
+            x = rng.integers(0, 2, size=10).astype(float)
+            exact = integer_qubo.energy(x)
+            scale = max(abs(exact), 50.0)
+            assert abs(crossbar.compute_energy(x) - exact) <= 0.25 * scale
+
+    def test_read_noise_is_zero_mean(self, integer_qubo):
+        crossbar = FeFETCrossbar.from_qubo(
+            integer_qubo,
+            CrossbarConfig(weight_bits=7, current_noise_sigma=0.02, seed=2),
+        )
+        x = np.ones(10)
+        exact = integer_qubo.energy(x)
+        samples = np.array([crossbar.compute_energy(x) for _ in range(100)])
+        assert np.std(samples) > 0.0
+        assert abs(samples.mean() - exact) <= 0.1 * abs(exact)
+
+    def test_adc_quantization_changes_result_for_low_resolution(self, integer_qubo, rng):
+        coarse_adc = FeFETCrossbar.from_qubo(
+            integer_qubo, CrossbarConfig(weight_bits=7, adc_bits=2, seed=0)
+        )
+        x = rng.integers(0, 2, size=10).astype(float)
+        # 2-bit column ADCs cannot represent every partial sum exactly, so some
+        # configurations must deviate from the exact energy.
+        deviations = [
+            abs(coarse_adc.compute_energy(row) - integer_qubo.energy(row))
+            for row in rng.integers(0, 2, size=(20, 10)).astype(float)
+        ]
+        assert max(deviations) > 0.0
+
+
+class TestLinearity:
+    def test_column_current_scales_linearly(self):
+        qubo = QUBOModel(np.ones((32, 32)))
+        crossbar = FeFETCrossbar.from_qubo(qubo, CrossbarConfig(weight_bits=1))
+        counts, currents = crossbar.linearity_sweep(range(0, 25, 4))
+        assert currents[0] == pytest.approx(0.0)
+        # Perfect linearity without non-idealities.
+        expected = counts * crossbar.config.cell_on_current
+        np.testing.assert_allclose(currents, expected)
+
+    def test_column_current_bounds(self):
+        qubo = QUBOModel(np.ones((8, 8)))
+        crossbar = FeFETCrossbar.from_qubo(qubo, CrossbarConfig(weight_bits=1))
+        with pytest.raises(ValueError):
+            crossbar.column_current(9)
+        with pytest.raises(ValueError):
+            crossbar.column_current(-1)

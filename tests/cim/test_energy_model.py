@@ -1,0 +1,96 @@
+"""Unit tests for the CiM energy/latency model."""
+
+import numpy as np
+import pytest
+
+from repro.annealing.result import SolveResult
+from repro.cim.energy_model import (
+    EnergyModelParameters,
+    crossbar_evaluation_energy,
+    dqubo_run_cost,
+    energy_saving,
+    filter_evaluation_energy,
+    hycim_run_cost,
+)
+from repro.core.quantization import QuantizationReport
+
+
+def make_report(n, bits):
+    return QuantizationReport(num_variables=n, max_abs_coefficient=2.0 ** bits - 1,
+                              bits_per_element=bits, crossbar_cells=n * n * bits,
+                              search_space_bits=n)
+
+
+def make_result(iterations, feasible, skipped):
+    return SolveResult(best_configuration=np.zeros(4), best_energy=0.0,
+                       num_iterations=iterations,
+                       num_feasible_evaluations=feasible,
+                       num_infeasible_skipped=skipped)
+
+
+class TestPerOperationEnergies:
+    def test_filter_energy_scales_with_array_size(self):
+        small = filter_evaluation_energy(num_items=10, filter_rows=16)
+        large = filter_evaluation_energy(num_items=100, filter_rows=16)
+        assert large > small
+        assert large == pytest.approx(10 * small - 9 * EnergyModelParameters().comparator_energy,
+                                      rel=0.01)
+
+    def test_crossbar_energy_scales_with_dimension_and_bits(self):
+        base = crossbar_evaluation_energy(make_report(100, 7))
+        wider = crossbar_evaluation_energy(make_report(100, 14))
+        bigger = crossbar_evaluation_energy(make_report(200, 7))
+        assert wider > base
+        assert bigger > 2 * base
+
+    def test_filter_is_much_cheaper_than_crossbar(self):
+        # The architectural premise: skipping the crossbar for infeasible
+        # inputs saves energy because a filter evaluation is far cheaper.
+        filter_energy = filter_evaluation_energy(num_items=100, filter_rows=16)
+        crossbar_energy = crossbar_evaluation_energy(make_report(100, 7))
+        assert filter_energy < 0.1 * crossbar_energy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            filter_evaluation_energy(0, 16)
+        with pytest.raises(ValueError):
+            crossbar_evaluation_energy(make_report(10, 2), adc_share=0)
+        with pytest.raises(ValueError):
+            EnergyModelParameters(comparator_energy=-1.0)
+
+
+class TestRunCosts:
+    def test_hycim_counts_filter_for_every_proposal(self):
+        result = make_result(iterations=1000, feasible=600, skipped=400)
+        cost = hycim_run_cost(result, make_report(100, 7))
+        assert cost.num_filter_evaluations == 1000
+        assert cost.num_crossbar_evaluations == 600
+        assert cost.energy > 0 and cost.latency > 0
+
+    def test_dqubo_pays_crossbar_every_iteration(self):
+        result = make_result(iterations=1000, feasible=1000, skipped=0)
+        cost = dqubo_run_cost(result, make_report(400, 18))
+        assert cost.num_crossbar_evaluations == 1000
+        assert cost.num_filter_evaluations == 0
+
+    def test_hycim_saves_energy_against_dqubo_at_paper_scale(self):
+        # Same proposal budget; HyCiM skips 40% of crossbar evaluations and its
+        # crossbar is 100x7 bits while D-QUBO's is 700x18 bits.
+        hycim_result = make_result(iterations=1000, feasible=600, skipped=400)
+        dqubo_result = make_result(iterations=1000, feasible=1000, skipped=0)
+        hycim = hycim_run_cost(hycim_result, make_report(100, 7))
+        dqubo = dqubo_run_cost(dqubo_result, make_report(700, 18))
+        saving = energy_saving(hycim, dqubo)
+        assert saving > 0.9
+
+    def test_cost_addition(self):
+        a = hycim_run_cost(make_result(10, 6, 4), make_report(10, 3))
+        b = hycim_run_cost(make_result(20, 12, 8), make_report(10, 3))
+        combined = a + b
+        assert combined.energy == pytest.approx(a.energy + b.energy)
+        assert combined.num_filter_evaluations == 30
+
+    def test_energy_saving_validation(self):
+        zero = dqubo_run_cost(make_result(0, 0, 0), make_report(10, 3))
+        with pytest.raises(ValueError):
+            energy_saving(zero, zero)

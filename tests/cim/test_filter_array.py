@@ -1,0 +1,115 @@
+"""Unit tests for the matchline filter working array."""
+
+import numpy as np
+import pytest
+
+from repro.cim.filter_array import FilterArrayConfig, WorkingArray, decompose_weight
+from repro.fefet.variability import VariabilityModel
+
+
+class TestDecomposeWeight:
+    def test_exact_decomposition(self):
+        assert decompose_weight(0, 4, 4) == [0, 0, 0, 0]
+        assert decompose_weight(7, 4, 4) == [4, 3, 0, 0]
+        assert decompose_weight(16, 4, 4) == [4, 4, 4, 4]
+
+    def test_sum_is_preserved(self):
+        for weight in range(0, 65, 7):
+            cells = decompose_weight(weight, 16, 4)
+            assert sum(cells) == weight
+            assert all(0 <= c <= 4 for c in cells)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            decompose_weight(17, 4, 4)
+        with pytest.raises(ValueError):
+            decompose_weight(-1, 4, 4)
+
+
+class TestConfig:
+    def test_defaults_match_paper_array(self):
+        config = FilterArrayConfig()
+        assert config.num_rows == 16
+        assert config.max_cell_weight == 4
+        assert config.max_column_weight == 64  # item weights 0..64 (Sec. 4.1)
+        assert config.supply_voltage == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilterArrayConfig(num_rows=0)
+        with pytest.raises(ValueError):
+            FilterArrayConfig(discharge_per_unit=0.0)
+        with pytest.raises(ValueError):
+            FilterArrayConfig(noise_sigma=-1.0)
+
+
+class TestWorkingArray:
+    def test_stored_and_effective_weights_match_for_ideal_devices(self):
+        weights = [4, 7, 2, 0, 64, 33]
+        array = WorkingArray(weights)
+        np.testing.assert_array_equal(array.stored_weights, weights)
+        np.testing.assert_array_equal(array.effective_weights, weights)
+
+    def test_weight_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkingArray([65])
+        with pytest.raises(ValueError):
+            WorkingArray([-1])
+
+    def test_matchline_voltage_is_linear_in_weighted_sum(self):
+        config = FilterArrayConfig(discharge_per_unit=0.01)
+        array = WorkingArray([4, 7, 2], config=config)
+        all_off = array.evaluate([0, 0, 0])
+        assert all_off.voltage == pytest.approx(2.0)
+        readout = array.evaluate([1, 0, 1])
+        assert readout.weighted_sum == pytest.approx(6.0)
+        assert readout.voltage == pytest.approx(2.0 - 0.06)
+        heavier = array.evaluate([1, 1, 1])
+        assert heavier.voltage < readout.voltage
+
+    def test_voltage_clips_at_ground(self):
+        config = FilterArrayConfig(discharge_per_unit=0.5)
+        array = WorkingArray([10, 10], config=config)
+        readout = array.evaluate([1, 1])
+        assert readout.voltage == 0.0
+        assert readout.ideal_voltage < 0.0
+
+    def test_input_validation(self):
+        array = WorkingArray([1, 2, 3])
+        with pytest.raises(ValueError):
+            array.evaluate([1, 0])
+        with pytest.raises(ValueError):
+            array.evaluate([1, 0, 2])
+
+    def test_reprogramming(self):
+        array = WorkingArray([1, 2, 3])
+        array.reprogram([3, 2, 1])
+        np.testing.assert_array_equal(array.stored_weights, [3, 2, 1])
+        with pytest.raises(ValueError):
+            array.reprogram([1, 2])
+
+    def test_noise_perturbs_voltage(self, rng):
+        config = FilterArrayConfig(discharge_per_unit=0.001, noise_sigma=0.01)
+        array = WorkingArray([4, 7, 2], config=config)
+        readings = [array.evaluate([1, 1, 0], rng=rng).voltage for _ in range(50)]
+        assert np.std(readings) > 0.0
+
+    def test_phase_waveform_is_monotonically_decreasing(self):
+        config = FilterArrayConfig(num_rows=1, discharge_per_unit=0.05)
+        array = WorkingArray([4, 3, 1], config=config)
+        waveform = array.phase_waveform([1, 1, 1])
+        assert waveform.shape == (4,)
+        assert np.all(np.diff(waveform) <= 1e-12)
+        # Total discharge equals the weighted sum times the per-unit drop.
+        assert waveform[-1] == pytest.approx(2.0 - 0.05 * 8)
+
+    def test_effective_weights_with_moderate_variability(self):
+        var = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.1, seed=4)
+        weights = [5, 17, 42, 64, 0]
+        array = WorkingArray(weights, variability=var)
+        np.testing.assert_array_equal(array.effective_weights, weights)
+
+    def test_cell_access(self):
+        array = WorkingArray([6])
+        assert array.cell(0, 0).weight == 4
+        assert array.cell(1, 0).weight == 2

@@ -1,0 +1,121 @@
+"""Unit tests for the full CiM inequality filter (paper Sec. 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cim.comparator import TwoStageComparator
+from repro.cim.inequality_filter import InequalityFilter
+from repro.core.constraints import InequalityConstraint
+from repro.fefet.variability import VariabilityModel
+
+
+@pytest.fixture
+def paper_example_filter():
+    """The inequality of paper Fig. 5(f): 4 x1 + 7 x2 + 2 x3 <= 9."""
+    return InequalityFilter(InequalityConstraint([4, 7, 2], 9))
+
+
+class TestConstruction:
+    def test_rejects_negative_or_fractional_weights(self):
+        with pytest.raises(ValueError):
+            InequalityFilter(InequalityConstraint([-1, 2], 3))
+        with pytest.raises(ValueError):
+            InequalityFilter(InequalityConstraint([1.5, 2], 3))
+        with pytest.raises(ValueError):
+            InequalityFilter(InequalityConstraint([1, 2], -1))
+
+    def test_rejects_bad_discharge_fraction(self):
+        with pytest.raises(ValueError):
+            InequalityFilter(InequalityConstraint([1, 2], 3), discharge_fraction=1.5)
+
+    def test_array_shapes(self, paper_example_filter):
+        assert paper_example_filter.num_items == 3
+        assert paper_example_filter.working_array.num_rows == 16
+        assert paper_example_filter.replica_array.encoded_capacity == pytest.approx(9.0)
+
+
+class TestPaperExample:
+    def test_all_eight_configurations_classified_correctly(self, paper_example_filter):
+        """Reproduces Fig. 5(f): 6 feasible and 2 infeasible configurations."""
+        constraint = paper_example_filter.constraint
+        feasible_count = 0
+        for bits in range(8):
+            x = [(bits >> k) & 1 for k in range(3)]
+            decision = paper_example_filter.evaluate(x)
+            assert decision.feasible == constraint.is_satisfied(x)
+            feasible_count += int(decision.feasible)
+        assert feasible_count == 6
+
+    def test_feasible_normalized_voltage_at_or_above_one(self, paper_example_filter):
+        for x in ([0, 0, 0], [1, 0, 1], [0, 1, 1]):
+            decision = paper_example_filter.evaluate(x)
+            assert decision.normalized_voltage >= 1.0 - 1e-9
+
+    def test_infeasible_normalized_voltage_below_one(self, paper_example_filter):
+        for x in ([1, 1, 0], [1, 1, 1]):
+            decision = paper_example_filter.evaluate(x)
+            assert decision.normalized_voltage < 1.0
+
+    def test_evaluation_counters(self, paper_example_filter):
+        paper_example_filter.evaluate([0, 0, 0])
+        paper_example_filter.evaluate([1, 1, 1])
+        assert paper_example_filter.num_evaluations == 2
+        assert paper_example_filter.num_feasible_decisions == 1
+
+
+class TestLargerConstraints:
+    def test_random_100_item_constraint_ideal_devices(self, rng):
+        weights = rng.integers(1, 51, size=100)
+        capacity = int(weights.sum() * 0.4)
+        constraint = InequalityConstraint(weights, capacity)
+        cim_filter = InequalityFilter(constraint)
+        configurations = rng.integers(0, 2, size=(60, 100)).astype(float)
+        accuracy = cim_filter.classification_accuracy(configurations, rng=rng)
+        assert accuracy == 1.0
+
+    def test_batch_evaluation(self, paper_example_filter, rng):
+        batch = rng.integers(0, 2, size=(10, 3)).astype(float)
+        decisions = paper_example_filter.evaluate_batch(batch)
+        assert len(decisions) == 10
+
+    def test_weight_exceeding_column_capacity_deepens_array(self):
+        # A 100-unit weight cannot live in 16 four-level cells; the filter
+        # automatically uses a deeper column (25 cells) and still classifies
+        # correctly.
+        cim_filter = InequalityFilter(InequalityConstraint([100, 30], 50), num_rows=16)
+        assert cim_filter.working_array.num_rows >= 25
+        assert not cim_filter.is_feasible([1, 0])
+        assert cim_filter.is_feasible([0, 1])
+
+
+class TestNonIdealities:
+    def test_moderate_variability_keeps_classification_exact(self, rng):
+        weights = rng.integers(1, 51, size=40)
+        capacity = int(weights.sum() * 0.5)
+        constraint = InequalityConstraint(weights, capacity)
+        cim_filter = InequalityFilter(
+            constraint,
+            variability=VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.1,
+                                         seed=8),
+        )
+        configurations = rng.integers(0, 2, size=(40, 40)).astype(float)
+        assert cim_filter.classification_accuracy(configurations, rng=rng) == 1.0
+
+    def test_large_comparator_offset_causes_misclassification_near_boundary(self):
+        constraint = InequalityConstraint([4, 7, 2], 9)
+        biased = InequalityFilter(
+            constraint,
+            comparator=TwoStageComparator(static_offset_sigma=0.5, seed=123),
+        )
+        boundary = [0, 1, 1]   # exactly at capacity: most sensitive case
+        decisions = [biased.evaluate(boundary).feasible for _ in range(5)]
+        # With a half-volt offset the decision no longer tracks the margin;
+        # it becomes a constant determined by the offset sign.
+        assert all(d == decisions[0] for d in decisions)
+
+    def test_matchline_noise_flips_only_marginal_cases(self, rng):
+        constraint = InequalityConstraint([4, 7, 2], 9)
+        noisy = InequalityFilter(constraint, matchline_noise_sigma=0.005)
+        # A configuration far from the boundary is classified consistently.
+        decisions = [noisy.evaluate([0, 0, 1], rng=rng).feasible for _ in range(50)]
+        assert all(decisions)

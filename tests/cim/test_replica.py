@@ -1,0 +1,51 @@
+"""Unit tests for the replica array."""
+
+import numpy as np
+import pytest
+
+from repro.cim.filter_array import FilterArrayConfig
+from repro.cim.replica import ReplicaArray, distribute_capacity
+
+
+class TestDistributeCapacity:
+    def test_greedy_fill(self):
+        assert distribute_capacity(9, 3, 64) == [9, 0, 0]
+        assert distribute_capacity(130, 3, 64) == [64, 64, 2]
+        assert distribute_capacity(0, 2, 64) == [0, 0]
+
+    def test_sum_is_capacity(self):
+        for capacity in (1, 50, 333, 1000):
+            weights = distribute_capacity(capacity, 100, 64)
+            assert sum(weights) == capacity
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            distribute_capacity(-1, 3, 64)
+        with pytest.raises(ValueError):
+            distribute_capacity(200, 3, 64)
+
+
+class TestReplicaArray:
+    def test_encoded_capacity_matches_bound(self):
+        config = FilterArrayConfig(discharge_per_unit=0.001)
+        replica = ReplicaArray(capacity=137, num_columns=100, config=config)
+        assert replica.encoded_capacity == pytest.approx(137.0)
+        assert replica.num_columns == 100
+
+    def test_readout_is_proportional_to_capacity(self):
+        config = FilterArrayConfig(discharge_per_unit=0.001)
+        small = ReplicaArray(capacity=50, num_columns=100, config=config)
+        large = ReplicaArray(capacity=500, num_columns=100, config=config)
+        v_small = small.evaluate().voltage
+        v_large = large.evaluate().voltage
+        assert v_small > v_large
+        assert v_small == pytest.approx(2.0 - 0.001 * 50)
+        assert v_large == pytest.approx(2.0 - 0.001 * 500)
+
+    def test_integer_capacity_required(self):
+        with pytest.raises(ValueError):
+            ReplicaArray(capacity=10.5, num_columns=10)
+
+    def test_stored_weights_exposed(self):
+        replica = ReplicaArray(capacity=70, num_columns=3)
+        np.testing.assert_array_equal(replica.stored_weights, [64, 6, 0])

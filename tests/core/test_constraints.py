@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import EqualityConstraint, InequalityConstraint
+
+
+class TestInequalityConstraint:
+    def test_basic_satisfaction(self):
+        constraint = InequalityConstraint([4, 7, 2], 9)
+        assert constraint.is_satisfied([1, 0, 1])      # 6 <= 9
+        assert constraint.is_satisfied([0, 1, 1])      # 9 <= 9 (boundary)
+        assert not constraint.is_satisfied([1, 1, 0])  # 11 > 9
+
+    def test_lhs_and_slack(self):
+        constraint = InequalityConstraint([4, 7, 2], 9)
+        assert constraint.lhs([1, 1, 1]) == pytest.approx(13)
+        assert constraint.slack([1, 0, 0]) == pytest.approx(5)
+        assert constraint.slack([1, 1, 0]) == pytest.approx(-2)
+
+    def test_violation_is_nonnegative(self):
+        constraint = InequalityConstraint([4, 7, 2], 9)
+        assert constraint.violation([0, 0, 0]) == 0.0
+        assert constraint.violation([1, 1, 1]) == pytest.approx(4)
+
+    def test_length_mismatch_raises(self):
+        constraint = InequalityConstraint([1, 2], 3)
+        with pytest.raises(ValueError):
+            constraint.lhs([1, 0, 1])
+
+    def test_weight_vector_copy(self):
+        constraint = InequalityConstraint([1.0, 2.0], 3.0)
+        vector = constraint.weight_vector
+        vector[0] = 99
+        assert constraint.weights[0] == 1.0
+
+    def test_frozen_dataclass_semantics(self):
+        constraint = InequalityConstraint([1, 2], 3, name="cap")
+        assert constraint.name == "cap"
+        assert constraint.num_variables == 2
+
+
+class TestEqualityConstraint:
+    def test_satisfaction_is_exact(self):
+        constraint = EqualityConstraint([1, 1, 1], 2)
+        assert constraint.is_satisfied([1, 1, 0])
+        assert not constraint.is_satisfied([1, 0, 0])
+        assert not constraint.is_satisfied([1, 1, 1])
+
+    def test_violation_is_absolute_difference(self):
+        constraint = EqualityConstraint([1, 1, 1], 2)
+        assert constraint.violation([0, 0, 0]) == pytest.approx(2)
+        assert constraint.violation([1, 1, 1]) == pytest.approx(1)
+
+    def test_one_hot_constraint_pattern(self):
+        # The pattern used by graph coloring / TSP: exactly one of a group.
+        constraint = EqualityConstraint([0, 1, 1, 1, 0], 1)
+        assert constraint.is_satisfied([1, 0, 1, 0, 1])
+        assert not constraint.is_satisfied([0, 1, 1, 0, 0])

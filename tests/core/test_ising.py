@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.ising."""
+
+import numpy as np
+import pytest
+
+from repro.core.ising import IsingModel
+from repro.core.qubo import QUBOModel
+
+
+def random_ising(rng, n=6):
+    j = rng.normal(size=(n, n))
+    j = np.triu(j, k=1)
+    h = rng.normal(size=n)
+    return IsingModel(couplings=j, fields=h)
+
+
+class TestConstruction:
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            IsingModel(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            IsingModel(np.zeros((3, 3)), np.zeros(2))
+
+    def test_diagonal_couplings_become_offset(self):
+        j = np.diag([2.0, 3.0])
+        model = IsingModel(j, np.zeros(2))
+        assert model.offset == pytest.approx(5.0)
+        # sigma_i^2 == 1 so the energy is constant.
+        assert model.energy([1, 1]) == pytest.approx(5.0)
+        assert model.energy([-1, -1]) == pytest.approx(5.0)
+
+    def test_energy_rejects_non_spin_input(self):
+        model = IsingModel(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            model.energy([0, 1])
+
+
+class TestEnergy:
+    def test_two_spin_ferromagnet(self):
+        # H = -J s0 s1 with J=1: aligned spins have energy -1.
+        model = IsingModel(np.array([[0.0, -1.0], [0.0, 0.0]]), np.zeros(2))
+        assert model.energy([1, 1]) == pytest.approx(-1.0)
+        assert model.energy([1, -1]) == pytest.approx(1.0)
+
+    def test_field_term(self):
+        model = IsingModel(np.zeros((2, 2)), np.array([0.5, -2.0]))
+        assert model.energy([1, 1]) == pytest.approx(-1.5)
+        assert model.energy([-1, 1]) == pytest.approx(-2.5)
+
+
+class TestConversions:
+    def test_ising_to_qubo_energy_equivalence(self, rng):
+        model = random_ising(rng)
+        qubo = model.to_qubo()
+        for _ in range(30):
+            x = rng.integers(0, 2, size=model.num_spins).astype(float)
+            sigma = 1.0 - 2.0 * x
+            assert qubo.energy(x) == pytest.approx(model.energy(sigma))
+
+    def test_qubo_to_ising_energy_equivalence(self, rng):
+        qubo = QUBOModel(rng.normal(size=(7, 7)), offset=1.5)
+        ising = IsingModel.from_qubo(qubo)
+        for _ in range(30):
+            x = rng.integers(0, 2, size=7).astype(float)
+            sigma = 1.0 - 2.0 * x
+            assert ising.energy(sigma) == pytest.approx(qubo.energy(x))
+
+    def test_round_trip_preserves_ground_state(self, rng):
+        model = random_ising(rng, n=8)
+        qubo = model.to_qubo()
+        sigma_best, e_ising = model.brute_force_minimum()
+        x_best, e_qubo = qubo.brute_force_minimum()
+        assert e_ising == pytest.approx(e_qubo)
+        # The minimisers map onto each other through sigma = 1 - 2x.
+        np.testing.assert_allclose(1.0 - 2.0 * x_best, sigma_best)
+
+    def test_brute_force_size_limit(self):
+        with pytest.raises(ValueError):
+            IsingModel(np.zeros((30, 30)), np.zeros(30)).brute_force_minimum()

@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.dqubo import to_dqubo
+from repro.core.quantization import (
+    matrix_bit_width,
+    quantization_report,
+    search_space_bits,
+)
+from repro.core.qubo import QUBOModel
+
+
+class TestBitWidth:
+    def test_paper_qkp_case_is_seven_bits(self):
+        # HyCiM stores raw QKP coefficients: (Q_ij)_MAX = 100 -> 7 bits.
+        model = QUBOModel(np.diag([-100.0, -3.0]))
+        assert matrix_bit_width(model) == 7
+
+    def test_small_coefficients_need_one_bit(self):
+        assert matrix_bit_width(QUBOModel(np.diag([1.0, -1.0]))) == 1
+        assert matrix_bit_width(QUBOModel.zeros(3)) == 1
+
+    def test_powers_of_two_boundaries(self):
+        assert matrix_bit_width(QUBOModel(np.diag([4.0]))) == 2
+        assert matrix_bit_width(QUBOModel(np.diag([5.0]))) == 3
+        assert matrix_bit_width(QUBOModel(np.diag([1024.0]))) == 10
+
+    def test_dqubo_needs_many_more_bits_than_hycim(self, tiny_qkp):
+        hycim = tiny_qkp.to_inequality_qubo()
+        dqubo = to_dqubo(tiny_qkp.to_qubo(), tiny_qkp.constraint())
+        assert matrix_bit_width(dqubo) > matrix_bit_width(hycim)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            matrix_bit_width("not a model")
+
+
+class TestReport:
+    def test_report_fields_consistent(self, tiny_qkp):
+        model = tiny_qkp.to_inequality_qubo()
+        report = quantization_report(model)
+        assert report.num_variables == 3
+        assert report.search_space_bits == 3
+        assert report.crossbar_cells == 3 * 3 * report.bits_per_element
+        assert report.max_abs_coefficient == model.qubo.max_abs_coefficient
+
+    def test_bit_reduction_between_reports(self, tiny_qkp):
+        hycim_report = quantization_report(tiny_qkp.to_inequality_qubo())
+        dqubo_report = quantization_report(
+            to_dqubo(tiny_qkp.to_qubo(), tiny_qkp.constraint())
+        )
+        reduction = hycim_report.bit_reduction_vs(dqubo_report)
+        assert 0.0 < reduction < 1.0
+        assert dqubo_report.bit_reduction_vs(dqubo_report) == 0.0
+
+    def test_search_space_reduction_between_reports(self, tiny_qkp):
+        hycim_report = quantization_report(tiny_qkp.to_inequality_qubo())
+        dqubo_report = quantization_report(
+            to_dqubo(tiny_qkp.to_qubo(), tiny_qkp.constraint())
+        )
+        # D-QUBO adds exactly C = 9 auxiliary variables for the tiny instance,
+        # so HyCiM's search space is 2^9 times smaller.
+        assert hycim_report.search_space_reduction_bits_vs(dqubo_report) == 9
+        assert dqubo_report.search_space_reduction_bits_vs(hycim_report) == -9
+
+    def test_search_space_bits_helper(self):
+        assert search_space_bits(QUBOModel.zeros(17)) == 17

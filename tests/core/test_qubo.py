@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.qubo."""
+
+import numpy as np
+import pytest
+
+from repro.core.qubo import QUBOModel
+
+
+class TestConstruction:
+    def test_square_matrix_required(self):
+        with pytest.raises(ValueError):
+            QUBOModel(np.zeros((2, 3)))
+
+    def test_symmetric_matrix_folded_to_upper_triangle(self):
+        symmetric = np.array([[1.0, 2.0], [2.0, 3.0]])
+        model = QUBOModel(symmetric)
+        assert model.matrix[0, 1] == 4.0
+        assert model.matrix[1, 0] == 0.0
+        # Energy is preserved by the folding.
+        x = np.array([1.0, 1.0])
+        assert model.energy(x) == pytest.approx(x @ symmetric @ x)
+
+    def test_from_dict_accumulates_mirrored_keys(self):
+        model = QUBOModel.from_dict({(0, 1): 2.0, (1, 0): 3.0, (0, 0): 1.0})
+        assert model.matrix[0, 1] == 5.0
+        assert model.matrix[0, 0] == 1.0
+
+    def test_from_dict_respects_num_variables(self):
+        model = QUBOModel.from_dict({(0, 0): 1.0}, num_variables=5)
+        assert model.num_variables == 5
+
+    def test_from_dict_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            QUBOModel.from_dict({(0, 9): 1.0}, num_variables=3)
+
+    def test_empty_dict_requires_dimension(self):
+        with pytest.raises(ValueError):
+            QUBOModel.from_dict({})
+
+    def test_variable_names_default_and_validation(self):
+        model = QUBOModel.zeros(3)
+        assert model.variable_names == ("x0", "x1", "x2")
+        with pytest.raises(ValueError):
+            QUBOModel(np.zeros((3, 3)), variable_names=("a",))
+
+
+class TestEvaluation:
+    def test_energy_matches_manual_quadratic_form(self):
+        q = np.array([[1.0, -2.0], [0.0, 3.0]])
+        model = QUBOModel(q, offset=5.0)
+        assert model.energy([1, 1]) == pytest.approx(1 - 2 + 3 + 5)
+        assert model.energy([1, 0]) == pytest.approx(1 + 5)
+        assert model.energy([0, 0]) == pytest.approx(5)
+
+    def test_energy_rejects_non_binary(self):
+        model = QUBOModel.zeros(2)
+        with pytest.raises(ValueError):
+            model.energy([0.5, 1.0])
+
+    def test_energy_rejects_wrong_length(self):
+        model = QUBOModel.zeros(2)
+        with pytest.raises(ValueError):
+            model.energy([1, 0, 1])
+
+    def test_energies_batch_matches_scalar(self, rng):
+        q = rng.normal(size=(6, 6))
+        model = QUBOModel(q)
+        batch = rng.integers(0, 2, size=(10, 6)).astype(float)
+        expected = np.array([model.energy(row) for row in batch])
+        np.testing.assert_allclose(model.energies(batch), expected)
+
+    def test_energy_delta_matches_full_evaluation(self, rng):
+        q = rng.normal(size=(8, 8))
+        model = QUBOModel(q, offset=2.5)
+        for _ in range(20):
+            x = rng.integers(0, 2, size=8).astype(float)
+            i = int(rng.integers(0, 8))
+            flipped = x.copy()
+            flipped[i] = 1 - flipped[i]
+            expected = model.energy(flipped) - model.energy(x)
+            assert model.energy_delta(x, i) == pytest.approx(expected)
+
+    def test_energy_delta_index_out_of_range(self):
+        model = QUBOModel.zeros(3)
+        with pytest.raises(IndexError):
+            model.energy_delta(np.zeros(3), 7)
+
+    def test_brute_force_minimum_small(self):
+        # min of x0 - 2 x1 + 3 x0 x1 is -2 at (0, 1).
+        model = QUBOModel(np.array([[1.0, 3.0], [0.0, -2.0]]))
+        best_x, best_e = model.brute_force_minimum()
+        assert best_e == pytest.approx(-2.0)
+        np.testing.assert_array_equal(best_x, [0.0, 1.0])
+
+    def test_brute_force_refuses_large_models(self):
+        with pytest.raises(ValueError):
+            QUBOModel.zeros(25).brute_force_minimum()
+
+
+class TestAlgebraAndProperties:
+    def test_scaled(self):
+        model = QUBOModel(np.array([[2.0, 1.0], [0.0, -1.0]]), offset=4.0)
+        scaled = model.scaled(0.5)
+        assert scaled.energy([1, 1]) == pytest.approx(model.energy([1, 1]) * 0.5)
+
+    def test_addition_requires_matching_dimensions(self):
+        with pytest.raises(ValueError):
+            QUBOModel.zeros(2) + QUBOModel.zeros(3)
+
+    def test_addition_adds_energies(self, rng):
+        a = QUBOModel(rng.normal(size=(5, 5)), offset=1.0)
+        b = QUBOModel(rng.normal(size=(5, 5)), offset=-2.0)
+        combined = a + b
+        x = rng.integers(0, 2, size=5).astype(float)
+        assert combined.energy(x) == pytest.approx(a.energy(x) + b.energy(x))
+
+    def test_embedded_preserves_energy_on_window(self, rng):
+        inner = QUBOModel(rng.normal(size=(3, 3)), offset=0.5)
+        outer = inner.embedded(total_variables=6, start=2)
+        assert outer.num_variables == 6
+        x_inner = np.array([1.0, 0.0, 1.0])
+        x_outer = np.zeros(6)
+        x_outer[2:5] = x_inner
+        assert outer.energy(x_outer) == pytest.approx(inner.energy(x_inner))
+
+    def test_embedded_window_out_of_range(self):
+        with pytest.raises(ValueError):
+            QUBOModel.zeros(3).embedded(total_variables=4, start=2)
+
+    def test_max_abs_coefficient_and_density(self):
+        model = QUBOModel(np.array([[0.0, -7.0], [0.0, 2.0]]))
+        assert model.max_abs_coefficient == 7.0
+        assert model.density == pytest.approx(2 / 3)
+
+    def test_linear_and_quadratic_views(self):
+        q = np.array([[1.0, 5.0], [0.0, 2.0]])
+        model = QUBOModel(q)
+        np.testing.assert_array_equal(model.linear, [1.0, 2.0])
+        assert model.quadratic[0, 1] == 5.0
+
+
+class TestSerialization:
+    def test_round_trip_dict(self, rng):
+        model = QUBOModel(rng.normal(size=(4, 4)), offset=3.0)
+        restored = QUBOModel.from_serialized(model.to_dict())
+        np.testing.assert_allclose(restored.matrix, model.matrix)
+        assert restored.offset == model.offset
+
+    def test_round_trip_file(self, tmp_path, rng):
+        model = QUBOModel(rng.integers(-5, 5, size=(5, 5)).astype(float), offset=-1.0)
+        path = tmp_path / "model.json"
+        model.save(path)
+        restored = QUBOModel.load(path)
+        np.testing.assert_allclose(restored.matrix, model.matrix)
+        assert restored.offset == model.offset
+        assert restored.variable_names == model.variable_names

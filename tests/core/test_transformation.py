@@ -1,0 +1,107 @@
+"""Unit tests for the inequality-QUBO transformation (paper Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import InequalityConstraint
+from repro.core.qubo import QUBOModel
+from repro.core.transformation import InequalityQUBO, to_inequality_qubo
+
+
+@pytest.fixture
+def tiny_model(tiny_qkp):
+    return tiny_qkp.to_inequality_qubo()
+
+
+class TestConstruction:
+    def test_constraint_arity_must_match(self):
+        qubo = QUBOModel.zeros(3)
+        constraint = InequalityConstraint([1, 2], 3)
+        with pytest.raises(ValueError):
+            InequalityQUBO(qubo=qubo, constraints=(constraint,))
+
+    def test_to_inequality_qubo_requires_symmetric_profits(self):
+        with pytest.raises(ValueError):
+            to_inequality_qubo(np.array([[1.0, 2.0], [3.0, 4.0]]),
+                               InequalityConstraint([1, 1], 1))
+
+    def test_dimension_is_unchanged(self, tiny_model):
+        # The whole point of the transformation: no auxiliary variables.
+        assert tiny_model.num_variables == 3
+        assert tiny_model.search_space_bits() == 3
+        assert tiny_model.num_constraints == 1
+
+
+class TestEnergySemantics:
+    def test_feasible_energy_is_negated_profit(self, tiny_qkp, tiny_model):
+        x = np.array([1.0, 0.0, 1.0])
+        assert tiny_model.energy(x) == pytest.approx(-tiny_qkp.objective(x))
+        assert tiny_model.energy(x) == pytest.approx(-25.0)
+
+    def test_infeasible_energy_is_zero(self, tiny_model):
+        assert tiny_model.energy([1.0, 1.0, 1.0]) == 0.0
+        assert tiny_model.energy([1.0, 1.0, 0.0]) == 0.0
+
+    def test_energy_is_never_positive_for_nonnegative_profits(self, tiny_model):
+        for bits in range(8):
+            x = np.array([(bits >> k) & 1 for k in range(3)], dtype=float)
+            assert tiny_model.energy(x) <= 0.0
+
+    def test_qubo_energy_ignores_constraints(self, tiny_qkp, tiny_model):
+        infeasible = np.array([1.0, 1.0, 1.0])
+        assert tiny_model.qubo_energy(infeasible) == pytest.approx(
+            -tiny_qkp.objective(infeasible)
+        )
+
+    def test_batch_energies_match_scalar(self, tiny_model, rng):
+        batch = rng.integers(0, 2, size=(16, 3)).astype(float)
+        expected = np.array([tiny_model.energy(row) for row in batch])
+        np.testing.assert_allclose(tiny_model.energies(batch), expected)
+
+
+class TestOptimization:
+    def test_brute_force_minimum_matches_problem_optimum(self, tiny_qkp, tiny_model):
+        best_x, best_e = tiny_model.brute_force_minimum()
+        assert best_e == pytest.approx(-25.0)
+        assert tiny_qkp.is_feasible(best_x)
+        assert tiny_qkp.objective(best_x) == pytest.approx(25.0)
+
+    def test_minimum_agrees_with_problem_brute_force(self, small_qkp):
+        model = small_qkp.to_inequality_qubo()
+        best_x, best_e = model.brute_force_minimum()
+        problem_best_x, problem_best_value = small_qkp.brute_force_best()
+        assert -best_e == pytest.approx(problem_best_value)
+        assert small_qkp.objective(best_x) == pytest.approx(problem_best_value)
+
+    def test_count_feasible_matches_enumeration(self, tiny_model, tiny_qkp):
+        expected = sum(
+            1 for bits in range(8)
+            if tiny_qkp.is_feasible([float((bits >> k) & 1) for k in range(3)])
+        )
+        assert tiny_model.count_feasible() == expected == 6
+
+    def test_count_feasible_size_guard(self):
+        qubo = QUBOModel.zeros(30)
+        model = InequalityQUBO(qubo=qubo, constraints=())
+        with pytest.raises(ValueError):
+            model.count_feasible()
+
+
+class TestMultipleConstraints:
+    def test_all_constraints_must_hold(self):
+        qubo = QUBOModel(np.diag([-1.0, -1.0, -1.0]))
+        c1 = InequalityConstraint([1, 1, 0], 1)
+        c2 = InequalityConstraint([0, 1, 1], 1)
+        model = InequalityQUBO(qubo=qubo, constraints=(c1, c2))
+        assert model.is_feasible([1, 0, 1])
+        assert not model.is_feasible([1, 1, 0])
+        assert not model.is_feasible([0, 1, 1])
+        assert model.energy([1, 1, 0]) == 0.0
+        assert model.energy([1, 0, 1]) == pytest.approx(-2.0)
+
+    def test_unconstrained_model_is_plain_qubo(self, rng):
+        qubo = QUBOModel(rng.normal(size=(5, 5)))
+        model = InequalityQUBO(qubo=qubo, constraints=())
+        x = rng.integers(0, 2, size=5).astype(float)
+        assert model.energy(x) == pytest.approx(qubo.energy(x))
+        assert model.is_feasible(x)

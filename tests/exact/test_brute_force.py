@@ -1,0 +1,54 @@
+"""Unit tests for the exhaustive reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.exact.brute_force import enumerate_feasible, solve_brute_force
+from repro.problems.generators import generate_maxcut_instance, generate_qkp_instance
+
+
+class TestSolveBruteForce:
+    def test_tiny_qkp_optimum(self, tiny_qkp):
+        result = solve_brute_force(tiny_qkp)
+        assert result.best_value == pytest.approx(25.0)
+        np.testing.assert_array_equal(result.best_configuration, [1.0, 0.0, 1.0])
+        assert result.num_evaluated == 8
+        assert result.num_feasible == 6
+
+    def test_result_is_feasible_and_maximal(self, small_qkp):
+        result = solve_brute_force(small_qkp)
+        assert small_qkp.is_feasible(result.best_configuration)
+        # No feasible configuration sampled at random beats the reported value.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = small_qkp.random_feasible_configuration(rng)
+            assert small_qkp.objective(x) <= result.best_value + 1e-9
+
+    def test_minimization_problem(self, small_maxcut):
+        result = solve_brute_force(small_maxcut)
+        # Max-Cut is a maximisation problem: complementing the best partition
+        # gives the same cut, so the value must match.
+        complement = 1.0 - result.best_configuration
+        assert small_maxcut.objective(complement) == pytest.approx(result.best_value)
+
+    def test_size_guard(self):
+        big = generate_qkp_instance(num_items=30, seed=0)
+        with pytest.raises(ValueError):
+            solve_brute_force(big)
+
+    def test_custom_size_limit(self):
+        problem = generate_maxcut_instance(num_nodes=8, seed=1)
+        with pytest.raises(ValueError):
+            solve_brute_force(problem, max_variables=4)
+
+
+class TestEnumerateFeasible:
+    def test_counts_match_solver(self, tiny_qkp):
+        configurations, values = enumerate_feasible(tiny_qkp)
+        assert configurations.shape == (6, 3)
+        assert values.max() == pytest.approx(25.0)
+
+    def test_all_enumerated_are_feasible(self, small_qkp):
+        configurations, _ = enumerate_feasible(small_qkp)
+        for row in configurations:
+            assert small_qkp.is_feasible(row)

@@ -1,0 +1,51 @@
+"""Unit tests for the dynamic programming knapsack solver."""
+
+import numpy as np
+import pytest
+
+from repro.exact.brute_force import solve_brute_force
+from repro.exact.dp_knapsack import solve_knapsack_dp
+from repro.problems.generators import generate_knapsack_instance
+from repro.problems.knapsack import KnapsackProblem
+
+
+class TestDP:
+    def test_textbook_instance(self):
+        problem = KnapsackProblem(profits=np.array([60.0, 100.0, 120.0]),
+                                  weights=np.array([10.0, 20.0, 30.0]),
+                                  capacity=50.0)
+        result = solve_knapsack_dp(problem)
+        assert result.best_value == pytest.approx(220.0)
+        np.testing.assert_array_equal(result.best_configuration, [0.0, 1.0, 1.0])
+        assert result.total_weight == pytest.approx(50.0)
+
+    def test_matches_brute_force(self, small_knapsack):
+        dp = solve_knapsack_dp(small_knapsack)
+        bf = solve_brute_force(small_knapsack)
+        assert dp.best_value == pytest.approx(bf.best_value)
+        assert small_knapsack.is_feasible(dp.best_configuration)
+
+    def test_matches_brute_force_over_random_instances(self):
+        for seed in range(5):
+            problem = generate_knapsack_instance(num_items=12, max_weight=15, seed=seed)
+            dp = solve_knapsack_dp(problem)
+            bf = solve_brute_force(problem)
+            assert dp.best_value == pytest.approx(bf.best_value)
+
+    def test_selection_respects_capacity(self, small_knapsack):
+        result = solve_knapsack_dp(small_knapsack)
+        assert result.total_weight <= small_knapsack.capacity
+
+    def test_rejects_fractional_weights(self):
+        problem = KnapsackProblem(profits=np.array([1.0, 2.0]),
+                                  weights=np.array([1.5, 2.0]),
+                                  capacity=3.0)
+        with pytest.raises(ValueError):
+            solve_knapsack_dp(problem)
+
+    def test_rejects_fractional_capacity(self):
+        problem = KnapsackProblem(profits=np.array([1.0, 2.0]),
+                                  weights=np.array([1.0, 2.0]),
+                                  capacity=2.5)
+        with pytest.raises(ValueError):
+            solve_knapsack_dp(problem)

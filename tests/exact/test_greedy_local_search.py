@@ -1,0 +1,68 @@
+"""Unit tests for the QKP greedy heuristic and local search."""
+
+import numpy as np
+import pytest
+
+from repro.exact.brute_force import solve_brute_force
+from repro.exact.greedy import solve_qkp_greedy
+from repro.exact.local_search import improve_qkp_local_search, reference_qkp_value
+from repro.problems.generators import generate_qkp_instance
+
+
+class TestGreedy:
+    def test_solution_is_feasible(self, small_qkp, medium_qkp):
+        for problem in (small_qkp, medium_qkp):
+            result = solve_qkp_greedy(problem)
+            assert problem.is_feasible(result.configuration)
+            assert result.value == pytest.approx(problem.objective(result.configuration))
+            assert result.total_weight <= problem.capacity
+
+    def test_tiny_instance_greedy_is_optimal(self, tiny_qkp):
+        result = solve_qkp_greedy(tiny_qkp)
+        assert result.value == pytest.approx(25.0)
+
+    def test_greedy_is_reasonably_close_to_optimum(self):
+        for seed in range(4):
+            problem = generate_qkp_instance(num_items=14, density=0.5, max_weight=10,
+                                            seed=seed)
+            greedy = solve_qkp_greedy(problem)
+            optimum = solve_brute_force(problem).best_value
+            assert greedy.value >= 0.7 * optimum
+
+
+class TestLocalSearch:
+    def test_requires_feasible_start(self, tiny_qkp):
+        with pytest.raises(ValueError):
+            improve_qkp_local_search(tiny_qkp, np.array([1.0, 1.0, 1.0]))
+
+    def test_never_decreases_value(self, small_qkp, rng):
+        for _ in range(5):
+            start = small_qkp.random_feasible_configuration(rng)
+            start_value = small_qkp.objective(start)
+            result = improve_qkp_local_search(small_qkp, start)
+            assert result.value >= start_value - 1e-9
+            assert small_qkp.is_feasible(result.configuration)
+
+    def test_improves_empty_start_to_optimum_on_small_instances(self):
+        for seed in range(3):
+            problem = generate_qkp_instance(num_items=12, density=0.6, max_weight=8,
+                                            seed=seed)
+            result = improve_qkp_local_search(problem, np.zeros(12))
+            optimum = solve_brute_force(problem).best_value
+            assert result.value >= 0.9 * optimum
+
+
+class TestReferenceValue:
+    def test_reference_close_to_true_optimum_small(self):
+        for seed in range(4):
+            problem = generate_qkp_instance(num_items=13, density=0.5, max_weight=10,
+                                            seed=100 + seed)
+            reference = reference_qkp_value(problem, seed=seed)
+            optimum = solve_brute_force(problem).best_value
+            assert reference <= optimum + 1e-9
+            assert reference >= 0.93 * optimum
+
+    def test_reference_is_deterministic(self, medium_qkp):
+        assert reference_qkp_value(medium_qkp, seed=1) == reference_qkp_value(
+            medium_qkp, seed=1
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for the 1FeFET1R cell."""
+
+import pytest
+
+from repro.fefet.cell import CellParameters, OneFeFETOneRCell
+from repro.fefet.device import FeFETParameters
+from repro.fefet.variability import VariabilityModel
+
+
+class TestCellParameters:
+    def test_default_read_voltages_are_descending_in_weight_selectivity(self):
+        params = CellParameters()
+        assert len(params.read_voltages) == params.max_weight
+        # V_read,1 (probing w >= 1) must be the highest, V_read,4 the lowest.
+        assert list(params.read_voltages) == sorted(params.read_voltages, reverse=True)
+
+    def test_clamped_current(self):
+        params = CellParameters(series_resistance=100e3, supply_voltage=2.0)
+        assert params.clamped_current == pytest.approx(20e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellParameters(series_resistance=0.0)
+        with pytest.raises(ValueError):
+            CellParameters(max_weight=0)
+        with pytest.raises(ValueError):
+            # 5 device levels support at most weight 4.
+            CellParameters(max_weight=5, device=FeFETParameters())
+
+
+class TestWeightStorageAndReadout:
+    @pytest.mark.parametrize("weight", [0, 1, 2, 3, 4])
+    def test_conduction_count_equals_stored_weight(self, weight):
+        cell = OneFeFETOneRCell(weight=weight)
+        assert cell.conduction_count() == weight
+
+    def test_zero_input_never_conducts(self):
+        cell = OneFeFETOneRCell(weight=4)
+        assert cell.conduction_count(input_bit=0) == 0
+        for phase in range(1, 5):
+            assert not cell.conducts(phase, input_bit=0)
+
+    def test_conducts_exactly_for_phases_up_to_weight(self):
+        cell = OneFeFETOneRCell(weight=2)
+        assert cell.conducts(1)
+        assert cell.conducts(2)
+        assert not cell.conducts(3)
+        assert not cell.conducts(4)
+
+    def test_reprogramming(self):
+        cell = OneFeFETOneRCell(weight=0)
+        assert cell.conduction_count() == 0
+        cell.program_weight(3)
+        assert cell.conduction_count() == 3
+        with pytest.raises(ValueError):
+            cell.program_weight(9)
+
+    def test_invalid_read_index(self):
+        cell = OneFeFETOneRCell(weight=1)
+        with pytest.raises(ValueError):
+            cell.conducts(0)
+        with pytest.raises(ValueError):
+            cell.conducts(5)
+        with pytest.raises(ValueError):
+            cell.conducts(1, input_bit=2)
+
+    def test_on_current_is_clamped_by_resistor(self):
+        cell = OneFeFETOneRCell(weight=4)
+        on_current = cell.read_current(1)
+        assert on_current <= cell.parameters.clamped_current + 1e-12
+        off_current = cell.read_current(4, input_bit=0)
+        assert off_current < on_current / 100
+
+    def test_moderate_variability_preserves_weight_readout(self):
+        var = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.15, seed=11)
+        for weight in range(5):
+            cells = [OneFeFETOneRCell(weight=weight, variability=var) for _ in range(20)]
+            counts = [c.conduction_count() for c in cells]
+            assert all(count == weight for count in counts)

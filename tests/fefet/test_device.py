@@ -1,0 +1,95 @@
+"""Unit tests for the behavioural FeFET device model."""
+
+import numpy as np
+import pytest
+
+from repro.fefet.device import FeFETDevice, FeFETParameters, measure_id_vg_population
+from repro.fefet.variability import VariabilityModel
+
+
+class TestParameters:
+    def test_defaults_are_consistent(self):
+        params = FeFETParameters()
+        assert params.num_levels == 5
+        assert params.on_off_ratio >= 1e4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeFETParameters(threshold_voltages=(1.0,))
+        with pytest.raises(ValueError):
+            FeFETParameters(threshold_voltages=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            FeFETParameters(on_current=1e-9, off_current=1e-6)
+        with pytest.raises(ValueError):
+            FeFETParameters(subthreshold_swing=0.0)
+
+
+class TestDevice:
+    def test_programming_changes_threshold(self):
+        device = FeFETDevice(level=0)
+        low_vt = device.threshold_voltage
+        device.program(3)
+        assert device.threshold_voltage > low_vt
+        device.erase()
+        assert device.level == device.parameters.num_levels - 1
+
+    def test_program_out_of_range(self):
+        device = FeFETDevice()
+        with pytest.raises(ValueError):
+            device.program(99)
+
+    def test_on_off_behaviour(self):
+        device = FeFETDevice(level=1)  # VT = 0.6 V nominally
+        assert device.is_on(1.0)
+        assert not device.is_on(0.3)
+        on_current = device.drain_current(1.5)
+        off_current = device.drain_current(0.0)
+        assert on_current / off_current >= 1e3
+
+    def test_id_vg_curve_is_monotonic(self):
+        device = FeFETDevice(level=2)
+        sweep = np.linspace(0.0, 2.0, 41)
+        currents = device.id_vg_curve(sweep)
+        assert np.all(np.diff(currents) >= -1e-15)
+
+    def test_drain_current_scales_with_drain_bias(self):
+        device = FeFETDevice(level=0)
+        base = device.drain_current(1.5, drain_voltage=0.05)
+        doubled = device.drain_current(1.5, drain_voltage=0.10)
+        assert doubled == pytest.approx(2 * base)
+        with pytest.raises(ValueError):
+            device.drain_current(1.5, drain_voltage=-0.1)
+
+    def test_variability_shifts_threshold_but_not_level(self):
+        var = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.2, seed=3)
+        devices = [FeFETDevice(level=1, variability=var) for _ in range(30)]
+        thresholds = np.array([d.threshold_voltage for d in devices])
+        assert np.std(thresholds) > 0.0
+        # The spread stays well below the inter-level separation (0.4 V).
+        assert np.std(thresholds) < 0.2
+
+    def test_levels_are_separable_at_read_voltages(self):
+        # The defining multi-level property (Fig. 2(b)): a read voltage placed
+        # between two adjacent thresholds turns ON the lower-VT state only.
+        params = FeFETParameters()
+        low = FeFETDevice(parameters=params, level=1)
+        high = FeFETDevice(parameters=params, level=2)
+        read_voltage = 0.5 * (params.threshold_voltages[1] + params.threshold_voltages[2])
+        assert low.is_on(read_voltage)
+        assert not high.is_on(read_voltage)
+
+
+class TestPopulationMeasurement:
+    def test_population_shape_and_ranges(self):
+        gate_voltages, currents = measure_id_vg_population(num_devices=10, seed=5)
+        assert currents.shape == (4, 10, gate_voltages.shape[0])
+        assert np.all(currents > 0)
+
+    def test_levels_are_separable_at_mid_sweep(self):
+        gate_voltages, currents = measure_id_vg_population(num_devices=20, seed=5)
+        # At V_G = 1.2 V the three lowest-VT states (0.2 / 0.6 / 1.0 V) are ON
+        # while the fourth (1.4 V) is still OFF, so their mean currents are
+        # separated by orders of magnitude (the Fig. 2(b) picture).
+        idx = np.argmin(np.abs(gate_voltages - 1.2))
+        means = currents[:, :, idx].mean(axis=1)
+        assert means[:3].min() > 10 * means[3]

@@ -1,0 +1,46 @@
+"""Unit tests for the device variability model."""
+
+import numpy as np
+import pytest
+
+from repro.fefet.variability import VariabilityModel
+
+
+class TestVariabilityModel:
+    def test_ideal_model_is_deterministic(self):
+        model = VariabilityModel.ideal()
+        assert model.sample_threshold_shift() == 0.0
+        assert model.sample_on_current_factor() == 1.0
+        np.testing.assert_array_equal(model.sample_threshold_shifts(5), np.zeros(5))
+        np.testing.assert_array_equal(model.sample_on_current_factors(5), np.ones(5))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(threshold_sigma=-0.1)
+        with pytest.raises(ValueError):
+            VariabilityModel(on_current_sigma=-0.1)
+
+    def test_negative_count_rejected(self):
+        model = VariabilityModel(seed=0)
+        with pytest.raises(ValueError):
+            model.sample_threshold_shifts(-1)
+        with pytest.raises(ValueError):
+            model.sample_on_current_factors(-1)
+
+    def test_threshold_shifts_match_requested_spread(self):
+        model = VariabilityModel(threshold_sigma=0.05, seed=1)
+        shifts = model.sample_threshold_shifts(5000)
+        assert abs(np.mean(shifts)) < 0.01
+        assert np.std(shifts) == pytest.approx(0.05, rel=0.1)
+
+    def test_on_current_factors_are_positive_lognormal(self):
+        model = VariabilityModel(on_current_sigma=0.2, seed=2)
+        factors = model.sample_on_current_factors(5000)
+        assert np.all(factors > 0)
+        assert np.median(factors) == pytest.approx(1.0, rel=0.1)
+
+    def test_same_seed_reproduces_samples(self):
+        a = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1, seed=7)
+        b = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1, seed=7)
+        np.testing.assert_array_equal(a.sample_threshold_shifts(10),
+                                      b.sample_threshold_shifts(10))

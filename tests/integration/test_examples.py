@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run end-to-end and print sensible output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys, argv=None):
+    """Execute an example script as __main__ and return its stdout."""
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + list(argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart_runs_and_beats_threshold(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "HyCiM result:" in output
+        assert "D-QUBO baseline:" in output
+        assert "feasible        = True" in output
+
+    def test_inequality_filter_demo_classifies_example(self, capsys):
+        output = run_example("inequality_filter_demo.py", capsys)
+        assert output.count("INFEASIBLE") == 2
+        assert "classification accuracy = 100.0%" in output
+
+    def test_logistics_loading_produces_feasible_manifest(self, capsys):
+        output = run_example("logistics_loading.py", capsys)
+        assert "HyCiM loading plan" in output
+        assert "manifest" in output
+        # The plan never exceeds the payload limit (printed as "x / 800 kg").
+        for line in output.splitlines():
+            if "payload:" in line:
+                used = float(line.split("payload:")[1].split("/")[0])
+                assert used <= 800.0

@@ -1,0 +1,84 @@
+"""Unit tests for the bin packing problem."""
+
+import numpy as np
+import pytest
+
+from repro.problems.bin_packing import BinPackingProblem
+
+
+@pytest.fixture
+def small_packing():
+    # Four items of sizes 6, 5, 4, 3 into bins of capacity 9: two bins suffice
+    # (6+3 and 5+4).
+    return BinPackingProblem(sizes=np.array([6.0, 5.0, 4.0, 3.0]),
+                             capacity=9.0, num_bins=3)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinPackingProblem(np.array([1.0, -2.0]), 5.0, 2)
+        with pytest.raises(ValueError):
+            BinPackingProblem(np.array([10.0]), 5.0, 2)  # item larger than a bin
+        with pytest.raises(ValueError):
+            BinPackingProblem(np.array([1.0]), 5.0, 0)
+
+    def test_variable_layout(self, small_packing):
+        assert small_packing.num_variables == 4 * 3 + 3
+        assert small_packing.assign_index(2, 1) == 7
+        assert small_packing.usage_index(0) == 12
+
+
+class TestEncodingAndObjective:
+    def test_encode_decode_round_trip(self, small_packing):
+        assignment = [0, 1, 1, 0]
+        x = small_packing.encode(assignment)
+        assert small_packing.decode(x) == assignment
+
+    def test_bin_loads(self, small_packing):
+        x = small_packing.encode([0, 1, 1, 0])
+        loads = small_packing.bin_loads(x)
+        np.testing.assert_allclose(loads, [9.0, 9.0, 0.0])
+
+    def test_objective_counts_used_bins(self, small_packing):
+        assert small_packing.objective(small_packing.encode([0, 1, 1, 0])) == 2.0
+        assert small_packing.objective(small_packing.encode([0, 1, 2, 0])) == 3.0
+
+    def test_feasibility(self, small_packing):
+        assert small_packing.is_feasible(small_packing.encode([0, 1, 1, 0]))
+        # Overloaded bin 0: 6 + 5 = 11 > 9.
+        assert not small_packing.is_feasible(small_packing.encode([0, 0, 1, 2]))
+        # Unassigned item.
+        assert not small_packing.is_feasible(np.zeros(small_packing.num_variables))
+
+
+class TestConstraintsAndQUBO:
+    def test_capacity_constraints(self, small_packing):
+        constraints = small_packing.capacity_constraints()
+        assert len(constraints) == 3
+        x = small_packing.encode([0, 0, 1, 2])
+        assert not constraints[0].is_satisfied(x)
+        assert constraints[1].is_satisfied(x)
+
+    def test_assignment_constraints(self, small_packing):
+        constraints = small_packing.assignment_constraints()
+        assert len(constraints) == 4
+        x = small_packing.encode([0, 1, 1, 0])
+        assert all(c.is_satisfied(x) for c in constraints)
+
+    def test_inequality_form_energy_favors_fewer_bins(self, small_packing):
+        model = small_packing.to_inequality_qubo()
+        two_bins = small_packing.encode([0, 1, 1, 0])
+        three_bins = small_packing.encode([0, 1, 2, 0])
+        assert model.is_feasible(two_bins)
+        assert model.is_feasible(three_bins)
+        assert model.energy(two_bins) < model.energy(three_bins)
+
+    def test_to_qubo_builds(self, small_packing):
+        qubo = small_packing.to_qubo()
+        assert qubo.num_variables == small_packing.num_variables
+
+    def test_random_feasible_configuration(self, small_packing, rng):
+        for _ in range(10):
+            x = small_packing.random_feasible_configuration(rng)
+            assert small_packing.is_feasible(x)

@@ -1,0 +1,90 @@
+"""Unit tests for the graph coloring problem."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems.graph_coloring import GraphColoringProblem
+
+
+@pytest.fixture
+def path_graph_coloring():
+    # Path 0-1-2 with 2 colours: alternating colouring is proper.
+    graph = nx.path_graph(3)
+    return GraphColoringProblem.from_graph(graph, num_colors=2)
+
+
+class TestEncoding:
+    def test_variable_layout(self, path_graph_coloring):
+        problem = path_graph_coloring
+        assert problem.num_variables == 6
+        assert problem.variable_index(1, 1) == 3
+        with pytest.raises(IndexError):
+            problem.variable_index(5, 0)
+
+    def test_encode_decode_round_trip(self, path_graph_coloring):
+        assignment = [0, 1, 0]
+        x = path_graph_coloring.encode(assignment)
+        assert path_graph_coloring.decode(x) == assignment
+
+    def test_decode_flags_invalid_vertices(self, path_graph_coloring):
+        x = np.zeros(6)
+        x[0] = 1.0
+        x[1] = 1.0  # vertex 0 has two colours
+        decoded = path_graph_coloring.decode(x)
+        assert decoded[0] == -1
+
+
+class TestObjectiveAndFeasibility:
+    def test_conflicts_counts_monochromatic_edges(self, path_graph_coloring):
+        proper = path_graph_coloring.encode([0, 1, 0])
+        clash = path_graph_coloring.encode([0, 0, 1])
+        assert path_graph_coloring.conflicts(proper) == 0
+        assert path_graph_coloring.conflicts(clash) == 1
+        assert path_graph_coloring.is_proper_coloring(proper)
+        assert not path_graph_coloring.is_proper_coloring(clash)
+
+    def test_feasibility_is_one_hot_validity(self, path_graph_coloring):
+        assert path_graph_coloring.is_feasible(path_graph_coloring.encode([0, 0, 0]))
+        broken = np.zeros(6)
+        assert not path_graph_coloring.is_feasible(broken)
+
+    def test_onehot_constraints(self, path_graph_coloring):
+        constraints = path_graph_coloring.onehot_constraints()
+        assert len(constraints) == 3
+        x = path_graph_coloring.encode([1, 0, 1])
+        assert all(c.is_satisfied(x) for c in constraints)
+
+
+class TestQUBO:
+    def test_full_qubo_minimum_is_proper_coloring(self, path_graph_coloring):
+        qubo = path_graph_coloring.to_qubo()
+        best_x, best_energy = qubo.brute_force_minimum()
+        assert best_energy == pytest.approx(0.0)
+        assert path_graph_coloring.is_proper_coloring(best_x)
+
+    def test_conflict_qubo_matches_conflict_count(self, path_graph_coloring, rng):
+        conflict_qubo = path_graph_coloring.conflict_qubo()
+        for _ in range(10):
+            assignment = rng.integers(0, 2, size=3)
+            x = path_graph_coloring.encode(assignment)
+            assert conflict_qubo.energy(x) == pytest.approx(
+                path_graph_coloring.conflicts(x)
+            )
+
+    def test_inequality_form_detaches_onehot_constraints(self, path_graph_coloring):
+        model = path_graph_coloring.to_inequality_qubo()
+        assert model.num_constraints == 3
+        proper = path_graph_coloring.encode([0, 1, 0])
+        assert model.energy(proper) == pytest.approx(0.0)
+        assert model.is_feasible(proper)
+
+    def test_triangle_not_2_colorable(self):
+        triangle = GraphColoringProblem.from_graph(nx.complete_graph(3), num_colors=2)
+        qubo = triangle.to_qubo()
+        _, best_energy = qubo.brute_force_minimum()
+        assert best_energy > 0.0  # at least one conflict remains
+
+    def test_random_feasible_configuration(self, path_graph_coloring, rng):
+        x = path_graph_coloring.random_feasible_configuration(rng)
+        assert path_graph_coloring.is_feasible(x)

@@ -1,0 +1,68 @@
+"""Unit tests for the Billionnet-Soutif QKP file format reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import generate_qkp_instance
+from repro.problems.io import read_qkp_file, write_qkp_file
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_instance(self, tmp_path, tiny_qkp):
+        path = tmp_path / "tiny.txt"
+        write_qkp_file(tiny_qkp, path)
+        restored = read_qkp_file(path)
+        np.testing.assert_array_equal(restored.profits, tiny_qkp.profits)
+        np.testing.assert_array_equal(restored.weights, tiny_qkp.weights)
+        assert restored.capacity == tiny_qkp.capacity
+        assert restored.name == tiny_qkp.name
+
+    def test_round_trip_generated_instance(self, tmp_path):
+        problem = generate_qkp_instance(num_items=25, density=0.5, seed=9)
+        path = tmp_path / "gen.txt"
+        write_qkp_file(problem, path)
+        restored = read_qkp_file(path)
+        np.testing.assert_array_equal(restored.profits, problem.profits)
+        np.testing.assert_array_equal(restored.weights, problem.weights)
+        assert restored.capacity == problem.capacity
+
+    def test_objective_preserved_through_round_trip(self, tmp_path, tiny_qkp, rng):
+        path = tmp_path / "tiny.txt"
+        write_qkp_file(tiny_qkp, path)
+        restored = read_qkp_file(path)
+        for _ in range(8):
+            x = rng.integers(0, 2, size=3).astype(float)
+            assert restored.objective(x) == pytest.approx(tiny_qkp.objective(x))
+
+
+class TestFormat:
+    def test_written_layout(self, tmp_path, tiny_qkp):
+        path = tmp_path / "tiny.txt"
+        write_qkp_file(tiny_qkp, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "tiny"
+        assert int(lines[1]) == 3
+        assert [int(v) for v in lines[2].split()] == [10, 6, 8]
+        assert [int(v) for v in lines[3].split()] == [3, 7]
+        assert [int(v) for v in lines[4].split()] == [2]
+        assert lines[5] == ""
+        assert int(lines[6]) == 0
+        assert int(lines[7]) == 9
+
+    def test_reader_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("name\n3\n1 2 3\n")
+        with pytest.raises(ValueError):
+            read_qkp_file(path)
+
+    def test_reader_rejects_wrong_row_length(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("name\n3\n1 2 3\n4 5 6\n7\n\n0\n5\n1 1 1\n")
+        with pytest.raises(ValueError):
+            read_qkp_file(path)
+
+    def test_reader_rejects_wrong_weight_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("name\n2\n1 2\n3\n\n0\n5\n1\n")
+        with pytest.raises(ValueError):
+            read_qkp_file(path)

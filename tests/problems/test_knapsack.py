@@ -1,0 +1,63 @@
+"""Unit tests for the linear knapsack problem."""
+
+import numpy as np
+import pytest
+
+from repro.problems.knapsack import KnapsackProblem
+
+
+@pytest.fixture
+def simple_knapsack():
+    return KnapsackProblem(profits=np.array([10.0, 5.0, 7.0, 3.0]),
+                           weights=np.array([4.0, 3.0, 5.0, 1.0]),
+                           capacity=8.0)
+
+
+class TestBasics:
+    def test_objective_and_weight(self, simple_knapsack):
+        assert simple_knapsack.objective([1, 0, 0, 1]) == pytest.approx(13.0)
+        assert simple_knapsack.total_weight([1, 0, 0, 1]) == pytest.approx(5.0)
+
+    def test_feasibility(self, simple_knapsack):
+        assert simple_knapsack.is_feasible([1, 1, 0, 1])      # weight 8
+        assert not simple_knapsack.is_feasible([1, 0, 1, 0])  # weight 9
+
+    def test_brute_force(self, simple_knapsack):
+        _, best = simple_knapsack.brute_force_best()
+        assert best == pytest.approx(18.0)  # items 0, 1, 3: weight 8, profit 18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackProblem(np.ones(3), np.ones(2), 2.0)
+        with pytest.raises(ValueError):
+            KnapsackProblem(np.ones(2), np.array([1.0, -1.0]), 2.0)
+        with pytest.raises(ValueError):
+            KnapsackProblem(np.ones(2), np.ones(2), -1.0)
+
+
+class TestConversions:
+    def test_qubo_is_diagonal_and_negated(self, simple_knapsack, rng):
+        qubo = simple_knapsack.to_qubo()
+        assert np.count_nonzero(qubo.matrix - np.diag(np.diag(qubo.matrix))) == 0
+        x = rng.integers(0, 2, size=4).astype(float)
+        assert qubo.energy(x) == pytest.approx(-simple_knapsack.objective(x))
+
+    def test_inequality_qubo_constraint_detached(self, simple_knapsack):
+        model = simple_knapsack.to_inequality_qubo()
+        assert model.num_constraints == 1
+        assert model.num_variables == 4
+        assert model.energy([1, 0, 1, 0]) == 0.0  # infeasible
+        assert model.energy([1, 1, 0, 1]) == pytest.approx(-18.0)
+
+    def test_lift_to_quadratic_preserves_objective(self, simple_knapsack, rng):
+        qkp = simple_knapsack.to_quadratic()
+        for _ in range(10):
+            x = rng.integers(0, 2, size=4).astype(float)
+            assert qkp.objective(x) == pytest.approx(simple_knapsack.objective(x))
+        assert qkp.capacity == simple_knapsack.capacity
+
+    def test_random_feasible_configuration(self, simple_knapsack, rng):
+        for _ in range(25):
+            assert simple_knapsack.is_feasible(
+                simple_knapsack.random_feasible_configuration(rng)
+            )

@@ -1,0 +1,93 @@
+"""Unit tests for the TSP encoding."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import generate_tsp_instance
+from repro.problems.tsp import TravelingSalesmanProblem
+
+
+@pytest.fixture
+def square_tsp():
+    # Four cities on a unit square: the optimal tour follows the perimeter
+    # (length 4); crossing the diagonals costs 2 + 2*sqrt(2).
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    n = 4
+    distances = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            distances[i, j] = np.linalg.norm(points[i] - points[j])
+    return TravelingSalesmanProblem(distances)
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self, square_tsp):
+        tour = [2, 0, 3, 1]
+        x = square_tsp.encode_tour(tour)
+        assert square_tsp.decode_tour(x) == tour
+
+    def test_encode_rejects_non_permutation(self, square_tsp):
+        with pytest.raises(ValueError):
+            square_tsp.encode_tour([0, 0, 1, 2])
+
+    def test_decode_rejects_invalid_matrix(self, square_tsp):
+        x = np.zeros(16)
+        x[0] = 1.0
+        with pytest.raises(ValueError):
+            square_tsp.decode_tour(x)
+
+
+class TestObjective:
+    def test_perimeter_tour_length(self, square_tsp):
+        assert square_tsp.tour_length([0, 1, 2, 3]) == pytest.approx(4.0)
+        assert square_tsp.tour_length([0, 2, 1, 3]) == pytest.approx(2 + 2 * np.sqrt(2))
+
+    def test_objective_via_encoding(self, square_tsp):
+        x = square_tsp.encode_tour([0, 1, 2, 3])
+        assert square_tsp.objective(x) == pytest.approx(4.0)
+
+    def test_feasibility(self, square_tsp, rng):
+        assert square_tsp.is_feasible(square_tsp.encode_tour([3, 1, 0, 2]))
+        assert not square_tsp.is_feasible(np.zeros(16))
+        assert square_tsp.is_feasible(square_tsp.random_feasible_configuration(rng))
+
+
+class TestQUBO:
+    def test_distance_qubo_matches_tour_length(self, square_tsp):
+        qubo = square_tsp.distance_qubo()
+        for tour in ([0, 1, 2, 3], [0, 2, 1, 3], [1, 3, 0, 2]):
+            x = square_tsp.encode_tour(tour)
+            assert qubo.energy(x) == pytest.approx(square_tsp.tour_length(tour))
+
+    def test_full_qubo_minimum_is_valid_optimal_tour(self, square_tsp):
+        qubo = square_tsp.to_qubo()
+        best_x, best_energy = qubo.brute_force_minimum()
+        assert square_tsp.is_feasible(best_x)
+        assert square_tsp.objective(best_x) == pytest.approx(4.0)
+        assert best_energy == pytest.approx(4.0)
+
+    def test_permutation_constraints(self, square_tsp):
+        constraints = square_tsp.permutation_constraints()
+        assert len(constraints) == 8
+        x = square_tsp.encode_tour([1, 0, 3, 2])
+        assert all(c.is_satisfied(x) for c in constraints)
+
+    def test_inequality_form(self, square_tsp):
+        model = square_tsp.to_inequality_qubo()
+        assert model.num_constraints == 8
+        x = square_tsp.encode_tour([0, 1, 2, 3])
+        assert model.energy(x) == pytest.approx(4.0)
+
+
+class TestGenerator:
+    def test_generated_instance_is_metric_euclidean(self):
+        problem = generate_tsp_instance(num_cities=5, seed=3)
+        d = problem.distances
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+        # Triangle inequality holds for Euclidean instances.
+        n = 5
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9

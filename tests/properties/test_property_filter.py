@@ -1,0 +1,95 @@
+"""Hypothesis property tests for the CiM inequality filter and crossbar."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
+from repro.cim.filter_array import decompose_weight
+from repro.cim.inequality_filter import InequalityFilter
+from repro.core.constraints import InequalityConstraint
+from repro.core.qubo import QUBOModel
+
+
+class TestWeightDecomposition:
+    @given(st.integers(0, 64))
+    @settings(max_examples=65, deadline=None)
+    def test_decomposition_sums_to_weight(self, weight):
+        cells = decompose_weight(weight, 16, 4)
+        assert sum(cells) == weight
+        assert len(cells) == 16
+        assert all(0 <= c <= 4 for c in cells)
+
+    @given(st.integers(0, 200), st.integers(1, 32), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_decomposition_valid_whenever_weight_fits(self, weight, rows, max_cell):
+        if weight <= rows * max_cell:
+            cells = decompose_weight(weight, rows, max_cell)
+            assert sum(cells) == weight
+        else:
+            try:
+                decompose_weight(weight, rows, max_cell)
+            except ValueError:
+                pass
+            else:  # pragma: no cover - defensive
+                raise AssertionError("expected ValueError for oversized weight")
+
+
+@st.composite
+def constraint_and_configuration(draw, max_items=12):
+    n = draw(st.integers(2, max_items))
+    weights = draw(st.lists(st.integers(0, 50), min_size=n, max_size=n))
+    total = sum(weights)
+    capacity = draw(st.integers(0, max(total, 1)))
+    x = np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=float)
+    return InequalityConstraint(weights, capacity), x
+
+
+class TestFilterAgreesWithArithmetic:
+    @given(constraint_and_configuration())
+    @settings(max_examples=40, deadline=None)
+    def test_ideal_filter_matches_exact_comparison(self, case):
+        constraint, x = case
+        cim_filter = InequalityFilter(constraint)
+        assert cim_filter.is_feasible(x) == constraint.is_satisfied(x)
+
+    @given(constraint_and_configuration())
+    @settings(max_examples=30, deadline=None)
+    def test_normalized_voltage_ordering(self, case):
+        constraint, x = case
+        cim_filter = InequalityFilter(constraint)
+        decision = cim_filter.evaluate(x)
+        if constraint.is_satisfied(x):
+            assert decision.normalized_voltage >= 1.0 - 1e-9
+        else:
+            assert decision.normalized_voltage < 1.0 + 1e-9
+
+
+@st.composite
+def integer_qubo_and_configuration(draw, max_dim=8):
+    n = draw(st.integers(1, max_dim))
+    values = draw(st.lists(st.integers(-100, 100), min_size=n * n, max_size=n * n))
+    matrix = np.array(values, dtype=float).reshape(n, n)
+    x = np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=float)
+    return QUBOModel(matrix), x
+
+
+class TestCrossbarExactness:
+    @given(integer_qubo_and_configuration())
+    @settings(max_examples=40, deadline=None)
+    def test_ideal_crossbar_matches_exact_energy_for_integer_matrices(self, case):
+        qubo, x = case
+        # |Q| <= 200 after folding, so 8 magnitude bits store it losslessly.
+        crossbar = FeFETCrossbar.from_qubo(qubo, CrossbarConfig(weight_bits=8))
+        assert np.isclose(crossbar.compute_energy(x), qubo.energy(x))
+
+    @given(integer_qubo_and_configuration())
+    @settings(max_examples=25, deadline=None)
+    def test_quantized_matrix_error_is_bounded(self, case):
+        qubo, _ = case
+        crossbar = FeFETCrossbar.from_qubo(qubo, CrossbarConfig(weight_bits=6))
+        max_abs = np.max(np.abs(qubo.matrix))
+        if max_abs == 0:
+            assert crossbar.quantization_error() == 0.0
+        else:
+            assert crossbar.quantization_error() <= max_abs / (2 ** 6 - 1) + 1e-9

@@ -1,0 +1,101 @@
+"""Hypothesis property tests for the QUBO / Ising core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.ising import IsingModel
+from repro.core.qubo import QUBOModel
+
+DIM = st.integers(min_value=1, max_value=8)
+
+
+def square_matrix(n, lo=-20.0, hi=20.0):
+    return arrays(np.float64, (n, n),
+                  elements=st.floats(lo, hi, allow_nan=False, allow_infinity=False))
+
+
+def binary_vector(n):
+    return arrays(np.int64, (n,), elements=st.integers(0, 1)).map(
+        lambda a: a.astype(float)
+    )
+
+
+@st.composite
+def qubo_and_configuration(draw):
+    n = draw(DIM)
+    matrix = draw(square_matrix(n))
+    offset = draw(st.floats(-10, 10, allow_nan=False))
+    x = draw(binary_vector(n))
+    return QUBOModel(matrix, offset=offset), x
+
+
+@st.composite
+def qubo_configuration_and_index(draw):
+    model, x = draw(qubo_and_configuration())
+    index = draw(st.integers(0, model.num_variables - 1))
+    return model, x, index
+
+
+class TestQUBOProperties:
+    @given(qubo_and_configuration())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_matches_quadratic_form_of_folded_matrix(self, case):
+        model, x = case
+        expected = float(x @ model.matrix @ x) + model.offset
+        assert np.isclose(model.energy(x), expected)
+
+    @given(qubo_and_configuration())
+    @settings(max_examples=60, deadline=None)
+    def test_folding_preserves_energy_of_symmetrised_matrix(self, case):
+        model, x = case
+        # Folding Q into the upper triangle must not change x^T Q x.
+        raw = model.matrix
+        assert np.isclose(model.energy(x), float(x @ raw @ x) + model.offset)
+
+    @given(qubo_configuration_and_index())
+    @settings(max_examples=80, deadline=None)
+    def test_energy_delta_consistent_with_flip(self, case):
+        model, x, index = case
+        flipped = x.copy()
+        flipped[index] = 1.0 - flipped[index]
+        delta = model.energy_delta(x, index)
+        assert np.isclose(model.energy(x) + delta, model.energy(flipped), atol=1e-8)
+
+    @given(qubo_and_configuration(), st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_scales_energy(self, case, factor):
+        model, x = case
+        assert np.isclose(model.scaled(factor).energy(x), factor * model.energy(x),
+                          atol=1e-6)
+
+    @given(qubo_and_configuration())
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_round_trip_preserves_energy(self, case):
+        model, x = case
+        restored = QUBOModel.from_serialized(model.to_dict())
+        assert np.isclose(restored.energy(x), model.energy(x))
+
+
+class TestIsingQUBOEquivalence:
+    @given(qubo_and_configuration())
+    @settings(max_examples=60, deadline=None)
+    def test_qubo_to_ising_round_trip(self, case):
+        model, x = case
+        ising = IsingModel.from_qubo(model)
+        sigma = 1.0 - 2.0 * x
+        assert np.isclose(ising.energy(sigma), model.energy(x), atol=1e-6)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_ising_to_qubo_round_trip(self, data):
+        n = data.draw(DIM)
+        couplings = np.triu(data.draw(square_matrix(n)), k=1)
+        fields = data.draw(arrays(np.float64, (n,),
+                                  elements=st.floats(-10, 10, allow_nan=False)))
+        ising = IsingModel(couplings, fields)
+        qubo = ising.to_qubo()
+        x = data.draw(binary_vector(n))
+        sigma = 1.0 - 2.0 * x
+        assert np.isclose(qubo.energy(x), ising.energy(sigma), atol=1e-6)

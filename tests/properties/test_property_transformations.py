@@ -1,0 +1,111 @@
+"""Hypothesis property tests for the inequality-QUBO and D-QUBO transformations."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dqubo import SlackEncoding, to_dqubo
+from repro.problems.qkp import QuadraticKnapsackProblem
+
+
+@st.composite
+def qkp_instances(draw, max_items=8):
+    """Random small QKP instances with integer data (benchmark-like)."""
+    n = draw(st.integers(min_value=2, max_value=max_items))
+    diagonal = draw(st.lists(st.integers(1, 50), min_size=n, max_size=n))
+    weights = draw(st.lists(st.integers(1, 10), min_size=n, max_size=n))
+    profits = np.zeros((n, n))
+    np.fill_diagonal(profits, diagonal)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = draw(st.integers(0, 50))
+            profits[i, j] = value
+            profits[j, i] = value
+    total_weight = int(sum(weights))
+    capacity = draw(st.integers(1, max(1, total_weight)))
+    return QuadraticKnapsackProblem(profits=profits,
+                                    weights=np.asarray(weights, dtype=float),
+                                    capacity=float(capacity))
+
+
+def random_binary(draw_source, n):
+    return np.array(draw_source.draw(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=float)
+
+
+class TestInequalityQUBOProperties:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_energy_is_gated_objective(self, data):
+        problem = data.draw(qkp_instances())
+        model = problem.to_inequality_qubo()
+        x = random_binary(data, problem.num_items)
+        if problem.is_feasible(x):
+            assert np.isclose(model.energy(x), -problem.objective(x))
+        else:
+            assert model.energy(x) == 0.0
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_energy_never_positive(self, data):
+        problem = data.draw(qkp_instances())
+        model = problem.to_inequality_qubo()
+        x = random_binary(data, problem.num_items)
+        assert model.energy(x) <= 0.0
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_search_space_dimension_preserved(self, data):
+        problem = data.draw(qkp_instances())
+        model = problem.to_inequality_qubo()
+        assert model.num_variables == problem.num_items
+        assert model.qubo.max_abs_coefficient <= float(np.max(np.abs(problem.profits)))
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_minimum_of_gated_objective_is_feasible_optimum(self, data):
+        problem = data.draw(qkp_instances(max_items=6))
+        model = problem.to_inequality_qubo()
+        best_x, best_e = model.brute_force_minimum()
+        _, best_value = problem.brute_force_best()
+        assert np.isclose(-best_e, max(best_value, 0.0))
+        if best_value > 0:
+            assert problem.is_feasible(best_x)
+
+
+class TestDQUBOProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_penalty_is_zero_exactly_for_consistent_slack(self, data):
+        problem = data.draw(qkp_instances(max_items=6))
+        objective = problem.to_qubo()
+        constraint = problem.constraint()
+        transformation = to_dqubo(objective, constraint)
+        x = random_binary(data, problem.num_items)
+        weight = int(round(constraint.lhs(x)))
+        assume(1 <= weight <= int(constraint.bound))
+        aux = np.zeros(transformation.num_auxiliary_variables)
+        aux[weight - 1] = 1.0
+        full = np.concatenate([x, aux])
+        assert transformation.is_penalty_satisfied(full)
+        assert np.isclose(transformation.qubo.energy(full), objective.energy(x))
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_penalty_never_negative(self, data):
+        problem = data.draw(qkp_instances(max_items=5))
+        objective = problem.to_qubo()
+        transformation = to_dqubo(objective, problem.constraint())
+        full = random_binary(data, transformation.num_variables)
+        x = transformation.decode(full)
+        penalty = transformation.qubo.energy(full) - objective.energy(x)
+        assert penalty >= -1e-9
+
+    @given(st.data(), st.sampled_from(list(SlackEncoding)))
+    @settings(max_examples=30, deadline=None)
+    def test_dimension_always_larger_than_problem(self, data, encoding):
+        problem = data.draw(qkp_instances(max_items=6))
+        transformation = to_dqubo(problem.to_qubo(), problem.constraint(),
+                                  encoding=encoding)
+        assert transformation.num_variables > problem.num_items
+        assert transformation.num_auxiliary_variables >= 1
