@@ -18,8 +18,10 @@ from repro.analysis.reporting import format_table
 
 # Reduced-scale counterparts of the paper's 1000 initial states and 1000
 # SA iterations (each iteration is one sweep of the problem variables).
-NUM_INITIAL_STATES = 4
-SA_ITERATIONS = 80
+# Six initial states keep the per-instance success-rate granularity fine
+# enough that one unlucky trial cannot swing an instance by 25 points.
+NUM_INITIAL_STATES = 6
+SA_ITERATIONS = 120
 
 
 def test_fig10_solving_efficiency_hycim_vs_dqubo(benchmark, small_capacity_suite):

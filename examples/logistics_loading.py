@@ -24,10 +24,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro.annealing import HyCiMSolver, KnapsackNeighborhoodMove
-from repro.annealing.schedule import GeometricSchedule
 from repro.exact import solve_qkp_greedy
 from repro.problems import QuadraticKnapsackProblem
+from repro.runtime import run_trials
 
 # Order name, weight (kg), standalone revenue.
 ORDERS = [
@@ -96,18 +95,26 @@ def main() -> None:
     greedy = solve_qkp_greedy(problem)
     describe(problem, greedy.configuration, "Greedy dispatcher rule")
 
-    # HyCiM with the simulated FeFET filter and crossbar.
-    solver = HyCiMSolver(
+    # HyCiM with the simulated FeFET filter and crossbar: a small batch of
+    # independent trials through the parallel runtime, each starting from the
+    # empty van (the erased-chip state), best plan wins.
+    batch = run_trials(
         problem,
-        use_hardware=True,
-        num_iterations=200,
-        moves_per_iteration=problem.num_items,
-        move_generator=KnapsackNeighborhoodMove(),
-        schedule=GeometricSchedule(5000.0, 5.0),
-        seed=3,
+        solver="hycim",
+        num_trials=4,
+        params={
+            "use_hardware": True,
+            "num_iterations": 120,
+            "moves_per_iteration": problem.num_items,
+            "move_generator": "knapsack",
+            "schedule": {"kind": "geometric",
+                         "start_temperature": 5000.0, "end_temperature": 5.0},
+            "initial": "zeros",
+        },
+        backend="serial",   # "process" fans the trials out over all cores
+        master_seed=3,
     )
-    result = solver.solve(initial=np.zeros(problem.num_items),
-                          rng=np.random.default_rng(3))
+    result = batch.best_result
     describe(problem, result.best_configuration, "HyCiM loading plan")
 
     improvement = result.best_objective - greedy.value

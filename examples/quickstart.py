@@ -1,9 +1,10 @@
 """Quickstart: solve a quadratic knapsack problem with HyCiM.
 
 Builds a random 40-item QKP instance, converts it to the paper's
-inequality-QUBO form, solves it with the HyCiM hybrid solver (simulated FeFET
-inequality filter + crossbar) and compares the result against the greedy +
-local-search reference and against the conventional D-QUBO baseline annealer.
+inequality-QUBO form, runs a batch of independent HyCiM trials through the
+parallel runtime (simulated FeFET inequality filter + crossbar per trial) and
+compares the best-of-batch result against the greedy + local-search reference
+and against the conventional D-QUBO baseline annealer.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,12 +16,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np
-
-from repro.annealing import DQUBOAnnealer, HyCiMSolver, KnapsackNeighborhoodMove
-from repro.annealing.schedule import GeometricSchedule
+from repro.core.dqubo import SlackEncoding, predict_dqubo_dimension
 from repro.exact import reference_qkp_value
 from repro.problems import generate_qkp_instance
+from repro.runtime import run_trials
 
 
 def main() -> None:
@@ -38,22 +37,24 @@ def main() -> None:
           f"Q_max = {model.qubo.max_abs_coefficient:.0f}, "
           f"constraints kept outside the QUBO = {model.num_constraints}")
 
-    # 3. Solve with the HyCiM hybrid solver (hardware simulation enabled).
-    schedule = GeometricSchedule(start_temperature=2000.0, end_temperature=2.0)
-    solver = HyCiMSolver(
-        problem,
-        use_hardware=True,
-        num_iterations=300,                       # SA iterations (sweeps)
-        moves_per_iteration=problem.num_items,    # one sweep per iteration
-        move_generator=KnapsackNeighborhoodMove(),
-        schedule=schedule,
-        seed=1,
-    )
-    rng = np.random.default_rng(0)
-    result = solver.solve(initial=problem.random_feasible_configuration(rng), rng=rng)
+    # 3. A batch of independent HyCiM trials (hardware simulation enabled).
+    #    Swap backend="serial" for "process" to fan the trials out over all
+    #    cores -- the results are bitwise identical either way.
+    params = {
+        "use_hardware": True,
+        "num_iterations": 150,                       # SA iterations (sweeps)
+        "moves_per_iteration": problem.num_items,    # one sweep per iteration
+        "move_generator": "knapsack",
+        "schedule": {"kind": "geometric",
+                     "start_temperature": 2000.0, "end_temperature": 2.0},
+    }
+    batch = run_trials(problem, solver="hycim", num_trials=3, params=params,
+                       backend="serial", master_seed=1)
+    result = batch.best_result
 
     reference = reference_qkp_value(problem)
-    print("\nHyCiM result:")
+    print(f"\nHyCiM result: (best of {batch.num_trials} trials, "
+          f"{batch.wall_time:.1f}s)")
     print(f"  profit          = {result.best_objective:.0f}")
     print(f"  reference value = {reference:.0f} "
           f"(normalized {result.best_objective / reference:.3f})")
@@ -62,16 +63,20 @@ def main() -> None:
           f"{problem.capacity:.0f}")
     print(f"  filtered (skipped) candidates: {result.num_infeasible_skipped} of "
           f"{result.num_iterations}")
+    print(f"  winning trial seed = {result.trial_seed} (replayable)")
 
-    # 4. The D-QUBO baseline on the same starting point and budget.
-    baseline = DQUBOAnnealer(problem, num_iterations=150,
-                             moves_per_iteration=problem.num_items,
-                             schedule=schedule, seed=1)
-    baseline_result = baseline.solve(
-        initial=problem.random_feasible_configuration(np.random.default_rng(0)),
-        rng=np.random.default_rng(0))
+    # 4. The D-QUBO baseline with the same per-trial budget.
+    baseline_batch = run_trials(
+        problem, solver="dqubo", num_trials=3,
+        params={"num_iterations": 150,
+                "moves_per_iteration": problem.num_items,
+                "schedule": params["schedule"]},
+        backend="serial", master_seed=1)
+    baseline_result = baseline_batch.best_result
+    dqubo_dimension = predict_dqubo_dimension(problem.num_items, problem.capacity,
+                                              SlackEncoding.ONE_HOT)
     print("\nD-QUBO baseline:")
-    print(f"  QUBO dimension  = {baseline.transformation.num_variables} "
+    print(f"  QUBO dimension  = {dqubo_dimension} "
           f"(vs {model.num_variables} for HyCiM)")
     print(f"  profit          = {baseline_result.best_objective:.0f} "
           f"(feasible = {baseline_result.feasible})")

@@ -12,14 +12,39 @@ General Combinatorial Optimization Problems with Inequality Constraints"
 * :mod:`repro.cim` -- CiM inequality filter, crossbar and cost model.
 * :mod:`repro.annealing` -- SA engines, the HyCiM solver and the D-QUBO
   baseline annealer.
-* :mod:`repro.analysis` -- experiment runners for every table and figure.
+* :mod:`repro.runtime` -- the parallel solver runtime: a registry of solver
+  names -> picklable factory specs, a trial executor fanning replica seeds
+  out over a process pool (``run_trials``, bitwise reproducible across
+  backends via ``SeedSequence.spawn`` seeding), batched campaigns over
+  (instance x solver x params) grids with early stopping, portfolio racing,
+  and best-of / success-rate / time-to-solution aggregation.
+* :mod:`repro.analysis` -- experiment runners for every table and figure,
+  built on the runtime.
+
+Running solvers at scale goes through the runtime::
+
+    from repro import generate_qkp_instance, run_trials
+
+    problem = generate_qkp_instance(num_items=100, density=0.5, seed=1)
+    batch = run_trials(problem, solver="hycim", num_trials=100,
+                       params={"move_generator": "knapsack"},
+                       backend="process")
+    print(batch.best_result.summary())
 """
 
 from repro.core import InequalityQUBO, IsingModel, QUBOModel, to_dqubo, to_inequality_qubo
 from repro.problems import QuadraticKnapsackProblem, generate_qkp_instance
 from repro.annealing import DQUBOAnnealer, HyCiMSolver, SimulatedAnnealer
+from repro.runtime import (
+    SolverSpec,
+    TrialBatch,
+    available_solvers,
+    run_campaign,
+    run_portfolio,
+    run_trials,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QUBOModel",
@@ -32,5 +57,11 @@ __all__ = [
     "HyCiMSolver",
     "DQUBOAnnealer",
     "SimulatedAnnealer",
+    "SolverSpec",
+    "TrialBatch",
+    "available_solvers",
+    "run_trials",
+    "run_campaign",
+    "run_portfolio",
     "__version__",
 ]

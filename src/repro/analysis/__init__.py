@@ -4,6 +4,11 @@ Every table and figure of the paper's evaluation section has a corresponding
 runner in :mod:`repro.analysis.experiments`; the benchmark suite under
 ``benchmarks/`` is a thin wrapper around these runners, so the same code can
 be driven at reduced scale (CI) or at paper scale (overnight run).
+
+Repeated-trial execution is delegated to :mod:`repro.runtime`: the runners
+that score success rates over many SA descents accept a ``backend`` argument
+(``"serial"`` / ``"process"``) and inherit the runtime's deterministic
+``SeedSequence``-spawned per-trial seeding.
 """
 
 from repro.analysis.metrics import (

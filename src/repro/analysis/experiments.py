@@ -20,8 +20,6 @@ from repro.analysis.metrics import (
     mean_success_rate,
     success_rate,
 )
-from repro.annealing.dqubo_solver import DQUBOAnnealer
-from repro.annealing.hycim import HyCiMSolver
 from repro.annealing.moves import (
     KnapsackNeighborhoodMove,
     MoveGenerator,
@@ -53,6 +51,7 @@ from repro.problems.generators import (
     generate_tsp_instance,
 )
 from repro.problems.qkp import QuadraticKnapsackProblem
+from repro.runtime import meets_success_bar, run_trials
 
 
 # --------------------------------------------------------------------- #
@@ -253,6 +252,7 @@ def run_solving_efficiency_study(
     success_threshold: float = 0.95,
     use_hardware: bool = False,
     seed: int = 0,
+    backend: str = "serial",
 ) -> SolvingEfficiencyResult:
     """Run the Fig. 10 protocol: many SA descents per instance for both solvers.
 
@@ -263,6 +263,11 @@ def run_solving_efficiency_study(
     (one sweep of the problem variables by default).  A run is successful
     when it reaches ``success_threshold`` of the instance's reference
     (best-known) value.
+
+    The repeated descents are executed by :func:`repro.runtime.run_trials`
+    (pass ``backend="process"`` to fan them out over cores); per-trial seeds
+    are spawned deterministically from ``seed`` and both solvers receive the
+    same trial seeds and the same initial states.
     """
     rng = np.random.default_rng(seed)
     hycim_norm: List[float] = []
@@ -273,28 +278,28 @@ def run_solving_efficiency_study(
 
     for problem in problems:
         reference = reference_qkp_value(problem, seed=seed)
-        initials = np.array([problem.random_feasible_configuration(rng)
-                             for _ in range(num_initial_states)])
+        initials = [problem.random_feasible_configuration(rng)
+                    for _ in range(num_initial_states)]
         sweep = moves_per_iteration or problem.num_items
-        # Temperature scaled to the coefficient magnitude of the instance so
-        # uphill swaps remain possible early in the anneal.
-        q_scale = float(np.max(np.abs(problem.profits)))
-        schedule = GeometricSchedule(start_temperature=20.0 * q_scale,
-                                     end_temperature=max(0.02 * q_scale, 1e-3))
+        # No explicit schedule: the runtime's instance-scaled default (20x
+        # the largest objective coefficient) keeps uphill swaps possible
+        # early in the anneal, identically for both solvers.
+        shared = {"num_iterations": sa_iterations, "moves_per_iteration": sweep}
 
-        hycim = HyCiMSolver(problem, use_hardware=use_hardware,
-                            num_iterations=sa_iterations,
-                            moves_per_iteration=sweep,
-                            move_generator=KnapsackNeighborhoodMove(),
-                            schedule=schedule, seed=seed)
-        dqubo = DQUBOAnnealer(problem, num_iterations=sa_iterations,
-                              moves_per_iteration=sweep,
-                              schedule=schedule, seed=seed)
+        hycim_batch = run_trials(
+            problem, solver="hycim", num_trials=num_initial_states,
+            params={**shared, "move_generator": "knapsack",
+                    "use_hardware": use_hardware},
+            backend=backend, master_seed=seed, initial_states=initials)
+        dqubo_batch = run_trials(
+            problem, solver="dqubo", num_trials=num_initial_states,
+            params=shared, backend=backend, master_seed=seed,
+            initial_states=initials)
 
         hycim_values = [result.best_objective or 0.0
-                        for result in hycim.solve_many(initials, base_seed=seed)]
+                        for result in hycim_batch.results]
         dqubo_values = [result.best_objective or 0.0
-                        for result in dqubo.solve_many(initials, base_seed=seed)]
+                        for result in dqubo_batch.results]
 
         hycim_norm.extend(np.asarray(hycim_values) / reference)
         dqubo_norm.extend(np.asarray(dqubo_values) / reference)
@@ -348,33 +353,33 @@ def run_energy_evolution(
 ) -> EnergyEvolutionResult:
     """Repeat the chip measurement of Fig. 7(f): program, anneal, record energy.
 
-    Each run reprograms the (simulated) crossbar -- i.e. builds a fresh solver
-    so device variability is re-sampled -- and records the incumbent energy
-    after every iteration (one sweep of the problem variables per iteration).
-    Every run starts from the empty selection, mirroring the erased state of
-    the chip before each measurement.
+    Each run reprograms the (simulated) crossbar -- the runtime builds a
+    fresh solver per trial, so device variability is re-sampled -- and
+    records the incumbent energy after every iteration (one sweep of the
+    problem variables per iteration).  Every run starts from the empty
+    selection, mirroring the erased state of the chip before each
+    measurement.
     """
     model = problem.to_inequality_qubo()
     _, optimal_energy = model.brute_force_minimum()
-    q_scale = float(np.max(np.abs(problem.profits)))
-    schedule = GeometricSchedule(start_temperature=20.0 * q_scale,
-                                 end_temperature=max(0.02 * q_scale, 1e-3))
+    batch = run_trials(
+        problem,
+        solver="hycim",
+        num_trials=num_runs,
+        params={
+            "use_hardware": use_hardware,
+            "num_iterations": sa_iterations,
+            "moves_per_iteration": problem.num_items,
+            "move_generator": "knapsack",
+            "variability": variability,
+            "record_history": True,
+            "initial": "zeros",
+        },
+        master_seed=seed,
+    )
     histories: List[List[float]] = []
     reached = 0
-    for run in range(num_runs):
-        solver = HyCiMSolver(
-            problem,
-            use_hardware=use_hardware,
-            num_iterations=sa_iterations,
-            moves_per_iteration=problem.num_items,
-            move_generator=KnapsackNeighborhoodMove(),
-            schedule=schedule,
-            variability=variability,
-            record_history=True,
-            seed=seed + run,
-        )
-        result = solver.solve(initial=np.zeros(problem.num_items),
-                              rng=np.random.default_rng(seed + run))
+    for result in batch.results:
         histories.append(result.energy_history)
         exact_best = model.energy(result.best_configuration)
         if abs(exact_best - optimal_energy) <= tolerance + 1e-9 * abs(optimal_energy):
@@ -459,34 +464,25 @@ def _run_success_rate(problem, reference_value: float, maximize: bool,
                       move_generator: Optional[MoveGenerator],
                       threshold: float, seed: int,
                       schedule: Optional[GeometricSchedule] = None) -> float:
-    """Run HyCiM repeatedly on ``problem`` and score against a reference value."""
-    successes = 0
-    for run in range(num_runs):
-        solver = HyCiMSolver(
-            problem,
-            use_hardware=False,
-            num_iterations=sa_iterations,
-            move_generator=move_generator or SingleFlipMove(),
-            schedule=schedule or GeometricSchedule(),
-            seed=seed + run,
-        )
-        rng = np.random.default_rng(seed + run)
-        initial = problem.random_feasible_configuration(rng)
-        result = solver.solve(initial=initial, rng=rng)
-        value = result.best_objective
-        if value is None:
-            continue
-        if maximize:
-            ok = value >= threshold * reference_value
-        else:
-            if reference_value == 0:
-                ok = value <= 1e-9
-            elif reference_value > 0:
-                ok = value <= reference_value / threshold
-            else:
-                ok = value <= threshold * reference_value
-        if ok and result.feasible:
-            successes += 1
+    """Run HyCiM repeatedly via the runtime and score against a reference value."""
+    batch = run_trials(
+        problem,
+        solver="hycim",
+        num_trials=num_runs,
+        params={
+            "num_iterations": sa_iterations,
+            "use_hardware": False,
+            "move_generator": move_generator or SingleFlipMove(),
+            "schedule": schedule or GeometricSchedule(),
+        },
+        master_seed=seed,
+    )
+    successes = sum(
+        1 for result in batch.results
+        if result.feasible and result.best_objective is not None
+        and meets_success_bar(result.best_objective, reference_value,
+                              threshold, maximize)
+    )
     return successes / num_runs
 
 

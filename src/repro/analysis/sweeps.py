@@ -5,6 +5,11 @@ library will want to know how success rate trades off against the annealing
 budget and against hardware non-idealities.  These helpers run such sweeps
 with a consistent protocol and return plain records that the benchmarks and
 examples can print or assert on.
+
+The repeated-trial loop itself lives in :mod:`repro.runtime`: each sweep
+point is one :func:`repro.runtime.run_trials` batch, so sweeps inherit the
+runtime's deterministic per-trial seeding and can fan out over cores by
+passing ``backend="process"``.
 """
 
 from __future__ import annotations
@@ -15,12 +20,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.metrics import success_rate
-from repro.annealing.hycim import HyCiMSolver
-from repro.annealing.moves import KnapsackNeighborhoodMove
-from repro.annealing.schedule import GeometricSchedule
 from repro.exact.local_search import reference_qkp_value
 from repro.fefet.variability import VariabilityModel
 from repro.problems.qkp import QuadraticKnapsackProblem
+from repro.runtime import run_trials
 
 
 @dataclass(frozen=True)
@@ -37,28 +40,25 @@ def _solve_batch(problem: QuadraticKnapsackProblem, sa_iterations: int,
                  num_runs: int, seed: int,
                  use_hardware: bool = False,
                  variability: Optional[VariabilityModel] = None,
-                 matchline_noise_sigma: float = 0.0) -> List[float]:
-    """Run ``num_runs`` HyCiM descents and return the achieved QKP values."""
-    q_scale = float(np.max(np.abs(problem.profits)))
-    schedule = GeometricSchedule(20.0 * q_scale, max(0.02 * q_scale, 1e-3))
-    solver = HyCiMSolver(
+                 matchline_noise_sigma: float = 0.0,
+                 backend: str = "serial") -> List[float]:
+    """Run ``num_runs`` HyCiM trials via the runtime and return the QKP values."""
+    batch = run_trials(
         problem,
-        use_hardware=use_hardware,
-        num_iterations=sa_iterations,
-        moves_per_iteration=problem.num_items,
-        move_generator=KnapsackNeighborhoodMove(),
-        schedule=schedule,
-        variability=variability,
-        matchline_noise_sigma=matchline_noise_sigma,
-        seed=seed,
+        solver="hycim",
+        num_trials=num_runs,
+        params={
+            "num_iterations": sa_iterations,
+            "moves_per_iteration": problem.num_items,
+            "move_generator": "knapsack",
+            "use_hardware": use_hardware,
+            "variability": variability,
+            "matchline_noise_sigma": matchline_noise_sigma,
+        },
+        backend=backend,
+        master_seed=seed,
     )
-    rng = np.random.default_rng(seed)
-    values = []
-    for run in range(num_runs):
-        initial = problem.random_feasible_configuration(rng)
-        result = solver.solve(initial=initial, rng=np.random.default_rng(seed + run))
-        values.append(result.best_objective or 0.0)
-    return values
+    return [result.best_objective or 0.0 for result in batch.results]
 
 
 def sweep_sa_budget(
@@ -67,6 +67,7 @@ def sweep_sa_budget(
     num_runs: int = 5,
     threshold: float = 0.95,
     seed: int = 0,
+    backend: str = "serial",
 ) -> List[SweepPoint]:
     """Success rate versus the number of SA iterations (sweeps).
 
@@ -81,7 +82,7 @@ def sweep_sa_budget(
         if budget < 1:
             raise ValueError("SA budgets must be positive")
         values = _solve_batch(problem, sa_iterations=int(budget), num_runs=num_runs,
-                              seed=seed)
+                              seed=seed, backend=backend)
         points.append(SweepPoint(
             parameter=float(budget),
             success_rate=success_rate(values, reference, threshold),
@@ -98,6 +99,7 @@ def sweep_filter_noise(
     num_runs: int = 4,
     threshold: float = 0.95,
     seed: int = 0,
+    backend: str = "serial",
 ) -> List[SweepPoint]:
     """Success rate versus matchline readout noise with the hardware filter.
 
@@ -114,7 +116,7 @@ def sweep_filter_noise(
             raise ValueError("noise levels must be non-negative")
         values = _solve_batch(problem, sa_iterations=sa_iterations, num_runs=num_runs,
                               seed=seed, use_hardware=True, variability=variability,
-                              matchline_noise_sigma=float(noise))
+                              matchline_noise_sigma=float(noise), backend=backend)
         points.append(SweepPoint(
             parameter=float(noise),
             success_rate=success_rate(values, reference, threshold),

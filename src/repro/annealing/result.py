@@ -40,6 +40,12 @@ class SolveResult:
         Accepted Metropolis moves.
     solver_name:
         Label used in experiment reports.
+    trial_seed:
+        The spawned per-trial seed when the run was launched through
+        :mod:`repro.runtime` (``SeedSequence.spawn`` derived); replaying the
+        solver with this seed reproduces the trial bit-for-bit.
+    wall_time:
+        Wall-clock duration of the trial in seconds (set by the runtime).
     metadata:
         Free-form extras (temperatures, seeds, instance name, ...).
     """
@@ -54,6 +60,8 @@ class SolveResult:
     num_infeasible_skipped: int = 0
     num_accepted_moves: int = 0
     solver_name: str = "solver"
+    trial_seed: Optional[int] = None
+    wall_time: Optional[float] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property

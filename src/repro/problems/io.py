@@ -66,6 +66,11 @@ def read_qkp_file(path: Union[str, Path]) -> QuadraticKnapsackProblem:
     np.fill_diagonal(profits, diagonal)
     cursor = 3
     for i in range(n - 1):
+        if cursor >= len(raw_lines):
+            raise ValueError(
+                f"{path}: file truncated inside the quadratic-profit rows "
+                f"(row {i} of {n - 1} missing)"
+            )
         row = parse_ints(raw_lines[cursor])
         expected = n - 1 - i
         if len(row) != expected:

@@ -1,0 +1,230 @@
+"""Aggregation of trial batches into the paper's summary statistics.
+
+Turns a :class:`~repro.runtime.executor.TrialBatch` into the best-of /
+success-rate / time-to-solution numbers the evaluation section reports,
+reusing the metric definitions of :mod:`repro.analysis.metrics` (success =
+reaching ``threshold * reference``, per Sec. 4.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.annealing.result import SolveResult
+from repro.runtime.executor import TrialBatch
+
+# NOTE: repro.analysis.metrics is imported lazily inside aggregate_trials --
+# importing it here would trigger repro.analysis.__init__, whose experiment
+# modules import back from repro.runtime while this module is still loading.
+
+
+def race_key(result: SolveResult, maximize: bool):
+    """Cross-solver comparison key: feasibility first, then the *native*
+    objective.  Internal energies are not comparable across solvers -- the
+    D-QUBO annealer's energy includes slack-penalty terms the others lack --
+    so the energy only orders results that report no objective.
+    """
+    if result.best_objective is not None:
+        value = -result.best_objective if maximize else result.best_objective
+        return (not result.feasible, 0, value)
+    return (not result.feasible, 1, result.best_energy)
+
+
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Summary of one trial batch (one solver on one instance).
+
+    Attributes
+    ----------
+    solver / problem_name / backend:
+        Provenance of the batch.
+    num_trials:
+        Executed trials (may be below the request when early-stopped).
+    num_feasible:
+        Trials whose best configuration satisfies the constraints.
+    best_energy / mean_energy:
+        Best-of and average internal (QUBO) energy over trials.
+    best_objective / mean_objective:
+        Best-of and average native objective over *feasible* trials
+        (``None`` when no trial ended feasible).
+    success_rate_value:
+        Fraction of trials reaching the success bar.  ``None`` without a
+        reference, and also ``None`` for early-stopped batches (which end at
+        their first success by construction, so any rate over the executed
+        trials would be upward-biased).
+    mean_normalized_value:
+        Average objective divided by the reference (infeasible trials count
+        as 0, matching the Fig. 10 protocol); ``None`` under the same
+        conditions as the success rate.
+    total_wall_time / mean_trial_time:
+        Summed and per-trial average wall-clock seconds.
+    time_to_solution:
+        Cumulative trial time until the first successful trial (``None`` when
+        no trial succeeded or no reference was given).  Under the serial
+        protocol this is the expected time a practitioner waits for a
+        success.
+    """
+
+    solver: str
+    problem_name: str
+    backend: str
+    num_trials: int
+    num_feasible: int
+    best_energy: float
+    mean_energy: float
+    best_objective: Optional[float]
+    mean_objective: Optional[float]
+    success_rate_value: Optional[float]
+    mean_normalized_value: Optional[float]
+    total_wall_time: float
+    mean_trial_time: float
+    time_to_solution: Optional[float]
+
+
+def _objective_or_worst(result, maximize: bool) -> float:
+    """A trial's scored value: its objective, or the worst possible value
+    when it ended infeasible (0 for maximization per the Fig. 10 protocol,
+    +inf for minimization)."""
+    if not result.feasible or result.best_objective is None:
+        return 0.0 if maximize else float("inf")
+    return float(result.best_objective)
+
+
+def success_bar(reference: float, threshold: float, maximize: bool) -> float:
+    """The objective value a trial must reach to count as a success.
+
+    For maximization this is ``threshold * reference``; for minimization a
+    trial succeeds when it gets within the same relative margin *above* the
+    best-known value, i.e. ``reference / threshold`` for positive references
+    (the symmetric rule for negative ones, and a small absolute tolerance
+    when the best-known value is exactly zero).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if maximize:
+        return threshold * reference
+    if reference == 0:
+        return 1e-9
+    return reference / threshold if reference > 0 else threshold * reference
+
+
+def _meets_bar(value: float, bar: float, maximize: bool) -> bool:
+    return value >= bar if maximize else value <= bar
+
+
+def meets_success_bar(value: float, reference: float, threshold: float,
+                      maximize: bool) -> bool:
+    """Whether ``value`` counts as a success against ``reference``.
+
+    The single definition of the paper's success criterion, shared by the
+    aggregation, the campaigns' early stopping and the Table 1 runner.
+    """
+    return _meets_bar(value, success_bar(reference, threshold, maximize), maximize)
+
+
+def aggregate_trials(batch: TrialBatch, reference: Optional[float] = None,
+                     threshold: float = 0.95,
+                     maximize: bool = True) -> TrialStatistics:
+    """Reduce a batch to the paper's summary statistics.
+
+    Parameters
+    ----------
+    batch:
+        Output of :func:`repro.runtime.executor.run_trials`.
+    reference:
+        Best-known objective value of the instance; enables the
+        success-rate, normalized-value and time-to-solution fields.
+    threshold:
+        Success bar as a relative margin on ``reference`` (paper: 0.95).
+    maximize:
+        Direction of the native objective (pass the problem's
+        ``is_maximization``); flips the success comparison and the best-of
+        selection for minimization problems.
+    """
+    from repro.analysis.metrics import normalized_values
+
+    if not batch.results:
+        raise ValueError("cannot aggregate an empty batch")
+    energies = batch.best_energies
+    feasible = [r for r in batch.results if r.feasible]
+    objectives = [float(r.best_objective) for r in feasible
+                  if r.best_objective is not None]
+    trial_times = np.array([r.wall_time or 0.0 for r in batch.results])
+
+    rate: Optional[float] = None
+    mean_normalized: Optional[float] = None
+    time_to_solution: Optional[float] = None
+    if reference is not None:
+        values = [_objective_or_worst(r, maximize) for r in batch.results]
+        bar = success_bar(reference, threshold, maximize)
+        # An early-stopped batch ends at its first success by construction,
+        # so a rate over the executed trials would be upward-biased; only
+        # complete batches report success-rate / normalized-value estimates
+        # (run with early_stop=False / no target for unbiased rates).
+        if not batch.stopped_early:
+            # Equivalent to metrics.success_rate for positive maximization
+            # references, but also defined for zero/negative ones (where a
+            # cell should report a number, not abort the campaign).
+            rate = float(np.mean([_meets_bar(v, bar, maximize) for v in values]))
+            if reference > 0 and np.all(np.isfinite(values)):
+                mean_normalized = float(np.mean(normalized_values(values, reference)))
+        elapsed = 0.0
+        for result, value in zip(batch.results, values):
+            elapsed += result.wall_time or 0.0
+            if _meets_bar(value, bar, maximize):
+                time_to_solution = elapsed
+                break
+
+    return TrialStatistics(
+        solver=batch.spec.display_name,
+        problem_name=batch.problem_name,
+        backend=batch.backend,
+        num_trials=batch.num_trials,
+        num_feasible=len(feasible),
+        best_energy=float(energies.min()),
+        mean_energy=float(energies.mean()),
+        best_objective=(max(objectives) if maximize else min(objectives))
+        if objectives else None,
+        mean_objective=float(np.mean(objectives)) if objectives else None,
+        success_rate_value=rate,
+        mean_normalized_value=mean_normalized,
+        total_wall_time=float(trial_times.sum()),
+        mean_trial_time=float(trial_times.mean()),
+        time_to_solution=time_to_solution,
+    )
+
+
+def mean_success_over_batches(stats: Sequence[TrialStatistics]) -> float:
+    """Average success rate across instances (the Fig. 10 headline number)."""
+    rates = [s.success_rate_value for s in stats if s.success_rate_value is not None]
+    if not rates:
+        raise ValueError("no batch carries a success rate (references missing?)")
+    return float(np.mean(rates))
+
+
+def statistics_table(stats: Sequence[TrialStatistics]) -> List[List[str]]:
+    """Rows for :func:`repro.analysis.reporting.format_table`."""
+
+    def fmt(value, pattern="{:.3f}"):
+        return "n/a" if value is None else pattern.format(value)
+
+    return [
+        [s.problem_name, s.solver, str(s.num_trials),
+         f"{s.num_feasible}/{s.num_trials}",
+         fmt(s.best_objective, "{:.4g}"),
+         fmt(s.success_rate_value, "{:.1%}"),
+         fmt(s.mean_normalized_value),
+         f"{s.total_wall_time:.2f}s",
+         fmt(s.time_to_solution, "{:.2f}s")]
+        for s in stats
+    ]
+
+
+#: Header matching :func:`statistics_table` rows.
+STATISTICS_HEADER = [
+    "instance", "solver", "trials", "feasible", "best value",
+    "success", "mean norm.", "total time", "time-to-sol.",
+]

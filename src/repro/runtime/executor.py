@@ -1,0 +1,320 @@
+"""Parallel trial executor: N independent solver runs per problem instance.
+
+The paper's evaluation protocol scores solvers by success rate over many
+repeated SA descents per instance (Fig. 10: 1000 initial states x 100 runs).
+Those trials are embarrassingly parallel; this module is the single front
+door for running them at scale:
+
+* **Deterministic seeding** -- per-trial seeds are derived with
+  :meth:`numpy.random.SeedSequence.spawn` from one master seed, in the parent
+  process, so the trial outcomes are *bitwise identical* regardless of the
+  backend, worker count or chunk size.  The spawned seed is exposed on every
+  :class:`~repro.annealing.result.SolveResult` (``trial_seed``), so any
+  individual trial can be replayed with :func:`repro.runtime.registry.run_single_trial`.
+* **Backends** -- ``"process"`` fans chunks of trials out over a
+  ``multiprocessing`` pool; ``"serial"`` runs them in-process (the fallback
+  for debugging, profiling, and environments without fork/spawn support).
+* **Chunked dispatch** -- trials are grouped into chunks of ``chunk_size``
+  before being pickled to workers, amortising the per-task cost of shipping
+  the problem instance.  Chunks are also the early-stopping granularity:
+  after each completed chunk the executor checks the target condition and
+  stops dispatching further work once it is met, identically in both
+  backends.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.annealing.result import SolveResult
+from repro.problems.base import CombinatorialProblem
+from repro.runtime.registry import (
+    SolverSpec,
+    SpecLike,
+    TrialFunction,
+    as_solver_spec,
+    get_trial_function,
+    run_single_trial,
+)
+
+#: Backends accepted by :func:`run_trials`.
+BACKENDS = ("serial", "process")
+
+#: One unit of dispatched work: (trial_index, trial_seed, initial or None).
+_Trial = Tuple[int, int, Optional[np.ndarray]]
+
+
+def derive_trial_seeds(master_seed: int, num_trials: int) -> List[int]:
+    """Spawn ``num_trials`` independent 64-bit seeds from ``master_seed``.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so the derived streams are
+    statistically independent (no ``seed + i`` correlations) and the mapping
+    from ``(master_seed, trial_index)`` to the trial seed is stable across
+    processes and platforms.
+    """
+    if num_trials < 0:
+        raise ValueError("num_trials must be non-negative")
+    children = np.random.SeedSequence(master_seed).spawn(num_trials)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+@dataclass
+class TrialBatch:
+    """Results of ``num_trials`` independent runs of one solver on one problem.
+
+    Attributes
+    ----------
+    results:
+        One :class:`SolveResult` per executed trial, in trial order.  When
+        early stopping triggered, trials after the stopping chunk are absent.
+    spec:
+        The solver configuration that produced the batch.
+    problem_name:
+        Instance label (``problem.name`` when available).
+    backend:
+        Which executor backend ran the batch.
+    master_seed:
+        Seed the per-trial seeds were spawned from.
+    num_trials_requested:
+        The requested trial count (>= ``len(results)``).
+    stopped_early:
+        Whether the target condition cut the batch short.
+    wall_time:
+        End-to-end batch wall-clock time in seconds (includes dispatch
+        overhead, unlike the per-trial ``SolveResult.wall_time``).
+    """
+
+    results: List[SolveResult]
+    spec: SolverSpec
+    problem_name: str
+    backend: str
+    master_seed: int
+    num_trials_requested: int
+    stopped_early: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def best_energies(self) -> np.ndarray:
+        """Per-trial best energies, in trial order."""
+        return np.array([r.best_energy for r in self.results], dtype=float)
+
+    @property
+    def best_objectives(self) -> np.ndarray:
+        """Per-trial native objectives (NaN where the solver reported none)."""
+        return np.array(
+            [np.nan if r.best_objective is None else r.best_objective
+             for r in self.results],
+            dtype=float,
+        )
+
+    @property
+    def best_result(self) -> SolveResult:
+        """The best trial: feasible results first, then lowest internal energy."""
+        if not self.results:
+            raise ValueError("batch contains no results")
+        return min(self.results, key=lambda r: (not r.feasible, r.best_energy))
+
+
+def _resolve_workers(num_workers: Optional[int]) -> int:
+    if num_workers is not None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        return num_workers
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_chunk(
+    payload: Tuple[CombinatorialProblem, SolverSpec, TrialFunction, List[_Trial]]
+) -> List[Tuple[int, SolveResult]]:
+    """Worker entry point: run every trial of one chunk in-process.
+
+    The trial function is resolved in the parent and shipped inside the
+    payload (module-level functions pickle by reference), so solvers added
+    with :func:`repro.runtime.registry.register_solver` work on the process
+    backend even under spawn/forkserver start methods, where workers
+    re-import the registry without the parent's registrations.
+
+    Each trial gets a deep copy of the solver spec, so stateful parameter
+    objects (e.g. a ``VariabilityModel`` with an internal RNG) cannot leak
+    state between trials -- the per-trial behaviour is then identical across
+    backends, worker counts and chunk sizes.
+    """
+    problem, spec, trial_fn, trials = payload
+    out: List[Tuple[int, SolveResult]] = []
+    for index, seed, initial in trials:
+        trial_spec = copy.deepcopy(spec)
+        result = trial_fn(problem, trial_spec.params, int(seed), initial)
+        result.metadata.setdefault("trial_index", index)
+        out.append((index, result))
+    return out
+
+
+def _target_reached(results: Sequence[SolveResult],
+                    target_energy: Optional[float],
+                    target_objective: Optional[float],
+                    maximize: bool) -> bool:
+    for result in results:
+        if target_energy is not None and result.best_energy <= target_energy:
+            return True
+        if target_objective is not None and result.feasible and \
+                result.best_objective is not None:
+            reached = (result.best_objective >= target_objective if maximize
+                       else result.best_objective <= target_objective)
+            if reached:
+                return True
+    return False
+
+
+def run_trials(
+    problem: CombinatorialProblem,
+    solver: SpecLike = "hycim",
+    num_trials: int = 10,
+    params: Optional[Mapping[str, Any]] = None,
+    backend: str = "serial",
+    master_seed: int = 0,
+    num_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    initial_states: Optional[Sequence[np.ndarray]] = None,
+    target_energy: Optional[float] = None,
+    target_objective: Optional[float] = None,
+) -> TrialBatch:
+    """Run ``num_trials`` independent solver trials on ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        Any :class:`~repro.problems.base.CombinatorialProblem`.
+    solver:
+        Registry name, :class:`SolverSpec`, ``(name, params)`` pair or config
+        dict selecting the solver.
+    num_trials:
+        Independent trials (replica seeds) to run.
+    params:
+        Extra solver parameters merged over the spec's own params.
+    backend:
+        ``"serial"`` (in-process) or ``"process"`` (multiprocessing pool).
+        Both produce bitwise-identical results for the same ``master_seed``.
+    master_seed:
+        Seed of the :class:`numpy.random.SeedSequence` the per-trial seeds
+        are spawned from.
+    num_workers:
+        Process-pool size (defaults to the CPU count; ignored for serial).
+    chunk_size:
+        Trials per dispatched task *and* the early-stop check granularity.
+        Defaults to 1 on the serial backend and to roughly ``num_trials /
+        (4 * workers)`` on the process backend, so the problem instance is
+        pickled once per chunk rather than once per trial; pass an explicit
+        value to make the early-stop granularity identical across backends.
+    initial_states:
+        Optional explicit starting configuration per trial (length must equal
+        ``num_trials``); used e.g. to hand the *same* Monte-Carlo initial
+        states to competing solvers.
+    target_energy / target_objective:
+        Early-stopping condition checked after every completed chunk: stop
+        once any trial's best energy is <= ``target_energy``, or any feasible
+        trial's objective reaches ``target_objective`` (direction given by
+        the problem's ``is_maximization``).
+    """
+    if num_trials < 1:
+        raise ValueError("num_trials must be positive")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if chunk_size is None:
+        if backend == "process":
+            chunk_size = max(1, -(-num_trials // (4 * _resolve_workers(num_workers))))
+        else:
+            chunk_size = 1
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    spec = as_solver_spec(solver)
+    if params:
+        spec = spec.with_params(**dict(params))
+    if initial_states is not None:
+        initial_states = [np.asarray(s, dtype=float) for s in initial_states]
+        if len(initial_states) != num_trials:
+            raise ValueError(
+                f"initial_states has {len(initial_states)} entries for {num_trials} trials"
+            )
+
+    seeds = derive_trial_seeds(master_seed, num_trials)
+    trials: List[_Trial] = [
+        (index, seeds[index],
+         initial_states[index] if initial_states is not None else None)
+        for index in range(num_trials)
+    ]
+    chunks = [trials[start:start + chunk_size]
+              for start in range(0, num_trials, chunk_size)]
+    trial_fn = get_trial_function(spec.solver)
+    maximize = getattr(problem, "is_maximization", True)
+
+    has_target = target_energy is not None or target_objective is not None
+    started = time.perf_counter()
+    collected: List[Tuple[int, SolveResult]] = []
+    stopped_early = False
+
+    if backend == "serial":
+        for chunk in chunks:
+            chunk_results = _execute_chunk((problem, spec, trial_fn, chunk))
+            collected.extend(chunk_results)
+            # Only the freshly completed chunk needs checking: earlier chunks
+            # already failed the target test (or we would have stopped).
+            if has_target and _target_reached([r for _, r in chunk_results],
+                                              target_energy, target_objective,
+                                              maximize):
+                stopped_early = len(collected) < num_trials
+                break
+    else:
+        workers = _resolve_workers(num_workers)
+        context = multiprocessing.get_context()
+        payloads = [(problem, spec, trial_fn, chunk) for chunk in chunks]
+        with context.Pool(processes=min(workers, len(payloads))) as pool:
+            for chunk_results in pool.imap(_execute_chunk, payloads):
+                collected.extend(chunk_results)
+                if has_target and _target_reached([r for _, r in chunk_results],
+                                                  target_energy, target_objective,
+                                                  maximize):
+                    stopped_early = len(collected) < num_trials
+                    break
+
+    collected.sort(key=lambda pair: pair[0])
+    results = [result for _, result in collected]
+    return TrialBatch(
+        results=results,
+        spec=spec,
+        problem_name=getattr(problem, "name", problem.__class__.__name__),
+        backend=backend,
+        master_seed=master_seed,
+        num_trials_requested=num_trials,
+        stopped_early=stopped_early,
+        wall_time=time.perf_counter() - started,
+    )
+
+
+def replay_trial(problem: CombinatorialProblem, batch: TrialBatch,
+                 trial_index: int,
+                 initial: Optional[np.ndarray] = None) -> SolveResult:
+    """Re-run one trial of a batch from its recorded spawned seed.
+
+    The returned result is bitwise identical to ``batch.results[trial_index]``
+    (modulo wall-clock timing), which makes any interesting trial -- e.g. the
+    single failing run out of a thousand -- individually debuggable.  Batches
+    run with explicit ``initial_states`` must re-supply the trial's initial
+    state via ``initial``; otherwise the trial re-draws it from its seed.
+    """
+    if not 0 <= trial_index < len(batch.results):
+        raise IndexError(f"trial index {trial_index} out of range")
+    original = batch.results[trial_index]
+    if original.trial_seed is None:
+        raise ValueError("batch results carry no trial seeds")
+    return run_single_trial(problem, batch.spec, original.trial_seed, initial)

@@ -1,0 +1,124 @@
+"""Portfolio execution: several solvers racing on one problem instance.
+
+A portfolio runs a set of solver configurations -- typically a cheap
+deterministic heuristic (greedy), a strong reference (local search) and the
+HyCiM annealer -- on the *same* instance and returns the best feasible answer
+found, together with per-solver statistics.  This is the serving-path shape
+of the runtime: a request brings one problem, the portfolio fans trials out
+over all cores, and the best answer wins regardless of which solver produced
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.annealing.result import SolveResult
+from repro.problems.base import CombinatorialProblem
+from repro.runtime.aggregate import TrialStatistics, aggregate_trials, race_key
+from repro.runtime.executor import TrialBatch, run_trials
+from repro.runtime.registry import DETERMINISTIC_SOLVERS, SpecLike, as_solver_spec
+
+#: Default portfolio: fast greedy seed, local-search reference, HyCiM anneal.
+DEFAULT_PORTFOLIO: Sequence[SpecLike] = ("greedy", "local_search", "hycim")
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one portfolio race on one instance."""
+
+    problem_name: str
+    batches: Dict[str, TrialBatch]
+    statistics: Dict[str, TrialStatistics]
+    winner: str
+    best_result: SolveResult
+    maximize: bool = True
+
+    def ranking(self) -> List[str]:
+        """Solver labels ordered best-first (feasible, then best objective)."""
+        return sorted(
+            self.batches,
+            key=lambda label: race_key(self.batches[label].best_result,
+                                        self.maximize),
+        )
+
+
+def run_portfolio(
+    problem: CombinatorialProblem,
+    solvers: Sequence[SpecLike] = DEFAULT_PORTFOLIO,
+    num_trials: int = 8,
+    params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    backend: str = "serial",
+    master_seed: int = 0,
+    num_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    reference: Optional[float] = None,
+    threshold: float = 0.95,
+) -> PortfolioResult:
+    """Race several solvers on ``problem`` and return the best feasible answer.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    solvers:
+        Portfolio members (registry names, specs, dicts, ...).
+    num_trials:
+        Replica seeds per stochastic member; deterministic members (greedy,
+        DP, brute force) run once.
+    params:
+        Optional per-member parameter overrides keyed by display name, e.g.
+        ``{"hycim": {"num_iterations": 500}}``.
+    backend / num_workers / chunk_size:
+        Executor knobs (see :func:`repro.runtime.executor.run_trials`).
+    master_seed:
+        Campaign-style master seed; each member gets an independently spawned
+        sub-seed, so adding a member never perturbs the others.
+    reference / threshold:
+        Optional best-known value enabling success-rate statistics.
+    """
+    specs = [as_solver_spec(spec) for spec in solvers]
+    if not specs:
+        raise ValueError("portfolio needs at least one solver")
+    labels = [spec.display_name for spec in specs]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"portfolio members need unique labels, got {labels}")
+
+    maximize = getattr(problem, "is_maximization", True)
+    member_seeds = np.random.SeedSequence(master_seed).spawn(len(specs))
+    batches: Dict[str, TrialBatch] = {}
+    statistics: Dict[str, TrialStatistics] = {}
+    for spec, seed_seq in zip(specs, member_seeds):
+        overrides = (params or {}).get(spec.display_name)
+        if overrides:
+            spec = spec.with_params(**dict(overrides))
+        trials = 1 if spec.solver in DETERMINISTIC_SOLVERS else num_trials
+        batch = run_trials(
+            problem,
+            solver=spec,
+            num_trials=trials,
+            backend=backend,
+            master_seed=int(seed_seq.generate_state(1, np.uint64)[0]),
+            num_workers=num_workers,
+            chunk_size=chunk_size,
+        )
+        batches[spec.display_name] = batch
+        statistics[spec.display_name] = aggregate_trials(batch, reference=reference,
+                                                         threshold=threshold,
+                                                         maximize=maximize)
+
+    winner = min(
+        batches,
+        key=lambda label: race_key(batches[label].best_result, maximize),
+    )
+    return PortfolioResult(
+        problem_name=getattr(problem, "name", problem.__class__.__name__),
+        batches=batches,
+        statistics=statistics,
+        winner=winner,
+        best_result=batches[winner].best_result,
+        maximize=maximize,
+    )

@@ -1,0 +1,471 @@
+"""Solver registry: names -> picklable trial functions.
+
+The runtime executes *trials* -- one independent solver run on one problem
+instance -- possibly in worker processes.  For that to work every solver must
+be constructible from data that survives ``pickle``: a string name plus a
+plain parameter dict.  This module maps the canonical solver names
+
+    "hycim", "sa", "dqubo", "greedy", "dp", "brute_force", "local_search"
+
+to module-level trial functions with the uniform signature
+
+    trial_fn(problem, params, seed, initial) -> SolveResult
+
+Annealing solvers are rebuilt from scratch inside every trial (so device
+variability and crossbar programming are re-sampled per trial exactly as a
+real chip would be reprogrammed), seeded deterministically from the trial
+seed.  Exact / heuristic reference solvers are wrapped so they return the
+same :class:`~repro.annealing.result.SolveResult` shape as the annealers.
+
+Parameter dicts may either carry plain values (``{"schedule": {"kind":
+"geometric", "start_temperature": 100.0}}``, ``{"move_generator":
+"knapsack"}``) or already-constructed schedule / move-generator objects; both
+forms pickle cleanly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.annealing.dqubo_solver import DQUBOAnnealer
+from repro.annealing.hycim import HyCiMSolver
+from repro.annealing.moves import (
+    KnapsackNeighborhoodMove,
+    MoveGenerator,
+    MultiFlipMove,
+    OneHotGroupMove,
+    PermutationSwapMove,
+    SingleFlipMove,
+)
+from repro.annealing.result import SolveResult
+from repro.annealing.sa import SimulatedAnnealer
+from repro.annealing.schedule import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    TemperatureSchedule,
+)
+from repro.core.dqubo import SlackEncoding
+from repro.exact.brute_force import solve_brute_force
+from repro.exact.dp_knapsack import solve_knapsack_dp
+from repro.exact.greedy import solve_qkp_greedy
+from repro.exact.local_search import improve_qkp_local_search
+from repro.problems.base import CombinatorialProblem
+
+TrialFunction = Callable[
+    [CombinatorialProblem, Mapping[str, Any], int, Optional[np.ndarray]], SolveResult
+]
+
+_SCHEDULES = {
+    "geometric": GeometricSchedule,
+    "linear": LinearSchedule,
+    "exponential": ExponentialSchedule,
+    "constant": ConstantSchedule,
+}
+
+_MOVES = {
+    "single_flip": SingleFlipMove,
+    "multi_flip": MultiFlipMove,
+    "knapsack": KnapsackNeighborhoodMove,
+    "one_hot": OneHotGroupMove,
+    "permutation_swap": PermutationSwapMove,
+}
+
+
+# --------------------------------------------------------------------- #
+# Solver specs
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SolverSpec:
+    """A picklable description of one solver configuration.
+
+    Attributes
+    ----------
+    solver:
+        Registry name (``"hycim"``, ``"sa"``, ...).
+    params:
+        Keyword parameters handed to the trial function.
+    label:
+        Display name used in campaign / portfolio reports; defaults to the
+        solver name.
+    """
+
+    solver: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in _REGISTRY:
+            raise KeyError(
+                f"unknown solver {self.solver!r}; available: {available_solvers()}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.solver
+
+    def with_params(self, **overrides: Any) -> "SolverSpec":
+        """A copy of this spec with ``overrides`` merged into the params."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return SolverSpec(self.solver, merged, label=self.label)
+
+
+SpecLike = Union[str, SolverSpec, Mapping[str, Any], Tuple[str, Mapping[str, Any]]]
+
+
+def as_solver_spec(spec: SpecLike) -> SolverSpec:
+    """Coerce a name / dict / (name, params) pair into a :class:`SolverSpec`."""
+    if isinstance(spec, SolverSpec):
+        return spec
+    if isinstance(spec, str):
+        return SolverSpec(spec)
+    if isinstance(spec, tuple) and len(spec) == 2:
+        return SolverSpec(spec[0], dict(spec[1]))
+    if isinstance(spec, Mapping):
+        payload = dict(spec)
+        try:
+            name = payload.pop("solver")
+        except KeyError as error:
+            raise ValueError("solver spec dicts need a 'solver' key") from error
+        label = payload.pop("label", None)
+        params = payload.pop("params", None)
+        if params is not None:
+            payload.update(params)
+        return SolverSpec(name, payload, label=label)
+    raise TypeError(f"cannot interpret {type(spec).__name__} as a solver spec")
+
+
+# --------------------------------------------------------------------- #
+# Param coercion helpers
+# --------------------------------------------------------------------- #
+def _build_schedule(value: Any) -> TemperatureSchedule:
+    if isinstance(value, TemperatureSchedule):
+        return value
+    if isinstance(value, Mapping):
+        payload = dict(value)
+        kind = payload.pop("kind", "geometric")
+        try:
+            return _SCHEDULES[kind](**payload)
+        except KeyError as error:
+            raise ValueError(f"unknown schedule kind {kind!r}") from error
+    raise TypeError("schedule must be a TemperatureSchedule or a config dict")
+
+
+def _build_move(value: Any) -> MoveGenerator:
+    if isinstance(value, MoveGenerator):
+        return value
+    if isinstance(value, str):
+        value = {"kind": value}
+    if isinstance(value, Mapping):
+        payload = dict(value)
+        kind = payload.pop("kind", None)
+        if kind is None:
+            raise ValueError("move generator config dicts need a 'kind' key")
+        try:
+            return _MOVES[kind](**payload)
+        except KeyError as error:
+            raise ValueError(f"unknown move generator kind {kind!r}") from error
+    raise TypeError("move_generator must be a MoveGenerator, a name, or a config dict")
+
+
+def _build_variability(value: Any, seed: int):
+    """Per-trial variability model derived from a template and the trial seed.
+
+    The caller's model (or config dict) only fixes the sigmas; every trial
+    re-samples its own device deviations from a seed spawned off the trial
+    seed -- each trial simulates a freshly programmed chip, identically on
+    every backend.
+    """
+    from repro.fefet.variability import VariabilityModel
+
+    if value is None:
+        return None
+    if isinstance(value, VariabilityModel):
+        payload = {"threshold_sigma": value.threshold_sigma,
+                   "on_current_sigma": value.on_current_sigma}
+    elif isinstance(value, Mapping):
+        payload = {key: val for key, val in value.items() if key != "seed"}
+    else:
+        raise TypeError("variability must be a VariabilityModel or a config dict")
+    device_seed = int(np.random.SeedSequence([seed, 0xFEFE]).generate_state(1)[0])
+    return VariabilityModel(seed=device_seed, **payload)
+
+
+def _auto_schedule(problem: CombinatorialProblem) -> TemperatureSchedule:
+    """Instance-scaled geometric schedule (the protocol used throughout
+    ``analysis``): start at 20x the largest objective coefficient so uphill
+    moves remain possible early in the anneal.
+
+    The scale is read from the problem's profit/coefficient data directly
+    when available -- building the full O(n^2) QUBO matrix per trial just to
+    read its largest entry would dominate short trials at paper scale.
+    """
+    profits = getattr(problem, "profits", None)
+    if profits is not None and np.size(profits):
+        scale = float(np.max(np.abs(profits)))
+    else:
+        try:
+            scale = float(problem.to_qubo().max_abs_coefficient)
+        except Exception:
+            scale = 1.0
+    scale = scale or 1.0
+    return GeometricSchedule(start_temperature=20.0 * scale,
+                             end_temperature=max(0.02 * scale, 1e-3))
+
+
+def _initial_configuration(problem: CombinatorialProblem, params: Mapping[str, Any],
+                           rng: np.random.Generator,
+                           initial: Optional[np.ndarray]) -> np.ndarray:
+    """Resolve the trial's starting configuration.
+
+    ``params["initial"]`` selects the sampling policy when no explicit initial
+    state was handed to the executor: ``"feasible"`` (default) draws a random
+    feasible configuration, ``"random"`` a uniform binary vector, ``"zeros"``
+    the empty selection (the erased-chip state of Fig. 7(f)).
+    """
+    if initial is not None:
+        return np.asarray(initial, dtype=float)
+    policy = params.get("initial", "feasible")
+    if policy == "feasible":
+        return problem.random_feasible_configuration(rng)
+    if policy == "random":
+        return rng.integers(0, 2, size=problem.num_variables).astype(float)
+    if policy == "zeros":
+        return np.zeros(problem.num_variables)
+    raise ValueError(f"unknown initial-state policy {policy!r}")
+
+
+def _finalize(result: SolveResult, seed: int, started: float) -> SolveResult:
+    result.trial_seed = int(seed)
+    result.wall_time = time.perf_counter() - started
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Annealing trial functions
+# --------------------------------------------------------------------- #
+def _hycim_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+                 seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    started = time.perf_counter()
+    schedule = params.get("schedule")
+    solver = HyCiMSolver(
+        problem,
+        # Defaults mirror HyCiMSolver's own: hardware simulation on.
+        use_hardware=bool(params.get("use_hardware", True)),
+        num_iterations=int(params.get("num_iterations", 1000)),
+        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+        schedule=_build_schedule(schedule) if schedule is not None else _auto_schedule(problem),
+        move_generator=_build_move(params.get("move_generator", "single_flip")),
+        filter_rows=int(params.get("filter_rows", 16)),
+        crossbar_config=params.get("crossbar_config"),
+        variability=_build_variability(params.get("variability"), seed),
+        matchline_noise_sigma=float(params.get("matchline_noise_sigma", 0.0)),
+        record_history=bool(params.get("record_history", False)),
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    start = _initial_configuration(problem, params, rng, initial)
+    return _finalize(solver.solve(initial=start, rng=rng), seed, started)
+
+
+def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+              seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    """Software SA on the objective QUBO with feasibility-rejection.
+
+    ``problem.to_qubo()`` deliberately omits inequality constraints for
+    knapsack-type problems, so an unconstrained anneal would drift over
+    capacity; by default infeasible candidates are rejected through the
+    annealer's ``accept_filter`` hook (the same hook HyCiM replaces with the
+    CiM filter).  Pass ``respect_constraints=False`` to anneal the raw QUBO.
+    """
+    started = time.perf_counter()
+    schedule = params.get("schedule")
+    annealer = SimulatedAnnealer(
+        schedule=_build_schedule(schedule) if schedule is not None else _auto_schedule(problem),
+        move_generator=_build_move(params.get("move_generator", "single_flip")),
+        num_iterations=int(params.get("num_iterations", 1000)),
+        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+        record_history=bool(params.get("record_history", False)),
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    start = _initial_configuration(problem, params, rng, initial)
+    accept_filter = (problem.is_feasible
+                     if params.get("respect_constraints", True) else None)
+    result = annealer.anneal(problem.to_qubo(), initial=start, rng=rng,
+                             accept_filter=accept_filter)
+    best = result.best_configuration
+    result.feasible = problem.is_feasible(best)
+    result.best_objective = problem.objective(best) if result.feasible else None
+    return _finalize(result, seed, started)
+
+
+def _dqubo_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+                 seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    started = time.perf_counter()
+    schedule = params.get("schedule")
+    encoding = params.get("encoding", SlackEncoding.ONE_HOT)
+    if isinstance(encoding, str):
+        encoding = SlackEncoding(encoding)
+    solver = DQUBOAnnealer(
+        problem,
+        alpha=float(params.get("alpha", 2.0)),
+        beta=float(params.get("beta", 2.0)),
+        encoding=encoding,
+        use_hardware=bool(params.get("use_hardware", False)),
+        num_iterations=int(params.get("num_iterations", 1000)),
+        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+        schedule=_build_schedule(schedule) if schedule is not None else _auto_schedule(problem),
+        move_generator=_build_move(params.get("move_generator", "single_flip")),
+        crossbar_config=params.get("crossbar_config"),
+        record_history=bool(params.get("record_history", False)),
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    start = _initial_configuration(problem, params, rng, initial)
+    return _finalize(solver.solve(initial=start, rng=rng), seed, started)
+
+
+# --------------------------------------------------------------------- #
+# Exact / reference trial functions
+# --------------------------------------------------------------------- #
+def _reference_energy(problem: CombinatorialProblem, x: np.ndarray) -> float:
+    """QUBO energy of ``x`` under the HyCiM inequality-QUBO form, so exact
+    solvers report energies on the same scale as the annealers."""
+    return float(problem.to_inequality_qubo().energy(x))
+
+
+def _exact_result(problem: CombinatorialProblem, x: np.ndarray, value: float,
+                  name: str, num_evaluated: int = 0) -> SolveResult:
+    x = np.asarray(x, dtype=float)
+    return SolveResult(
+        best_configuration=x,
+        best_energy=_reference_energy(problem, x),
+        best_objective=float(value),
+        feasible=problem.is_feasible(x),
+        num_iterations=num_evaluated,
+        num_feasible_evaluations=num_evaluated,
+        solver_name=name,
+        metadata={"deterministic": True},
+    )
+
+
+def _greedy_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    started = time.perf_counter()
+    outcome = solve_qkp_greedy(problem)
+    result = _exact_result(problem, outcome.configuration, outcome.value, "Greedy")
+    return _finalize(result, seed, started)
+
+
+def _dp_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+              seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    started = time.perf_counter()
+    profits = getattr(problem, "profits", None)
+    if profits is None or np.ndim(profits) != 1:
+        raise TypeError(
+            "solver 'dp' needs a linear knapsack problem (1-D profits); "
+            f"got {type(problem).__name__} -- use 'brute_force' or 'hycim' "
+            "for quadratic objectives"
+        )
+    outcome = solve_knapsack_dp(problem)
+    result = _exact_result(problem, outcome.best_configuration, outcome.best_value, "DP")
+    return _finalize(result, seed, started)
+
+
+def _brute_force_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+                       seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    started = time.perf_counter()
+    outcome = solve_brute_force(problem,
+                                max_variables=int(params.get("max_variables", 22)))
+    result = _exact_result(problem, outcome.best_configuration, outcome.best_value,
+                           "BruteForce", num_evaluated=outcome.num_evaluated)
+    return _finalize(result, seed, started)
+
+
+def _local_search_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
+                        seed: int, initial: Optional[np.ndarray]) -> SolveResult:
+    started = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    if initial is None:
+        if params.get("greedy_start", False):
+            start = solve_qkp_greedy(problem).configuration
+        else:
+            start = problem.random_feasible_configuration(rng)
+    else:
+        start = np.asarray(initial, dtype=float)
+    outcome = improve_qkp_local_search(problem, start,
+                                       max_passes=int(params.get("max_passes", 50)))
+    result = _exact_result(problem, outcome.configuration, outcome.value, "LocalSearch",
+                           num_evaluated=outcome.iterations)
+    return _finalize(result, seed, started)
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+_REGISTRY: Dict[str, TrialFunction] = {
+    "hycim": _hycim_trial,
+    "sa": _sa_trial,
+    "dqubo": _dqubo_trial,
+    "greedy": _greedy_trial,
+    "dp": _dp_trial,
+    "brute_force": _brute_force_trial,
+    "local_search": _local_search_trial,
+}
+
+#: Solvers that produce the same result on every trial; campaigns and
+#: portfolios run these once instead of ``num_trials`` times.
+DETERMINISTIC_SOLVERS = frozenset({"greedy", "dp", "brute_force"})
+
+
+def available_solvers() -> Tuple[str, ...]:
+    """The registered solver names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_solver(name: str, trial_fn: TrialFunction, *,
+                    overwrite: bool = False) -> None:
+    """Register a custom trial function under ``name``.
+
+    ``trial_fn`` must be picklable (a module-level function) when the process
+    backend is used, and must honour the ``(problem, params, seed, initial)``
+    signature.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("solver name must be a non-empty string")
+    if name in _REGISTRY and not overwrite:
+        raise KeyError(f"solver {name!r} is already registered (pass overwrite=True)")
+    if not callable(trial_fn):
+        raise TypeError("trial_fn must be callable")
+    _REGISTRY[name] = trial_fn
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a previously registered custom solver (built-ins included)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_trial_function(name: str) -> TrialFunction:
+    """Look up the trial function for ``name``; raises ``KeyError`` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from error
+
+
+def run_single_trial(problem: CombinatorialProblem, spec: SpecLike, seed: int,
+                     initial: Optional[np.ndarray] = None) -> SolveResult:
+    """Execute one trial in-process (the unit of work the executor dispatches)."""
+    resolved = as_solver_spec(spec)
+    trial_fn = get_trial_function(resolved.solver)
+    return trial_fn(problem, resolved.params, int(seed), initial)

@@ -35,6 +35,13 @@ class TestExamples:
         assert output.count("INFEASIBLE") == 2
         assert "classification accuracy = 100.0%" in output
 
+    def test_parallel_portfolio_backends_agree(self, capsys):
+        output = run_example("parallel_portfolio.py", capsys)
+        assert "bitwise identical energies: True" in output
+        assert "winner:" in output
+        assert "Campaign summary" in output
+        assert "mean success" in output
+
     def test_logistics_loading_produces_feasible_manifest(self, capsys):
         output = run_example("logistics_loading.py", capsys)
         assert "HyCiM loading plan" in output

@@ -2,9 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.problems.generators import generate_qkp_instance
 from repro.problems.io import read_qkp_file, write_qkp_file
+from repro.problems.qkp import QuadraticKnapsackProblem
 
 
 class TestRoundTrip:
@@ -64,5 +67,57 @@ class TestFormat:
     def test_reader_rejects_wrong_weight_count(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("name\n2\n1 2\n3\n\n0\n5\n1\n")
+        with pytest.raises(ValueError):
+            read_qkp_file(path)
+
+
+# --------------------------------------------------------------------- #
+# Property tests: any integer QKP instance round-trips exactly.
+# --------------------------------------------------------------------- #
+@st.composite
+def qkp_instances(draw):
+    """Random integer-valued QKP instances in the Billionnet-Soutif domain."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    diagonal = draw(st.lists(st.integers(0, 100), min_size=n, max_size=n))
+    profits = np.zeros((n, n))
+    np.fill_diagonal(profits, diagonal)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = draw(st.integers(0, 100))
+            profits[i, j] = profits[j, i] = value
+    weights = draw(st.lists(st.integers(1, 50), min_size=n, max_size=n))
+    capacity = draw(st.integers(1, sum(weights)))
+    name = draw(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+                        min_size=1, max_size=12))
+    return QuadraticKnapsackProblem(
+        profits=profits, weights=np.asarray(weights, dtype=float),
+        capacity=float(capacity), name=name)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(problem=qkp_instances())
+    def test_write_read_round_trip_is_identity(self, tmp_path, problem):
+        path = tmp_path / "prop.txt"
+        write_qkp_file(problem, path)
+        restored = read_qkp_file(path)
+        np.testing.assert_array_equal(restored.profits, problem.profits)
+        np.testing.assert_array_equal(restored.weights, problem.weights)
+        assert restored.capacity == problem.capacity
+        assert restored.name == problem.name
+        assert restored.num_items == problem.num_items
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(problem=qkp_instances(), cut=st.integers(min_value=1, max_value=6),
+           garbage=st.sampled_from(["", "not a number\n", "1 2 x\n", "-0.5.3\n"]))
+    def test_truncated_or_corrupted_file_raises_value_error(self, tmp_path,
+                                                            problem, cut, garbage):
+        path = tmp_path / "prop_bad.txt"
+        write_qkp_file(problem, path)
+        lines = path.read_text().splitlines(keepends=True)
+        kept = max(2, len(lines) - cut)
+        path.write_text("".join(lines[:kept]) + garbage)
         with pytest.raises(ValueError):
             read_qkp_file(path)

@@ -1,0 +1,250 @@
+"""Unit tests for campaigns, portfolios and trial aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.exact.local_search import reference_qkp_value
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import (
+    aggregate_trials,
+    expand_param_grid,
+    mean_success_over_batches,
+    run_campaign,
+    run_portfolio,
+    run_trials,
+    statistics_table,
+    STATISTICS_HEADER,
+)
+
+HYCIM_FAST = {
+    "num_iterations": 25,
+    "move_generator": "knapsack",
+    "use_hardware": False,
+}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return [generate_qkp_instance(num_items=14, density=d, max_weight=8,
+                                  seed=60 + i, name=f"camp_{i}")
+            for i, d in enumerate((0.3, 0.8))]
+
+
+@pytest.fixture(scope="module")
+def references(suite):
+    return {p.name: reference_qkp_value(p) for p in suite}
+
+
+class TestAggregation:
+    def test_statistics_fields(self, suite, references):
+        problem = suite[0]
+        batch = run_trials(problem, "hycim", num_trials=6,
+                           params=dict(HYCIM_FAST, moves_per_iteration=problem.num_items),
+                           master_seed=4)
+        stats = aggregate_trials(batch, reference=references[problem.name])
+        assert stats.num_trials == 6
+        assert 0 <= stats.num_feasible <= 6
+        assert stats.best_energy <= stats.mean_energy
+        assert stats.best_objective is not None
+        assert 0.0 <= stats.success_rate_value <= 1.0
+        assert stats.mean_normalized_value <= 1.1
+        assert stats.total_wall_time > 0
+        assert stats.mean_trial_time == pytest.approx(
+            stats.total_wall_time / 6)
+
+    def test_success_rate_matches_metric_definition(self, suite, references):
+        problem = suite[0]
+        reference = references[problem.name]
+        batch = run_trials(problem, "hycim", num_trials=5,
+                           params=HYCIM_FAST, master_seed=9)
+        stats = aggregate_trials(batch, reference=reference, threshold=0.9)
+        values = [r.best_objective or 0.0 for r in batch.results]
+        expected = np.mean([v >= 0.9 * reference for v in values])
+        assert stats.success_rate_value == pytest.approx(expected)
+
+    def test_time_to_solution_none_without_success(self, suite):
+        problem = suite[0]
+        batch = run_trials(problem, "hycim", num_trials=2,
+                           params={"num_iterations": 2}, master_seed=0)
+        stats = aggregate_trials(batch, reference=1e9)
+        assert stats.success_rate_value == 0.0
+        assert stats.time_to_solution is None
+
+    def test_without_reference_rates_are_none(self, suite):
+        batch = run_trials(suite[0], "greedy", num_trials=1, master_seed=0)
+        stats = aggregate_trials(batch)
+        assert stats.success_rate_value is None
+        assert stats.mean_normalized_value is None
+        with pytest.raises(ValueError):
+            mean_success_over_batches([stats])
+
+    def test_minimization_direction_is_respected(self):
+        from repro.annealing.result import SolveResult
+        from repro.runtime import SolverSpec, TrialBatch
+
+        def fake(objective, feasible=True):
+            return SolveResult(best_configuration=np.zeros(2), best_energy=0.0,
+                               best_objective=objective, feasible=feasible,
+                               wall_time=0.1)
+
+        batch = TrialBatch(results=[fake(10.0), fake(12.0), fake(None, False)],
+                           spec=SolverSpec("hycim"), problem_name="min_prob",
+                           backend="serial", master_seed=0,
+                           num_trials_requested=3)
+        stats = aggregate_trials(batch, reference=10.0, threshold=0.95,
+                                 maximize=False)
+        # 10.0 is within 10/0.95; 12.0 and the infeasible trial are not.
+        assert stats.success_rate_value == pytest.approx(1 / 3)
+        assert stats.best_objective == 10.0
+        assert stats.time_to_solution == pytest.approx(0.1)
+
+    def test_statistics_table_shape(self, suite, references):
+        batch = run_trials(suite[0], "greedy", num_trials=1, master_seed=0)
+        rows = statistics_table([aggregate_trials(batch,
+                                                  references[suite[0].name])])
+        assert len(rows) == 1
+        assert len(rows[0]) == len(STATISTICS_HEADER)
+
+
+class TestCampaign:
+    def test_full_grid_is_covered(self, suite, references):
+        campaign = run_campaign(suite, ["greedy", ("hycim", HYCIM_FAST)],
+                                num_trials=3, references=references,
+                                master_seed=1, early_stop=False)
+        assert len(campaign.records) == 4
+        assert {r.problem_name for r in campaign.records} == {"camp_0", "camp_1"}
+        rates = campaign.mean_success_by_solver()
+        assert set(rates) == {"greedy", "hycim"}
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_deterministic_solvers_run_once(self, suite, references):
+        campaign = run_campaign(suite, ["greedy"], num_trials=10,
+                                references=references, master_seed=1)
+        for record in campaign.records:
+            assert record.batch.num_trials == 1
+
+    def test_early_stopping_reduces_trials(self, suite, references):
+        # Greedy reaches the bar instantly; hycim cells early-stop as soon as
+        # one trial clears 95% of the reference.
+        eager = run_campaign(suite, [("hycim", HYCIM_FAST)], num_trials=8,
+                             references=references, master_seed=2)
+        exhaustive = run_campaign(suite, [("hycim", HYCIM_FAST)], num_trials=8,
+                                  references=references, master_seed=2,
+                                  early_stop=False)
+        assert all(r.batch.num_trials == 8 for r in exhaustive.records)
+        for record in eager.records:
+            if record.batch.stopped_early:
+                assert record.batch.num_trials < 8
+                # A batch that stops at its first success cannot report an
+                # unbiased success rate.
+                assert record.statistics.success_rate_value is None
+                assert record.statistics.time_to_solution is not None
+
+    def test_campaign_selectors_and_best_record(self, suite, references):
+        campaign = run_campaign(suite, ["greedy", ("hycim", HYCIM_FAST)],
+                                num_trials=2, references=references,
+                                master_seed=3)
+        assert len(campaign.for_solver("greedy")) == 2
+        assert len(campaign.for_instance("camp_0")) == 2
+        best = campaign.best_record("camp_0")
+        assert best.batch.best_result.feasible
+        with pytest.raises(KeyError):
+            campaign.best_record("missing")
+
+    def test_campaign_validation(self, suite):
+        with pytest.raises(ValueError):
+            run_campaign(suite, [], num_trials=1)
+        with pytest.raises(ValueError):
+            run_campaign([], ["greedy"], num_trials=1)
+        with pytest.raises(ValueError):
+            run_campaign(suite, ["greedy"], num_trials=0)
+
+    def test_zero_reference_does_not_abort_campaign(self, suite):
+        campaign = run_campaign(suite[:1], ["greedy"],
+                                references={suite[0].name: 0.0})
+        stats = campaign.statistics[0]
+        # Any non-negative value clears a zero bar for maximization.
+        assert stats.success_rate_value == 1.0
+
+    def test_solved_fraction_counts_early_stopped_cells(self, suite, references):
+        campaign = run_campaign(suite, [("hycim", HYCIM_FAST)], num_trials=8,
+                                references=references, master_seed=2)
+        solved = campaign.solved_fraction_by_solver()
+        expected = np.mean([
+            r.statistics.time_to_solution is not None for r in campaign.records])
+        assert solved["hycim"] == pytest.approx(expected)
+        # Cells that early-stopped *did* solve their instance and must count.
+        for record in campaign.records:
+            if record.batch.stopped_early:
+                assert record.statistics.time_to_solution is not None
+
+    def test_reference_callable_resolution(self, suite):
+        campaign = run_campaign(suite[:1], ["greedy"],
+                                references=lambda p: reference_qkp_value(p))
+        assert campaign.records[0].reference is not None
+
+    def test_appending_a_solver_keeps_existing_cells_stable(self, suite, references):
+        before = run_campaign(suite, [("hycim", HYCIM_FAST)], num_trials=3,
+                              references=references, master_seed=7,
+                              early_stop=False)
+        after = run_campaign(suite, [("hycim", HYCIM_FAST), "greedy"],
+                             num_trials=3, references=references,
+                             master_seed=7, early_stop=False)
+        for old in before.records:
+            matching = [r for r in after.records
+                        if r.problem_name == old.problem_name
+                        and r.spec.display_name == "hycim"]
+            assert len(matching) == 1
+            np.testing.assert_array_equal(old.batch.best_energies,
+                                          matching[0].batch.best_energies)
+
+
+class TestParamGrid:
+    def test_grid_expansion(self):
+        specs = expand_param_grid("hycim", {"num_iterations": (10, 20),
+                                            "use_hardware": (False, True)})
+        assert len(specs) == 4
+        labels = {s.display_name for s in specs}
+        assert "hycim[num_iterations=10,use_hardware=False]" in labels
+
+    def test_empty_grid_yields_base_spec(self):
+        specs = expand_param_grid("sa", {}, base_params={"num_iterations": 9})
+        assert len(specs) == 1
+        assert specs[0].params == {"num_iterations": 9}
+
+
+class TestPortfolio:
+    def test_portfolio_winner_is_best_feasible(self, suite, references):
+        problem = suite[0]
+        result = run_portfolio(
+            problem,
+            solvers=("greedy", "local_search", "hycim"),
+            num_trials=3,
+            params={"hycim": dict(HYCIM_FAST,
+                                  moves_per_iteration=problem.num_items)},
+            master_seed=5,
+            reference=references[problem.name],
+        )
+        assert result.winner in result.batches
+        assert result.best_result.feasible
+        # The race is decided on the native objective (internal energies are
+        # not comparable across solvers).
+        best_value = result.best_result.best_objective
+        for batch in result.batches.values():
+            other = batch.best_result
+            if other.feasible and other.best_objective is not None:
+                assert best_value >= other.best_objective - 1e-9
+        assert result.ranking()[0] == result.winner
+
+    def test_deterministic_members_run_once(self, suite):
+        result = run_portfolio(suite[0], solvers=("greedy",), num_trials=7)
+        assert result.batches["greedy"].num_trials == 1
+
+    def test_duplicate_labels_rejected(self, suite):
+        with pytest.raises(ValueError, match="unique labels"):
+            run_portfolio(suite[0], solvers=("greedy", "greedy"))
+
+    def test_empty_portfolio_rejected(self, suite):
+        with pytest.raises(ValueError):
+            run_portfolio(suite[0], solvers=())
