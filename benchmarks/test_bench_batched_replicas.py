@@ -1,0 +1,106 @@
+"""Benchmark: serial vs process vs vectorized replica backends (50-item QKP).
+
+The vectorised engine advances all replicas per NumPy operation instead of
+stepping one configuration at a time through Python, so its per-replica wall
+time must beat the serial backend outright -- by an order of magnitude in
+hardware-simulation mode, where every scalar proposal pays a full bit-sliced
+crossbar evaluation that the batch amortises into one MVM per bit plane.
+Unlike the process backend, the gain does not depend on core count, so the
+speedup floor is asserted, not just reported.
+
+Correctness rides along: the vectorized backend must reproduce the serial
+backend's per-seed results exactly in software mode (the engine's
+scalar-parity contract at benchmark scale).
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import run_trials
+
+NUM_TRIALS = 64
+MASTER_SEED = 97
+
+#: Software-mode protocol: one sweep of the 50 variables per iteration.
+SOFTWARE_PARAMS = {
+    "num_iterations": 40,
+    "moves_per_iteration": 50,
+    "use_hardware": False,
+}
+
+#: Hardware-simulation protocol (the paper-default pipeline): fewer proposals,
+#: each paying the bit-sliced crossbar + filter evaluation.
+HARDWARE_PARAMS = {
+    "num_iterations": 40,
+    "moves_per_iteration": 10,
+    "use_hardware": True,
+}
+
+
+def _problem():
+    return generate_qkp_instance(num_items=50, density=0.5, max_weight=15,
+                                 max_profit=100, seed=9, name="qkp50_bench")
+
+
+def _per_replica_ms(batch):
+    return batch.wall_time / batch.num_trials * 1000.0
+
+
+def test_vectorized_backend_throughput(benchmark):
+    problem = _problem()
+
+    def run_all():
+        batches = {}
+        for label, params, backend, kwargs in [
+            ("serial/sw", SOFTWARE_PARAMS, "serial", {}),
+            ("process/sw", SOFTWARE_PARAMS, "process", {"chunk_size": 8}),
+            ("vectorized/sw", SOFTWARE_PARAMS, "vectorized", {}),
+            ("serial/hw", HARDWARE_PARAMS, "serial", {}),
+            ("vectorized/hw", HARDWARE_PARAMS, "vectorized", {}),
+        ]:
+            batches[label] = run_trials(problem, "hycim",
+                                        num_trials=NUM_TRIALS, params=params,
+                                        backend=backend,
+                                        master_seed=MASTER_SEED, **kwargs)
+        return batches
+
+    batches = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print(f"\nReplica-batch throughput: {NUM_TRIALS} HyCiM trials on a "
+          f"50-item QKP, {os.cpu_count()} CPU(s)\n"
+          + format_table(
+              ["backend/mode", "wall clock", "per-replica", "best profit"],
+              [[label, f"{batch.wall_time:.2f}s",
+                f"{_per_replica_ms(batch):.2f}ms",
+                f"{batch.best_result.best_objective:.0f}"]
+               for label, batch in batches.items()]))
+
+    # Correctness: vectorized == serial per seed (software mode, exact).
+    np.testing.assert_array_equal(batches["serial/sw"].best_energies,
+                                  batches["vectorized/sw"].best_energies)
+    np.testing.assert_array_equal(batches["serial/sw"].best_energies,
+                                  batches["process/sw"].best_energies)
+    for a, b in zip(batches["serial/sw"].results,
+                    batches["vectorized/sw"].results):
+        np.testing.assert_array_equal(a.best_configuration,
+                                      b.best_configuration)
+    # Hardware mode: ideal devices, identical trajectories within tolerance.
+    np.testing.assert_allclose(batches["serial/hw"].best_energies,
+                               batches["vectorized/hw"].best_energies,
+                               rtol=1e-9)
+
+    # Throughput: the acceptance bar is >= 5x per-replica over serial on the
+    # paper-default hardware pipeline (measured ~12x on a dev box), and a
+    # clear win in software mode too (measured ~5x; asserted with headroom
+    # for slow CI runners).
+    hw_speedup = _per_replica_ms(batches["serial/hw"]) / \
+        _per_replica_ms(batches["vectorized/hw"])
+    sw_speedup = _per_replica_ms(batches["serial/sw"]) / \
+        _per_replica_ms(batches["vectorized/sw"])
+    print(f"per-replica speedup: hardware {hw_speedup:.1f}x, "
+          f"software {sw_speedup:.1f}x")
+    assert hw_speedup >= 5.0
+    assert sw_speedup >= 2.0

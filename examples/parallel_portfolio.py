@@ -49,16 +49,22 @@ def main() -> None:
     print(f"Instance: {problem} (reference value {reference:.0f})")
 
     # ------------------------------------------------------------------ #
-    # 1. Replica batch: serial vs process backend, bitwise identical.
+    # 1. Replica batch: serial vs process vs vectorized backend, bitwise
+    #    identical per seed (the vectorized backend advances all replicas
+    #    in lock-step NumPy -- see examples/vectorized_replicas.py).
     # ------------------------------------------------------------------ #
     params = dict(HYCIM_PARAMS, moves_per_iteration=problem.num_items)
     serial = run_trials(problem, solver="hycim", num_trials=8, params=params,
                         backend="serial", master_seed=7)
     parallel = run_trials(problem, solver="hycim", num_trials=8, params=params,
                           backend="process", master_seed=7, chunk_size=2)
-    identical = np.array_equal(serial.best_energies, parallel.best_energies)
+    vectorized = run_trials(problem, solver="hycim", num_trials=8,
+                            params=params, backend="vectorized", master_seed=7)
+    identical = np.array_equal(serial.best_energies, parallel.best_energies) \
+        and np.array_equal(serial.best_energies, vectorized.best_energies)
     print(f"\n8 HyCiM trials: serial {serial.wall_time:.2f}s, "
           f"process {parallel.wall_time:.2f}s, "
+          f"vectorized {vectorized.wall_time:.2f}s, "
           f"bitwise identical energies: {identical}")
     best = serial.best_result
     print(f"best trial: profit {best.best_objective:.0f} "

@@ -18,6 +18,10 @@ General Combinatorial Optimization Problems with Inequality Constraints"
   backends via ``SeedSequence.spawn`` seeding), batched campaigns over
   (instance x solver x params) grids with early stopping, portfolio racing,
   and best-of / success-rate / time-to-solution aggregation.
+* :mod:`repro.batched` -- the vectorised multi-replica annealing engine
+  behind ``run_trials(backend="vectorized")``: M lock-step replicas per
+  instance with batched energy/filter evaluation and per-replica RNG
+  streams, per-seed identical to scalar trials in software mode.
 * :mod:`repro.analysis` -- experiment runners for every table and figure,
   built on the runtime.
 

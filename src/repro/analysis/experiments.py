@@ -252,7 +252,7 @@ def run_solving_efficiency_study(
     success_threshold: float = 0.95,
     use_hardware: bool = False,
     seed: int = 0,
-    backend: str = "serial",
+    backend: str = "vectorized",
 ) -> SolvingEfficiencyResult:
     """Run the Fig. 10 protocol: many SA descents per instance for both solvers.
 
@@ -265,9 +265,13 @@ def run_solving_efficiency_study(
     (best-known) value.
 
     The repeated descents are executed by :func:`repro.runtime.run_trials`
-    (pass ``backend="process"`` to fan them out over cores); per-trial seeds
-    are spawned deterministically from ``seed`` and both solvers receive the
-    same trial seeds and the same initial states.
+    on the vectorised replica backend by default -- all of an instance's
+    descents advance in lock-step, with per-seed results identical to the
+    serial backend (solvers without a batched engine, such as ``dqubo``,
+    transparently run scalar trials).  Pass ``backend="process"`` to fan the
+    descents out over cores instead; per-trial seeds are spawned
+    deterministically from ``seed`` and both solvers receive the same trial
+    seeds and the same initial states on every backend.
     """
     rng = np.random.default_rng(seed)
     hycim_norm: List[float] = []
@@ -358,13 +362,15 @@ def run_energy_evolution(
     records the incumbent energy after every iteration (one sweep of the
     problem variables per iteration).  Every run starts from the empty
     selection, mirroring the erased state of the chip before each
-    measurement.
+    measurement.  The runs advance in lock-step on the vectorised backend
+    (scalar fallback when a ``variability`` model requires per-run devices).
     """
     model = problem.to_inequality_qubo()
     _, optimal_energy = model.brute_force_minimum()
     batch = run_trials(
         problem,
         solver="hycim",
+        backend="vectorized",
         num_trials=num_runs,
         params={
             "use_hardware": use_hardware,
@@ -464,7 +470,8 @@ def _run_success_rate(problem, reference_value: float, maximize: bool,
                       move_generator: Optional[MoveGenerator],
                       threshold: float, seed: int,
                       schedule: Optional[GeometricSchedule] = None) -> float:
-    """Run HyCiM repeatedly via the runtime and score against a reference value."""
+    """Run HyCiM repeatedly via the runtime (vectorised replicas) and score
+    against a reference value."""
     batch = run_trials(
         problem,
         solver="hycim",
@@ -475,6 +482,7 @@ def _run_success_rate(problem, reference_value: float, maximize: bool,
             "move_generator": move_generator or SingleFlipMove(),
             "schedule": schedule or GeometricSchedule(),
         },
+        backend="vectorized",
         master_seed=seed,
     )
     successes = sum(

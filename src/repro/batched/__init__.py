@@ -1,0 +1,38 @@
+"""Vectorised multi-replica annealing: M replicas per instance in lock-step.
+
+The scalar solvers advance one configuration at a time; this package advances
+a whole replica batch per NumPy operation -- batched single-flip deltas and
+full-energy evaluation on the QUBO matrices (:mod:`repro.batched.kernels`),
+lock-step replica engines that preserve per-replica ``Generator`` streams for
+exact scalar parity (:mod:`repro.batched.engine`), and drop-in batched trial
+functions for the runtime's ``"hycim"`` and ``"sa"`` solvers
+(:mod:`repro.batched.trials`).
+
+The front door is :func:`repro.runtime.run_trials` with
+``backend="vectorized"`` (whole batch in-process) or ``replicas_per_task`` on
+the process backend (vectorised groups inside each worker task); both produce
+per-seed results identical to the serial backend in software mode on
+integer-valued objective data (the paper's QKP benchmarks -- float
+coefficients agree to floating-point tolerance, see
+:mod:`repro.batched.kernels`).
+"""
+
+from repro.batched.engine import BatchedHyCiMSolver, BatchedSimulatedAnnealer
+from repro.batched.kernels import (
+    as_replica_matrix,
+    batched_energies,
+    batched_energy_delta,
+    batched_inequality_verdicts,
+)
+from repro.batched.trials import hycim_batched_trials, sa_batched_trials
+
+__all__ = [
+    "BatchedHyCiMSolver",
+    "BatchedSimulatedAnnealer",
+    "as_replica_matrix",
+    "batched_energies",
+    "batched_energy_delta",
+    "batched_inequality_verdicts",
+    "hycim_batched_trials",
+    "sa_batched_trials",
+]

@@ -1,0 +1,441 @@
+"""Lock-step multi-replica annealing engines (vectorised over replicas).
+
+The paper's evaluation protocol runs many independent SA replicas per
+instance; the scalar solvers (:class:`~repro.annealing.sa.SimulatedAnnealer`,
+:class:`~repro.annealing.hycim.HyCiMSolver`) advance one configuration at a
+time through Python-level loops, so the crossbar -- which in hardware
+evaluates a whole array in one shot -- is simulated one candidate at a time.
+The engines in this module advance ``M`` replicas per instance in lock-step:
+every iteration proposes one move per replica, checks feasibility for all
+replicas with one batched filter evaluation, evaluates all feasible
+candidates with one batched QUBO computation (crossbar MVM in hardware mode,
+one BLAS product in software mode) and applies the Metropolis rule per
+replica.
+
+**Scalar parity.**  Each replica owns its own :class:`numpy.random.Generator`
+and the engines consume those streams in exactly the order the scalar solvers
+do (one move draw per proposal, one uniform draw per feasible candidate), so
+for fixed per-replica seeds the vectorised trajectories -- energies,
+accept/reject decisions, final configurations -- are *identical* to ``M``
+independent scalar runs in software mode (bit-for-bit on the integer-valued
+paper benchmarks) and match within floating-point tolerance in ideal-hardware
+mode, where the batched crossbar/filter arithmetic may associate sums
+differently.  Hardware non-idealities that draw from a *shared* device RNG
+(crossbar read noise) or that resample devices per trial keep per-replica
+streams intact but are only reproducible at batch granularity.
+
+The engines are deliberately *not* new solvers: they borrow the model,
+hardware, schedule and move generator from a scalar solver instance, so any
+configuration accepted by the scalar path runs vectorised unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.annealing.hycim import HyCiMSolver
+from repro.annealing.moves import SingleFlipMove
+from repro.annealing.result import SolveResult
+from repro.annealing.sa import SimulatedAnnealer
+from repro.annealing.schedule import acceptance_probability
+from repro.batched.kernels import (
+    as_replica_matrix,
+    batched_energies,
+    batched_energy_delta,
+    batched_inequality_verdicts,
+)
+from repro.core.constraints import InequalityConstraint
+from repro.core.qubo import QUBOModel
+
+__all__ = ["BatchedHyCiMSolver", "BatchedSimulatedAnnealer"]
+
+#: Per-row feasibility predicate (scalar fallback).
+RowFilter = Callable[[np.ndarray], bool]
+#: Vectorised feasibility predicate over an ``(M, n)`` batch.
+BatchFilter = Callable[[np.ndarray], np.ndarray]
+
+
+def _check_replica_generators(rngs: Sequence[np.random.Generator],
+                              num_replicas: int) -> List[np.random.Generator]:
+    generators = list(rngs)
+    if len(generators) != num_replicas:
+        raise ValueError(
+            f"need one Generator per replica: got {len(generators)} for "
+            f"{num_replicas} replicas"
+        )
+    return generators
+
+
+class BatchedSimulatedAnnealer:
+    """``M`` lock-step replicas of a :class:`SimulatedAnnealer`.
+
+    Parameters
+    ----------
+    annealer:
+        The scalar annealer whose schedule, move generator and iteration
+        budget the replicas share.  Single-flip moves take the fast path
+        (vectorised incremental deltas); other move generators are proposed
+        per replica but still evaluated in batch.
+    """
+
+    def __init__(self, annealer: SimulatedAnnealer) -> None:
+        self.annealer = annealer
+
+    def anneal(
+        self,
+        qubo: QUBOModel,
+        initials: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        accept_filter: Optional[RowFilter] = None,
+        accept_filter_batch: Optional[BatchFilter] = None,
+    ) -> List[SolveResult]:
+        """Run one SA descent per replica, in lock-step.
+
+        Parameters
+        ----------
+        qubo:
+            The QUBO model to minimise (shared by all replicas).
+        initials:
+            ``(M, n)`` matrix of starting configurations, one replica per row.
+        rngs:
+            One independent :class:`~numpy.random.Generator` per replica
+            (e.g. seeded from :func:`repro.runtime.derive_trial_seeds`).
+        accept_filter:
+            Per-row feasibility predicate, semantically identical to the
+            scalar annealer's ``accept_filter`` hook.
+        accept_filter_batch:
+            Optional vectorised form evaluating a whole candidate batch at
+            once (e.g. :meth:`CombinatorialProblem.is_feasible_batch`); must
+            agree with ``accept_filter`` row-wise.  Preferred when given.
+        """
+        cfg = self.annealer
+        n = qubo.num_variables
+        current = as_replica_matrix(initials, n).copy()
+        num_replicas = current.shape[0]
+        generators = _check_replica_generators(rngs, num_replicas)
+        matrix = qubo.matrix
+
+        current_energy = batched_energies(matrix, current, qubo.offset)
+        best = current.copy()
+        best_energy = current_energy.copy()
+
+        single_flip = isinstance(cfg.move_generator, SingleFlipMove)
+        symmetric = matrix + matrix.T if single_flip else None
+        # Pre-bound per-replica draw methods: the engines call these once per
+        # replica per proposal, so shaving the attribute lookup matters.
+        int_draws = [g.integers for g in generators]
+        uniform_draws = [g.random for g in generators]
+        histories: List[List[float]] = [[] for _ in range(num_replicas)]
+        num_feasible = np.zeros(num_replicas, dtype=int)
+        num_skipped = np.zeros(num_replicas, dtype=int)
+        num_accepted = np.zeros(num_replicas, dtype=int)
+        rows = np.arange(num_replicas)
+
+        for iteration in range(cfg.num_iterations):
+            temperature = cfg.schedule.temperature(iteration, cfg.num_iterations)
+
+            for _ in range(cfg.moves_per_iteration):
+                if single_flip:
+                    # Same stream consumption as SingleFlipMove.propose: one
+                    # integer draw per replica.
+                    flips = np.fromiter((draw(0, n) for draw in int_draws),
+                                        dtype=np.intp, count=num_replicas)
+                    candidates = current.copy()
+                    candidates[rows, flips] = 1.0 - candidates[rows, flips]
+                else:
+                    flips = None
+                    candidates = np.stack([
+                        cfg.move_generator.propose(current[k], generators[k])
+                        for k in range(num_replicas)
+                    ])
+
+                passed = _apply_filters(candidates, accept_filter,
+                                        accept_filter_batch)
+                num_skipped[~passed] += 1
+                feasible_idx = np.flatnonzero(passed)
+                if feasible_idx.size == 0:
+                    continue
+                num_feasible[feasible_idx] += 1
+
+                if single_flip:
+                    delta = batched_energy_delta(
+                        matrix, current[feasible_idx], flips[feasible_idx],
+                        symmetric=symmetric)
+                    candidate_energy = current_energy[feasible_idx] + delta
+                else:
+                    candidate_energy = batched_energies(
+                        matrix, candidates[feasible_idx], qubo.offset)
+                    delta = candidate_energy - current_energy[feasible_idx]
+
+                accepted = _metropolis(delta, temperature, uniform_draws,
+                                       feasible_idx)
+                accepted_idx = feasible_idx[accepted]
+                if accepted_idx.size:
+                    current[accepted_idx] = candidates[accepted_idx]
+                    current_energy[accepted_idx] = candidate_energy[accepted]
+                    num_accepted[accepted_idx] += 1
+                    improved = accepted_idx[
+                        current_energy[accepted_idx] < best_energy[accepted_idx]]
+                    best_energy[improved] = current_energy[improved]
+                    best[improved] = current[improved]
+
+            if cfg.record_history:
+                for k in range(num_replicas):
+                    histories[k].append(float(best_energy[k]))
+
+        return [
+            SolveResult(
+                best_configuration=best[k].copy(),
+                best_energy=float(best_energy[k]),
+                energy_history=histories[k],
+                num_iterations=cfg.num_iterations * cfg.moves_per_iteration,
+                num_feasible_evaluations=int(num_feasible[k]),
+                num_infeasible_skipped=int(num_skipped[k]),
+                num_accepted_moves=int(num_accepted[k]),
+                solver_name="SimulatedAnnealer",
+                metadata={"seed": cfg.seed, "vectorized": True,
+                          "num_replicas": num_replicas},
+            )
+            for k in range(num_replicas)
+        ]
+
+
+class BatchedHyCiMSolver:
+    """``M`` lock-step replicas of a :class:`HyCiMSolver`.
+
+    All replicas share the solver's single set of CiM components -- the
+    physically faithful picture: one programmed crossbar and one filter array
+    evaluate the whole replica batch, exactly as the hardware evaluates a
+    whole array in one shot.  Per-trial device *resampling* (a fresh
+    ``variability`` model per replica) therefore cannot be expressed here;
+    the runtime falls back to scalar trials for those configurations.
+    """
+
+    def __init__(self, solver: HyCiMSolver) -> None:
+        self.solver = solver
+
+    # ------------------------------------------------------------------ #
+    # Batched evaluation primitives
+    # ------------------------------------------------------------------ #
+    def _feasible_batch(self, batch: np.ndarray,
+                        generators: Sequence[np.random.Generator]) -> np.ndarray:
+        """Vectorised mirror of ``HyCiMSolver._is_feasible`` over replicas.
+
+        With matchline noise enabled the scalar path consumes per-candidate
+        noise draws *and* short-circuits across constraints, so the only way
+        to preserve per-replica streams is to evaluate per replica; that slow
+        path is taken automatically.  Noise-free filters (and software mode)
+        are evaluated in one shot per constraint.
+        """
+        solver = self.solver
+        filters = solver.inequality_filters
+        noisy = any(f.config.noise_sigma > 0 for f in filters.values())
+        if noisy:
+            return np.array([
+                solver._is_feasible(batch[k], generators[k])
+                for k in range(batch.shape[0])
+            ], dtype=bool)
+        verdicts = np.ones(batch.shape[0], dtype=bool)
+        for index, constraint in enumerate(solver.model.constraints):
+            hardware_filter = filters.get(index)
+            if hardware_filter is not None:
+                verdicts &= hardware_filter.is_feasible_batch(batch)
+            elif isinstance(constraint, InequalityConstraint):
+                verdicts &= batched_inequality_verdicts(
+                    constraint.weight_vector, constraint.bound, batch)
+            else:
+                verdicts &= np.array(
+                    [constraint.is_satisfied(row) for row in batch], dtype=bool)
+        return verdicts
+
+    def _energies(self, batch: np.ndarray) -> np.ndarray:
+        """Batched QUBO values of *feasible* rows (crossbar or exact)."""
+        crossbar = self.solver.crossbar
+        if crossbar is not None:
+            return crossbar.compute_energies(batch)
+        qubo = self.solver.model.qubo
+        return batched_energies(qubo.matrix, batch, qubo.offset)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve_batch(self, initials: np.ndarray,
+                    rngs: Sequence[np.random.Generator]) -> List[SolveResult]:
+        """Run one HyCiM SA descent per replica, in lock-step.
+
+        Mirrors ``HyCiMSolver.solve`` step for step: inequality filtering
+        first (batched), QUBO computation on feasible candidates only
+        (batched), then the per-replica Metropolis rule; infeasible
+        incumbents drift freely at energy 0 exactly as in the scalar flow.
+        """
+        solver = self.solver
+        n = solver.model.num_variables
+        current = as_replica_matrix(initials, n).copy()
+        num_replicas = current.shape[0]
+        generators = _check_replica_generators(rngs, num_replicas)
+
+        current_feasible = self._feasible_batch(current, generators)
+        current_energy = np.zeros(num_replicas)
+        feasible_idx = np.flatnonzero(current_feasible)
+        if feasible_idx.size:
+            current_energy[feasible_idx] = self._energies(current[feasible_idx])
+
+        best = current.copy()
+        best_energy = current_energy.copy()
+        best_feasible = current_feasible.copy()
+
+        single_flip = isinstance(solver.move_generator, SingleFlipMove)
+        # Software-mode single-flip fast path: track the raw QUBO value of
+        # every incumbent (feasible or not) and update it with the O(n)
+        # incremental delta instead of recomputing the O(n^2) quadratic form
+        # per proposal.  The scalar solver recomputes in full, but for the
+        # losslessly stored integer matrices of the paper benchmarks both
+        # routes are exact, so parity is preserved; the hardware path always
+        # goes through the batched crossbar MVM.
+        use_delta = single_flip and solver.crossbar is None
+        qubo = solver.model.qubo
+        if use_delta:
+            raw_energy = batched_energies(qubo.matrix, current, qubo.offset)
+            symmetric = qubo.matrix + qubo.matrix.T
+        else:
+            raw_energy = None
+            symmetric = None
+        int_draws = [g.integers for g in generators]
+        uniform_draws = [g.random for g in generators]
+        histories: List[List[float]] = [[] for _ in range(num_replicas)]
+        num_feasible = np.zeros(num_replicas, dtype=int)
+        num_skipped = np.zeros(num_replicas, dtype=int)
+        num_accepted = np.zeros(num_replicas, dtype=int)
+        rows = np.arange(num_replicas)
+
+        for iteration in range(solver.num_iterations):
+            temperature = solver.schedule.temperature(iteration,
+                                                      solver.num_iterations)
+            for _ in range(solver.moves_per_iteration):
+                if single_flip:
+                    flips = np.fromiter((draw(0, n) for draw in int_draws),
+                                        dtype=np.intp, count=num_replicas)
+                    candidates = current.copy()
+                    candidates[rows, flips] = 1.0 - candidates[rows, flips]
+                else:
+                    candidates = np.stack([
+                        solver.move_generator.propose(current[k], generators[k])
+                        for k in range(num_replicas)
+                    ])
+
+                if use_delta:
+                    candidate_raw = raw_energy + batched_energy_delta(
+                        qubo.matrix, current, flips, symmetric=symmetric)
+
+                # Step 1: inequality evaluation, one batched filter pass.
+                candidate_feasible = self._feasible_batch(candidates, generators)
+                infeasible_idx = np.flatnonzero(~candidate_feasible)
+                num_skipped[infeasible_idx] += 1
+                # Replicas whose incumbent is itself infeasible drift freely
+                # at energy 0 (paper Eq. (6)), as in the scalar solver.
+                drifting = infeasible_idx[~current_feasible[infeasible_idx]]
+                if drifting.size:
+                    current[drifting] = candidates[drifting]
+                    current_energy[drifting] = 0.0
+                    if use_delta:
+                        raw_energy[drifting] = candidate_raw[drifting]
+
+                feasible_idx = np.flatnonzero(candidate_feasible)
+                if feasible_idx.size == 0:
+                    continue
+                num_feasible[feasible_idx] += 1
+
+                # Step 2: QUBO computation for all feasible candidates in one
+                # batched crossbar MVM (or BLAS product in software mode).
+                if use_delta:
+                    candidate_energy = candidate_raw[feasible_idx]
+                else:
+                    candidate_energy = self._energies(candidates[feasible_idx])
+
+                # Step 3: per-replica Metropolis acceptance.
+                delta = candidate_energy - current_energy[feasible_idx]
+                accepted = _metropolis(delta, temperature, uniform_draws,
+                                       feasible_idx)
+                accepted_idx = feasible_idx[accepted]
+                if accepted_idx.size:
+                    current[accepted_idx] = candidates[accepted_idx]
+                    current_energy[accepted_idx] = candidate_energy[accepted]
+                    if use_delta:
+                        raw_energy[accepted_idx] = candidate_energy[accepted]
+                    current_feasible[accepted_idx] = True
+                    num_accepted[accepted_idx] += 1
+                    improved = accepted_idx[
+                        (current_energy[accepted_idx] < best_energy[accepted_idx])
+                        | ~best_feasible[accepted_idx]]
+                    best_energy[improved] = current_energy[improved]
+                    best[improved] = current[improved]
+                    best_feasible[improved] = True
+
+            if solver.record_history:
+                for k in range(num_replicas):
+                    histories[k].append(float(best_energy[k]))
+
+        native = solver._native_problem
+        results: List[SolveResult] = []
+        for k in range(num_replicas):
+            if best_feasible[k]:
+                objective = (None if native is None
+                             else native.objective(best[k]))
+            else:
+                objective = 0.0 if native is not None else None
+            results.append(SolveResult(
+                best_configuration=best[k].copy(),
+                best_energy=float(best_energy[k]),
+                best_objective=objective,
+                feasible=bool(best_feasible[k]),
+                energy_history=histories[k],
+                num_iterations=solver.num_iterations * solver.moves_per_iteration,
+                num_feasible_evaluations=int(num_feasible[k]),
+                num_infeasible_skipped=int(num_skipped[k]),
+                num_accepted_moves=int(num_accepted[k]),
+                solver_name="HyCiM",
+                metadata={
+                    "use_hardware": solver.use_hardware,
+                    "seed": solver.seed,
+                    "num_constraints": solver.model.num_constraints,
+                    "vectorized": True,
+                    "num_replicas": num_replicas,
+                },
+            ))
+        return results
+
+
+def _apply_filters(candidates: np.ndarray,
+                   accept_filter: Optional[RowFilter],
+                   accept_filter_batch: Optional[BatchFilter]) -> np.ndarray:
+    """Feasibility verdicts for a candidate batch (vectorised when possible)."""
+    if accept_filter_batch is not None:
+        return np.asarray(accept_filter_batch(candidates), dtype=bool)
+    if accept_filter is not None:
+        return np.array([bool(accept_filter(row)) for row in candidates],
+                        dtype=bool)
+    return np.ones(candidates.shape[0], dtype=bool)
+
+
+def _metropolis(delta: np.ndarray, temperature: float,
+                uniform_draws: Sequence[Callable[[], float]],
+                replica_indices: np.ndarray) -> np.ndarray:
+    """Per-replica Metropolis decisions, preserving each replica's stream.
+
+    ``uniform_draws[k]`` is replica ``k``'s bound ``Generator.random``.
+    Exactly one uniform draw per listed replica, from that replica's own
+    generator, compared against the *scalar* ``acceptance_probability`` (the
+    same ``math.exp`` the scalar solvers call, so a borderline draw cannot
+    decide differently due to a vectorised-exp ulp).
+    """
+    decisions = np.empty(replica_indices.shape[0], dtype=bool)
+    for position, replica in enumerate(replica_indices):
+        draw = uniform_draws[replica]()
+        step = delta[position]
+        # delta <= 0 is always accepted (probability 1 > any uniform draw),
+        # but the draw above still happens to keep the stream aligned.
+        decisions[position] = step <= 0 or \
+            draw < acceptance_probability(float(step), temperature)
+    return decisions

@@ -181,14 +181,34 @@ class FeFETCrossbar:
     # ------------------------------------------------------------------ #
     # Analog evaluation
     # ------------------------------------------------------------------ #
-    def _accumulate(self, planes: np.ndarray, factors: np.ndarray,
-                    x: np.ndarray) -> float:
-        """Add-shift-sum accumulation of one sign's bit planes."""
-        total = 0.0
+    def compute_energy(self, x: Sequence[int]) -> float:
+        """Evaluate ``x^T Q x + offset`` through the analog crossbar pipeline.
+
+        A single-row :meth:`compute_energies` call: the one-row batch draws
+        the same noise values in the same order and performs the identical
+        element-wise ADC quantization, so there is exactly one add-shift-sum
+        implementation to keep faithful to the hardware.
+        """
+        vec = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if vec.ndim != 1 or vec.shape[0] != self._n:
+            raise ValueError(f"input length {vec.shape} != crossbar dimension {self._n}")
+        return float(self.compute_energies(vec[None, :])[0])
+
+    def _accumulate_batch(self, planes: np.ndarray, factors: np.ndarray,
+                          batch: np.ndarray) -> np.ndarray:
+        """Add-shift-sum accumulation of one sign's bit planes, batched.
+
+        ``batch`` is an ``(M, n)`` replica matrix; the whole batch shares one
+        matrix product per bit plane (the crossbar evaluating an array of
+        candidates in one shot), and read noise / ADC quantization are applied
+        element-wise, i.e. independently per replica row, exactly as the
+        scalar path applies them per evaluation.
+        """
+        total = np.zeros(batch.shape[0])
         for b in range(self.config.weight_bits):
             effective = planes[b] * factors[b]
-            # Column current of column i: sum_j x_j * cell_ji * x_i.
-            column_currents = (x @ effective) * x
+            # Column currents, one row of columns per replica.
+            column_currents = (batch @ effective) * batch
             if self.config.current_noise_sigma > 0:
                 noise = self._rng.normal(0.0, self.config.current_noise_sigma,
                                          size=column_currents.shape)
@@ -196,26 +216,31 @@ class FeFETCrossbar:
                 column_currents = np.maximum(column_currents, 0.0)
             if self._adc is not None:
                 column_currents = self._adc.quantize_array(column_currents)
-            total += float(column_currents.sum()) * (2 ** b)
+            total += column_currents.sum(axis=1) * (2 ** b)
         return total
 
-    def compute_energy(self, x: Sequence[int]) -> float:
-        """Evaluate ``x^T Q x + offset`` through the analog crossbar pipeline."""
-        vec = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
-        if vec.shape[0] != self._n:
-            raise ValueError(f"input length {vec.shape[0]} != crossbar dimension {self._n}")
-        if not np.all((vec == 0) | (vec == 1)):
-            raise ValueError("crossbar inputs must be binary")
-        positive = self._accumulate(self._pos_planes, self._pos_factors, vec)
-        negative = self._accumulate(self._neg_planes, self._neg_factors, vec)
-        return (positive - negative) / self._scale + self.qubo.offset
-
     def compute_energies(self, configurations: np.ndarray) -> np.ndarray:
-        """Evaluate a batch of configurations (one row each)."""
+        """Evaluate an ``(M, n)`` batch of configurations in one crossbar pass.
+
+        The batched counterpart of :meth:`compute_energy`: one matrix product
+        per bit plane covers every replica row, with read noise and ADC
+        quantization applied per replica.  Noise-free results equal the
+        scalar path's (bit-for-bit for losslessly stored integer matrices);
+        with read noise enabled the draw order differs from ``M`` scalar
+        calls, so noisy batches are reproducible at batch granularity only.
+        """
         batch = np.asarray(configurations, dtype=float)
         if batch.ndim == 1:
             batch = batch[None, :]
-        return np.array([self.compute_energy(row) for row in batch])
+        if batch.ndim != 2 or batch.shape[1] != self._n:
+            raise ValueError(
+                f"batch shape {batch.shape} incompatible with crossbar dimension {self._n}"
+            )
+        if not np.all((batch == 0) | (batch == 1)):
+            raise ValueError("crossbar inputs must be binary")
+        positive = self._accumulate_batch(self._pos_planes, self._pos_factors, batch)
+        negative = self._accumulate_batch(self._neg_planes, self._neg_factors, batch)
+        return (positive - negative) / self._scale + self.qubo.offset
 
     def column_current(self, num_activated_cells: int) -> float:
         """Analog current of a column with ``num_activated_cells`` cells ON.

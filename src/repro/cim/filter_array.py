@@ -244,6 +244,36 @@ class WorkingArray:
             weighted_sum=weighted_sum,
         )
 
+    def evaluate_batch(self, configurations: np.ndarray,
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Matchline voltages for an ``(M, n)`` batch of input configurations.
+
+        The vectorised counterpart of :meth:`evaluate`: one weighted-sum
+        product covers every row, readout noise (when configured) is drawn
+        independently per row, and the returned array holds the final
+        (clipped) matchline voltage per replica.  Noise-free voltages equal
+        the scalar path's value for each row.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.ndim != 2 or batch.shape[1] != self.num_columns:
+            raise ValueError(
+                f"batch shape {batch.shape} incompatible with {self.num_columns} columns"
+            )
+        if not np.all((batch == 0) | (batch == 1)):
+            raise ValueError("input configurations must be binary")
+        weighted_sums = batch @ self._effective_weights
+        ideal_voltages = self.config.supply_voltage - \
+            self.config.discharge_per_unit * weighted_sums
+        if self.config.noise_sigma > 0:
+            generator = rng or np.random.default_rng()
+            noise = generator.normal(0.0, self.config.noise_sigma,
+                                     size=weighted_sums.shape)
+        else:
+            noise = 0.0
+        return np.maximum(0.0, ideal_voltages + noise)
+
     def phase_waveform(self, x: Sequence[int]) -> np.ndarray:
         """Matchline voltage after each of the four staircase phases.
 

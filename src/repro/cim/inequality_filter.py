@@ -178,6 +178,28 @@ class InequalityFilter:
             batch = batch[None, :]
         return [self.evaluate(row, rng=rng) for row in batch]
 
+    def is_feasible_batch(self, configurations: np.ndarray,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Single-bit decisions for an ``(M, n)`` replica batch, vectorised.
+
+        One working-array product and one replica readout vector cover every
+        row (the filter array evaluating a batch of candidates in one analog
+        shot); the comparator decides all rows in one call.  Noise-free
+        decisions equal row-wise :meth:`is_feasible` exactly.  Note that the
+        multi-replica annealing engine evaluates *every* constraint's filter
+        for every row (no per-row short-circuit across constraints), so the
+        evaluation counters can exceed the scalar path's.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        working_voltages = self.working_array.evaluate_batch(batch, rng=rng)
+        replica_voltages = self.replica_array.evaluate_batch(batch.shape[0], rng=rng)
+        verdicts = self.comparator.decide_batch(working_voltages, replica_voltages)
+        self._num_evaluations += int(batch.shape[0])
+        self._num_feasible += int(np.count_nonzero(verdicts))
+        return verdicts
+
     def classification_accuracy(self, configurations: np.ndarray,
                                 rng: Optional[np.random.Generator] = None) -> float:
         """Fraction of configurations classified identically to exact arithmetic.

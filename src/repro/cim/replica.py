@@ -90,3 +90,15 @@ class ReplicaArray:
     def evaluate(self, rng: Optional[np.random.Generator] = None) -> MatchlineReadout:
         """Replica matchline readout (voltage proportional to ``-C``)."""
         return self._array.evaluate(self._fixed_input, rng=rng)
+
+    def evaluate_batch(self, count: int,
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """``count`` replica matchline readouts as a voltage vector.
+
+        One readout per replica of a batched filter evaluation; without
+        readout noise every entry equals the scalar :meth:`evaluate` voltage.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._array.evaluate_batch(
+            np.tile(self._fixed_input, (count, 1)), rng=rng)

@@ -52,6 +52,20 @@ class CombinatorialProblem(ABC):
     #: Whether the native objective is to be maximised.
     is_maximization: bool = True
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Feasibility verdicts for an ``(M, n)`` batch, one row per replica.
+
+        The multi-replica annealing engine calls this once per lock-step
+        proposal round.  The default implementation delegates to
+        :meth:`is_feasible` row by row (so verdicts always agree with the
+        scalar path); problems with cheap vectorised constraint checks
+        override it with a single batched evaluation.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        return np.array([self.is_feasible(row) for row in batch], dtype=bool)
+
     def to_inequality_qubo(self) -> InequalityQUBO:
         """HyCiM inequality-QUBO form: objective QUBO + detached constraints.
 

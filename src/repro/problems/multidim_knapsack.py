@@ -104,6 +104,14 @@ class MultiDimensionalKnapsackProblem(CombinatorialProblem):
     def is_feasible(self, x: Iterable[float]) -> bool:
         return bool(np.all(self.resource_usage(x) <= self.capacities + 1e-9))
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Vectorised resource check: one ``W x`` product covers all replicas."""
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        usage = batch @ self.weights.T
+        return np.all(usage <= self.capacities + 1e-9, axis=1)
+
     def constraints(self) -> Tuple[InequalityConstraint, ...]:
         """One detached inequality constraint per resource dimension."""
         return tuple(

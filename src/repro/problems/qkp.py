@@ -95,6 +95,13 @@ class QuadraticKnapsackProblem(CombinatorialProblem):
     def is_feasible(self, x: Iterable[float]) -> bool:
         return self.total_weight(x) <= self.capacity + 1e-9
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Vectorised capacity check: one weighted sum covers all replicas."""
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        return (batch @ self.weights) <= self.capacity + 1e-9
+
     def constraint(self) -> InequalityConstraint:
         """The capacity constraint as a standalone object."""
         return InequalityConstraint(self.weights, self.capacity, name=f"{self.name}-capacity")

@@ -10,9 +10,13 @@ instance, score the success rate"; this package owns that loop:
   dicts.
 * :mod:`repro.runtime.executor` -- :func:`run_trials`: N replica seeds per
   instance, fanned out over a ``multiprocessing`` pool (``backend=
-  "process"``) or run in-process (``backend="serial"``), with
-  ``SeedSequence.spawn`` seed derivation making both backends bitwise
-  identical.
+  "process"``), run in-process (``backend="serial"``) or advanced in
+  lock-step through the vectorised replica engine of :mod:`repro.batched`
+  (``backend="vectorized"``), with ``SeedSequence.spawn`` seed derivation
+  making all backends identical per seed (bitwise in software mode on
+  integer-valued objective data; float data within fp tolerance).
+  ``replicas_per_task`` composes process-level and replica-level
+  parallelism: each worker task runs vectorised replica groups.
 * :mod:`repro.runtime.campaign` -- (instance x solver x params) sweeps with
   per-cell aggregation and early stopping on the success bar.
 * :mod:`repro.runtime.portfolio` -- several solvers racing on one instance,
@@ -30,7 +34,9 @@ from repro.runtime.registry import (
     SolverSpec,
     as_solver_spec,
     available_solvers,
+    get_batched_trial_function,
     get_trial_function,
+    register_batched_solver,
     register_solver,
     run_single_trial,
     unregister_solver,
@@ -76,10 +82,12 @@ __all__ = [
     "available_solvers",
     "derive_trial_seeds",
     "expand_param_grid",
+    "get_batched_trial_function",
     "get_trial_function",
     "mean_success_over_batches",
     "meets_success_bar",
     "race_key",
+    "register_batched_solver",
     "register_solver",
     "replay_trial",
     "run_campaign",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -59,6 +59,15 @@ from repro.problems.base import CombinatorialProblem
 
 TrialFunction = Callable[
     [CombinatorialProblem, Mapping[str, Any], int, Optional[np.ndarray]], SolveResult
+]
+
+#: A batched trial function runs one lock-step replica group: one trial per
+#: spawned seed, returning one SolveResult per seed in order.  Replica ``k``
+#: must consume ``np.random.default_rng(seeds[k])`` exactly as the scalar
+#: trial function would, so both paths yield identical per-seed results.
+BatchedTrialFunction = Callable[
+    [CombinatorialProblem, Mapping[str, Any], Sequence[int],
+     Sequence[Optional[np.ndarray]]], List[SolveResult]
 ]
 
 _SCHEDULES = {
@@ -425,6 +434,36 @@ _REGISTRY: Dict[str, TrialFunction] = {
 #: portfolios run these once instead of ``num_trials`` times.
 DETERMINISTIC_SOLVERS = frozenset({"greedy", "dp", "brute_force"})
 
+#: Vectorised (lock-step replica) trial functions, keyed like ``_REGISTRY``.
+#: Populated lazily from :mod:`repro.batched.trials` so importing the
+#: registry never pulls the batched engine in (and vice versa).
+_BATCHED_REGISTRY: Dict[str, BatchedTrialFunction] = {}
+_batched_builtins_loaded = False
+
+
+def _load_batched_builtins() -> None:
+    global _batched_builtins_loaded
+    if not _batched_builtins_loaded:
+        _batched_builtins_loaded = True
+        # Importing the module registers the built-in batched solvers.
+        import repro.batched.trials  # noqa: F401
+
+
+def _register_builtin_batched(name: str, batched_fn: BatchedTrialFunction,
+                              scalar_fn: TrialFunction) -> None:
+    """Pair a built-in batched engine with its built-in scalar trial function.
+
+    Because the built-ins load lazily (on the first vectorized run), the user
+    may already have replaced the scalar solver or registered their own
+    batched function under ``name``.  A batched engine is only a valid
+    stand-in for the *specific* scalar function it mirrors, so registration
+    is skipped unless ``name`` still maps to ``scalar_fn`` and no user
+    batched function claimed the slot -- the executor then simply falls back
+    to the (possibly user-supplied) scalar path.
+    """
+    if _REGISTRY.get(name) is scalar_fn and name not in _BATCHED_REGISTRY:
+        _BATCHED_REGISTRY[name] = batched_fn
+
 
 def available_solvers() -> Tuple[str, ...]:
     """The registered solver names, sorted."""
@@ -445,12 +484,51 @@ def register_solver(name: str, trial_fn: TrialFunction, *,
         raise KeyError(f"solver {name!r} is already registered (pass overwrite=True)")
     if not callable(trial_fn):
         raise TypeError("trial_fn must be callable")
+    if _REGISTRY.get(name) is not trial_fn:
+        # A previously paired batched engine mirrors the *old* scalar
+        # function; dropping it makes every backend fall back to the new
+        # scalar path instead of silently running stale vectorised code.
+        _BATCHED_REGISTRY.pop(name, None)
     _REGISTRY[name] = trial_fn
+
+
+def register_batched_solver(name: str, batched_fn: BatchedTrialFunction, *,
+                            overwrite: bool = False) -> None:
+    """Register a vectorised (lock-step replica group) trial function.
+
+    ``batched_fn`` must honour the ``(problem, params, seeds, initials) ->
+    [SolveResult, ...]`` signature, return one result per seed in order, and
+    consume ``default_rng(seeds[k])`` for replica ``k`` exactly as the
+    scalar trial function registered under the same name would -- the
+    executor relies on this to keep ``backend="vectorized"`` results
+    identical per seed to the serial backend.  Like scalar trial functions it
+    must be a picklable module-level function to work with the process
+    backend's ``replicas_per_task`` grouping.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("solver name must be a non-empty string")
+    if name in _BATCHED_REGISTRY and not overwrite:
+        raise KeyError(
+            f"batched solver {name!r} is already registered (pass overwrite=True)"
+        )
+    if not callable(batched_fn):
+        raise TypeError("batched_fn must be callable")
+    _BATCHED_REGISTRY[name] = batched_fn
+
+
+def get_batched_trial_function(name: str) -> Optional[BatchedTrialFunction]:
+    """The batched trial function for ``name``, or ``None`` if the solver has
+    no vectorised implementation (the executor then falls back to running the
+    group's trials through the scalar trial function, one by one, which
+    yields identical results)."""
+    _load_batched_builtins()
+    return _BATCHED_REGISTRY.get(name)
 
 
 def unregister_solver(name: str) -> None:
     """Remove a previously registered custom solver (built-ins included)."""
     _REGISTRY.pop(name, None)
+    _BATCHED_REGISTRY.pop(name, None)
 
 
 def get_trial_function(name: str) -> TrialFunction:

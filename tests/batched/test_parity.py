@@ -1,0 +1,305 @@
+"""Scalar-parity regression suite for the vectorised replica engine.
+
+The acceptance contract of :mod:`repro.batched`: for fixed per-trial seeds,
+the vectorised engine's per-replica trajectories -- energies, accept/reject
+decisions (observable through the move counters and energy histories) and
+final configurations -- must *exactly* match M independent scalar
+``HyCiMSolver`` / ``SimulatedAnnealer`` runs in software mode, and match
+within floating-point tolerance in (ideal) hardware mode.
+
+All instances here come from the paper's integer-valued QKP family, where
+batched BLAS reductions and scalar dot products are bit-identical (every
+intermediate is an exactly representable float64 integer), so "exact" really
+means exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing.hycim import HyCiMSolver
+from repro.annealing.sa import SimulatedAnnealer
+from repro.annealing.schedule import GeometricSchedule
+from repro.batched import BatchedHyCiMSolver, BatchedSimulatedAnnealer
+from repro.runtime import derive_trial_seeds, run_trials
+
+NUM_REPLICAS = 8
+
+
+def assert_results_match(scalar_results, batched_results, exact=True):
+    """Trajectory-level parity: energies, decisions, configurations."""
+    assert len(scalar_results) == len(batched_results)
+    for scalar, batched in zip(scalar_results, batched_results):
+        if exact:
+            assert scalar.best_energy == batched.best_energy
+            assert scalar.energy_history == batched.energy_history
+        else:
+            assert batched.best_energy == pytest.approx(scalar.best_energy,
+                                                        rel=1e-9)
+            np.testing.assert_allclose(scalar.energy_history,
+                                       batched.energy_history, rtol=1e-9)
+        np.testing.assert_array_equal(scalar.best_configuration,
+                                      batched.best_configuration)
+        # Accept/reject and filter decisions, move for move.
+        assert scalar.num_accepted_moves == batched.num_accepted_moves
+        assert scalar.num_feasible_evaluations == batched.num_feasible_evaluations
+        assert scalar.num_infeasible_skipped == batched.num_infeasible_skipped
+        assert scalar.feasible == batched.feasible
+        if scalar.best_objective is None:
+            assert batched.best_objective is None
+        else:
+            assert scalar.best_objective == pytest.approx(batched.best_objective)
+
+
+class TestEngineLevelParity:
+    """Direct engine parity: M scalar solver runs vs one lock-step batch."""
+
+    def _scalar_and_batched(self, solver_kwargs, problem, seeds):
+        scalar_results = []
+        for seed in seeds:
+            solver = HyCiMSolver(problem, **solver_kwargs)
+            rng = np.random.default_rng(seed)
+            initial = problem.random_feasible_configuration(rng)
+            scalar_results.append(solver.solve(initial=initial, rng=rng))
+
+        shared = HyCiMSolver(problem, **solver_kwargs)
+        rngs = [np.random.default_rng(seed) for seed in seeds]
+        initials = np.stack([problem.random_feasible_configuration(rng)
+                             for rng in rngs])
+        batched_results = BatchedHyCiMSolver(shared).solve_batch(initials, rngs)
+        return scalar_results, batched_results
+
+    def test_software_mode_single_flip_exact(self, medium_qkp):
+        seeds = derive_trial_seeds(11, NUM_REPLICAS)
+        scalar, batched = self._scalar_and_batched(
+            dict(use_hardware=False, num_iterations=60, record_history=True,
+                 schedule=GeometricSchedule(200.0, 0.5)),
+            medium_qkp, seeds)
+        assert_results_match(scalar, batched, exact=True)
+
+    def test_software_mode_knapsack_moves_exact(self, medium_qkp):
+        from repro.annealing.moves import KnapsackNeighborhoodMove
+        seeds = derive_trial_seeds(5, NUM_REPLICAS)
+        scalar, batched = self._scalar_and_batched(
+            dict(use_hardware=False, num_iterations=40, moves_per_iteration=4,
+                 move_generator=KnapsackNeighborhoodMove(),
+                 record_history=True,
+                 schedule=GeometricSchedule(200.0, 0.5)),
+            medium_qkp, seeds)
+        assert_results_match(scalar, batched, exact=True)
+
+    def test_hardware_mode_matches_within_tolerance(self, small_qkp):
+        seeds = derive_trial_seeds(3, NUM_REPLICAS)
+        scalar, batched = self._scalar_and_batched(
+            dict(use_hardware=True, num_iterations=40, record_history=True,
+                 schedule=GeometricSchedule(200.0, 0.5)),
+            small_qkp, seeds)
+        assert_results_match(scalar, batched, exact=False)
+
+    def test_hardware_matchline_noise_takes_scalar_stream_path(self, small_qkp):
+        """With matchline noise the filter consumes per-candidate draws and
+        short-circuits across constraints; the engine must fall back to
+        per-replica evaluation and stay *exactly* on the scalar streams."""
+        seeds = derive_trial_seeds(7, 4)
+        scalar, batched = self._scalar_and_batched(
+            dict(use_hardware=True, num_iterations=25,
+                 matchline_noise_sigma=0.01, record_history=True,
+                 schedule=GeometricSchedule(200.0, 0.5)),
+            small_qkp, seeds)
+        for a, b in zip(scalar, batched):
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+            assert a.num_infeasible_skipped == b.num_infeasible_skipped
+            assert a.num_accepted_moves == b.num_accepted_moves
+
+    def test_equality_constraint_problems_match(self):
+        """Problems with equality constraints (handled in SA logic, no
+        hardware filter) run through the per-row constraint branch."""
+        from repro.problems.generators import generate_coloring_instance
+        problem = generate_coloring_instance(num_nodes=5, edge_probability=0.4,
+                                             num_colors=3, seed=2)
+        seeds = derive_trial_seeds(13, 4)
+        scalar, batched = self._scalar_and_batched(
+            dict(use_hardware=False, num_iterations=30,
+                 schedule=GeometricSchedule(10.0, 0.1)),
+            problem, seeds)
+        assert_results_match(scalar, batched, exact=True)
+
+    def test_sa_generic_move_generator_parity(self, medium_qkp):
+        """Non-single-flip SA moves take the per-replica propose path but
+        still evaluate energies in batch."""
+        from repro.annealing.moves import MultiFlipMove
+        seeds = derive_trial_seeds(19, 4)
+        qubo = medium_qkp.to_qubo()
+        kwargs = dict(num_iterations=30, move_generator=MultiFlipMove(2),
+                      schedule=GeometricSchedule(200.0, 0.5))
+        scalar_results = []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            initial = medium_qkp.random_feasible_configuration(rng)
+            scalar_results.append(SimulatedAnnealer(**kwargs).anneal(
+                qubo, initial=initial, rng=rng))
+        rngs = [np.random.default_rng(seed) for seed in seeds]
+        initials = np.stack([medium_qkp.random_feasible_configuration(rng)
+                             for rng in rngs])
+        batched_results = BatchedSimulatedAnnealer(
+            SimulatedAnnealer(**kwargs)).anneal(qubo, initials, rngs)
+        for a, b in zip(scalar_results, batched_results):
+            assert a.best_energy == b.best_energy
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+            assert a.num_accepted_moves == b.num_accepted_moves
+
+    def test_sa_parity_with_feasibility_filter(self, medium_qkp):
+        seeds = derive_trial_seeds(17, NUM_REPLICAS)
+        qubo = medium_qkp.to_qubo()
+        kwargs = dict(num_iterations=60, record_history=True,
+                      schedule=GeometricSchedule(200.0, 0.5))
+
+        scalar_results = []
+        for seed in seeds:
+            annealer = SimulatedAnnealer(seed=seed, **kwargs)
+            rng = np.random.default_rng(seed)
+            initial = medium_qkp.random_feasible_configuration(rng)
+            scalar_results.append(annealer.anneal(
+                qubo, initial=initial, rng=rng,
+                accept_filter=medium_qkp.is_feasible))
+
+        rngs = [np.random.default_rng(seed) for seed in seeds]
+        initials = np.stack([medium_qkp.random_feasible_configuration(rng)
+                             for rng in rngs])
+        batched_results = BatchedSimulatedAnnealer(
+            SimulatedAnnealer(**kwargs)).anneal(
+                qubo, initials, rngs,
+                accept_filter=medium_qkp.is_feasible,
+                accept_filter_batch=medium_qkp.is_feasible_batch)
+        for scalar, batched in zip(scalar_results, batched_results):
+            assert scalar.best_energy == batched.best_energy
+            assert scalar.energy_history == batched.energy_history
+            np.testing.assert_array_equal(scalar.best_configuration,
+                                          batched.best_configuration)
+            assert scalar.num_accepted_moves == batched.num_accepted_moves
+            assert scalar.num_infeasible_skipped == batched.num_infeasible_skipped
+
+
+class TestBackendParity:
+    """run_trials(backend="vectorized") vs backend="serial", per seed."""
+
+    @pytest.mark.parametrize("params", [
+        {"num_iterations": 40, "use_hardware": False},
+        {"num_iterations": 30, "use_hardware": False,
+         "move_generator": "knapsack", "moves_per_iteration": 4},
+        {"num_iterations": 30, "use_hardware": False, "initial": "zeros",
+         "record_history": True},
+    ], ids=["single_flip", "knapsack_moves", "zeros_history"])
+    def test_hycim_software_identical(self, medium_qkp, params):
+        serial = run_trials(medium_qkp, "hycim", num_trials=NUM_REPLICAS,
+                            params=params, backend="serial", master_seed=23)
+        vectorized = run_trials(medium_qkp, "hycim", num_trials=NUM_REPLICAS,
+                                params=params, backend="vectorized",
+                                master_seed=23)
+        assert vectorized.backend == "vectorized"
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+        assert_results_match(serial.results, vectorized.results, exact=True)
+        assert [r.trial_seed for r in serial.results] == \
+            [r.trial_seed for r in vectorized.results]
+
+    def test_hycim_hardware_within_tolerance(self, small_qkp):
+        params = {"num_iterations": 30, "use_hardware": True}
+        serial = run_trials(small_qkp, "hycim", num_trials=NUM_REPLICAS,
+                            params=params, backend="serial", master_seed=31)
+        vectorized = run_trials(small_qkp, "hycim", num_trials=NUM_REPLICAS,
+                                params=params, backend="vectorized",
+                                master_seed=31)
+        np.testing.assert_allclose(serial.best_energies,
+                                   vectorized.best_energies, rtol=1e-9)
+        for a, b in zip(serial.results, vectorized.results):
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+
+    @pytest.mark.parametrize("respect", [True, False])
+    def test_sa_identical(self, medium_qkp, respect):
+        params = {"num_iterations": 40, "respect_constraints": respect}
+        serial = run_trials(medium_qkp, "sa", num_trials=NUM_REPLICAS,
+                            params=params, backend="serial", master_seed=29)
+        vectorized = run_trials(medium_qkp, "sa", num_trials=NUM_REPLICAS,
+                                params=params, backend="vectorized",
+                                master_seed=29)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+        assert_results_match(serial.results, vectorized.results, exact=True)
+
+    def test_infeasible_starts_drift_identically(self, medium_qkp):
+        """Replicas whose incumbent is infeasible drift freely at energy 0
+        (paper Eq. (6)); the batched drift bookkeeping must track the scalar
+        flow move for move."""
+        params = {"num_iterations": 40, "use_hardware": False,
+                  "initial": "random", "record_history": True}
+        serial = run_trials(medium_qkp, "hycim", num_trials=NUM_REPLICAS,
+                            params=params, backend="serial", master_seed=53)
+        vectorized = run_trials(medium_qkp, "hycim", num_trials=NUM_REPLICAS,
+                                params=params, backend="vectorized",
+                                master_seed=53)
+        # Random uniform starts on a capacity-constrained QKP are mostly
+        # infeasible, so the drift branch is genuinely exercised.
+        assert any(r.num_infeasible_skipped > 0 for r in serial.results)
+        assert_results_match(serial.results, vectorized.results, exact=True)
+
+    def test_initial_states_respected(self, medium_qkp, rng):
+        starts = [medium_qkp.random_feasible_configuration(rng)
+                  for _ in range(4)]
+        params = {"num_iterations": 25, "use_hardware": False}
+        serial = run_trials(medium_qkp, "hycim", num_trials=4, params=params,
+                            backend="serial", master_seed=2,
+                            initial_states=starts)
+        vectorized = run_trials(medium_qkp, "hycim", num_trials=4,
+                                params=params, backend="vectorized",
+                                master_seed=2, initial_states=starts)
+        assert_results_match(serial.results, vectorized.results, exact=True)
+
+    def test_variability_falls_back_to_scalar_identically(self, small_qkp):
+        """Per-trial device resampling cannot share hardware; the batched
+        trial function must delegate to scalar trials with the same seeds."""
+        params = {"num_iterations": 15, "use_hardware": True,
+                  "variability": {"threshold_sigma": 0.02,
+                                  "on_current_sigma": 0.05}}
+        serial = run_trials(small_qkp, "hycim", num_trials=4, params=params,
+                            backend="serial", master_seed=19)
+        vectorized = run_trials(small_qkp, "hycim", num_trials=4,
+                                params=params, backend="vectorized",
+                                master_seed=19)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+
+    def test_unbatched_solver_falls_back(self, small_qkp):
+        """Solvers without a batched implementation still run on the
+        vectorized backend, through the scalar path, with identical results."""
+        serial = run_trials(small_qkp, "greedy", num_trials=2,
+                            backend="serial", master_seed=0)
+        vectorized = run_trials(small_qkp, "greedy", num_trials=2,
+                                backend="vectorized", master_seed=0)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+
+    def test_process_backend_with_replica_groups(self, medium_qkp):
+        """replicas_per_task composes process- and replica-parallelism
+        without changing any per-seed result."""
+        params = {"num_iterations": 25, "use_hardware": False}
+        serial = run_trials(medium_qkp, "hycim", num_trials=8, params=params,
+                            backend="serial", master_seed=37)
+        composed = run_trials(medium_qkp, "hycim", num_trials=8, params=params,
+                              backend="process", master_seed=37,
+                              num_workers=2, chunk_size=4, replicas_per_task=4)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      composed.best_energies)
+        assert_results_match(serial.results, composed.results, exact=True)
+
+    def test_replica_group_size_does_not_change_results(self, medium_qkp):
+        params = {"num_iterations": 25, "use_hardware": False}
+        whole = run_trials(medium_qkp, "hycim", num_trials=6, params=params,
+                           backend="vectorized", master_seed=41)
+        grouped = run_trials(medium_qkp, "hycim", num_trials=6, params=params,
+                             backend="vectorized", master_seed=41,
+                             chunk_size=6, replicas_per_task=2)
+        np.testing.assert_array_equal(whole.best_energies,
+                                      grouped.best_energies)

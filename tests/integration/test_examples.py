@@ -42,6 +42,12 @@ class TestExamples:
         assert "Campaign summary" in output
         assert "mean success" in output
 
+    def test_vectorized_replicas_demo_agrees_and_wins(self, capsys):
+        output = run_example("vectorized_replicas.py", capsys)
+        assert "software-mode energies identical per seed: True" in output
+        assert "identical per seed: True" in output
+        assert "per-replica speedup" in output
+
     def test_logistics_loading_produces_feasible_manifest(self, capsys):
         output = run_example("logistics_loading.py", capsys)
         assert "HyCiM loading plan" in output

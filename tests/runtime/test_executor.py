@@ -9,7 +9,14 @@ with ``numpy.random.SeedSequence`` in the parent.
 import numpy as np
 import pytest
 
-from repro.runtime import derive_trial_seeds, replay_trial, run_trials
+from repro.annealing.result import SolveResult
+from repro.runtime import (
+    derive_trial_seeds,
+    register_solver,
+    replay_trial,
+    run_trials,
+    unregister_solver,
+)
 
 HYCIM_FAST = {
     "num_iterations": 20,
@@ -143,6 +150,96 @@ class TestEarlyStopping:
                                    "move_generator": "knapsack"},
                            master_seed=1, target_energy=-20.0)
         assert batch.stopped_early
+
+
+#: Trial indices executed by the counting stub solver, in execution order.
+#: The stub reads its trial index from ``initial[0]`` and reports an energy
+#: of ``-index``, so a ``target_energy`` pins exactly which trial triggers
+#: the early stop.
+_EXECUTED_TRIALS = []
+
+
+def _counting_trial(problem, params, seed, initial):
+    index = int(initial[0])
+    _EXECUTED_TRIALS.append(index)
+    return SolveResult(
+        best_configuration=np.zeros(problem.num_variables),
+        best_energy=-float(index),
+        feasible=True,
+        solver_name="counting",
+    )
+
+
+class TestEarlyStoppingChunkBehaviour:
+    """Pin how chunked dispatch interacts with early stopping.
+
+    The documented contract (see the executor module docstring): the chunk
+    containing the triggering trial always runs to completion -- trials after
+    the hit within that chunk still execute and are reported -- and on the
+    serial/vectorized backends no later chunk ever starts.  On the process
+    backend, chunks already started in pool workers may also run, but their
+    results are discarded and never reported.
+    """
+
+    @pytest.fixture
+    def counting_solver(self):
+        _EXECUTED_TRIALS.clear()
+        register_solver("counting_stub", _counting_trial, overwrite=True)
+        yield "counting_stub"
+        unregister_solver("counting_stub")
+
+    def test_triggering_chunk_runs_to_completion(self, tiny_qkp, counting_solver):
+        # Trial 1 (energy -1) hits the target inside chunk 0 = trials {0,1,2}:
+        # trial 2 still executes, trials 3..8 never start.
+        starts = [np.array([float(i), 0.0, 0.0]) for i in range(9)]
+        batch = run_trials(tiny_qkp, counting_solver, num_trials=9,
+                           backend="serial", chunk_size=3,
+                           initial_states=starts, target_energy=-1.0)
+        assert _EXECUTED_TRIALS == [0, 1, 2]
+        assert batch.num_trials == 3
+        assert batch.stopped_early
+        assert batch.num_trials_requested == 9
+
+    def test_hit_in_later_chunk_executes_all_earlier_chunks(self, tiny_qkp,
+                                                            counting_solver):
+        starts = [np.array([float(i), 0.0, 0.0]) for i in range(8)]
+        batch = run_trials(tiny_qkp, counting_solver, num_trials=8,
+                           backend="serial", chunk_size=2,
+                           initial_states=starts, target_energy=-4.0)
+        # Chunks {0,1}, {2,3}, {4,5} execute; trial 4 triggers; 6/7 never run.
+        assert _EXECUTED_TRIALS == [0, 1, 2, 3, 4, 5]
+        assert batch.num_trials == 6
+        assert batch.stopped_early
+
+    def test_process_backend_discards_unconsumed_chunks(self, tiny_qkp,
+                                                        counting_solver):
+        # The consumer stops at the first (in-order) chunk that meets the
+        # target; even if later chunks completed in pool workers their
+        # results never reach the batch.
+        starts = [np.array([float(i + 1), 0.0, 0.0]) for i in range(6)]
+        batch = run_trials(tiny_qkp, counting_solver, num_trials=6,
+                           backend="process", num_workers=2, chunk_size=1,
+                           initial_states=starts, target_energy=-1.0)
+        assert batch.num_trials == 1
+        assert batch.stopped_early
+        assert [r.metadata["trial_index"] for r in batch.results] == [0]
+
+    def test_vectorized_backend_early_stop_granularity(self, tiny_qkp):
+        # Default vectorized chunking is one lock-step batch: the target is
+        # only checked after the whole batch, so nothing stops early...
+        params = {"num_iterations": 40, "moves_per_iteration": 3,
+                  "move_generator": "knapsack"}
+        whole = run_trials(tiny_qkp, "hycim", num_trials=8, params=params,
+                           backend="vectorized", master_seed=1,
+                           target_objective=20.0)
+        assert whole.num_trials == 8
+        assert not whole.stopped_early
+        # ...while an explicit chunk_size restores chunk-level early stops.
+        chunked = run_trials(tiny_qkp, "hycim", num_trials=8, params=params,
+                             backend="vectorized", chunk_size=2,
+                             master_seed=1, target_objective=20.0)
+        assert chunked.stopped_early
+        assert chunked.num_trials < 8
 
 
 class TestReplay:

@@ -194,3 +194,57 @@ class TestCustomRegistration:
             register_solver("", _constant_trial)
         with pytest.raises(TypeError):
             register_solver("not_callable", 42)
+
+
+def _constant_batched(problem, params, seeds, initials):
+    return [_constant_trial(problem, params, seed, initial)
+            for seed, initial in zip(seeds, initials)]
+
+
+class TestBatchedRegistration:
+    """The batched registry must never shadow user scalar registrations.
+
+    Built-in batched engines load lazily (first vectorized run), so they may
+    arrive *after* the user has replaced a scalar solver or claimed the
+    batched slot; a batched engine is only valid for the exact scalar
+    function it mirrors.
+    """
+
+    def test_replaced_scalar_solver_disables_builtin_batched(self, tiny_qkp):
+        from repro.runtime.registry import get_batched_trial_function
+        original = get_trial_function("hycim")
+        try:
+            register_solver("hycim", _constant_trial, overwrite=True)
+            # The vectorized backend must run the *custom* scalar function,
+            # not the built-in lock-step HyCiM engine.
+            assert get_batched_trial_function("hycim") is None
+            from repro.runtime import run_trials
+            batch = run_trials(tiny_qkp, "hycim", num_trials=2,
+                               params={"energy": -7.0}, backend="vectorized",
+                               master_seed=0)
+            assert [r.best_energy for r in batch.results] == [-7.0, -7.0]
+            assert all(r.solver_name == "constant" for r in batch.results)
+        finally:
+            # Restoring the built-in scalar function does not resurrect the
+            # batched pairing automatically (the safe direction); re-pair
+            # explicitly so later tests see the pristine registry.
+            register_solver("hycim", original, overwrite=True)
+            from repro.batched.trials import hycim_batched_trials
+            from repro.runtime.registry import _register_builtin_batched
+            _register_builtin_batched("hycim", hycim_batched_trials, original)
+
+    def test_user_batched_registration_survives_builtin_load(self, tiny_qkp):
+        from repro.runtime.registry import (
+            get_batched_trial_function,
+            register_batched_solver,
+        )
+        register_solver("constant", _constant_trial)
+        try:
+            register_batched_solver("constant", _constant_batched)
+            # Forcing the lazy built-in load must neither raise nor clobber.
+            assert get_batched_trial_function("constant") is _constant_batched
+            with pytest.raises(KeyError, match="already registered"):
+                register_batched_solver("constant", _constant_batched)
+        finally:
+            unregister_solver("constant")
+        assert get_batched_trial_function("constant") is None
