@@ -267,8 +267,9 @@ def run_solving_efficiency_study(
     The repeated descents are executed by :func:`repro.runtime.run_trials`
     on the vectorised replica backend by default -- all of an instance's
     descents advance in lock-step, with per-seed results identical to the
-    serial backend (solvers without a batched engine, such as ``dqubo``,
-    transparently run scalar trials).  Pass ``backend="process"`` to fan the
+    serial backend for *both* solvers (``dqubo`` included: its batched
+    engine anneals the combined penalty QUBO with batched energy
+    evaluation).  Pass ``backend="process"`` to fan the
     descents out over cores instead; per-trial seeds are spawned
     deterministically from ``seed`` and both solvers receive the same trial
     seeds and the same initial states on every backend.
@@ -357,13 +358,13 @@ def run_energy_evolution(
 ) -> EnergyEvolutionResult:
     """Repeat the chip measurement of Fig. 7(f): program, anneal, record energy.
 
-    Each run reprograms the (simulated) crossbar -- the runtime builds a
-    fresh solver per trial, so device variability is re-sampled -- and
-    records the incumbent energy after every iteration (one sweep of the
-    problem variables per iteration).  Every run starts from the empty
-    selection, mirroring the erased state of the chip before each
-    measurement.  The runs advance in lock-step on the vectorised backend
-    (scalar fallback when a ``variability`` model requires per-run devices).
+    Each run reprograms the (simulated) crossbar -- device variability is
+    re-sampled per trial, each trial occupying one chip slice of the
+    device axis -- and records the incumbent energy after every iteration
+    (one sweep of the problem variables per iteration).  Every run starts
+    from the empty selection, mirroring the erased state of the chip before
+    each measurement.  The runs advance in lock-step on the vectorised
+    backend, ``variability`` included (batch-of-chips, no scalar fallback).
     """
     model = problem.to_inequality_qubo()
     _, optimal_energy = model.brute_force_minimum()

@@ -10,9 +10,11 @@ The repeated-trial loop itself lives in :mod:`repro.runtime`: each sweep
 point is one :func:`repro.runtime.run_trials` batch, so sweeps inherit the
 runtime's deterministic per-trial seeding.  Sweep points run on the
 vectorised replica backend by default (identical per-seed results at an
-order-of-magnitude better throughput; configurations the batched engine
-cannot share, e.g. per-trial device variability, fall back to scalar trials
-automatically); pass ``backend="process"`` to fan out over cores instead.
+order-of-magnitude better throughput).  Per-trial device variability runs on
+the engine's batch-of-chips device axis -- every trial of a sweep point is
+one freshly sampled simulated chip, all chips advancing in lock-step (see
+:func:`sweep_device_variability` and ARCHITECTURE.md); pass
+``backend="process"`` to fan out over cores instead.
 """
 
 from __future__ import annotations
@@ -95,6 +97,49 @@ def sweep_sa_budget(
     return points
 
 
+def sweep_device_variability(
+    problem: QuadraticKnapsackProblem,
+    threshold_sigmas: Sequence[float] = (0.0, 0.01, 0.03, 0.1),
+    on_current_sigma: float = 0.15,
+    chips: int = 16,
+    sa_iterations: int = 60,
+    threshold: float = 0.95,
+    seed: int = 0,
+    backend: str = "vectorized",
+) -> List[SweepPoint]:
+    """Success rate versus FeFET threshold-voltage spread (Fig. 2(b) study).
+
+    The paper's central non-ideality: each programmed level's threshold
+    voltage spreads across devices, so filter cells can mis-count marginal
+    weights.  Every sweep point is a Monte-Carlo over ``chips`` freshly
+    sampled simulated chips -- one HyCiM trial per chip, all chips advanced
+    as one device-axis batch on the vectorized backend (per-seed identical
+    to, and several times faster than, rebuilding scalar hardware per
+    trial).  The 1FeFET1R clamp absorbs the ON-current spread, so
+    ``on_current_sigma`` is held fixed while the threshold spread sweeps.
+    """
+    if chips < 1:
+        raise ValueError("chips must be positive")
+    if any(sigma < 0 for sigma in threshold_sigmas):
+        raise ValueError("threshold sigmas must be non-negative")
+    reference = reference_qkp_value(problem, seed=seed)
+    points = []
+    for sigma in threshold_sigmas:
+        values = _solve_batch(
+            problem, sa_iterations=sa_iterations, num_runs=chips, seed=seed,
+            use_hardware=True,
+            variability={"threshold_sigma": float(sigma),
+                         "on_current_sigma": float(on_current_sigma)},
+            backend=backend)
+        points.append(SweepPoint(
+            parameter=float(sigma),
+            success_rate=success_rate(values, reference, threshold),
+            mean_normalized_value=float(np.mean(values) / reference),
+            num_runs=chips,
+        ))
+    return points
+
+
 def sweep_filter_noise(
     problem: QuadraticKnapsackProblem,
     noise_levels: Sequence[float] = (0.0, 0.005, 0.02, 0.1),
@@ -107,7 +152,9 @@ def sweep_filter_noise(
     """Success rate versus matchline readout noise with the hardware filter.
 
     Quantifies how analog filter errors (occasional mis-classifications near
-    the capacity boundary) propagate to end-to-end solution quality.
+    the capacity boundary) propagate to end-to-end solution quality.  The
+    per-trial device variability rides on the batch-of-chips device axis, so
+    the whole sweep point stays one vectorised batch.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be positive")

@@ -197,6 +197,19 @@ class DQUBOAnnealer:
                 self._anneal_on_crossbar(start, generator)
             )
 
+        return self.assemble_result(best_full, best_energy, history,
+                                    num_feasible, num_accepted)
+
+    def assemble_result(self, best_full: np.ndarray, best_energy: float,
+                        history: list, num_feasible: int, num_accepted: int,
+                        extra_metadata: Optional[dict] = None) -> SolveResult:
+        """Decode a full-dimension anneal outcome into the D-QUBO result shape.
+
+        The single assembly point shared by :meth:`solve` and the batched
+        trial function (:func:`repro.batched.trials.dqubo_batched_trials`),
+        so slack decoding, the infeasible-objective convention and the
+        metadata schema cannot drift between the scalar and lock-step paths.
+        """
         decoded = self._transformation.decode(best_full)
         feasible = self._transformation.is_feasible(best_full)
         objective = self.problem.objective(decoded) if feasible else 0.0
@@ -215,9 +228,10 @@ class DQUBOAnnealer:
                 "encoding": self.encoding.value,
                 "alpha": self.alpha,
                 "beta": self.beta,
-                "qubo_dimension": total,
+                "qubo_dimension": self._transformation.num_variables,
                 "use_hardware": self.use_hardware,
                 "penalty_satisfied": self._transformation.is_penalty_satisfied(best_full),
+                **(extra_metadata or {}),
             },
         )
 

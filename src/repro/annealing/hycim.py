@@ -73,6 +73,12 @@ class HyCiMSolver:
         Record the incumbent energy after every iteration (Fig. 7(f)).
     seed:
         RNG seed for the SA logic.
+    defer_hardware:
+        Skip building the shared CiM filter(s)/crossbar even though
+        ``use_hardware`` is set.  Intended for the batched engine's
+        batch-of-chips mode, where per-replica *device-axis* hardware
+        replaces the shared components and building them here would be dead
+        work; :meth:`solve` on a deferred solver runs software arithmetic.
     """
 
     problem: ProblemOrModel
@@ -87,6 +93,7 @@ class HyCiMSolver:
     matchline_noise_sigma: float = 0.0
     record_history: bool = False
     seed: Optional[int] = None
+    defer_hardware: bool = False
 
     def __post_init__(self) -> None:
         if self.num_iterations < 1:
@@ -113,7 +120,7 @@ class HyCiMSolver:
         """Instantiate the CiM filter(s) and crossbar when hardware mode is on."""
         self._filters: Dict[int, InequalityFilter] = {}
         self._crossbar: Optional[FeFETCrossbar] = None
-        if not self.use_hardware:
+        if not self.use_hardware or self.defer_hardware:
             return
         for index, constraint in enumerate(self._model.constraints):
             if isinstance(constraint, InequalityConstraint):

@@ -4,9 +4,11 @@ The scalar solvers advance one configuration at a time; this package advances
 a whole replica batch per NumPy operation -- batched single-flip deltas and
 full-energy evaluation on the QUBO matrices (:mod:`repro.batched.kernels`),
 lock-step replica engines that preserve per-replica ``Generator`` streams for
-exact scalar parity (:mod:`repro.batched.engine`), and drop-in batched trial
-functions for the runtime's ``"hycim"`` and ``"sa"`` solvers
-(:mod:`repro.batched.trials`).
+exact scalar parity (:mod:`repro.batched.engine`), a batch-of-chips mode
+that runs per-trial device ``variability`` as one slice of the hardware
+stack's device axis per trial (see ARCHITECTURE.md), and drop-in batched
+trial functions for the runtime's ``"hycim"``, ``"sa"`` and ``"dqubo"``
+solvers (:mod:`repro.batched.trials`).
 
 The front door is :func:`repro.runtime.run_trials` with
 ``backend="vectorized"`` (whole batch in-process) or ``replicas_per_task`` on
@@ -24,7 +26,11 @@ from repro.batched.kernels import (
     batched_energy_delta,
     batched_inequality_verdicts,
 )
-from repro.batched.trials import hycim_batched_trials, sa_batched_trials
+from repro.batched.trials import (
+    dqubo_batched_trials,
+    hycim_batched_trials,
+    sa_batched_trials,
+)
 
 __all__ = [
     "BatchedHyCiMSolver",
@@ -33,6 +39,7 @@ __all__ = [
     "batched_energies",
     "batched_energy_delta",
     "batched_inequality_verdicts",
+    "dqubo_batched_trials",
     "hycim_batched_trials",
     "sa_batched_trials",
 ]

@@ -21,8 +21,18 @@ independent scalar runs in software mode (bit-for-bit on the integer-valued
 paper benchmarks) and match within floating-point tolerance in ideal-hardware
 mode, where the batched crossbar/filter arithmetic may associate sums
 differently.  Hardware non-idealities that draw from a *shared* device RNG
-(crossbar read noise) or that resample devices per trial keep per-replica
-streams intact but are only reproducible at batch granularity.
+(crossbar read noise on a shared chip) keep per-replica streams intact but
+are only reproducible at batch granularity.
+
+**Batch-of-chips.**  Per-trial device resampling -- the paper's Monte-Carlo
+over simulated chips -- runs through the hardware stack's device axis
+(ARCHITECTURE.md): :class:`BatchedHyCiMSolver` accepts one
+:class:`~repro.fefet.variability.VariabilityModel` per replica and builds
+device-axis filters and a device-axis crossbar, so replica ``k`` anneals on
+chip ``k``'s sampled non-idealities while all chips advance per NumPy
+operation.  Chip ``k``'s devices, noise and ADC codes are functions of chip
+``k``'s seeds alone, which keeps per-seed results identical to ``M``
+independent scalar trials that each rebuild their own hardware.
 
 The engines are deliberately *not* new solvers: they borrow the model,
 hardware, schedule and move generator from a scalar solver instance, so any
@@ -31,7 +41,7 @@ configuration accepted by the scalar path runs vectorised unchanged.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -46,8 +56,11 @@ from repro.batched.kernels import (
     batched_energy_delta,
     batched_inequality_verdicts,
 )
+from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
+from repro.cim.inequality_filter import InequalityFilter
 from repro.core.constraints import InequalityConstraint
 from repro.core.qubo import QUBOModel
+from repro.fefet.variability import VariabilityModel
 
 __all__ = ["BatchedHyCiMSolver", "BatchedSimulatedAnnealer"]
 
@@ -205,20 +218,79 @@ class BatchedSimulatedAnnealer:
 class BatchedHyCiMSolver:
     """``M`` lock-step replicas of a :class:`HyCiMSolver`.
 
-    All replicas share the solver's single set of CiM components -- the
-    physically faithful picture: one programmed crossbar and one filter array
-    evaluate the whole replica batch, exactly as the hardware evaluates a
-    whole array in one shot.  Per-trial device *resampling* (a fresh
-    ``variability`` model per replica) therefore cannot be expressed here;
-    the runtime falls back to scalar trials for those configurations.
+    Without ``chips`` all replicas share the solver's single set of CiM
+    components -- the physically faithful picture: one programmed crossbar
+    and one filter array evaluate the whole replica batch, exactly as the
+    hardware evaluates a whole array in one shot.
+
+    Parameters
+    ----------
+    solver:
+        The scalar solver whose model, schedule, move generator and iteration
+        budget the replicas share.
+    chips:
+        Optional per-replica :class:`VariabilityModel` list (one freshly
+        sampled chip per replica).  In hardware mode the engine then builds
+        *device-axis* filters and crossbar -- replica ``k`` runs on chip
+        ``k``'s sampled cells -- instead of the solver's shared hardware.
+        Each chip's model is consumed in the scalar programming order
+        (filters in constraint order, working before replica array), so chip
+        ``k`` is identical to the hardware a scalar trial with the same
+        model would build.
+    chip_seeds:
+        Per-replica crossbar/ADC seeds used when ``chips`` is given: chip
+        ``k`` draws its crossbar ON-current factors, read noise and ADC
+        noise from ``chip_seeds[k]``, mirroring the per-trial
+        ``CrossbarConfig`` seed of the scalar path.
     """
 
-    def __init__(self, solver: HyCiMSolver) -> None:
+    def __init__(self, solver: HyCiMSolver,
+                 chips: Optional[Sequence[Optional[VariabilityModel]]] = None,
+                 chip_seeds: Optional[Sequence[Optional[int]]] = None) -> None:
         self.solver = solver
+        self.chips = list(chips) if chips is not None else None
+        self._device_filters: Optional[Dict[int, InequalityFilter]] = None
+        self._device_crossbar: Optional[FeFETCrossbar] = None
+        if self.chips is not None and solver.use_hardware:
+            self._build_device_hardware(chip_seeds)
+
+    def _build_device_hardware(self,
+                               chip_seeds: Optional[Sequence[Optional[int]]]) -> None:
+        """One filter/crossbar *slice* per chip along the device axis."""
+        solver = self.solver
+        num_chips = len(self.chips)
+        seeds = (list(chip_seeds) if chip_seeds is not None
+                 else [None] * num_chips)
+        if len(seeds) != num_chips:
+            raise ValueError("need one chip seed per chip")
+        self._device_filters = {}
+        for index, constraint in enumerate(solver.model.constraints):
+            if isinstance(constraint, InequalityConstraint):
+                self._device_filters[index] = InequalityFilter(
+                    constraint,
+                    num_rows=solver.filter_rows,
+                    variability=self.chips,
+                    matchline_noise_sigma=solver.matchline_noise_sigma,
+                )
+        config = solver.crossbar_config or CrossbarConfig()
+        self._device_crossbar = FeFETCrossbar.from_qubo(
+            solver.model.qubo, config=config, device_seeds=seeds)
 
     # ------------------------------------------------------------------ #
     # Batched evaluation primitives
     # ------------------------------------------------------------------ #
+    def _is_feasible_on_chip(self, x: np.ndarray, rng: np.random.Generator,
+                             chip: int) -> bool:
+        """Scalar mirror of ``HyCiMSolver._is_feasible`` on one chip slice."""
+        for index, constraint in enumerate(self.solver.model.constraints):
+            hardware_filter = self._device_filters.get(index)
+            if hardware_filter is not None:
+                if not hardware_filter.is_feasible(x, rng=rng, device=chip):
+                    return False
+            elif not constraint.is_satisfied(x):
+                return False
+        return True
+
     def _feasible_batch(self, batch: np.ndarray,
                         generators: Sequence[np.random.Generator]) -> np.ndarray:
         """Vectorised mirror of ``HyCiMSolver._is_feasible`` over replicas.
@@ -226,13 +298,22 @@ class BatchedHyCiMSolver:
         With matchline noise enabled the scalar path consumes per-candidate
         noise draws *and* short-circuits across constraints, so the only way
         to preserve per-replica streams is to evaluate per replica; that slow
-        path is taken automatically.  Noise-free filters (and software mode)
-        are evaluated in one shot per constraint.
+        path is taken automatically (per chip slice when a device axis is
+        active).  Noise-free filters (and software mode) are evaluated in one
+        shot per constraint -- a single device-axis shot covering every chip
+        when per-replica chips are in play.
         """
         solver = self.solver
-        filters = solver.inequality_filters
+        device_mode = self._device_filters is not None
+        filters = (self._device_filters if device_mode
+                   else solver.inequality_filters)
         noisy = any(f.config.noise_sigma > 0 for f in filters.values())
         if noisy:
+            if device_mode:
+                return np.array([
+                    self._is_feasible_on_chip(batch[k], generators[k], k)
+                    for k in range(batch.shape[0])
+                ], dtype=bool)
             return np.array([
                 solver._is_feasible(batch[k], generators[k])
                 for k in range(batch.shape[0])
@@ -241,7 +322,10 @@ class BatchedHyCiMSolver:
         for index, constraint in enumerate(solver.model.constraints):
             hardware_filter = filters.get(index)
             if hardware_filter is not None:
-                verdicts &= hardware_filter.is_feasible_batch(batch)
+                if device_mode:
+                    verdicts &= hardware_filter.is_feasible_devices(batch)
+                else:
+                    verdicts &= hardware_filter.is_feasible_batch(batch)
             elif isinstance(constraint, InequalityConstraint):
                 verdicts &= batched_inequality_verdicts(
                     constraint.weight_vector, constraint.bound, batch)
@@ -250,8 +334,17 @@ class BatchedHyCiMSolver:
                     [constraint.is_satisfied(row) for row in batch], dtype=bool)
         return verdicts
 
-    def _energies(self, batch: np.ndarray) -> np.ndarray:
-        """Batched QUBO values of *feasible* rows (crossbar or exact)."""
+    def _energies(self, batch: np.ndarray,
+                  replicas: Optional[np.ndarray] = None) -> np.ndarray:
+        """Batched QUBO values of *feasible* rows (crossbar or exact).
+
+        ``replicas`` names the replica (= chip, when a device axis is
+        active) index of each batch row, so every row is evaluated on its
+        own chip's crossbar slice.
+        """
+        if self._device_crossbar is not None:
+            return self._device_crossbar.compute_energies_devices(
+                batch[:, None, :], devices=replicas)[:, 0]
         crossbar = self.solver.crossbar
         if crossbar is not None:
             return crossbar.compute_energies(batch)
@@ -275,12 +368,18 @@ class BatchedHyCiMSolver:
         current = as_replica_matrix(initials, n).copy()
         num_replicas = current.shape[0]
         generators = _check_replica_generators(rngs, num_replicas)
+        if self.chips is not None and len(self.chips) != num_replicas:
+            raise ValueError(
+                f"need one chip per replica: got {len(self.chips)} chips for "
+                f"{num_replicas} replicas"
+            )
 
         current_feasible = self._feasible_batch(current, generators)
         current_energy = np.zeros(num_replicas)
         feasible_idx = np.flatnonzero(current_feasible)
         if feasible_idx.size:
-            current_energy[feasible_idx] = self._energies(current[feasible_idx])
+            current_energy[feasible_idx] = self._energies(current[feasible_idx],
+                                                          replicas=feasible_idx)
 
         best = current.copy()
         best_energy = current_energy.copy()
@@ -294,7 +393,8 @@ class BatchedHyCiMSolver:
         # losslessly stored integer matrices of the paper benchmarks both
         # routes are exact, so parity is preserved; the hardware path always
         # goes through the batched crossbar MVM.
-        use_delta = single_flip and solver.crossbar is None
+        use_delta = (single_flip and solver.crossbar is None
+                     and self._device_crossbar is None)
         qubo = solver.model.qubo
         if use_delta:
             raw_energy = batched_energies(qubo.matrix, current, qubo.offset)
@@ -352,7 +452,8 @@ class BatchedHyCiMSolver:
                 if use_delta:
                     candidate_energy = candidate_raw[feasible_idx]
                 else:
-                    candidate_energy = self._energies(candidates[feasible_idx])
+                    candidate_energy = self._energies(candidates[feasible_idx],
+                                                      replicas=feasible_idx)
 
                 # Step 3: per-replica Metropolis acceptance.
                 delta = candidate_energy - current_energy[feasible_idx]
@@ -402,6 +503,8 @@ class BatchedHyCiMSolver:
                     "num_constraints": solver.model.num_constraints,
                     "vectorized": True,
                     "num_replicas": num_replicas,
+                    **({"num_chips": len(self.chips)}
+                       if self.chips is not None else {}),
                 },
             ))
         return results

@@ -14,10 +14,16 @@ ideal hardware.  This is what lets :func:`repro.runtime.run_trials` treat
 ``backend="vectorized"`` (and ``replicas_per_task`` groups on the process
 backend) as a pure throughput knob.
 
-Configurations a shared-hardware batch cannot express -- per-trial device
-``variability`` resampling, which simulates a freshly programmed chip per
-trial -- transparently fall back to the scalar trial function, replica by
-replica, so every registry parameter dict stays valid.
+Per-trial device ``variability`` -- a freshly programmed chip per trial --
+runs through the hardware stack's *device axis* (ARCHITECTURE.md): each
+trial's chip is sampled exactly as the scalar path samples it (one
+:func:`~repro.runtime.registry._build_variability` model per trial seed) and
+occupies one slice of the device-axis filters/crossbar, so the Monte-Carlo
+over chips advances in lock-step instead of falling back to scalar trials.
+Only the ``dqubo`` hardware mode (a per-trial crossbar over the combined
+penalty QUBO, an overhead study rather than a throughput path) still
+delegates to scalar trials, replica by replica, so every registry parameter
+dict stays valid.
 """
 
 from __future__ import annotations
@@ -27,22 +33,26 @@ from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.annealing.dqubo_solver import DQUBOAnnealer
 from repro.annealing.hycim import HyCiMSolver
 from repro.annealing.result import SolveResult
 from repro.annealing.sa import SimulatedAnnealer
 from repro.batched.engine import BatchedHyCiMSolver, BatchedSimulatedAnnealer
+from repro.core.dqubo import SlackEncoding
 from repro.problems.base import CombinatorialProblem
 from repro.runtime.registry import (
     _auto_schedule,
     _build_move,
     _build_schedule,
+    _build_variability,
+    _dqubo_trial,
     _hycim_trial,
     _initial_configuration,
     _register_builtin_batched,
     _sa_trial,
 )
 
-__all__ = ["hycim_batched_trials", "sa_batched_trials"]
+__all__ = ["dqubo_batched_trials", "hycim_batched_trials", "sa_batched_trials"]
 
 
 def _replica_starts(problem: CombinatorialProblem, params: Mapping[str, object],
@@ -83,19 +93,23 @@ def hycim_batched_trials(
 ) -> List[SolveResult]:
     """Vectorised counterpart of the registry's ``"hycim"`` trial function.
 
-    All replicas share one :class:`HyCiMSolver` instance -- one programmed
-    crossbar, one filter per constraint -- and advance through
-    :class:`BatchedHyCiMSolver`.  A per-trial ``variability`` model requires
-    per-trial hardware and falls back to scalar trials.
+    All replicas share one :class:`HyCiMSolver` instance's model and
+    schedule.  Without per-trial ``variability`` they also share its hardware
+    (one programmed crossbar, one filter per constraint); with a
+    ``variability`` template each trial becomes a freshly sampled chip on the
+    engine's device axis -- chip ``k`` is built from the *same* model the
+    scalar trial function derives from ``seeds[k]``, and its crossbar/ADC
+    streams restart from the same per-trial seed, so per-seed results equal
+    the scalar path's even under non-ideal devices.
     """
-    if params.get("variability") is not None:
-        return [_hycim_trial(problem, params, int(seed), initial)
-                for seed, initial in zip(seeds, initials)]
     started = time.perf_counter()
     schedule = params.get("schedule")
+    use_hardware = bool(params.get("use_hardware", True))
+    variability = params.get("variability")
+    device_mode = use_hardware and variability is not None
     solver = HyCiMSolver(
         problem,
-        use_hardware=bool(params.get("use_hardware", True)),
+        use_hardware=use_hardware,
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
         schedule=(_build_schedule(schedule) if schedule is not None
@@ -105,10 +119,24 @@ def hycim_batched_trials(
         crossbar_config=params.get("crossbar_config"),
         matchline_noise_sigma=float(params.get("matchline_noise_sigma", 0.0)),
         record_history=bool(params.get("record_history", False)),
+        # Device-axis hardware replaces the shared components; building the
+        # shared crossbar/filters would be pure dead work per chunk.
+        defer_hardware=device_mode,
     )
+    chips = chip_seeds = None
+    if device_mode:
+        # One freshly sampled chip per trial, derived exactly as the scalar
+        # path derives it; the chip's crossbar/ADC seed mirrors the scalar
+        # per-trial CrossbarConfig (the trial seed when no config is given,
+        # the config's own seed -- restarted per trial -- otherwise).
+        chips = [_build_variability(variability, int(seed)) for seed in seeds]
+        config = params.get("crossbar_config")
+        chip_seeds = ([config.seed] * len(chips) if config is not None
+                      else [int(seed) for seed in seeds])
     rngs = [np.random.default_rng(int(seed)) for seed in seeds]
     starts = _replica_starts(problem, params, rngs, initials)
-    results = BatchedHyCiMSolver(solver).solve_batch(starts, rngs)
+    results = BatchedHyCiMSolver(solver, chips=chips,
+                                 chip_seeds=chip_seeds).solve_batch(starts, rngs)
     return _stamp(results, seeds, time.perf_counter() - started)
 
 
@@ -155,7 +183,76 @@ def sa_batched_trials(
     return _stamp(results, seeds, time.perf_counter() - started)
 
 
+def dqubo_batched_trials(
+    problem: CombinatorialProblem,
+    params: Mapping[str, object],
+    seeds: Sequence[int],
+    initials: Sequence[Optional[np.ndarray]],
+) -> List[SolveResult]:
+    """Vectorised counterpart of the registry's ``"dqubo"`` trial function.
+
+    The D-QUBO construction (penalty + slack transformation) is shared by
+    every replica; the SA descent on the combined matrix then advances all
+    replicas in lock-step with batched energy evaluation on the dQUBO
+    matrix, replaying each replica's scalar stream exactly (slack-bit
+    seeding included).  Hardware mode -- a per-trial crossbar over the
+    combined matrix, used only for the Fig. 9 overhead study -- falls back
+    to scalar trials with identical per-seed results.
+    """
+    if bool(params.get("use_hardware", False)):
+        return [_dqubo_trial(problem, params, int(seed), initial)
+                for seed, initial in zip(seeds, initials)]
+    started = time.perf_counter()
+    schedule = params.get("schedule")
+    encoding = params.get("encoding", SlackEncoding.ONE_HOT)
+    if isinstance(encoding, str):
+        encoding = SlackEncoding(encoding)
+    solver = DQUBOAnnealer(
+        problem,
+        alpha=float(params.get("alpha", 2.0)),
+        beta=float(params.get("beta", 2.0)),
+        encoding=encoding,
+        use_hardware=False,
+        num_iterations=int(params.get("num_iterations", 1000)),
+        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+        schedule=(_build_schedule(schedule) if schedule is not None
+                  else _auto_schedule(problem)),
+        move_generator=_build_move(params.get("move_generator", "single_flip")),
+        record_history=bool(params.get("record_history", False)),
+    )
+    transformation = solver.transformation
+    total = transformation.num_variables
+    rngs = [np.random.default_rng(int(seed)) for seed in seeds]
+    starts = _replica_starts(problem, params, rngs, initials)
+    # Slack-bit seeding per replica, from that replica's stream (the same
+    # extend_initial branch DQUBOAnnealer.solve takes for problem-dim
+    # initials; full-dimension initials pass through untouched).
+    extended = np.stack([
+        start.copy() if start.shape[0] == total
+        else solver.extend_initial(start, rng=rng)
+        for start, rng in zip(starts, rngs)
+    ])
+    annealer = SimulatedAnnealer(
+        schedule=solver.schedule,
+        move_generator=solver.move_generator,
+        num_iterations=solver.num_iterations,
+        moves_per_iteration=solver.moves_per_iteration,
+        record_history=solver.record_history,
+    )
+    inner = BatchedSimulatedAnnealer(annealer).anneal(
+        transformation.qubo, extended, rngs)
+    results: List[SolveResult] = [
+        solver.assemble_result(
+            raw.best_configuration, raw.best_energy, raw.energy_history,
+            raw.num_feasible_evaluations, raw.num_accepted_moves,
+            extra_metadata={"vectorized": True, "num_replicas": len(inner)})
+        for raw in inner
+    ]
+    return _stamp(results, seeds, time.perf_counter() - started)
+
+
 # Guarded pairing: registration is skipped if the user already replaced the
 # scalar solver (or claimed the batched slot) before this module loaded.
 _register_builtin_batched("hycim", hycim_batched_trials, _hycim_trial)
 _register_builtin_batched("sa", sa_batched_trials, _sa_trial)
+_register_builtin_batched("dqubo", dqubo_batched_trials, _dqubo_trial)

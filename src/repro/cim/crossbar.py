@@ -18,16 +18,30 @@ The model includes the analog non-idealities that matter at array level:
 per-cell ON-current variation (static, sampled at program time), readout
 noise and ADC quantization.  With all non-idealities disabled the crossbar is
 bit-exact with the quantized matrix, which the unit tests rely on.
+
+Device axis
+-----------
+Constructed with ``device_seeds`` the crossbar simulates one programmed chip
+per seed: chip ``d`` samples its static ON-current factors, draws its read
+noise and runs its column ADCs from streams seeded by ``device_seeds[d]``
+alone, so each chip's analog behaviour is reproducible independently of
+which other chips share a batch (the same per-chip determinism a freshly
+rebuilt scalar crossbar with that seed would exhibit).
+:meth:`FeFETCrossbar.compute_energies_devices` evaluates a ``(D, M, n)``
+batch -- one MVM per bit plane covering every chip and replica -- and the
+scalar :meth:`FeFETCrossbar.compute_energy` / single-chip
+:meth:`FeFETCrossbar.compute_energies` are degenerate views over it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cim.adc import ADCModel
+from repro.cim.device_axis import resolve_device_selection
 from repro.core.qubo import QUBOModel
 from repro.fefet.variability import VariabilityModel
 
@@ -54,7 +68,7 @@ class CrossbarConfig:
         Log-normal sigma of the static per-cell ON-current variation sampled
         at program time.
     seed:
-        RNG seed for all stochastic components.
+        RNG seed for all stochastic components (the single-chip device seed).
     """
 
     weight_bits: int = 7
@@ -79,20 +93,32 @@ class FeFETCrossbar:
     """A bit-sliced FeFET crossbar programmed with a QUBO matrix.
 
     Use :meth:`from_qubo` to build one; :meth:`compute_energy` evaluates
-    ``x^T Q x`` (plus the model offset) through the analog pipeline.
+    ``x^T Q x`` (plus the model offset) through the analog pipeline.  Pass
+    ``device_seeds`` to program one chip per seed along the device axis.
     """
 
-    def __init__(self, qubo: QUBOModel, config: Optional[CrossbarConfig] = None) -> None:
+    def __init__(self, qubo: QUBOModel, config: Optional[CrossbarConfig] = None,
+                 device_seeds: Optional[Sequence[Optional[int]]] = None) -> None:
         self.config = config or CrossbarConfig()
         self.qubo = qubo
-        self._rng = np.random.default_rng(self.config.seed)
+        if device_seeds is None:
+            self._device_seeds = [self.config.seed]
+        else:
+            self._device_seeds = list(device_seeds)
+            if not self._device_seeds:
+                raise ValueError("device_seeds must name at least one chip")
+        self._noise_rngs = [np.random.default_rng(seed)
+                            for seed in self._device_seeds]
+        self._rng = self._noise_rngs[0]
         self._program(qubo.matrix)
 
     @classmethod
     def from_qubo(cls, qubo: QUBOModel,
-                  config: Optional[CrossbarConfig] = None) -> "FeFETCrossbar":
+                  config: Optional[CrossbarConfig] = None,
+                  device_seeds: Optional[Sequence[Optional[int]]] = None,
+                  ) -> "FeFETCrossbar":
         """Program a crossbar with the given QUBO model."""
-        return cls(qubo, config=config)
+        return cls(qubo, config=config, device_seeds=device_seeds)
 
     # ------------------------------------------------------------------ #
     # Programming
@@ -122,25 +148,38 @@ class FeFETCrossbar:
         self._pos_planes = self._slice_bits(self._pos_quantized)
         self._neg_planes = self._slice_bits(self._neg_quantized)
 
-        # Static per-cell ON-current factors, one per cell of each plane.
+        # Static per-cell ON-current factors: one (bits, n, n) block per chip,
+        # each chip sampling from its own seed in program order (positive
+        # planes first, then negative), exactly as a freshly built scalar
+        # crossbar with that seed would.  `None` marks the variation-free
+        # fast path where every chip shares the exact bit planes.
         sigma = self.config.on_current_variation_sigma
         if sigma > 0:
-            var = VariabilityModel(threshold_sigma=0.0, on_current_sigma=sigma,
-                                   seed=self.config.seed)
-            self._pos_factors = np.stack(
-                [var.sample_on_current_factors(n * n).reshape(n, n) for _ in range(bits)]
-            )
-            self._neg_factors = np.stack(
-                [var.sample_on_current_factors(n * n).reshape(n, n) for _ in range(bits)]
-            )
+            pos_chips = []
+            neg_chips = []
+            for seed in self._device_seeds:
+                var = VariabilityModel(threshold_sigma=0.0, on_current_sigma=sigma,
+                                       seed=seed)
+                pos_chips.append(np.stack(
+                    [var.sample_on_current_factors(n * n).reshape(n, n)
+                     for _ in range(bits)]))
+                neg_chips.append(np.stack(
+                    [var.sample_on_current_factors(n * n).reshape(n, n)
+                     for _ in range(bits)]))
+            self._pos_factors: Optional[np.ndarray] = np.stack(pos_chips)
+            self._neg_factors: Optional[np.ndarray] = np.stack(neg_chips)
         else:
-            self._pos_factors = np.ones((bits, n, n))
-            self._neg_factors = np.ones((bits, n, n))
+            self._pos_factors = None
+            self._neg_factors = None
 
-        # Column ADC covering the worst-case column current (all n cells ON).
+        # Column ADC covering the worst-case column current (all n cells ON),
+        # one noise stream per chip.
         if self.config.adc_bits is not None:
-            self._adc = ADCModel(bits=self.config.adc_bits, full_scale=float(n),
-                                 seed=self.config.seed)
+            self._adc = ADCModel(
+                bits=self.config.adc_bits, full_scale=float(n),
+                seed=self.config.seed,
+                device_seeds=(tuple(self._device_seeds)
+                              if self.num_devices > 1 else None))
         else:
             self._adc = None
 
@@ -161,8 +200,13 @@ class FeFETCrossbar:
         return self._n
 
     @property
+    def num_devices(self) -> int:
+        """Number of simulated chips ``D`` along the device axis."""
+        return len(self._device_seeds)
+
+    @property
     def num_cells(self) -> int:
-        """Total 1-bit cells used (both signs, all bit planes)."""
+        """Total 1-bit cells used per chip (both signs, all bit planes)."""
         return 2 * self.config.weight_bits * self._n * self._n
 
     @property
@@ -184,50 +228,66 @@ class FeFETCrossbar:
     def compute_energy(self, x: Sequence[int]) -> float:
         """Evaluate ``x^T Q x + offset`` through the analog crossbar pipeline.
 
-        A single-row :meth:`compute_energies` call: the one-row batch draws
-        the same noise values in the same order and performs the identical
-        element-wise ADC quantization, so there is exactly one add-shift-sum
-        implementation to keep faithful to the hardware.
+        The ``D = M = 1`` view over :meth:`compute_energies_devices`: the
+        one-row batch draws the same noise values in the same order and
+        performs the identical element-wise ADC quantization, so there is
+        exactly one add-shift-sum implementation to keep faithful to the
+        hardware.
         """
         vec = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
         if vec.ndim != 1 or vec.shape[0] != self._n:
             raise ValueError(f"input length {vec.shape} != crossbar dimension {self._n}")
         return float(self.compute_energies(vec[None, :])[0])
 
-    def _accumulate_batch(self, planes: np.ndarray, factors: np.ndarray,
-                          batch: np.ndarray) -> np.ndarray:
-        """Add-shift-sum accumulation of one sign's bit planes, batched.
+    def _accumulate_devices(self, planes: np.ndarray,
+                            factors: Optional[np.ndarray],
+                            batch: np.ndarray,
+                            devices: np.ndarray) -> np.ndarray:
+        """Add-shift-sum accumulation of one sign's bit planes, device-batched.
 
-        ``batch`` is an ``(M, n)`` replica matrix; the whole batch shares one
-        matrix product per bit plane (the crossbar evaluating an array of
-        candidates in one shot), and read noise / ADC quantization are applied
-        element-wise, i.e. independently per replica row, exactly as the
-        scalar path applies them per evaluation.
+        ``batch`` is a ``(K, M, n)`` replica tensor whose slice ``k`` runs on
+        chip ``devices[k]``.  Variation-free chips share one matrix product
+        per bit plane over the flattened replica axis (the crossbar
+        evaluating an array of candidates in one shot); chips with sampled
+        ON-current factors get one stacked MVM per bit plane.  Read noise and
+        ADC quantization are applied element-wise from each chip's own
+        stream, i.e. independently per replica row, exactly as the scalar
+        path applies them per evaluation.
         """
-        total = np.zeros(batch.shape[0])
+        num_chips, num_replicas, n = batch.shape
+        total = np.zeros((num_chips, num_replicas))
         for b in range(self.config.weight_bits):
-            effective = planes[b] * factors[b]
-            # Column currents, one row of columns per replica.
-            column_currents = (batch @ effective) * batch
+            if factors is None:
+                flat = batch.reshape(num_chips * num_replicas, n)
+                column_currents = (flat @ planes[b]).reshape(batch.shape) * batch
+            else:
+                effective = planes[b][None, :, :] * factors[devices, b]
+                column_currents = np.matmul(batch, effective) * batch
             if self.config.current_noise_sigma > 0:
-                noise = self._rng.normal(0.0, self.config.current_noise_sigma,
-                                         size=column_currents.shape)
-                column_currents = column_currents * (1.0 + noise)
+                for k, device in enumerate(devices):
+                    noise = self._noise_rngs[device].normal(
+                        0.0, self.config.current_noise_sigma,
+                        size=(num_replicas, n))
+                    column_currents[k] = column_currents[k] * (1.0 + noise)
                 column_currents = np.maximum(column_currents, 0.0)
             if self._adc is not None:
-                column_currents = self._adc.quantize_array(column_currents)
-            total += column_currents.sum(axis=1) * (2 ** b)
+                column_currents = self._adc.quantize_devices(
+                    column_currents,
+                    devices=(devices if self._adc.num_devices > 1 else
+                             np.zeros(num_chips, dtype=int)))
+            total += column_currents.sum(axis=2) * (2 ** b)
         return total
 
     def compute_energies(self, configurations: np.ndarray) -> np.ndarray:
-        """Evaluate an ``(M, n)`` batch of configurations in one crossbar pass.
+        """Evaluate an ``(M, n)`` batch of configurations on chip 0.
 
-        The batched counterpart of :meth:`compute_energy`: one matrix product
-        per bit plane covers every replica row, with read noise and ADC
-        quantization applied per replica.  Noise-free results equal the
-        scalar path's (bit-for-bit for losslessly stored integer matrices);
-        with read noise enabled the draw order differs from ``M`` scalar
-        calls, so noisy batches are reproducible at batch granularity only.
+        The single-chip view over :meth:`compute_energies_devices`: one
+        matrix product per bit plane covers every replica row, with read
+        noise and ADC quantization applied per replica.  Noise-free results
+        equal the scalar path's (bit-for-bit for losslessly stored integer
+        matrices); with read noise enabled the draw order differs from ``M``
+        scalar calls, so noisy batches are reproducible at batch granularity
+        only.
         """
         batch = np.asarray(configurations, dtype=float)
         if batch.ndim == 1:
@@ -236,10 +296,35 @@ class FeFETCrossbar:
             raise ValueError(
                 f"batch shape {batch.shape} incompatible with crossbar dimension {self._n}"
             )
+        return self.compute_energies_devices(batch[None, :, :],
+                                             devices=np.zeros(1, dtype=int))[0]
+
+    def compute_energies_devices(self, configurations: np.ndarray,
+                                 devices: Optional[np.ndarray] = None,
+                                 ) -> np.ndarray:
+        """Evaluate a ``(K, M, n)`` device-axis batch in one crossbar pass.
+
+        Slice ``k`` of the batch runs on chip ``devices[k]`` (all chips in
+        order when omitted, requiring ``K = D``).  Returns a ``(K, M)``
+        energy matrix; each chip's noise and ADC codes come from its own
+        seeded streams, so a chip's results do not depend on its batch
+        neighbours.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim != 3 or batch.shape[2] != self._n:
+            raise ValueError(
+                f"device batch shape {batch.shape} is not (chips, replicas, "
+                f"{self._n})"
+            )
         if not np.all((batch == 0) | (batch == 1)):
             raise ValueError("crossbar inputs must be binary")
-        positive = self._accumulate_batch(self._pos_planes, self._pos_factors, batch)
-        negative = self._accumulate_batch(self._neg_planes, self._neg_factors, batch)
+        selected = resolve_device_selection(batch.shape[0], devices,
+                                            self.num_devices,
+                                            kind="crossbar chip batch")
+        positive = self._accumulate_devices(self._pos_planes, self._pos_factors,
+                                            batch, selected)
+        negative = self._accumulate_devices(self._neg_planes, self._neg_factors,
+                                            batch, selected)
         return (positive - negative) / self._scale + self.qubo.offset
 
     def column_current(self, num_activated_cells: int) -> float:

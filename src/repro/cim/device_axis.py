@@ -1,0 +1,38 @@
+"""Shared helpers for the hardware stack's device axis.
+
+Every device-axis component (:class:`~repro.cim.adc.ADCModel`,
+:class:`~repro.cim.crossbar.FeFETCrossbar`, the filter arrays) maps the
+leading axis of a batch onto its simulated chips through the same selection
+rule; this module holds that rule so the validation semantics cannot drift
+between components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def resolve_device_selection(count: int, devices: Optional[np.ndarray],
+                             num_devices: int,
+                             kind: str = "batch") -> np.ndarray:
+    """Map a ``count``-slice batch onto device indices.
+
+    ``devices=None`` selects all devices in order (requiring
+    ``count == num_devices``); otherwise ``devices`` must hold one in-range
+    chip index per batch slice.  ``kind`` names the batch in error messages.
+    """
+    if devices is None:
+        selected = np.arange(num_devices)
+    else:
+        selected = np.asarray(devices, dtype=int)
+    if selected.shape != (count,):
+        raise ValueError(
+            f"device selection of shape {selected.shape} does not match the "
+            f"{count}-slice {kind}"
+        )
+    if selected.size and not (0 <= selected.min()
+                              and selected.max() < num_devices):
+        raise IndexError("a device index is out of range")
+    return selected

@@ -13,17 +13,55 @@ voltage obeys paper Eq. (9):
 ``dV`` is the discharge per unit of stored weight and is a configuration
 parameter chosen by the enclosing :class:`~repro.cim.inequality_filter.
 InequalityFilter` so the replica voltage sits mid-rail.
+
+Device axis
+-----------
+The array follows the hardware stack's ``(D, M, n)`` shape contract
+(ARCHITECTURE.md): ``D`` simulated chips, ``M`` lock-step replicas per chip,
+``n`` columns.  Passing a *sequence* of variability models programs one chip
+per model -- each chip's cells are sampled from its own model's stream, in
+the exact per-cell order scalar programming would use -- and
+:meth:`WorkingArray.evaluate_devices` evaluates a ``(D, M, n)`` batch in one
+shot.  A single model (or ``None``) is the ``D = 1`` degenerate case, and
+the scalar :meth:`WorkingArray.evaluate` / batched
+:meth:`WorkingArray.evaluate_batch` methods are thin ``D = 1`` views over
+the same evaluation kernel, consuming identical noise streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.fefet.cell import CellParameters, OneFeFETOneRCell
+from repro.cim.device_axis import resolve_device_selection
+from repro.fefet.cell import CellParameters, OneFeFETOneRCell, conduction_counts
 from repro.fefet.variability import VariabilityModel
+
+#: One chip (a single model / ``None``) or one chip per sequence entry.
+VariabilityLike = Union[VariabilityModel, Sequence[Optional[VariabilityModel]], None]
+
+
+def as_chip_models(variability: VariabilityLike) -> List[Optional[VariabilityModel]]:
+    """Normalise a variability argument into one model slot per chip.
+
+    ``None`` and a bare :class:`VariabilityModel` are the single-chip
+    degenerate case; a sequence programs one chip per entry (``None`` entries
+    denote ideal chips).
+    """
+    if variability is None or isinstance(variability, VariabilityModel):
+        return [variability]
+    models = list(variability)
+    if not models:
+        raise ValueError("a variability sequence must describe at least one chip")
+    for model in models:
+        if model is not None and not isinstance(model, VariabilityModel):
+            raise TypeError(
+                "variability entries must be VariabilityModel instances or None, "
+                f"got {type(model).__name__}"
+            )
+    return models
 
 
 def decompose_weight(weight: int, num_rows: int, max_cell_weight: int) -> List[int]:
@@ -129,14 +167,17 @@ class WorkingArray:
     config:
         Array configuration.
     variability:
-        Optional device variability; sampled per cell at program time.
+        ``None`` / a single model (one chip), or a sequence of models
+        programming one chip per entry along the device axis.  Each chip's
+        cells sample from that chip's stream at program time, in the scalar
+        per-cell order (column-major: column 0's rows first).
     """
 
     def __init__(
         self,
         weights: Sequence[int],
         config: Optional[FilterArrayConfig] = None,
-        variability: Optional[VariabilityModel] = None,
+        variability: VariabilityLike = None,
     ) -> None:
         self.config = config or FilterArrayConfig()
         self._stored_weights = np.array([int(round(w)) for w in weights], dtype=int)
@@ -147,30 +188,64 @@ class WorkingArray:
                 "an item weight exceeds the column capacity "
                 f"{self.config.max_column_weight}; increase num_rows"
             )
-        self._variability = variability
-        self._cells: List[List[OneFeFETOneRCell]] = []
-        self._effective_weights = np.zeros(self.num_columns)
+        self._chips = as_chip_models(variability)
         self._program()
 
     def _program(self) -> None:
-        """Decompose weights into cells and record effective conduction counts."""
-        self._cells = []
-        effective = np.zeros(self.num_columns)
-        for column, weight in enumerate(self._stored_weights):
-            cell_weights = decompose_weight(int(weight), self.config.num_rows,
-                                            self.config.max_cell_weight)
-            column_cells = []
-            column_effective = 0
-            for cell_weight in cell_weights:
-                cell = OneFeFETOneRCell(parameters=self.config.cell, weight=cell_weight,
-                                        variability=self._variability)
-                column_cells.append(cell)
-                # The number of staircase phases during which the cell
-                # conducts is the weight it effectively contributes (Eq. (7)).
-                column_effective += cell.conduction_count(input_bit=1)
-            self._cells.append(column_cells)
-            effective[column] = column_effective
-        self._effective_weights = effective
+        """Decompose weights into cells and sample per-chip device variation.
+
+        One vectorised :meth:`VariabilityModel.sample_device_table` draw per
+        chip replays the exact stream consumption of cell-by-cell scalar
+        programming, and one :func:`conduction_counts` broadcast turns the
+        sampled threshold shifts into per-chip effective weights -- the
+        single programming kernel behind both the scalar and device-axis
+        paths.  Cell objects (for per-cell inspection) are materialised
+        lazily from the same sampled values.
+        """
+        num_rows = self.config.num_rows
+        self._cell_weight_table = np.array(
+            [decompose_weight(int(weight), num_rows, self.config.max_cell_weight)
+             for weight in self._stored_weights],
+            dtype=int,
+        ).reshape(self.num_columns, num_rows)
+        flat_weights = self._cell_weight_table.reshape(-1)
+        num_chips = len(self._chips)
+        shifts = np.zeros((num_chips, flat_weights.size))
+        factors = np.ones((num_chips, flat_weights.size))
+        for chip, model in enumerate(self._chips):
+            if model is not None:
+                shifts[chip], factors[chip] = model.sample_device_table(
+                    flat_weights.size)
+        counts = conduction_counts(flat_weights, self.config.cell, shifts)
+        self._device_effective = counts.reshape(
+            num_chips, self.num_columns, num_rows).sum(axis=2).astype(float)
+        self._cell_shifts = shifts
+        self._cell_factors = factors
+        self._cells: Optional[List[List[OneFeFETOneRCell]]] = None
+
+    def _ensure_cells(self) -> List[List[OneFeFETOneRCell]]:
+        """Materialise cell objects for per-cell inspection (single chip only)."""
+        if self.num_devices != 1:
+            raise ValueError(
+                "per-cell access is only available on single-chip arrays; "
+                "use device_effective_weights for the device axis"
+            )
+        if self._cells is None:
+            cells: List[List[OneFeFETOneRCell]] = []
+            num_rows = self.config.num_rows
+            for column in range(self.num_columns):
+                column_cells = []
+                for row in range(num_rows):
+                    flat = column * num_rows + row
+                    column_cells.append(OneFeFETOneRCell(
+                        parameters=self.config.cell,
+                        weight=int(self._cell_weight_table[column, row]),
+                        threshold_shift=float(self._cell_shifts[0, flat]),
+                        on_current_factor=float(self._cell_factors[0, flat]),
+                    ))
+                cells.append(column_cells)
+            self._cells = cells
+        return self._cells
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -186,6 +261,11 @@ class WorkingArray:
         return self.config.num_rows
 
     @property
+    def num_devices(self) -> int:
+        """Number of simulated chips ``D`` along the device axis."""
+        return len(self._chips)
+
+    @property
     def stored_weights(self) -> np.ndarray:
         """The programmed item weights."""
         return self._stored_weights.copy()
@@ -195,13 +275,25 @@ class WorkingArray:
         """Per-column conduction counts actually realised by the cells.
 
         Equal to :attr:`stored_weights` for ideal devices; may deviate by a
-        few units under strong threshold variability.
+        few units under strong threshold variability.  Shape ``(n,)`` for a
+        single-chip array; multi-chip arrays must read the explicit
+        :attr:`device_effective_weights`.
         """
-        return self._effective_weights.copy()
+        if self.num_devices != 1:
+            raise ValueError(
+                "a multi-chip array has one weight vector per chip; "
+                "use device_effective_weights"
+            )
+        return self._device_effective[0].copy()
+
+    @property
+    def device_effective_weights(self) -> np.ndarray:
+        """Effective weights per chip, shape ``(D, n)``."""
+        return self._device_effective.copy()
 
     def cell(self, row: int, column: int) -> OneFeFETOneRCell:
         """Access an individual cell (row-major within a column)."""
-        return self._cells[column][row]
+        return self._ensure_cells()[column][row]
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -216,39 +308,66 @@ class WorkingArray:
         self._stored_weights = new_weights
         self._program()
 
-    def evaluate(self, x: Sequence[int],
-                 rng: Optional[np.random.Generator] = None) -> MatchlineReadout:
-        """Run the four-phase evaluation for input configuration ``x``.
+    def _resolve_devices(self, count: int,
+                         devices: Optional[np.ndarray]) -> np.ndarray:
+        return resolve_device_selection(count, devices, self.num_devices,
+                                        kind="filter-array batch")
 
-        Returns the end-of-evaluation matchline voltage (Eq. (9)).
+    def _evaluate_kernel(
+        self, batch: np.ndarray, rng: Optional[np.random.Generator],
+        devices: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The one evaluation kernel: ``(K, M, n)`` batch -> ``(K, M)`` readouts.
+
+        Row ``k`` of the batch is evaluated on chip ``devices[k]``.  Returns
+        ``(voltage, ideal_voltage, discharge, weighted_sum)``; readout noise
+        (when configured) is drawn once for the whole batch from ``rng``, so
+        the ``D = M = 1`` view consumes exactly the single draw the scalar
+        path historically made.
         """
-        inputs = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
-        if inputs.shape[0] != self.num_columns:
-            raise ValueError(
-                f"input configuration length {inputs.shape[0]} != {self.num_columns} columns"
-            )
-        if not np.all((inputs == 0) | (inputs == 1)):
-            raise ValueError("input configuration must be binary")
-        weighted_sum = float(self._effective_weights @ inputs)
-        discharge = self.config.discharge_per_unit * weighted_sum
-        ideal_voltage = self.config.supply_voltage - discharge
-        noise = 0.0
+        if not np.all((batch == 0) | (batch == 1)):
+            raise ValueError("input configurations must be binary")
+        effective = self._device_effective[devices]
+        weighted_sums = np.einsum("kmn,kn->km", batch, effective)
+        discharge = self.config.discharge_per_unit * weighted_sums
+        ideal_voltages = self.config.supply_voltage - discharge
         if self.config.noise_sigma > 0:
             generator = rng or np.random.default_rng()
-            noise = float(generator.normal(0.0, self.config.noise_sigma))
-        voltage = max(0.0, ideal_voltage + noise)
+            noise = generator.normal(0.0, self.config.noise_sigma,
+                                     size=weighted_sums.shape)
+        else:
+            noise = 0.0
+        voltages = np.maximum(0.0, ideal_voltages + noise)
+        return voltages, ideal_voltages, discharge, weighted_sums
+
+    def evaluate(self, x: Sequence[int],
+                 rng: Optional[np.random.Generator] = None,
+                 device: int = 0) -> MatchlineReadout:
+        """Run the four-phase evaluation for input configuration ``x``.
+
+        Returns the end-of-evaluation matchline voltage (Eq. (9)) of chip
+        ``device`` -- the ``(1, 1, n)`` view over the evaluation kernel.
+        """
+        inputs = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
+        if inputs.ndim != 1 or inputs.shape[0] != self.num_columns:
+            raise ValueError(
+                f"input configuration length {inputs.shape} != {self.num_columns} columns"
+            )
+        voltage, ideal, discharge, weighted = self._evaluate_kernel(
+            inputs[None, None, :], rng, self._resolve_devices(1, np.array([device])))
         return MatchlineReadout(
-            voltage=voltage,
-            ideal_voltage=ideal_voltage,
-            discharge=discharge,
-            weighted_sum=weighted_sum,
+            voltage=float(voltage[0, 0]),
+            ideal_voltage=float(ideal[0, 0]),
+            discharge=float(discharge[0, 0]),
+            weighted_sum=float(weighted[0, 0]),
         )
 
     def evaluate_batch(self, configurations: np.ndarray,
-                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Matchline voltages for an ``(M, n)`` batch of input configurations.
+                       rng: Optional[np.random.Generator] = None,
+                       device: int = 0) -> np.ndarray:
+        """Matchline voltages for an ``(M, n)`` batch on one chip.
 
-        The vectorised counterpart of :meth:`evaluate`: one weighted-sum
+        The ``(1, M, n)`` view over the evaluation kernel: one weighted-sum
         product covers every row, readout noise (when configured) is drawn
         independently per row, and the returned array holds the final
         (clipped) matchline voltage per replica.  Noise-free voltages equal
@@ -261,18 +380,25 @@ class WorkingArray:
             raise ValueError(
                 f"batch shape {batch.shape} incompatible with {self.num_columns} columns"
             )
-        if not np.all((batch == 0) | (batch == 1)):
-            raise ValueError("input configurations must be binary")
-        weighted_sums = batch @ self._effective_weights
-        ideal_voltages = self.config.supply_voltage - \
-            self.config.discharge_per_unit * weighted_sums
-        if self.config.noise_sigma > 0:
-            generator = rng or np.random.default_rng()
-            noise = generator.normal(0.0, self.config.noise_sigma,
-                                     size=weighted_sums.shape)
-        else:
-            noise = 0.0
-        return np.maximum(0.0, ideal_voltages + noise)
+        return self._evaluate_kernel(
+            batch[None, :, :], rng, self._resolve_devices(1, np.array([device])))[0][0]
+
+    def evaluate_devices(self, configurations: np.ndarray,
+                         rng: Optional[np.random.Generator] = None,
+                         devices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Matchline voltages for a ``(K, M, n)`` device-axis batch.
+
+        Slice ``k`` evaluates on chip ``devices[k]`` (all chips in order when
+        omitted, requiring ``K = D``).  Returns a ``(K, M)`` voltage matrix.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim != 3 or batch.shape[2] != self.num_columns:
+            raise ValueError(
+                f"device batch shape {batch.shape} is not (chips, replicas, "
+                f"{self.num_columns})"
+            )
+        return self._evaluate_kernel(
+            batch, rng, self._resolve_devices(batch.shape[0], devices))[0]
 
     def phase_waveform(self, x: Sequence[int]) -> np.ndarray:
         """Matchline voltage after each of the four staircase phases.
@@ -284,6 +410,7 @@ class WorkingArray:
         inputs = np.asarray(list(x) if not isinstance(x, np.ndarray) else x, dtype=float)
         if inputs.shape[0] != self.num_columns:
             raise ValueError("input configuration length mismatch")
+        cells = self._ensure_cells()
         voltage = self.config.supply_voltage
         waveform = []
         for phase in range(1, self.config.max_cell_weight + 1):
@@ -291,7 +418,7 @@ class WorkingArray:
             for column in range(self.num_columns):
                 if inputs[column] != 1:
                     continue
-                for cell in self._cells[column]:
+                for cell in cells[column]:
                     if cell.conducts(phase, input_bit=1):
                         conducting += 1
             voltage = max(0.0, voltage - self.config.discharge_per_unit * conducting)

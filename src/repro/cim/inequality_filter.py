@@ -10,6 +10,14 @@ decision
 
 in one analog evaluation, which is what lets the HyCiM annealer skip the QUBO
 computation for infeasible configurations.
+
+The filter carries the hardware stack's device axis (ARCHITECTURE.md):
+constructed with a *sequence* of variability models it simulates one filter
+instance per chip, and :meth:`InequalityFilter.is_feasible_devices` decides a
+``(D, M, n)`` batch -- chip ``d`` judging its own replicas with its own
+sampled cells -- in one analog shot.  Scalar :meth:`InequalityFilter.evaluate`
+and single-chip :meth:`InequalityFilter.is_feasible_batch` are degenerate
+views over the same arrays.
 """
 
 from __future__ import annotations
@@ -20,11 +28,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cim.comparator import TwoStageComparator
-from repro.cim.filter_array import FilterArrayConfig, MatchlineReadout, WorkingArray
+from repro.cim.filter_array import (
+    FilterArrayConfig,
+    MatchlineReadout,
+    VariabilityLike,
+    WorkingArray,
+)
 from repro.cim.replica import ReplicaArray
 from repro.core.constraints import InequalityConstraint
 from repro.fefet.cell import CellParameters
-from repro.fefet.variability import VariabilityModel
 
 
 @dataclass(frozen=True)
@@ -70,7 +82,11 @@ class InequalityFilter:
     cell_parameters:
         1FeFET1R cell parameters (4-level cells by default).
     variability:
-        Optional FeFET variability applied to working and replica cells.
+        Optional FeFET variability applied to working and replica cells.  A
+        single model (or ``None``) builds the usual one-chip filter; a
+        sequence of models builds one filter instance per chip along the
+        device axis, each chip sampling its cells from its own stream in the
+        scalar order (working array first, then replica array).
     comparator:
         Optional pre-built comparator (a noise-free one is created otherwise).
     matchline_noise_sigma:
@@ -86,7 +102,7 @@ class InequalityFilter:
         constraint: InequalityConstraint,
         num_rows: int = 16,
         cell_parameters: Optional[CellParameters] = None,
-        variability: Optional[VariabilityModel] = None,
+        variability: VariabilityLike = None,
         comparator: Optional[TwoStageComparator] = None,
         matchline_noise_sigma: float = 0.0,
         discharge_fraction: float = 0.6,
@@ -141,6 +157,11 @@ class InequalityFilter:
         return self.working_array.num_columns
 
     @property
+    def num_devices(self) -> int:
+        """Number of simulated chips ``D`` along the device axis."""
+        return self.working_array.num_devices
+
+    @property
     def num_evaluations(self) -> int:
         """How many configurations the filter has evaluated."""
         return self._num_evaluations
@@ -154,10 +175,11 @@ class InequalityFilter:
     # Evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, x: Sequence[int],
-                 rng: Optional[np.random.Generator] = None) -> FilterDecision:
-        """Evaluate one input configuration and return the filter decision."""
-        working = self.working_array.evaluate(x, rng=rng)
-        replica = self.replica_array.evaluate(rng=rng)
+                 rng: Optional[np.random.Generator] = None,
+                 device: int = 0) -> FilterDecision:
+        """Evaluate one input configuration on chip ``device``."""
+        working = self.working_array.evaluate(x, rng=rng, device=device)
+        replica = self.replica_array.evaluate(rng=rng, device=device)
         feasible = self.comparator.decide(working.voltage, replica.voltage)
         self._num_evaluations += 1
         if feasible:
@@ -166,20 +188,23 @@ class InequalityFilter:
                               replica_readout=replica)
 
     def is_feasible(self, x: Sequence[int],
-                    rng: Optional[np.random.Generator] = None) -> bool:
+                    rng: Optional[np.random.Generator] = None,
+                    device: int = 0) -> bool:
         """Single-bit decision (the signal routed to the SA logic in Fig. 3)."""
-        return self.evaluate(x, rng=rng).feasible
+        return self.evaluate(x, rng=rng, device=device).feasible
 
     def evaluate_batch(self, configurations: np.ndarray,
-                       rng: Optional[np.random.Generator] = None) -> list[FilterDecision]:
+                       rng: Optional[np.random.Generator] = None,
+                       device: int = 0) -> list[FilterDecision]:
         """Evaluate a batch of configurations, one decision per row."""
         batch = np.asarray(configurations, dtype=float)
         if batch.ndim == 1:
             batch = batch[None, :]
-        return [self.evaluate(row, rng=rng) for row in batch]
+        return [self.evaluate(row, rng=rng, device=device) for row in batch]
 
     def is_feasible_batch(self, configurations: np.ndarray,
-                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                          rng: Optional[np.random.Generator] = None,
+                          device: int = 0) -> np.ndarray:
         """Single-bit decisions for an ``(M, n)`` replica batch, vectorised.
 
         One working-array product and one replica readout vector cover every
@@ -193,12 +218,40 @@ class InequalityFilter:
         batch = np.asarray(configurations, dtype=float)
         if batch.ndim == 1:
             batch = batch[None, :]
-        working_voltages = self.working_array.evaluate_batch(batch, rng=rng)
-        replica_voltages = self.replica_array.evaluate_batch(batch.shape[0], rng=rng)
+        working_voltages = self.working_array.evaluate_batch(batch, rng=rng,
+                                                             device=device)
+        replica_voltages = self.replica_array.evaluate_batch(batch.shape[0],
+                                                             rng=rng,
+                                                             device=device)
         verdicts = self.comparator.decide_batch(working_voltages, replica_voltages)
         self._num_evaluations += int(batch.shape[0])
         self._num_feasible += int(np.count_nonzero(verdicts))
         return verdicts
+
+    def is_feasible_devices(self, configurations: np.ndarray,
+                            rng: Optional[np.random.Generator] = None,
+                            devices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decisions for a ``(K, M, n)`` device-axis batch, one shot per array.
+
+        Slice ``k`` is judged by chip ``devices[k]`` (all chips in order when
+        omitted).  A 2-D ``(K, n)`` input is the one-replica-per-chip
+        convenience form and returns a ``(K,)`` verdict vector; 3-D input
+        returns ``(K, M)``.  Noise-free verdicts equal per-chip
+        :meth:`is_feasible` calls exactly.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        squeeze = batch.ndim == 2
+        if squeeze:
+            batch = batch[:, None, :]
+        working_voltages = self.working_array.evaluate_devices(batch, rng=rng,
+                                                               devices=devices)
+        replica_voltages = self.replica_array.evaluate_devices(batch.shape[1],
+                                                               rng=rng,
+                                                               devices=devices)
+        verdicts = self.comparator.decide_batch(working_voltages, replica_voltages)
+        self._num_evaluations += int(verdicts.size)
+        self._num_feasible += int(np.count_nonzero(verdicts))
+        return verdicts[:, 0] if squeeze else verdicts
 
     def classification_accuracy(self, configurations: np.ndarray,
                                 rng: Optional[np.random.Generator] = None) -> float:

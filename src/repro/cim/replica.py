@@ -5,6 +5,12 @@ precomputed weight vector ``w'`` and is driven with a fixed input ``x'`` such
 that ``sum_i w'_i x'_i = C``.  Its matchline therefore settles at a voltage
 proportional to ``-C`` (paper Eq. (10)), providing the comparison threshold
 for the voltage comparator.
+
+Like the working array it carries the device axis: a sequence of variability
+models programs one replica column set per simulated chip, and
+:meth:`ReplicaArray.evaluate_devices` produces the per-chip threshold
+voltages in one shot.  The scalar :meth:`ReplicaArray.evaluate` is the
+``D = M = 1`` view.
 """
 
 from __future__ import annotations
@@ -13,8 +19,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.cim.filter_array import FilterArrayConfig, MatchlineReadout, WorkingArray
-from repro.fefet.variability import VariabilityModel
+from repro.cim.filter_array import (
+    FilterArrayConfig,
+    MatchlineReadout,
+    VariabilityLike,
+    WorkingArray,
+)
 
 
 def distribute_capacity(capacity: int, num_columns: int, max_column_weight: int) -> List[int]:
@@ -53,7 +63,10 @@ class ReplicaArray:
         Shared array configuration -- *must* be the same object/values as the
         working array for the voltage comparison to be meaningful.
     variability:
-        Optional device variability, sampled per replica cell.
+        Optional device variability, sampled per replica cell; a sequence
+        programs one chip per entry (the device axis), continuing each chip
+        model's stream where the working array left it, exactly as scalar
+        programming would.
     """
 
     def __init__(
@@ -61,7 +74,7 @@ class ReplicaArray:
         capacity: float,
         num_columns: int,
         config: Optional[FilterArrayConfig] = None,
-        variability: Optional[VariabilityModel] = None,
+        variability: VariabilityLike = None,
     ) -> None:
         self.config = config or FilterArrayConfig()
         if abs(capacity - round(capacity)) > 1e-9:
@@ -78,6 +91,11 @@ class ReplicaArray:
         return self._array.num_columns
 
     @property
+    def num_devices(self) -> int:
+        """Number of simulated chips ``D`` along the device axis."""
+        return self._array.num_devices
+
+    @property
     def stored_weights(self) -> np.ndarray:
         """The precomputed replica weight vector ``w'``."""
         return self._array.stored_weights
@@ -87,12 +105,19 @@ class ReplicaArray:
         """The capacity value effectively realised by the replica cells."""
         return float(self._array.effective_weights @ self._fixed_input)
 
-    def evaluate(self, rng: Optional[np.random.Generator] = None) -> MatchlineReadout:
+    @property
+    def device_encoded_capacities(self) -> np.ndarray:
+        """Per-chip realised capacities, shape ``(D,)``."""
+        return self._array.device_effective_weights @ self._fixed_input
+
+    def evaluate(self, rng: Optional[np.random.Generator] = None,
+                 device: int = 0) -> MatchlineReadout:
         """Replica matchline readout (voltage proportional to ``-C``)."""
-        return self._array.evaluate(self._fixed_input, rng=rng)
+        return self._array.evaluate(self._fixed_input, rng=rng, device=device)
 
     def evaluate_batch(self, count: int,
-                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                       rng: Optional[np.random.Generator] = None,
+                       device: int = 0) -> np.ndarray:
         """``count`` replica matchline readouts as a voltage vector.
 
         One readout per replica of a batched filter evaluation; without
@@ -101,4 +126,21 @@ class ReplicaArray:
         if count < 0:
             raise ValueError("count must be non-negative")
         return self._array.evaluate_batch(
-            np.tile(self._fixed_input, (count, 1)), rng=rng)
+            np.tile(self._fixed_input, (count, 1)), rng=rng, device=device)
+
+    def evaluate_devices(self, count: int,
+                         rng: Optional[np.random.Generator] = None,
+                         devices: Optional[np.ndarray] = None) -> np.ndarray:
+        """``(K, count)`` replica readouts along the device axis.
+
+        Row ``k`` holds chip ``devices[k]``'s threshold voltages (all chips
+        in order when omitted); noise draws run through the same kernel as
+        the working array's device evaluation.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        num_slices = (self.num_devices if devices is None
+                      else np.asarray(devices).shape[0])
+        batch = np.broadcast_to(
+            self._fixed_input, (num_slices, count, self._fixed_input.shape[0]))
+        return self._array.evaluate_devices(batch, rng=rng, devices=devices)

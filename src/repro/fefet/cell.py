@@ -18,8 +18,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.fefet.device import FeFETDevice, FeFETParameters
 from repro.fefet.variability import VariabilityModel
+
+
+def conduction_counts(cell_weights: np.ndarray, parameters: "CellParameters",
+                      threshold_shifts: np.ndarray) -> np.ndarray:
+    """Vectorised :meth:`OneFeFETOneRCell.conduction_count` over many cells.
+
+    ``cell_weights`` holds the stored weight of each cell along the last
+    axis; ``threshold_shifts`` broadcasts against it (typically shape
+    ``(D, C)`` -- one row of per-cell shifts per simulated chip).  Returns
+    the number of staircase read phases each cell conducts for, the quantity
+    the working array sums per column into its effective weights (Eq. (7)).
+    This is the single conduction kernel both the scalar cell objects and
+    the device-axis arrays resolve to: a cell storing weight ``w`` sits at
+    device level ``max_weight - w`` and conducts during phase ``j`` exactly
+    when ``V_read,j >= V_T(level) + shift``.
+    """
+    weights = np.asarray(cell_weights, dtype=int)
+    levels = parameters.max_weight - weights
+    thresholds = np.asarray(parameters.device.threshold_voltages, dtype=float)
+    read_voltages = np.asarray(parameters.read_voltages, dtype=float)
+    actual_thresholds = thresholds[levels] + np.asarray(threshold_shifts, dtype=float)
+    return (read_voltages >= actual_thresholds[..., None]).sum(axis=-1)
 
 
 @dataclass(frozen=True)
@@ -96,6 +120,8 @@ class OneFeFETOneRCell:
     parameters: CellParameters = field(default_factory=CellParameters)
     weight: int = 0
     variability: Optional[VariabilityModel] = None
+    threshold_shift: Optional[float] = None
+    on_current_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         self._check_weight(self.weight)
@@ -103,6 +129,10 @@ class OneFeFETOneRCell:
             parameters=self.parameters.device,
             level=self._level_for_weight(self.weight),
             variability=self.variability,
+            # Pre-sampled variation (device-axis arrays inject the values
+            # drawn by one vectorised sample_device_table call).
+            threshold_shift=self.threshold_shift,
+            on_current_factor=self.on_current_factor,
         )
 
     def _check_weight(self, weight: int) -> None:

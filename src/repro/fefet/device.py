@@ -93,15 +93,29 @@ class FeFETDevice:
         and ON-current factor are sampled at construction (i.e. at program
         time) and stay fixed for the lifetime of the device, mirroring how
         write-verify programming freezes the device state.
+    threshold_shift / on_current_factor:
+        Pre-sampled variation values.  The device-axis array kernels sample
+        whole chips in one vectorised
+        :meth:`~repro.fefet.variability.VariabilityModel.sample_device_table`
+        draw and inject the per-device values here, so a cell object can be
+        materialised for inspection without consuming the variability stream
+        a second time.  When either is given, ``variability`` is not sampled.
     """
 
     parameters: FeFETParameters = field(default_factory=FeFETParameters)
     level: int = 0
     variability: Optional[VariabilityModel] = None
+    threshold_shift: Optional[float] = None
+    on_current_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         self._check_level(self.level)
-        if self.variability is not None:
+        if self.threshold_shift is not None or self.on_current_factor is not None:
+            self._threshold_shift = (0.0 if self.threshold_shift is None
+                                     else float(self.threshold_shift))
+            self._on_factor = (1.0 if self.on_current_factor is None
+                               else float(self.on_current_factor))
+        elif self.variability is not None:
             self._threshold_shift = self.variability.sample_threshold_shift()
             self._on_factor = self.variability.sample_on_current_factor()
         else:
@@ -144,28 +158,33 @@ class FeFETDevice:
         """Actual ON current including the sampled device variation."""
         return self.parameters.on_current * self._on_factor
 
-    def drain_current(self, gate_voltage: float, drain_voltage: Optional[float] = None) -> float:
+    def drain_current(self, gate_voltage, drain_voltage: Optional[float] = None):
         """Drain current at the given gate (and drain) bias.
 
         The drain dependence is linear in the deep-triode read regime used by
         the CiM arrays (``V_DS`` = tens of millivolts), normalised so that the
         nominal :attr:`on_current` is reached at the nominal read drain bias.
+        ``gate_voltage`` may be a scalar (returning a ``float``) or an array
+        of any shape (returning the element-wise currents), so array-level
+        simulators can sweep a whole ``(D, M, ...)`` batch of biases in one
+        call.
         """
         vds = self.parameters.read_drain_voltage if drain_voltage is None else drain_voltage
         if vds < 0:
             raise ValueError("drain voltage must be non-negative")
-        overdrive = gate_voltage - self.threshold_voltage
-        swing = self.parameters.subthreshold_swing
-        if overdrive >= 0:
-            # Deep-triode ON current scales linearly with the drain bias.
-            current = self.on_current * (vds / self.parameters.read_drain_voltage)
-        else:
-            # Subthreshold conduction saturates with drain bias (V_DS >> kT/q),
-            # so the leakage floor does not grow with larger read biases.
-            decades = overdrive / swing
-            current = self.on_current * (10.0 ** decades)
-            current = max(current, self.parameters.off_current)
-        return float(current)
+        vg = np.asarray(gate_voltage, dtype=float)
+        overdrive = vg - self.threshold_voltage
+        # Deep-triode ON current scales linearly with the drain bias;
+        # subthreshold conduction saturates with drain bias (V_DS >> kT/q),
+        # so the leakage floor does not grow with larger read biases.
+        on = self.on_current * (vds / self.parameters.read_drain_voltage)
+        decades = np.minimum(overdrive, 0.0) / self.parameters.subthreshold_swing
+        subthreshold = np.maximum(self.on_current * 10.0 ** decades,
+                                  self.parameters.off_current)
+        current = np.where(overdrive >= 0.0, on, subthreshold)
+        if vg.ndim == 0:
+            return float(current)
+        return current
 
     def is_on(self, gate_voltage: float) -> bool:
         """Whether the device conducts strongly at ``gate_voltage`` (V_G >= V_T)."""
@@ -173,7 +192,7 @@ class FeFETDevice:
 
     def id_vg_curve(self, gate_voltages: Sequence[float]) -> np.ndarray:
         """Drain current at each gate voltage (reproduces one Fig. 2(b) trace)."""
-        return np.array([self.drain_current(v) for v in gate_voltages])
+        return np.asarray(self.drain_current(np.asarray(gate_voltages, dtype=float)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -220,7 +239,16 @@ def measure_id_vg_population(
     vg = np.asarray(gate_voltages, dtype=float)
     currents = np.zeros((len(levels), num_devices, vg.shape[0]))
     for li, level in enumerate(levels):
-        for d in range(num_devices):
-            device = FeFETDevice(parameters=params, level=level, variability=var)
-            currents[li, d, :] = device.id_vg_curve(vg)
+        # One vectorised draw per level replays the per-device construction
+        # order exactly (the device axis of the population, computed in one
+        # broadcast instead of num_devices Python objects).
+        shifts, factors = var.sample_device_table(num_devices)
+        thresholds = params.threshold_voltages[level] + shifts
+        on_currents = params.on_current * factors
+        overdrive = vg[None, :] - thresholds[:, None]
+        decades = np.minimum(overdrive, 0.0) / params.subthreshold_swing
+        subthreshold = np.maximum(on_currents[:, None] * 10.0 ** decades,
+                                  params.off_current)
+        currents[li] = np.where(overdrive >= 0.0, on_currents[:, None],
+                                subthreshold)
     return vg, currents

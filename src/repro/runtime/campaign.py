@@ -166,6 +166,7 @@ def run_campaign(
     references: ReferenceProvider = None,
     threshold: float = 0.95,
     early_stop: bool = True,
+    chips: Optional[int] = None,
 ) -> CampaignResult:
     """Sweep every solver spec over every instance and aggregate each cell.
 
@@ -189,9 +190,20 @@ def run_campaign(
         Success bar as a fraction of the reference (paper: 0.95).
     early_stop:
         Stop a cell's remaining trials once one trial reaches the bar.
+    chips:
+        Batch-of-chips knob for the paper's variability ablations: cells
+        whose spec carries a non-``None`` ``variability`` param run this
+        many trials -- one freshly sampled simulated chip per trial -- as a
+        single lock-step sweep on the vectorized backend (one chunk, one
+        slice of the hardware stack's device axis per chip).  Cells without
+        variability keep ``num_trials`` and ``backend`` unchanged, so one
+        campaign can mix ideal-device cells with Monte-Carlo-over-chips
+        cells.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
+    if chips is not None and chips < 1:
+        raise ValueError("chips must be positive")
     specs = [as_solver_spec(spec) for spec in solvers]
     if not specs:
         raise ValueError("campaign needs at least one solver spec")
@@ -213,14 +225,21 @@ def run_campaign(
         for spec, spec_seq in zip(specs, spec_seeds):
             cell_master = int(spec_seq.generate_state(1, np.uint64)[0])
             trials = 1 if spec.solver in DETERMINISTIC_SOLVERS else num_trials
+            cell_backend, cell_chunk = backend, chunk_size
+            if (chips is not None
+                    and spec.solver not in DETERMINISTIC_SOLVERS
+                    and spec.params.get("variability") is not None):
+                # Monte-Carlo over simulated chips: one trial per chip, all
+                # chips advanced as one device-axis batch.
+                trials, cell_backend, cell_chunk = chips, "vectorized", chips
             batch = run_trials(
                 problem,
                 solver=spec,
                 num_trials=trials,
-                backend=backend,
+                backend=cell_backend,
                 master_seed=cell_master,
                 num_workers=num_workers,
-                chunk_size=chunk_size,
+                chunk_size=cell_chunk,
                 target_objective=target,
             )
             records.append(CampaignRecord(

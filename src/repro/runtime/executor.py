@@ -18,9 +18,11 @@ door for running them at scale:
   solver's batched replica engine (:mod:`repro.batched`) -- per-seed results
   identical to the serial backend in software mode on the integer-valued
   paper benchmarks, at an order-of-magnitude better per-replica throughput.
-  ``replicas_per_task`` composes both levels of parallelism: each
-  process-backend worker task runs its trials as vectorised replica groups
-  of that size.
+  Per-trial device ``variability`` runs on the engine's batch-of-chips
+  device axis (each trial is one freshly sampled chip slice, no scalar
+  fallback; see ARCHITECTURE.md).  ``replicas_per_task`` composes both
+  levels of parallelism: each process-backend worker task runs its trials
+  as vectorised replica groups of that size.
 * **Chunked dispatch** -- trials are grouped into chunks of ``chunk_size``
   before being pickled to workers, amortising the per-task cost of shipping
   the problem instance.  Chunks are also the early-stopping granularity:

@@ -14,8 +14,12 @@ to module-level trial functions with the uniform signature
 Annealing solvers are rebuilt from scratch inside every trial (so device
 variability and crossbar programming are re-sampled per trial exactly as a
 real chip would be reprogrammed), seeded deterministically from the trial
-seed.  Exact / heuristic reference solvers are wrapped so they return the
-same :class:`~repro.annealing.result.SolveResult` shape as the annealers.
+seed.  The vectorised counterparts in :mod:`repro.batched.trials` replay
+those per-trial streams in lock-step -- per-trial variability becomes one
+freshly sampled chip per device-axis slice (ARCHITECTURE.md) -- so batched
+and scalar trials are interchangeable per seed.  Exact / heuristic reference
+solvers are wrapped so they return the same
+:class:`~repro.annealing.result.SolveResult` shape as the annealers.
 
 Parameter dicts may either carry plain values (``{"schedule": {"kind":
 "geometric", "start_temperature": 100.0}}``, ``{"move_generator":

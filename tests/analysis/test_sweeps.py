@@ -43,3 +43,23 @@ class TestFilterNoiseSweep:
             sweep_filter_noise(sweep_problem, noise_levels=(-0.1,), num_runs=1)
         with pytest.raises(ValueError):
             sweep_filter_noise(sweep_problem, noise_levels=(0.0,), num_runs=0)
+
+
+class TestDeviceVariabilitySweep:
+    def test_monte_carlo_over_chips_runs_batched(self, sweep_problem):
+        from repro.analysis.sweeps import sweep_device_variability
+        points = sweep_device_variability(sweep_problem,
+                                          threshold_sigmas=(0.0, 0.05),
+                                          chips=4, sa_iterations=30, seed=4)
+        assert [p.parameter for p in points] == [0.0, 0.05]
+        assert all(p.num_runs == 4 for p in points)
+        assert all(0.0 <= p.success_rate <= 1.0 for p in points)
+        # Ideal devices solve the small instance well.
+        assert points[0].mean_normalized_value >= 0.85
+
+    def test_validation(self, sweep_problem):
+        from repro.analysis.sweeps import sweep_device_variability
+        with pytest.raises(ValueError):
+            sweep_device_variability(sweep_problem, threshold_sigmas=(-0.1,))
+        with pytest.raises(ValueError):
+            sweep_device_variability(sweep_problem, chips=0)

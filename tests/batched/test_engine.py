@@ -226,3 +226,39 @@ class TestVectorizedResultShape:
             # Incumbent-best histories are monotone non-increasing.
             assert all(a >= b for a, b in zip(result.energy_history,
                                               result.energy_history[1:]))
+
+
+class TestDeviceAxisEngine:
+    def test_chip_count_must_match_replicas(self, tiny_qkp):
+        from repro.fefet.variability import VariabilityModel
+        solver = HyCiMSolver(tiny_qkp, use_hardware=True, num_iterations=5)
+        chips = VariabilityModel(seed=0).spawn_chips(2)
+        engine = BatchedHyCiMSolver(solver, chips=chips,
+                                    chip_seeds=[1, 2])
+        initials = np.zeros((3, 3))
+        rngs = [np.random.default_rng(s) for s in range(3)]
+        with pytest.raises(ValueError, match="one chip per replica"):
+            engine.solve_batch(initials, rngs)
+
+    def test_chip_seed_count_must_match_chips(self, tiny_qkp):
+        from repro.fefet.variability import VariabilityModel
+        solver = HyCiMSolver(tiny_qkp, use_hardware=True, num_iterations=5)
+        chips = VariabilityModel(seed=0).spawn_chips(2)
+        with pytest.raises(ValueError, match="one chip seed per chip"):
+            BatchedHyCiMSolver(solver, chips=chips, chip_seeds=[1])
+
+    def test_software_mode_ignores_chips(self, tiny_qkp):
+        """Chips only exist in hardware; the software engine must behave as
+        if none were passed (the scalar path ignores variability too)."""
+        from repro.fefet.variability import VariabilityModel
+        solver = HyCiMSolver(tiny_qkp, use_hardware=False, num_iterations=10)
+        chips = VariabilityModel(seed=0).spawn_chips(2)
+        initials = np.zeros((2, 3))
+        with_chips = BatchedHyCiMSolver(solver, chips=chips).solve_batch(
+            initials, [np.random.default_rng(s) for s in (4, 5)])
+        without = BatchedHyCiMSolver(solver).solve_batch(
+            initials, [np.random.default_rng(s) for s in (4, 5)])
+        for a, b in zip(with_chips, without):
+            assert a.best_energy == b.best_energy
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)

@@ -257,9 +257,10 @@ class TestBackendParity:
                                 master_seed=2, initial_states=starts)
         assert_results_match(serial.results, vectorized.results, exact=True)
 
-    def test_variability_falls_back_to_scalar_identically(self, small_qkp):
-        """Per-trial device resampling cannot share hardware; the batched
-        trial function must delegate to scalar trials with the same seeds."""
+    def test_variability_runs_batched_on_the_device_axis(self, small_qkp):
+        """Per-trial device resampling runs as a batch of chips -- one
+        device-axis slice per trial, NOT a scalar fallback -- with per-seed
+        results exactly matching scalar trials that rebuild their hardware."""
         params = {"num_iterations": 15, "use_hardware": True,
                   "variability": {"threshold_sigma": 0.02,
                                   "on_current_sigma": 0.05}}
@@ -268,6 +269,116 @@ class TestBackendParity:
         vectorized = run_trials(small_qkp, "hycim", num_trials=4,
                                 params=params, backend="vectorized",
                                 master_seed=19)
+        # The engine stamps its metadata on every result: proof the batch
+        # went through the lock-step device axis, not the scalar path.
+        assert all(r.metadata.get("vectorized") for r in vectorized.results)
+        assert all(r.metadata.get("num_chips") == 4
+                   for r in vectorized.results)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+        assert_results_match(serial.results, vectorized.results, exact=True)
+
+    def test_variability_with_matchline_noise_stays_on_scalar_streams(
+            self, small_qkp):
+        """Matchline noise consumes per-candidate draws with short-circuit
+        across constraints; the device-axis engine must evaluate chip by
+        chip on exactly the scalar streams."""
+        params = {"num_iterations": 12, "use_hardware": True,
+                  "matchline_noise_sigma": 0.01,
+                  "variability": {"threshold_sigma": 0.02,
+                                  "on_current_sigma": 0.05}}
+        serial = run_trials(small_qkp, "hycim", num_trials=4, params=params,
+                            backend="serial", master_seed=43)
+        vectorized = run_trials(small_qkp, "hycim", num_trials=4,
+                                params=params, backend="vectorized",
+                                master_seed=43)
+        assert all(r.metadata.get("vectorized") for r in vectorized.results)
+        assert_results_match(serial.results, vectorized.results, exact=True)
+
+    def test_variability_with_noisy_crossbar_matches_per_seed(self, small_qkp):
+        """Each chip's crossbar noise, ON-current factors and ADC codes come
+        from that chip's own seeded streams, reproducing the per-trial
+        hardware rebuild of the scalar path draw for draw."""
+        from repro.cim.crossbar import CrossbarConfig
+        params = {"num_iterations": 10, "use_hardware": True,
+                  "variability": {"threshold_sigma": 0.02,
+                                  "on_current_sigma": 0.05},
+                  "crossbar_config": CrossbarConfig(
+                      current_noise_sigma=0.01, adc_bits=8,
+                      on_current_variation_sigma=0.05, seed=11)}
+        serial = run_trials(small_qkp, "hycim", num_trials=4, params=params,
+                            backend="serial", master_seed=13)
+        vectorized = run_trials(small_qkp, "hycim", num_trials=4,
+                                params=params, backend="vectorized",
+                                master_seed=13)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+        for a, b in zip(serial.results, vectorized.results):
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+
+    def test_variability_in_software_mode_is_a_no_op_batch(self, medium_qkp):
+        """Software mode builds no hardware, so a variability template must
+        not change results or force any fallback."""
+        params = {"num_iterations": 20, "use_hardware": False,
+                  "variability": {"threshold_sigma": 0.05}}
+        plain = run_trials(medium_qkp, "hycim", num_trials=4,
+                           params={"num_iterations": 20,
+                                   "use_hardware": False},
+                           backend="vectorized", master_seed=3)
+        with_var = run_trials(medium_qkp, "hycim", num_trials=4,
+                              params=params, backend="vectorized",
+                              master_seed=3)
+        np.testing.assert_array_equal(plain.best_energies,
+                                      with_var.best_energies)
+        assert all(r.metadata.get("vectorized") for r in with_var.results)
+
+    def test_dqubo_identical(self, medium_qkp):
+        """The dqubo baseline's batched engine replays the scalar streams
+        (slack-bit seeding included) instead of falling back to scalar."""
+        params = {"num_iterations": 25, "moves_per_iteration": 2,
+                  "record_history": True}
+        serial = run_trials(medium_qkp, "dqubo", num_trials=NUM_REPLICAS,
+                            params=params, backend="serial", master_seed=47)
+        vectorized = run_trials(medium_qkp, "dqubo", num_trials=NUM_REPLICAS,
+                                params=params, backend="vectorized",
+                                master_seed=47)
+        assert all(r.metadata.get("vectorized") for r in vectorized.results)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+        for a, b in zip(serial.results, vectorized.results):
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+            assert a.energy_history == b.energy_history
+            assert a.feasible == b.feasible
+            assert a.best_objective == b.best_objective
+            assert a.num_accepted_moves == b.num_accepted_moves
+            assert a.metadata["penalty_satisfied"] == \
+                b.metadata["penalty_satisfied"]
+
+    def test_dqubo_zeros_initial_seeds_slack_bits_identically(self, medium_qkp):
+        """The empty selection takes extend_initial's random slack branch
+        (one extra draw per replica), which must stay stream-aligned."""
+        params = {"num_iterations": 15, "initial": "zeros"}
+        serial = run_trials(medium_qkp, "dqubo", num_trials=4, params=params,
+                            backend="serial", master_seed=59)
+        vectorized = run_trials(medium_qkp, "dqubo", num_trials=4,
+                                params=params, backend="vectorized",
+                                master_seed=59)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+
+    def test_dqubo_hardware_mode_falls_back_to_scalar(self, small_qkp):
+        """Hardware-mode dqubo (the Fig. 9 overhead configuration) keeps the
+        documented scalar fallback with identical per-seed results."""
+        params = {"num_iterations": 8, "use_hardware": True}
+        serial = run_trials(small_qkp, "dqubo", num_trials=2, params=params,
+                            backend="serial", master_seed=5)
+        vectorized = run_trials(small_qkp, "dqubo", num_trials=2,
+                                params=params, backend="vectorized",
+                                master_seed=5)
+        assert not any(r.metadata.get("vectorized")
+                       for r in vectorized.results)
         np.testing.assert_array_equal(serial.best_energies,
                                       vectorized.best_energies)
 

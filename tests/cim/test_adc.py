@@ -54,3 +54,92 @@ class TestADCModel:
         adc = ADCModel(bits=3, full_scale=7.0)
         for code in range(adc.num_levels):
             assert adc.convert(adc.reconstruct(code)) == code
+
+
+class TestEdgeCases:
+    def test_clipping_exactly_at_full_scale(self):
+        """Inputs at (and epsilon beyond) full scale map to the top code and
+        reconstruct to exactly full_scale -- no overshoot through rounding."""
+        adc = ADCModel(bits=6, full_scale=2.0)
+        top = adc.num_levels - 1
+        assert adc.convert(2.0) == top
+        assert adc.convert(np.nextafter(2.0, np.inf)) == top
+        assert adc.quantize(2.0) == pytest.approx(2.0)
+        codes = adc.convert_array(np.array([-1.0, 0.0, 2.0, 5.0]))
+        np.testing.assert_array_equal(codes, [0, 0, top, top])
+
+    def test_one_bit_adc_is_a_comparator(self):
+        """bits=1 gives two codes: everything quantizes to 0 or full scale
+        with the decision threshold at half scale."""
+        adc = ADCModel(bits=1, full_scale=1.0)
+        assert adc.num_levels == 2
+        assert adc.lsb == pytest.approx(1.0)
+        values = np.linspace(0.0, 1.0, 21)
+        codes = adc.convert_array(values)
+        # Round-half-even sends the exact midpoint to code 0.
+        np.testing.assert_array_equal(codes, (values > 0.5).astype(int))
+        np.testing.assert_array_equal(np.unique(adc.quantize_array(values)),
+                                      [0.0, 1.0])
+
+    def test_sixteen_bit_adc_resolves_below_1e_4_relative(self):
+        """bits=16 (the supported maximum) keeps the quantization error under
+        half of the ~1.5e-5 LSB across the full range."""
+        adc = ADCModel(bits=16, full_scale=1.0)
+        assert adc.num_levels == 65536
+        values = np.linspace(0.0, 1.0, 1001)
+        quantized = adc.quantize_array(values)
+        assert np.max(np.abs(quantized - values)) <= adc.lsb / 2 + 1e-12
+        assert adc.convert(1.0) == 65535
+
+    def test_bits_17_rejected(self):
+        with pytest.raises(ValueError):
+            ADCModel(bits=17)
+
+
+class TestDeviceAxis:
+    def test_single_device_by_default(self):
+        assert ADCModel(bits=4).num_devices == 1
+
+    def test_empty_device_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            ADCModel(bits=4, device_seeds=())
+
+    def test_device_selection_validated(self):
+        adc = ADCModel(bits=4, device_seeds=(1, 2))
+        with pytest.raises(ValueError):
+            adc.convert_devices(np.zeros((3, 4)))
+        with pytest.raises(IndexError):
+            adc.convert_devices(np.zeros((1, 4)), devices=np.array([5]))
+
+    def test_noise_free_device_slices_match_plain_conversion(self):
+        adc = ADCModel(bits=5, full_scale=3.0, device_seeds=(1, 2, 3))
+        values = np.linspace(0.0, 3.0, 30).reshape(3, 10)
+        np.testing.assert_array_equal(adc.convert_devices(values),
+                                      adc.convert_array(values))
+
+    def test_noise_is_deterministic_per_device_slice_seed(self):
+        """Each chip's codes are a function of its own seed: slicing a chip
+        out of the batch, or re-batching it with different neighbours, must
+        reproduce the same noisy codes."""
+        values = np.linspace(0.2, 0.8, 8)
+        batch = np.stack([values, values, values])
+        adc = ADCModel(bits=6, full_scale=1.0, noise_sigma=0.05,
+                       device_seeds=(7, 8, 9))
+        codes = adc.convert_devices(batch)
+        # Device 1 alone, from a fresh model: identical codes.
+        alone = ADCModel(bits=6, full_scale=1.0, noise_sigma=0.05,
+                         device_seeds=(7, 8, 9))
+        np.testing.assert_array_equal(
+            alone.convert_devices(values[None, :], devices=np.array([1])),
+            codes[1][None, :])
+        # And a chip's stream equals a plain single-stream ADC with its seed,
+        # so per-slice determinism degenerates to the scalar behaviour.
+        scalar = ADCModel(bits=6, full_scale=1.0, noise_sigma=0.05, seed=8)
+        np.testing.assert_array_equal(scalar.convert_array(values), codes[1])
+        # Different seeds -> different noise (identical inputs).
+        assert not np.array_equal(codes[0], codes[2])
+
+    def test_quantize_devices_round_trips_codes(self):
+        adc = ADCModel(bits=4, full_scale=15.0, device_seeds=(0, 1))
+        values = np.arange(16.0)[None, :].repeat(2, axis=0)
+        np.testing.assert_array_equal(adc.quantize_devices(values), values)

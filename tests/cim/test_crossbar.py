@@ -124,3 +124,69 @@ class TestLinearity:
             crossbar.column_current(9)
         with pytest.raises(ValueError):
             crossbar.column_current(-1)
+
+
+class TestDeviceAxis:
+    """The (D, M, n) contract: one programmed chip per device seed."""
+
+    def test_device_batch_matches_per_chip_rebuilds(self, integer_qubo, rng):
+        """Chip d of a device-axis crossbar must behave exactly like a
+        scalar crossbar rebuilt with chip d's seed -- factors, read noise
+        and ADC codes included."""
+        config = CrossbarConfig(weight_bits=7, on_current_variation_sigma=0.05,
+                                current_noise_sigma=0.01, adc_bits=8)
+        seeds = [101, 102, 103]
+        stacked = FeFETCrossbar.from_qubo(integer_qubo, config,
+                                          device_seeds=seeds)
+        assert stacked.num_devices == 3
+        batch = rng.integers(0, 2, size=(3, 5, 10)).astype(float)
+        energies = stacked.compute_energies_devices(batch)
+        assert energies.shape == (3, 5)
+        for d, seed in enumerate(seeds):
+            rebuilt = FeFETCrossbar.from_qubo(
+                integer_qubo,
+                CrossbarConfig(weight_bits=7, on_current_variation_sigma=0.05,
+                               current_noise_sigma=0.01, adc_bits=8, seed=seed))
+            np.testing.assert_array_equal(energies[d],
+                                          rebuilt.compute_energies(batch[d]))
+
+    def test_chip_results_do_not_depend_on_batch_neighbours(self, integer_qubo, rng):
+        """Evaluating a chip alone (device selection) reproduces its codes
+        from the full-batch evaluation -- per-chip noise determinism."""
+        config = CrossbarConfig(weight_bits=7, current_noise_sigma=0.02)
+        seeds = [7, 8]
+        batch = rng.integers(0, 2, size=(2, 4, 10)).astype(float)
+        together = FeFETCrossbar.from_qubo(integer_qubo, config,
+                                           device_seeds=seeds)
+        full = together.compute_energies_devices(batch)
+        alone = FeFETCrossbar.from_qubo(integer_qubo, config,
+                                        device_seeds=seeds)
+        only_second = alone.compute_energies_devices(
+            batch[1][None], devices=np.array([1]))
+        np.testing.assert_array_equal(full[1], only_second[0])
+
+    def test_ideal_chips_share_exact_bit_planes(self, integer_qubo, rng):
+        """Without variation every chip computes the exact quantized energy
+        through the shared-plane fast path."""
+        stacked = FeFETCrossbar.from_qubo(integer_qubo,
+                                          CrossbarConfig(weight_bits=7),
+                                          device_seeds=[1, 2, 3, 4])
+        batch = rng.integers(0, 2, size=(4, 6, 10)).astype(float)
+        energies = stacked.compute_energies_devices(batch)
+        for d in range(4):
+            np.testing.assert_array_equal(energies[d],
+                                          integer_qubo.energies(batch[d]))
+
+    def test_device_batch_validation(self, integer_qubo):
+        stacked = FeFETCrossbar.from_qubo(integer_qubo,
+                                          CrossbarConfig(weight_bits=7),
+                                          device_seeds=[1, 2])
+        with pytest.raises(ValueError):
+            stacked.compute_energies_devices(np.zeros((1, 3, 10)))
+        with pytest.raises(IndexError):
+            stacked.compute_energies_devices(np.zeros((1, 3, 10)),
+                                             devices=np.array([2]))
+        with pytest.raises(ValueError):
+            stacked.compute_energies_devices(np.zeros((2, 10)))
+        with pytest.raises(ValueError):
+            FeFETCrossbar.from_qubo(integer_qubo, device_seeds=[])

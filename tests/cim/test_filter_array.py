@@ -113,3 +113,94 @@ class TestWorkingArray:
         array = WorkingArray([6])
         assert array.cell(0, 0).weight == 4
         assert array.cell(1, 0).weight == 2
+
+
+class TestDeviceAxis:
+    """The (D, M, n) contract: one chip per variability model."""
+
+    def _chips(self, num_chips, seed=60):
+        return VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1,
+                                seed=seed).spawn_chips(num_chips)
+
+    def test_sequence_variability_programs_one_chip_per_model(self):
+        chips = self._chips(3)
+        array = WorkingArray([5, 17, 42], variability=chips)
+        assert array.num_devices == 3
+        assert array.device_effective_weights.shape == (3, 3)
+
+    def test_chip_slices_match_independently_programmed_arrays(self):
+        """Chip d's effective weights must be bit-identical to a scalar array
+        programmed with the same model (the one-kernel property)."""
+        weights = [5, 17, 42, 64, 0, 23]
+        parent = VariabilityModel(threshold_sigma=0.2, on_current_sigma=0.1,
+                                  seed=61)
+        chips = parent.spawn_chips(4)
+        batched = WorkingArray(weights, variability=chips)
+        rebuilt = VariabilityModel(threshold_sigma=0.2, on_current_sigma=0.1,
+                                   seed=61).spawn_chips(4)
+        for d, model in enumerate(rebuilt):
+            scalar = WorkingArray(weights, variability=model)
+            np.testing.assert_array_equal(
+                batched.device_effective_weights[d], scalar.effective_weights)
+
+    def test_evaluate_devices_matches_per_chip_batches(self, rng):
+        weights = [5, 17, 42, 64, 0, 23]
+        chips = self._chips(3, seed=62)
+        array = WorkingArray(weights, variability=chips)
+        batch = rng.integers(0, 2, size=(3, 7, 6)).astype(float)
+        voltages = array.evaluate_devices(batch)
+        assert voltages.shape == (3, 7)
+        for d in range(3):
+            np.testing.assert_array_equal(
+                voltages[d], array.evaluate_batch(batch[d], device=d))
+
+    def test_device_selection_subsets_and_validation(self, rng):
+        array = WorkingArray([4, 7, 2], variability=self._chips(4, seed=63))
+        batch = rng.integers(0, 2, size=(2, 5, 3)).astype(float)
+        subset = array.evaluate_devices(batch, devices=np.array([3, 1]))
+        np.testing.assert_array_equal(subset[0],
+                                      array.evaluate_batch(batch[0], device=3))
+        with pytest.raises(ValueError):
+            array.evaluate_devices(batch)  # 2 slices for 4 chips
+        with pytest.raises(IndexError):
+            array.evaluate_devices(batch, devices=np.array([0, 9]))
+        with pytest.raises(ValueError):
+            array.evaluate_devices(batch[0])  # missing device axis
+
+    def test_scalar_views_are_degenerate_device_cases(self):
+        """evaluate / evaluate_batch are (1, 1, n) / (1, M, n) views over the
+        same kernel on single-chip arrays."""
+        array = WorkingArray([4, 7, 2])
+        single = array.evaluate([1, 0, 1])
+        batch = array.evaluate_batch(np.array([[1.0, 0.0, 1.0]]))
+        devices = array.evaluate_devices(np.array([[[1.0, 0.0, 1.0]]]))
+        assert single.voltage == batch[0] == devices[0, 0]
+
+    def test_multi_chip_array_refuses_scalar_only_introspection(self):
+        array = WorkingArray([4, 7, 2], variability=self._chips(2))
+        with pytest.raises(ValueError):
+            _ = array.effective_weights
+        with pytest.raises(ValueError):
+            array.cell(0, 0)
+        with pytest.raises(ValueError):
+            array.phase_waveform([1, 1, 1])
+
+    def test_cells_materialise_from_the_sampled_values(self):
+        """Lazily built cell objects carry the pre-sampled shifts, so their
+        conduction counts reproduce the kernel's effective weights without
+        consuming the variability stream again."""
+        model = VariabilityModel(threshold_sigma=0.2, on_current_sigma=0.1,
+                                 seed=64)
+        array = WorkingArray([7, 13], variability=model)
+        recomputed = [
+            sum(array.cell(row, column).conduction_count()
+                for row in range(array.num_rows))
+            for column in range(2)
+        ]
+        np.testing.assert_array_equal(recomputed, array.effective_weights)
+        # Building the cells consumed nothing: the model's next draw equals
+        # a fresh model's draw after the same programming history.
+        fresh = VariabilityModel(threshold_sigma=0.2, on_current_sigma=0.1,
+                                 seed=64)
+        WorkingArray([7, 13], variability=fresh)
+        assert model.sample_threshold_shift() == fresh.sample_threshold_shift()

@@ -119,3 +119,55 @@ class TestNonIdealities:
         # A configuration far from the boundary is classified consistently.
         decisions = [noisy.evaluate([0, 0, 1], rng=rng).feasible for _ in range(50)]
         assert all(decisions)
+
+
+class TestDeviceAxis:
+    """One filter instance per chip: the (D, M, n) decision contract."""
+
+    def _constraint(self):
+        return InequalityConstraint([4, 7, 2, 9, 5], 14)
+
+    def _chips(self, count, seed=70):
+        return VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1,
+                                seed=seed).spawn_chips(count)
+
+    def test_device_decisions_match_per_chip_filters(self, rng):
+        """Chip d's verdicts must equal a scalar filter built with chip d's
+        model alone (working-then-replica sampling order preserved)."""
+        constraint = self._constraint()
+        chips = self._chips(3, seed=71)
+        stacked = InequalityFilter(constraint, variability=chips)
+        assert stacked.num_devices == 3
+        batch = rng.integers(0, 2, size=(3, 8, 5)).astype(float)
+        verdicts = stacked.is_feasible_devices(batch)
+        assert verdicts.shape == (3, 8)
+        rebuilt = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1,
+                                   seed=71).spawn_chips(3)
+        for d, model in enumerate(rebuilt):
+            scalar = InequalityFilter(constraint, variability=model)
+            np.testing.assert_array_equal(verdicts[d],
+                                          scalar.is_feasible_batch(batch[d]))
+
+    def test_two_dimensional_input_is_one_replica_per_chip(self, rng):
+        constraint = self._constraint()
+        stacked = InequalityFilter(constraint, variability=self._chips(4))
+        rows = rng.integers(0, 2, size=(4, 5)).astype(float)
+        flat = stacked.is_feasible_devices(rows)
+        assert flat.shape == (4,)
+        np.testing.assert_array_equal(
+            flat, stacked.is_feasible_devices(rows[:, None, :])[:, 0])
+
+    def test_counters_track_device_batches(self, rng):
+        stacked = InequalityFilter(self._constraint(),
+                                   variability=self._chips(2))
+        stacked.is_feasible_devices(rng.integers(0, 2, size=(2, 6, 5)).astype(float))
+        assert stacked.num_evaluations == 12
+
+    def test_per_chip_scalar_view(self):
+        """is_feasible(x, device=d) is the (1, 1, n) view over chip d."""
+        constraint = self._constraint()
+        stacked = InequalityFilter(constraint, variability=self._chips(2, seed=72))
+        x = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+        per_chip = stacked.is_feasible_devices(np.stack([x, x]))
+        assert stacked.is_feasible(x, device=0) == per_chip[0]
+        assert stacked.is_feasible(x, device=1) == per_chip[1]

@@ -49,3 +49,26 @@ class TestReplicaArray:
     def test_stored_weights_exposed(self):
         replica = ReplicaArray(capacity=70, num_columns=3)
         np.testing.assert_array_equal(replica.stored_weights, [64, 6, 0])
+
+
+class TestDeviceAxis:
+    def test_per_chip_capacities_and_readouts(self):
+        from repro.fefet.variability import VariabilityModel
+        chips = VariabilityModel(threshold_sigma=0.1, on_current_sigma=0.1,
+                                 seed=80).spawn_chips(3)
+        config = FilterArrayConfig(discharge_per_unit=0.001)
+        replica = ReplicaArray(capacity=70, num_columns=5, config=config,
+                               variability=chips)
+        assert replica.num_devices == 3
+        capacities = replica.device_encoded_capacities
+        assert capacities.shape == (3,)
+        voltages = replica.evaluate_devices(count=4)
+        assert voltages.shape == (3, 4)
+        for d in range(3):
+            np.testing.assert_array_equal(
+                voltages[d], np.full(4, replica.evaluate(device=d).voltage))
+
+    def test_single_chip_encoded_capacity_unchanged(self):
+        replica = ReplicaArray(capacity=9, num_columns=3)
+        assert replica.encoded_capacity == pytest.approx(9.0)
+        np.testing.assert_array_equal(replica.device_encoded_capacities, [9.0])

@@ -44,3 +44,76 @@ class TestVariabilityModel:
         b = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1, seed=7)
         np.testing.assert_array_equal(a.sample_threshold_shifts(10),
                                       b.sample_threshold_shifts(10))
+
+
+class TestRngLayering:
+    """Pins the stream contracts the device-axis hardware stack relies on."""
+
+    def test_batched_shifts_replay_sequential_scalar_order(self):
+        scalar = VariabilityModel(threshold_sigma=0.05, seed=21)
+        batched = VariabilityModel(threshold_sigma=0.05, seed=21)
+        sequential = [scalar.sample_threshold_shift() for _ in range(16)]
+        np.testing.assert_array_equal(
+            batched.sample_threshold_shift(size=16), sequential)
+
+    def test_batched_factors_replay_sequential_scalar_order(self):
+        scalar = VariabilityModel(on_current_sigma=0.2, seed=22)
+        batched = VariabilityModel(on_current_sigma=0.2, seed=22)
+        sequential = [scalar.sample_on_current_factor() for _ in range(16)]
+        np.testing.assert_array_equal(
+            batched.sample_on_current_factor(size=16), sequential)
+
+    def test_device_table_replays_interleaved_construction_order(self):
+        """One sample_device_table call must be bit-identical to N sequential
+        (shift, factor) pairs -- the order FeFETDevice construction uses."""
+        scalar = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.15,
+                                  seed=23)
+        batched = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.15,
+                                   seed=23)
+        pairs = [(scalar.sample_threshold_shift(),
+                  scalar.sample_on_current_factor()) for _ in range(40)]
+        shifts, factors = batched.sample_device_table(40)
+        np.testing.assert_array_equal(shifts, [p[0] for p in pairs])
+        np.testing.assert_array_equal(factors, [p[1] for p in pairs])
+
+    def test_zero_sigma_components_consume_no_stream(self):
+        """A zero-sigma component is skipped without a draw, exactly like the
+        scalar samplers, so mixed-sigma tables stay stream-aligned."""
+        scalar = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.0,
+                                  seed=24)
+        batched = VariabilityModel(threshold_sigma=0.03, on_current_sigma=0.0,
+                                   seed=24)
+        sequential = [(scalar.sample_threshold_shift(),
+                       scalar.sample_on_current_factor()) for _ in range(10)]
+        shifts, factors = batched.sample_device_table(10)
+        np.testing.assert_array_equal(shifts, [p[0] for p in sequential])
+        np.testing.assert_array_equal(factors, np.ones(10))
+
+    def test_spawn_chips_gives_independent_reproducible_streams(self):
+        parent_a = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1,
+                                    seed=9)
+        parent_b = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1,
+                                    seed=9)
+        chips_a = parent_a.spawn_chips(3)
+        chips_b = parent_b.spawn_chips(3)
+        for chip_a, chip_b in zip(chips_a, chips_b):
+            np.testing.assert_array_equal(chip_a.sample_threshold_shifts(8),
+                                          chip_b.sample_threshold_shifts(8))
+        # Distinct chips sample distinct streams.
+        fresh = VariabilityModel(threshold_sigma=0.05, on_current_sigma=0.1,
+                                 seed=9).spawn_chips(3)
+        assert not np.array_equal(fresh[0].sample_threshold_shifts(8),
+                                  fresh[1].sample_threshold_shifts(8))
+
+    def test_spawned_chip_does_not_depend_on_batch_size(self):
+        """Chip d is a stable function of the parent seed and its index."""
+        few = VariabilityModel(seed=31).spawn_chips(2)
+        many = VariabilityModel(seed=31).spawn_chips(6)
+        np.testing.assert_array_equal(few[1].sample_threshold_shifts(5),
+                                      many[1].sample_threshold_shifts(5))
+
+    def test_negative_spawn_count_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(seed=0).spawn_chips(-1)
+        with pytest.raises(ValueError):
+            VariabilityModel(seed=0).sample_device_table(-2)

@@ -48,6 +48,12 @@ class TestExamples:
         assert "identical per seed: True" in output
         assert "per-replica speedup" in output
 
+    def test_variability_study_batches_all_chips(self, capsys):
+        output = run_example("variability_study.py", capsys)
+        assert "Variability study (device axis, one chip per trial):" in output
+        assert "all chips advanced in one lock-step batch: True" in output
+        assert "worst chip" in output
+
     def test_logistics_loading_produces_feasible_manifest(self, capsys):
         output = run_example("logistics_loading.py", capsys)
         assert "HyCiM loading plan" in output

@@ -248,3 +248,48 @@ class TestPortfolio:
     def test_empty_portfolio_rejected(self, suite):
         with pytest.raises(ValueError):
             run_portfolio(suite[0], solvers=())
+
+
+class TestChipsKnob:
+    """The batch-of-chips campaign knob for variability ablations."""
+
+    def test_variability_cells_run_chips_trials_vectorized(self, suite, references):
+        variability = {"threshold_sigma": 0.02, "on_current_sigma": 0.05}
+        solvers = [
+            {"solver": "hycim", "label": "ideal", **HYCIM_FAST},
+            {"solver": "hycim", "label": "noisy",
+             "num_iterations": 25, "move_generator": "knapsack",
+             "use_hardware": True, "variability": variability},
+        ]
+        result = run_campaign(suite[:1], solvers, num_trials=3,
+                              master_seed=5, references=references,
+                              early_stop=False, chips=5)
+        ideal = result.for_solver("ideal")[0]
+        noisy = result.for_solver("noisy")[0]
+        # Ideal-device cells keep the campaign defaults...
+        assert ideal.batch.num_trials == 3
+        assert ideal.batch.backend == "serial"
+        # ...variability cells become one vectorized chip batch.
+        assert noisy.batch.num_trials == 5
+        assert noisy.batch.backend == "vectorized"
+        assert all(r.metadata.get("num_chips") == 5
+                   for r in noisy.batch.results)
+
+    def test_chips_sweep_matches_plain_vectorized_cell(self, suite, references):
+        """The knob is routing only: the same cell run manually through
+        run_trials yields identical per-seed results."""
+        variability = {"threshold_sigma": 0.02, "on_current_sigma": 0.05}
+        spec = {"solver": "hycim", "num_iterations": 20,
+                "use_hardware": True, "variability": variability}
+        result = run_campaign(suite[:1], [spec], num_trials=2, master_seed=8,
+                              references=references, early_stop=False, chips=4)
+        cell = result.records[0]
+        manual = run_trials(suite[0], solver=cell.spec, num_trials=4,
+                            backend="vectorized",
+                            master_seed=cell.batch.master_seed)
+        np.testing.assert_array_equal(cell.batch.best_energies,
+                                      manual.best_energies)
+
+    def test_chips_validation(self, suite):
+        with pytest.raises(ValueError):
+            run_campaign(suite[:1], ["hycim"], num_trials=2, chips=0)
