@@ -1,0 +1,76 @@
+"""Store benchmark: checkpointing overhead and warm-resume speedup.
+
+The store's production promise is twofold: persisting trials as they
+complete must cost a small fraction of the trials themselves (the appends
+are single JSONL lines), and resuming a fully persisted run must skip the
+solver work entirely (pure JSON loading).  This benchmark measures a cold
+checkpointed batch against a plain batch (overhead) and against a warm
+resume (speedup), and asserts the correctness contract -- identical per-seed
+energies across all three -- plus a *loose* wall-clock bound safe for
+single-core CI runners.
+"""
+
+import shutil
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import run_trials
+from repro.store import CampaignStore
+
+NUM_TRIALS = 8
+PARAMS = {
+    "num_iterations": 60,
+    "move_generator": "knapsack",
+    "use_hardware": False,
+}
+MASTER_SEED = 321
+
+
+def _problem():
+    return generate_qkp_instance(num_items=40, density=0.5, max_weight=15,
+                                 seed=77, name="store_bench")
+
+
+def test_store_checkpoint_overhead_and_warm_resume(benchmark, tmp_path):
+    problem = _problem()
+    params = dict(PARAMS, moves_per_iteration=problem.num_items)
+
+    def run_all():
+        shutil.rmtree(tmp_path / "store", ignore_errors=True)
+        plain = run_trials(problem, "hycim", num_trials=NUM_TRIALS,
+                           params=params, master_seed=MASTER_SEED)
+        store = CampaignStore(tmp_path / "store")
+        cold = run_trials(problem, "hycim", num_trials=NUM_TRIALS,
+                          params=params, master_seed=MASTER_SEED, store=store)
+        warm = run_trials(problem, "hycim", num_trials=NUM_TRIALS,
+                          params=params, master_seed=MASTER_SEED, store=store)
+        return plain, cold, warm
+
+    plain, cold, warm = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nCheckpointed batch: "
+          f"{NUM_TRIALS} HyCiM trials, {problem.num_items}-item QKP\n"
+          + format_table(
+              ["mode", "wall clock", "loaded/total", "best profit"],
+              [[label, f"{batch.wall_time * 1000:.1f}ms",
+                f"{batch.num_loaded_from_store}/{batch.num_trials}",
+                f"{batch.best_result.best_objective:.0f}"]
+               for label, batch in (("no store", plain),
+                                    ("cold + checkpoint", cold),
+                                    ("warm resume", warm))]))
+
+    # Correctness contract: the store never changes trial outcomes.
+    np.testing.assert_array_equal(plain.best_energies, cold.best_energies)
+    np.testing.assert_array_equal(plain.best_energies, warm.best_energies)
+
+    # A warm resume executes zero trials -- everything loads from shards.
+    assert warm.num_loaded_from_store == NUM_TRIALS
+    assert cold.num_loaded_from_store == 0
+
+    # Loose wall-clock bounds (generous for noisy single-core CI): JSON
+    # loading must beat re-annealing, and checkpoint appends must not
+    # multiply the batch cost.
+    assert warm.wall_time < plain.wall_time
+    assert cold.wall_time < 3.0 * plain.wall_time + 0.1

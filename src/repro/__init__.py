@@ -22,6 +22,11 @@ General Combinatorial Optimization Problems with Inequality Constraints"
   behind ``run_trials(backend="vectorized")``: M lock-step replicas per
   instance with batched energy/filter evaluation and per-replica RNG
   streams, per-seed identical to scalar trials in software mode.
+* :mod:`repro.store` -- the checkpointed campaign store: every completed
+  trial persists as an append-only JSONL record under a deterministic,
+  content-addressed run key, so interrupted sweeps resume
+  (``run_trials(..., store=CampaignStore(dir))``) with aggregates identical
+  to an uninterrupted run; ``python -m repro.store`` is the results CLI.
 * :mod:`repro.analysis` -- experiment runners for every table and figure,
   built on the runtime.
 
@@ -47,8 +52,9 @@ from repro.runtime import (
     run_portfolio,
     run_trials,
 )
+from repro.store import CampaignStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QUBOModel",
@@ -61,6 +67,7 @@ __all__ = [
     "HyCiMSolver",
     "DQUBOAnnealer",
     "SimulatedAnnealer",
+    "CampaignStore",
     "SolverSpec",
     "TrialBatch",
     "available_solvers",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -253,6 +253,7 @@ def run_solving_efficiency_study(
     use_hardware: bool = False,
     seed: int = 0,
     backend: str = "vectorized",
+    store: Optional[Any] = None,
 ) -> SolvingEfficiencyResult:
     """Run the Fig. 10 protocol: many SA descents per instance for both solvers.
 
@@ -273,6 +274,12 @@ def run_solving_efficiency_study(
     descents out over cores instead; per-trial seeds are spawned
     deterministically from ``seed`` and both solvers receive the same trial
     seeds and the same initial states on every backend.
+
+    With a ``store`` (:class:`repro.store.CampaignStore`) every descent is
+    checkpointed as it completes -- each (instance x solver) pair is one
+    persisted run keyed by its params, instance content hash, seed and
+    initial states -- so the paper-scale Fig. 10 protocol resumes from where
+    an interrupted run stopped instead of re-burning finished descents.
     """
     rng = np.random.default_rng(seed)
     hycim_norm: List[float] = []
@@ -295,11 +302,12 @@ def run_solving_efficiency_study(
             problem, solver="hycim", num_trials=num_initial_states,
             params={**shared, "move_generator": "knapsack",
                     "use_hardware": use_hardware},
-            backend=backend, master_seed=seed, initial_states=initials)
+            backend=backend, master_seed=seed, initial_states=initials,
+            store=store)
         dqubo_batch = run_trials(
             problem, solver="dqubo", num_trials=num_initial_states,
             params=shared, backend=backend, master_seed=seed,
-            initial_states=initials)
+            initial_states=initials, store=store)
 
         hycim_values = [result.best_objective or 0.0
                         for result in hycim_batch.results]

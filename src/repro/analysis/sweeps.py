@@ -15,12 +15,18 @@ the engine's batch-of-chips device axis -- every trial of a sweep point is
 one freshly sampled simulated chip, all chips advancing in lock-step (see
 :func:`sweep_device_variability` and ARCHITECTURE.md); pass
 ``backend="process"`` to fan out over cores instead.
+
+Every sweep accepts a ``store=`` (a :class:`repro.store.CampaignStore`):
+sweep points then persist their trials as they complete, and re-running an
+interrupted sweep with the same arguments resumes from the checkpoint
+instead of restarting -- each (sweep point x parameter value) is its own
+deterministic store run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -46,7 +52,8 @@ def _solve_batch(problem: QuadraticKnapsackProblem, sa_iterations: int,
                  use_hardware: bool = False,
                  variability: Optional[VariabilityModel] = None,
                  matchline_noise_sigma: float = 0.0,
-                 backend: str = "vectorized") -> List[float]:
+                 backend: str = "vectorized",
+                 store: Optional[Any] = None) -> List[float]:
     """Run ``num_runs`` HyCiM trials via the runtime and return the QKP values."""
     batch = run_trials(
         problem,
@@ -62,6 +69,7 @@ def _solve_batch(problem: QuadraticKnapsackProblem, sa_iterations: int,
         },
         backend=backend,
         master_seed=seed,
+        store=store,
     )
     return [result.best_objective or 0.0 for result in batch.results]
 
@@ -73,6 +81,7 @@ def sweep_sa_budget(
     threshold: float = 0.95,
     seed: int = 0,
     backend: str = "vectorized",
+    store: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Success rate versus the number of SA iterations (sweeps).
 
@@ -87,7 +96,7 @@ def sweep_sa_budget(
         if budget < 1:
             raise ValueError("SA budgets must be positive")
         values = _solve_batch(problem, sa_iterations=int(budget), num_runs=num_runs,
-                              seed=seed, backend=backend)
+                              seed=seed, backend=backend, store=store)
         points.append(SweepPoint(
             parameter=float(budget),
             success_rate=success_rate(values, reference, threshold),
@@ -106,6 +115,7 @@ def sweep_device_variability(
     threshold: float = 0.95,
     seed: int = 0,
     backend: str = "vectorized",
+    store: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Success rate versus FeFET threshold-voltage spread (Fig. 2(b) study).
 
@@ -130,7 +140,7 @@ def sweep_device_variability(
             use_hardware=True,
             variability={"threshold_sigma": float(sigma),
                          "on_current_sigma": float(on_current_sigma)},
-            backend=backend)
+            backend=backend, store=store)
         points.append(SweepPoint(
             parameter=float(sigma),
             success_rate=success_rate(values, reference, threshold),
@@ -148,6 +158,7 @@ def sweep_filter_noise(
     threshold: float = 0.95,
     seed: int = 0,
     backend: str = "vectorized",
+    store: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Success rate versus matchline readout noise with the hardware filter.
 
@@ -166,7 +177,8 @@ def sweep_filter_noise(
             raise ValueError("noise levels must be non-negative")
         values = _solve_batch(problem, sa_iterations=sa_iterations, num_runs=num_runs,
                               seed=seed, use_hardware=True, variability=variability,
-                              matchline_noise_sigma=float(noise), backend=backend)
+                              matchline_noise_sigma=float(noise), backend=backend,
+                              store=store)
         points.append(SweepPoint(
             parameter=float(noise),
             success_rate=success_rate(values, reference, threshold),

@@ -17,31 +17,54 @@ This module parses and emits that layout so synthetic instances produced by
 :func:`repro.problems.generators.generate_qkp_instance` can be stored in the
 same format and, conversely, original benchmark files can be loaded when
 available.
+
+It also provides :func:`content_hash`, the deterministic content address of a
+problem instance used by :mod:`repro.store` to key persisted trial results:
+two instances hash identically exactly when their mathematical content is
+identical, regardless of array dtype, attribute ordering, or instance name.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from pathlib import Path
-from typing import List, Union
+from typing import Any, List, Union
 
 import numpy as np
 
+from repro.problems.base import CombinatorialProblem
 from repro.problems.qkp import QuadraticKnapsackProblem
+
+
+def _format_number(value: float) -> str:
+    """Render a benchmark-file number: integers as integers, everything else
+    via ``repr`` (shortest round-trip float formatting).
+
+    The Billionnet-Soutif layout is integer-valued, but silently truncating a
+    non-integral capacity or weight with ``int()`` would make a saved
+    instance hash differently from the loaded one; preserving the exact value
+    keeps :func:`content_hash` stable across a save/load round trip.
+    """
+    value = float(value)
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
 
 
 def write_qkp_file(problem: QuadraticKnapsackProblem, path: Union[str, Path]) -> None:
     """Write a QKP instance in the Billionnet-Soutif text format."""
     n = problem.num_items
     lines: List[str] = [problem.name, str(n)]
-    diagonal = np.diag(problem.profits).astype(int)
-    lines.append(" ".join(str(int(v)) for v in diagonal))
+    diagonal = np.diag(problem.profits)
+    lines.append(" ".join(_format_number(v) for v in diagonal))
     for i in range(n - 1):
-        row = problem.profits[i, i + 1:].astype(int)
-        lines.append(" ".join(str(int(v)) for v in row))
+        row = problem.profits[i, i + 1:]
+        lines.append(" ".join(_format_number(v) for v in row))
     lines.append("")
     lines.append("0")
-    lines.append(str(int(problem.capacity)))
-    lines.append(" ".join(str(int(w)) for w in problem.weights.astype(int)))
+    lines.append(_format_number(problem.capacity))
+    lines.append(" ".join(_format_number(w) for w in problem.weights))
     Path(path).write_text("\n".join(lines) + "\n")
 
 
@@ -55,8 +78,10 @@ def read_qkp_file(path: Union[str, Path]) -> QuadraticKnapsackProblem:
     if n < 1:
         raise ValueError(f"{path}: invalid item count {n}")
 
-    def parse_ints(line: str) -> List[int]:
-        return [int(token) for token in line.split()]
+    def parse_ints(line: str) -> List[float]:
+        # Values are integers in the original benchmark files, but instances
+        # saved by write_qkp_file may carry exact non-integral floats.
+        return [float(token) for token in line.split()]
 
     diagonal = parse_ints(raw_lines[2])
     if len(diagonal) != n:
@@ -108,3 +133,75 @@ def read_qkp_file(path: Union[str, Path]) -> QuadraticKnapsackProblem:
         capacity=capacity,
         name=name or Path(path).stem,
     )
+
+
+# --------------------------------------------------------------------- #
+# Content addressing
+# --------------------------------------------------------------------- #
+def _canonical_content(value: Any) -> Any:
+    """Reduce a problem attribute to a canonical JSON-serializable form.
+
+    Arrays are normalised to float64 nested lists (so int/float dtypes of the
+    same values hash identically), mappings are rendered with sorted keys by
+    the JSON encoder, and tuples/sets become lists (sets sorted by their JSON
+    rendering to erase iteration order).
+
+    Deliberately distinct from :func:`repro.store.schema.canonical_value`
+    despite the family resemblance: content addressing erases representation
+    (dtype, int vs float) because a capacity of ``10`` *is* a capacity of
+    ``10.0``, while solver-params canonicalization preserves value fidelity.
+    Keep the two in sync when touching shared concerns (set ordering, numpy
+    scalars, nested containers).
+    """
+    if isinstance(value, np.ndarray) or (
+            isinstance(value, (list, tuple)) and value
+            and all(isinstance(v, (int, float, np.integer, np.floating))
+                    for v in value)):
+        array = np.asarray(value, dtype=np.float64)
+        return {"shape": list(array.shape), "values": array.ravel().tolist()}
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _canonical_content(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_content(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canonical_content(v) for v in value),
+                      key=lambda v: json.dumps(v, sort_keys=True))
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, float)):
+        # A capacity of 10 and of 10.0 are the same content.
+        return float(value)
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        # Canonicalize objects from their public attributes -- a default
+        # repr() embeds the memory address, which would give the instance a
+        # fresh content hash in every process and silently defeat store
+        # resume.
+        return {"__class__": type(value).__name__,
+                "state": {key: _canonical_content(val)
+                          for key, val in sorted(state.items())
+                          if not key.startswith("_")}}
+    return repr(value)
+
+
+def content_hash(problem: CombinatorialProblem) -> str:
+    """Deterministic SHA-256 content address of a problem instance.
+
+    Hashes the problem's class and public data attributes -- arrays
+    normalised to float64, mappings key-sorted -- so the digest is stable
+    across attribute insertion order, array dtype and process restarts.  The
+    instance ``name`` is deliberately *excluded*: the hash addresses the
+    mathematical content, so a renamed copy of an instance still resolves to
+    the same persisted trial results in a :class:`repro.store.CampaignStore`.
+    """
+    fields = {
+        key: _canonical_content(value)
+        for key, value in sorted(vars(problem).items())
+        if not key.startswith("_") and key != "name"
+    }
+    payload = {"class": type(problem).__name__, "fields": fields}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                         allow_nan=True)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

@@ -44,17 +44,20 @@ from repro.runtime.registry import (
 from repro.runtime.executor import (
     BACKENDS,
     TrialBatch,
+    concatenate_batches,
     derive_trial_seeds,
     replay_trial,
     run_trials,
 )
 from repro.runtime.aggregate import (
+    DETERMINISTIC_STATISTICS_FIELDS,
     STATISTICS_HEADER,
     TrialStatistics,
     aggregate_trials,
     mean_success_over_batches,
     meets_success_bar,
     race_key,
+    statistics_fingerprint,
     statistics_table,
     success_bar,
 )
@@ -70,6 +73,7 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_PORTFOLIO",
     "DETERMINISTIC_SOLVERS",
+    "DETERMINISTIC_STATISTICS_FIELDS",
     "STATISTICS_HEADER",
     "CampaignRecord",
     "CampaignResult",
@@ -80,6 +84,7 @@ __all__ = [
     "aggregate_trials",
     "as_solver_spec",
     "available_solvers",
+    "concatenate_batches",
     "derive_trial_seeds",
     "expand_param_grid",
     "get_batched_trial_function",
@@ -94,6 +99,7 @@ __all__ = [
     "run_portfolio",
     "run_single_trial",
     "run_trials",
+    "statistics_fingerprint",
     "statistics_table",
     "success_bar",
     "unregister_solver",

@@ -8,8 +8,9 @@ reaching ``threshold * reference``, per Sec. 4.3 of the paper).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -195,6 +196,35 @@ def aggregate_trials(batch: TrialBatch, reference: Optional[float] = None,
         mean_trial_time=float(trial_times.mean()),
         time_to_solution=time_to_solution,
     )
+
+
+#: The wall-clock timing fields -- the only TrialStatistics content that
+#: differs between two executions of the same trials.
+_TIMING_STATISTICS_FIELDS = frozenset(
+    {"total_wall_time", "mean_trial_time", "time_to_solution"})
+
+#: TrialStatistics fields that are pure functions of the trial outcomes.
+#: Derived from the dataclass itself so a future field is included in the
+#: resume-parity fingerprint by default; only explicitly listed timing
+#: fields are excluded.
+DETERMINISTIC_STATISTICS_FIELDS = tuple(
+    f.name for f in dataclasses.fields(TrialStatistics)
+    if f.name not in _TIMING_STATISTICS_FIELDS)
+
+
+def statistics_fingerprint(stats: TrialStatistics) -> Tuple:
+    """The deterministic content of a :class:`TrialStatistics`.
+
+    Two runs of the same trials -- uninterrupted, or interrupted and resumed
+    from a :class:`repro.store.CampaignStore` -- produce *bitwise identical*
+    fingerprints: every field derived from trial outcomes is included, and
+    only the wall-clock timing fields (``total_wall_time``,
+    ``mean_trial_time``, ``time_to_solution``) are excluded, since no two
+    executions share wall-clock timings.  This is the equality the store's
+    resume guarantee is stated (and tested) in.
+    """
+    return tuple(getattr(stats, name)
+                 for name in DETERMINISTIC_STATISTICS_FIELDS)
 
 
 def mean_success_over_batches(stats: Sequence[TrialStatistics]) -> float:

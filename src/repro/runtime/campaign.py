@@ -29,6 +29,7 @@ from repro.runtime.aggregate import (
     TrialStatistics,
     aggregate_trials,
     race_key,
+    statistics_fingerprint,
     success_bar,
 )
 from repro.runtime.executor import TrialBatch, run_trials
@@ -142,6 +143,20 @@ class CampaignResult:
         return min(cells,
                    key=lambda r: race_key(r.batch.best_result, r.maximize))
 
+    def fingerprint(self) -> List[tuple]:
+        """Deterministic content of the whole campaign, one tuple per cell.
+
+        Built from :func:`repro.runtime.aggregate.statistics_fingerprint`
+        plus each cell's reference and direction; an interrupted campaign
+        resumed from a :class:`repro.store.CampaignStore` produces a
+        fingerprint bitwise identical to the uninterrupted run's.
+        """
+        return [
+            (record.problem_name, record.spec.display_name, record.reference,
+             record.maximize, statistics_fingerprint(record.statistics))
+            for record in self.records
+        ]
+
 
 def _resolve_reference(problem: CombinatorialProblem,
                        references: ReferenceProvider) -> Optional[float]:
@@ -167,6 +182,8 @@ def run_campaign(
     threshold: float = 0.95,
     early_stop: bool = True,
     chips: Optional[int] = None,
+    store: Optional[Any] = None,
+    resume: bool = True,
 ) -> CampaignResult:
     """Sweep every solver spec over every instance and aggregate each cell.
 
@@ -199,6 +216,14 @@ def run_campaign(
         variability keep ``num_trials`` and ``backend`` unchanged, so one
         campaign can mix ideal-device cells with Monte-Carlo-over-chips
         cells.
+    store / resume:
+        Optional :class:`repro.store.CampaignStore` checkpointing.  Every
+        cell's trials are persisted as they complete and the finished cell is
+        logged to the store's campaign log; with ``resume=True`` (default) a
+        re-run of an interrupted campaign skips persisted trials, and its
+        :meth:`CampaignResult.fingerprint` is bitwise identical to the
+        uninterrupted run's.  Hierarchical seeding makes each cell's master
+        seed -- and so its store run key -- independent of execution order.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
@@ -241,8 +266,10 @@ def run_campaign(
                 num_workers=num_workers,
                 chunk_size=cell_chunk,
                 target_objective=target,
+                store=store,
+                resume=resume,
             )
-            records.append(CampaignRecord(
+            record = CampaignRecord(
                 problem_name=batch.problem_name,
                 spec=spec,
                 batch=batch,
@@ -251,5 +278,8 @@ def run_campaign(
                                             maximize=maximize),
                 reference=reference,
                 maximize=maximize,
-            ))
+            )
+            if store is not None:
+                store.append_campaign_record(record, run_key=batch.run_key)
+            records.append(record)
     return CampaignResult(records=records, master_seed=master_seed, backend=backend)

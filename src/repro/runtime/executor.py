@@ -43,7 +43,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -105,6 +105,12 @@ class TrialBatch:
     wall_time:
         End-to-end batch wall-clock time in seconds (includes dispatch
         overhead, unlike the per-trial ``SolveResult.wall_time``).
+    num_loaded_from_store:
+        How many of ``results`` were resumed from a
+        :class:`~repro.store.CampaignStore` instead of freshly executed.
+    run_key:
+        The store address of this run when it was executed against a store
+        (``None`` otherwise); see :func:`repro.store.trial_run_key`.
     """
 
     results: List[SolveResult]
@@ -115,6 +121,8 @@ class TrialBatch:
     num_trials_requested: int
     stopped_early: bool = False
     wall_time: float = 0.0
+    num_loaded_from_store: int = 0
+    run_key: Optional[str] = None
 
     @property
     def num_trials(self) -> int:
@@ -229,6 +237,8 @@ def run_trials(
     initial_states: Optional[Sequence[np.ndarray]] = None,
     target_energy: Optional[float] = None,
     target_objective: Optional[float] = None,
+    store: Optional[Any] = None,
+    resume: bool = True,
 ) -> TrialBatch:
     """Run ``num_trials`` independent solver trials on ``problem``.
 
@@ -289,6 +299,18 @@ def run_trials(
         triggering one still execute and are included in the batch; on the
         process backend, chunks already started in other workers also run to
         completion but are discarded (see the module docstring).
+    store:
+        Optional :class:`repro.store.CampaignStore`.  Every completed trial
+        is appended to it under a deterministic run key (solver + params +
+        instance content hash + master seed + backend + initial states), so
+        an interrupted batch can be resumed.
+    resume:
+        With a store, skip trials already persisted under this run key
+        (default).  Because each trial's seed is spawned independently from
+        the master seed, the union of persisted and freshly executed trials
+        is identical to an uninterrupted run -- modulo the wall-clock timing
+        fields, exactly like :func:`replay_trial`.  Pass ``resume=False`` to
+        re-execute (and overwrite) persisted trials.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
@@ -330,36 +352,91 @@ def run_trials(
                   if replicas_per_task > 1 else None)
     maximize = getattr(problem, "is_maximization", True)
 
+    # Store wiring (lazy import: repro.store's schema imports runtime types).
+    run_key: Optional[str] = None
+    persisted: Dict[int, SolveResult] = {}
+    if store is not None:
+        from repro.problems.io import content_hash
+        from repro.store.schema import initial_states_hash, manifest_for_run
+
+        manifest = manifest_for_run(
+            spec, problem, content_hash(problem), master_seed, backend,
+            num_trials, initials_hash=initial_states_hash(initial_states))
+        run_key = store.register_run(manifest).run_key
+        if resume:
+            persisted = {
+                index: result
+                for index, result in store.load_results(run_key).items()
+                if index < num_trials
+            }
+            for index, result in persisted.items():
+                if result.trial_seed is not None and \
+                        result.trial_seed != seeds[index]:
+                    raise ValueError(
+                        f"store run {run_key[:12]}... holds trial {index} with "
+                        f"seed {result.trial_seed}, expected {seeds[index]} -- "
+                        "the store contents do not match this invocation"
+                    )
+
     has_target = target_energy is not None or target_objective is not None
     started = time.perf_counter()
     collected: List[Tuple[int, SolveResult]] = []
+    num_loaded = 0
     stopped_early = False
 
+    # Per-chunk pending work (trials without a persisted result).  Chunk
+    # boundaries -- and therefore early-stop granularity -- are identical
+    # with and without persisted trials, which is what makes an interrupted
+    # + resumed batch reproduce the uninterrupted result set exactly.
+    pending_per_chunk = [[t for t in chunk if t[0] not in persisted]
+                         for chunk in chunks]
+
+    def _complete_chunk(chunk: List[_Trial],
+                        fresh: List[Tuple[int, SolveResult]]) -> bool:
+        """Merge persisted + fresh results of one chunk; True = stop."""
+        nonlocal num_loaded, stopped_early
+        if store is not None:
+            for index, result in fresh:
+                store.append_result(run_key, index, result)
+        fresh_by_index = dict(fresh)
+        chunk_results = []
+        for index, _, _ in chunk:
+            if index in fresh_by_index:
+                chunk_results.append((index, fresh_by_index[index]))
+            else:
+                chunk_results.append((index, persisted[index]))
+                num_loaded += 1
+        collected.extend(chunk_results)
+        if has_target and _target_reached([r for _, r in chunk_results],
+                                          target_energy, target_objective,
+                                          maximize):
+            stopped_early = len(collected) < num_trials
+            return True
+        return False
+
     if backend in ("serial", "vectorized"):
-        for chunk in chunks:
-            chunk_results = _execute_chunk(
-                (problem, spec, trial_fn, batched_fn, replicas_per_task, chunk))
-            collected.extend(chunk_results)
-            # Only the freshly completed chunk needs checking: earlier chunks
-            # already failed the target test (or we would have stopped).
-            if has_target and _target_reached([r for _, r in chunk_results],
-                                              target_energy, target_objective,
-                                              maximize):
-                stopped_early = len(collected) < num_trials
+        for chunk, pending in zip(chunks, pending_per_chunk):
+            fresh = _execute_chunk(
+                (problem, spec, trial_fn, batched_fn, replicas_per_task,
+                 pending)) if pending else []
+            if _complete_chunk(chunk, fresh):
                 break
     else:
         workers = _resolve_workers(num_workers)
         context = multiprocessing.get_context()
-        payloads = [(problem, spec, trial_fn, batched_fn, replicas_per_task, chunk)
-                    for chunk in chunks]
-        with context.Pool(processes=min(workers, len(payloads))) as pool:
-            for chunk_results in pool.imap(_execute_chunk, payloads):
-                collected.extend(chunk_results)
-                if has_target and _target_reached([r for _, r in chunk_results],
-                                                  target_energy, target_objective,
-                                                  maximize):
-                    stopped_early = len(collected) < num_trials
+        payloads = [(problem, spec, trial_fn, batched_fn, replicas_per_task,
+                     pending) for pending in pending_per_chunk if pending]
+        if not payloads:
+            for chunk in chunks:
+                if _complete_chunk(chunk, []):
                     break
+        else:
+            with context.Pool(processes=min(workers, len(payloads))) as pool:
+                fresh_iter = pool.imap(_execute_chunk, payloads)
+                for chunk, pending in zip(chunks, pending_per_chunk):
+                    fresh = next(fresh_iter) if pending else []
+                    if _complete_chunk(chunk, fresh):
+                        break
 
     collected.sort(key=lambda pair: pair[0])
     results = [result for _, result in collected]
@@ -372,6 +449,8 @@ def run_trials(
         num_trials_requested=num_trials,
         stopped_early=stopped_early,
         wall_time=time.perf_counter() - started,
+        num_loaded_from_store=num_loaded,
+        run_key=run_key,
     )
 
 
@@ -392,3 +471,32 @@ def replay_trial(problem: CombinatorialProblem, batch: TrialBatch,
     if original.trial_seed is None:
         raise ValueError("batch results carry no trial seeds")
     return run_single_trial(problem, batch.spec, original.trial_seed, initial)
+
+
+def concatenate_batches(first: TrialBatch, second: TrialBatch) -> TrialBatch:
+    """Join two batches of the same solver/problem into one.
+
+    Used by the adaptive portfolio to fold a member's exploitation batch onto
+    its exploration batch.  Results are concatenated in order (a trial's
+    position in the joined batch no longer equals its original index --
+    replay through ``trial_seed`` instead), wall time is summed, and the
+    master seed of the *first* batch is kept as the batch's provenance.
+    """
+    if first.spec != second.spec:
+        raise ValueError("cannot concatenate batches of different solver specs")
+    if first.problem_name != second.problem_name:
+        raise ValueError("cannot concatenate batches of different problems")
+    return TrialBatch(
+        results=list(first.results) + list(second.results),
+        spec=first.spec,
+        problem_name=first.problem_name,
+        backend=first.backend,
+        master_seed=first.master_seed,
+        num_trials_requested=(first.num_trials_requested
+                              + second.num_trials_requested),
+        stopped_early=first.stopped_early or second.stopped_early,
+        wall_time=first.wall_time + second.wall_time,
+        num_loaded_from_store=(first.num_loaded_from_store
+                               + second.num_loaded_from_store),
+        run_key=first.run_key,
+    )

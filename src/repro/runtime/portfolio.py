@@ -19,7 +19,7 @@ import numpy as np
 from repro.annealing.result import SolveResult
 from repro.problems.base import CombinatorialProblem
 from repro.runtime.aggregate import TrialStatistics, aggregate_trials, race_key
-from repro.runtime.executor import TrialBatch, run_trials
+from repro.runtime.executor import TrialBatch, concatenate_batches, run_trials
 from repro.runtime.registry import DETERMINISTIC_SOLVERS, SpecLike, as_solver_spec
 
 #: Default portfolio: fast greedy seed, local-search reference, HyCiM anneal.
@@ -28,7 +28,12 @@ DEFAULT_PORTFOLIO: Sequence[SpecLike] = ("greedy", "local_search", "hycim")
 
 @dataclass
 class PortfolioResult:
-    """Outcome of one portfolio race on one instance."""
+    """Outcome of one portfolio race on one instance.
+
+    ``allocation`` maps member labels to the trials they actually executed;
+    for a non-adaptive race it simply mirrors the per-member batch sizes,
+    while an adaptive race shows where the reallocated budget went.
+    """
 
     problem_name: str
     batches: Dict[str, TrialBatch]
@@ -36,6 +41,7 @@ class PortfolioResult:
     winner: str
     best_result: SolveResult
     maximize: bool = True
+    allocation: Optional[Dict[str, int]] = None
 
     def ranking(self) -> List[str]:
         """Solver labels ordered best-first (feasible, then best objective)."""
@@ -57,6 +63,10 @@ def run_portfolio(
     chunk_size: Optional[int] = None,
     reference: Optional[float] = None,
     threshold: float = 0.95,
+    adaptive: bool = False,
+    explore_trials: Optional[int] = None,
+    store: Optional[Any] = None,
+    resume: bool = True,
 ) -> PortfolioResult:
     """Race several solvers on ``problem`` and return the best feasible answer.
 
@@ -79,6 +89,21 @@ def run_portfolio(
         sub-seed, so adding a member never perturbs the others.
     reference / threshold:
         Optional best-known value enabling success-rate statistics.
+    adaptive / explore_trials:
+        With ``adaptive=True`` the race becomes a two-stage budget
+        allocation: every stochastic member first runs ``explore_trials``
+        exploration trials (default: half its ``num_trials`` share, at least
+        one), then the member with the best exploration success rate
+        receives the *entire* remaining trial budget of all stochastic
+        members.  Requires ``reference`` (success rates are undefined
+        without one).  Fully seed-deterministic: exploration seeds are the
+        members' usual spawned sub-seeds, the exploitation batch runs on a
+        further spawned child of the winner's sequence, and ties break in
+        member order.
+    store / resume:
+        Optional :class:`repro.store.CampaignStore` checkpointing, passed
+        through to every member's :func:`run_trials` (each member is its own
+        persisted run).
     """
     specs = [as_solver_spec(spec) for spec in solvers]
     if not specs:
@@ -86,16 +111,30 @@ def run_portfolio(
     labels = [spec.display_name for spec in specs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"portfolio members need unique labels, got {labels}")
+    if adaptive and reference is None:
+        raise ValueError("adaptive portfolios need a reference value to "
+                         "compare member success rates")
+
+    explore = num_trials
+    if adaptive:
+        explore = explore_trials if explore_trials is not None \
+            else max(1, num_trials // 2)
+        if not 1 <= explore <= num_trials:
+            raise ValueError("explore_trials must be in [1, num_trials]")
 
     maximize = getattr(problem, "is_maximization", True)
     member_seeds = np.random.SeedSequence(master_seed).spawn(len(specs))
     batches: Dict[str, TrialBatch] = {}
     statistics: Dict[str, TrialStatistics] = {}
+    stochastic_labels: List[str] = []
     for spec, seed_seq in zip(specs, member_seeds):
         overrides = (params or {}).get(spec.display_name)
         if overrides:
             spec = spec.with_params(**dict(overrides))
-        trials = 1 if spec.solver in DETERMINISTIC_SOLVERS else num_trials
+        deterministic = spec.solver in DETERMINISTIC_SOLVERS
+        trials = 1 if deterministic else explore
+        if not deterministic:
+            stochastic_labels.append(spec.display_name)
         batch = run_trials(
             problem,
             solver=spec,
@@ -104,11 +143,37 @@ def run_portfolio(
             master_seed=int(seed_seq.generate_state(1, np.uint64)[0]),
             num_workers=num_workers,
             chunk_size=chunk_size,
+            store=store,
+            resume=resume,
         )
         batches[spec.display_name] = batch
         statistics[spec.display_name] = aggregate_trials(batch, reference=reference,
                                                          threshold=threshold,
                                                          maximize=maximize)
+
+    remaining = (num_trials - explore) * len(stochastic_labels) if adaptive else 0
+    if adaptive and remaining > 0 and stochastic_labels:
+        # Reallocate the held-back budget to the best explorer.  max() keeps
+        # the first maximum, so ties resolve in member order.
+        favourite = max(stochastic_labels,
+                        key=lambda label: statistics[label].success_rate_value)
+        exploit_seq = member_seeds[labels.index(favourite)].spawn(1)[0]
+        exploit = run_trials(
+            problem,
+            solver=batches[favourite].spec,
+            num_trials=remaining,
+            backend=backend,
+            master_seed=int(exploit_seq.generate_state(1, np.uint64)[0]),
+            num_workers=num_workers,
+            chunk_size=chunk_size,
+            store=store,
+            resume=resume,
+        )
+        batches[favourite] = concatenate_batches(batches[favourite], exploit)
+        statistics[favourite] = aggregate_trials(batches[favourite],
+                                                 reference=reference,
+                                                 threshold=threshold,
+                                                 maximize=maximize)
 
     winner = min(
         batches,
@@ -121,4 +186,6 @@ def run_portfolio(
         winner=winner,
         best_result=batches[winner].best_result,
         maximize=maximize,
+        allocation={label: batch.num_trials
+                    for label, batch in batches.items()},
     )

@@ -1,0 +1,51 @@
+"""Checkpointed, resumable campaign store -- the persistence layer.
+
+Sits between the runtime and the studies (Device -> Array -> Algorithm ->
+Engine -> Runtime -> **Store** -> Studies): every trial the runtime completes
+can be appended to a :class:`CampaignStore` as one JSONL line, addressed by a
+deterministic run key, and an interrupted paper-scale sweep resumes from
+those records instead of restarting -- ``run_trials(..., store=store)`` and
+``run_campaign(..., store=store)`` skip already-persisted trials and produce
+aggregates identical to an uninterrupted run (modulo wall-clock timing
+fields, exactly like :func:`repro.runtime.executor.replay_trial`).
+
+``python -m repro.store`` is the results CLI: ``list`` / ``inspect`` /
+``merge`` / ``export-csv`` over store directories.
+"""
+
+from repro.store.schema import (
+    STORE_FORMAT_VERSION,
+    RunManifest,
+    StoreError,
+    canonical_json,
+    canonical_value,
+    deserialize_campaign_record,
+    deserialize_solve_result,
+    deserialize_trial_batch,
+    initial_states_hash,
+    manifest_for_run,
+    serialize_campaign_record,
+    serialize_solve_result,
+    serialize_trial_batch,
+    trial_run_key,
+)
+from repro.store.store import EXPORT_CSV_COLUMNS, CampaignStore
+
+__all__ = [
+    "CampaignStore",
+    "EXPORT_CSV_COLUMNS",
+    "RunManifest",
+    "STORE_FORMAT_VERSION",
+    "StoreError",
+    "canonical_json",
+    "canonical_value",
+    "deserialize_campaign_record",
+    "deserialize_solve_result",
+    "deserialize_trial_batch",
+    "initial_states_hash",
+    "manifest_for_run",
+    "serialize_campaign_record",
+    "serialize_solve_result",
+    "serialize_trial_batch",
+    "trial_run_key",
+]

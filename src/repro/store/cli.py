@@ -1,0 +1,153 @@
+"""``python -m repro.store`` -- the results CLI over campaign stores.
+
+Subcommands::
+
+    list STORE                     # table of persisted runs
+    inspect STORE RUN_KEY          # manifest + per-trial table (key prefix ok)
+    merge DEST SRC [SRC ...]       # fold source stores into DEST
+    export-csv STORE [OUTPUT]      # all trials as CSV (default: trials.csv)
+
+The CLI is read-mostly tooling for humans; campaigns and sweeps talk to the
+store through the runtime (``run_trials(..., store=...)``).  ``merge`` is the
+one write command: it folds shards recorded on other machines (or in other
+interrupted sessions) into a single store for cross-run analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.store.schema import StoreError
+from repro.store.store import CampaignStore
+
+
+def _short(run_key: str) -> str:
+    return run_key[:12]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect, merge and export checkpointed campaign stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list the runs persisted in a store")
+    list_cmd.add_argument("store", help="store directory")
+
+    inspect_cmd = sub.add_parser(
+        "inspect", help="show one run's manifest and per-trial results")
+    inspect_cmd.add_argument("store", help="store directory")
+    inspect_cmd.add_argument("run_key",
+                             help="run key (an unambiguous prefix is enough)")
+
+    merge_cmd = sub.add_parser(
+        "merge", help="fold one or more source stores into a destination")
+    merge_cmd.add_argument("dest", help="destination store directory")
+    merge_cmd.add_argument("sources", nargs="+", help="source store directories")
+
+    export_cmd = sub.add_parser(
+        "export-csv", help="export every persisted trial as one CSV row")
+    export_cmd.add_argument("store", help="store directory")
+    export_cmd.add_argument("output", nargs="?", default="trials.csv",
+                            help="output CSV path (default: trials.csv)")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+
+    store = CampaignStore(args.store, create=False)
+    runs = store.runs()
+    if not runs:
+        print(f"{args.store}: empty store (no runs registered)")
+        return 0
+    rows = []
+    for manifest in runs:
+        persisted = store.num_results(manifest.run_key)
+        rows.append([
+            _short(manifest.run_key), manifest.problem_name, manifest.label,
+            manifest.backend, str(manifest.master_seed),
+            f"{persisted}/{manifest.num_trials_requested}",
+        ])
+    print(format_table(
+        ["run key", "instance", "solver", "backend", "seed", "trials"], rows))
+    print(f"{len(runs)} run(s) in {args.store}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.store.schema import canonical_json
+
+    store = CampaignStore(args.store, create=False)
+    try:
+        manifest = store.get_manifest(args.run_key)
+    except KeyError as error:
+        print(error.args[0])
+        return 1
+    results = store.load_results(manifest.run_key)
+    print(f"run key      : {manifest.run_key}")
+    print(f"instance     : {manifest.problem_name} "
+          f"(content {manifest.instance_hash[:12]})")
+    print(f"solver       : {manifest.label} ({manifest.solver})")
+    print(f"params       : {canonical_json(manifest.params)}")
+    print(f"backend/seed : {manifest.backend} / {manifest.master_seed}")
+    print(f"trials       : {len(results)} persisted "
+          f"of {manifest.num_trials_requested} requested")
+    if results:
+        rows = [[str(index), str(result.trial_seed),
+                 f"{result.best_energy:.6g}",
+                 "n/a" if result.best_objective is None
+                 else f"{result.best_objective:.6g}",
+                 str(result.feasible),
+                 "n/a" if result.wall_time is None
+                 else f"{result.wall_time:.3f}s"]
+                for index, result in sorted(results.items())]
+        print(format_table(
+            ["trial", "seed", "energy", "objective", "feasible", "time"], rows))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    dest = CampaignStore(args.dest)
+    total_runs = total_trials = 0
+    for source in args.sources:
+        added = dest.merge(CampaignStore(source, create=False))
+        print(f"merged {source}: +{added['runs']} run(s), "
+              f"+{added['trials']} trial(s)")
+        total_runs += added["runs"]
+        total_trials += added["trials"]
+    print(f"{args.dest}: {len(dest.runs())} run(s) total "
+          f"(+{total_runs} runs, +{total_trials} trials)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store, create=False)
+    rows = store.export_csv(args.output)
+    print(f"wrote {rows} trial row(s) to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "inspect": _cmd_inspect,
+    "merge": _cmd_merge,
+    "export-csv": _cmd_export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as error:
+        print(str(error))
+        return 1
+    except StoreError as error:
+        print(f"store error: {error}")
+        return 2

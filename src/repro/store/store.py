@@ -1,0 +1,412 @@
+"""Checkpointed, resumable campaign store: append-only JSONL shards on disk.
+
+Layout of a store directory::
+
+    store/
+      manifest.jsonl        # one line per registered run (identity card)
+      campaigns.jsonl       # one line per campaign cell (header + statistics)
+      shards/
+        <run_key>.0000.jsonl    # one line per completed trial
+        <run_key>.0001.jsonl    # next shard after rotation
+        ...
+
+Durability model
+----------------
+Every write is an *append of one complete line followed by a flush*, and
+shard files rotate by simply opening the next numbered file once the active
+one reaches ``shard_size`` lines -- full shards are never reopened for
+writing, so a crash can damage at most the final line of the final shard of
+the run being written.  :meth:`CampaignStore.load_results` therefore treats a
+torn trailing line as "this trial never completed" and drops it (the resume
+path simply re-runs that trial); a malformed line anywhere *else* is real
+corruption and raises :class:`~repro.store.schema.StoreError`.  Bulk
+rewrites (:meth:`merge` targets, future compactions) go through a temp file
+plus :func:`os.replace`, so readers never observe a half-written shard.
+
+Trials are keyed ``(run_key, trial_index)``; appending the same trial again
+(e.g. a ``resume=False`` re-run) is an overwrite -- later lines win at load
+time, mirroring the append-only log semantics.
+
+Concurrency model: **one writer per store directory at a time** (the runtime
+appends from the parent process only), any number of concurrent readers.
+Sequential writers -- a resumed campaign after a crash, a CLI merge between
+campaigns, alternating store handles -- are fully supported: the append path
+re-validates its cached shard position against disk and repairs a torn tail
+before writing.  Two *simultaneous* writer processes on one directory are
+not coordinated (no file locking) and may interleave shard lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Tuple, Union
+
+from repro.annealing.result import SolveResult
+from repro.store.schema import (
+    RunManifest,
+    StoreError,
+    deserialize_campaign_record,
+    deserialize_solve_result,
+    dumps_line,
+    serialize_campaign_record,
+    serialize_solve_result,
+)
+
+_MANIFEST = "manifest.jsonl"
+_CAMPAIGNS = "campaigns.jsonl"
+_SHARD_DIR = "shards"
+_SHARD_DIGITS = 4
+
+#: CSV columns emitted by :meth:`CampaignStore.export_csv` -- one row per
+#: trial, floats rendered with ``repr`` so they parse back bit-exactly.
+EXPORT_CSV_COLUMNS = (
+    "run_key", "problem_name", "instance_hash", "solver", "label", "backend",
+    "master_seed", "trial_index", "trial_seed", "best_energy",
+    "best_objective", "feasible", "num_iterations",
+    "num_feasible_evaluations", "num_infeasible_skipped",
+    "num_accepted_moves", "wall_time",
+)
+
+
+def _format_csv_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class CampaignStore:
+    """Durable, content-addressed storage for trial results.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) if missing.
+    shard_size:
+        Trials per shard file before rotation.  Small shards bound the blast
+        radius of a torn write and keep merge copies incremental; the default
+        matches a few campaign cells per file at paper scale.
+    create:
+        Create the directory structure if missing (the write-path default).
+        Read-only tooling passes ``create=False`` so a mistyped path fails
+        loudly (``FileNotFoundError``) instead of materialising an empty
+        store and reporting the checkpoints "gone".
+    """
+
+    def __init__(self, root: Union[str, Path], shard_size: int = 256,
+                 create: bool = True) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        self.root = Path(root)
+        self.shard_size = int(shard_size)
+        if create:
+            (self.root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise FileNotFoundError(f"no store directory at {self.root}")
+        self._runs: Dict[str, RunManifest] = {}
+        #: run_key -> (active shard index, lines in it, byte size); lazily
+        #: discovered from disk and revalidated against it before every
+        #: append, so sequential/alternating store handles stay consistent.
+        self._active_shard: Dict[str, Tuple[int, int, int]] = {}
+        self._load_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Manifest
+    # ------------------------------------------------------------------ #
+    def _load_manifest(self) -> None:
+        # Append-only log semantics: a run re-registered with a larger trial
+        # request appends an updated line, so the latest line wins.
+        for payload in _read_jsonl(self.root / _MANIFEST,
+                                   tolerate_torn_tail=True):
+            manifest = RunManifest.from_dict(payload)
+            self._runs[manifest.run_key] = manifest
+
+    def register_run(self, manifest: RunManifest) -> RunManifest:
+        """Idempotently add a run to the manifest; returns the stored entry.
+
+        A re-registration with a higher ``num_trials_requested`` (a longer
+        re-run of the same identity) raises the stored request count so
+        listings reflect the largest sweep seen.
+        """
+        existing = self._runs.get(manifest.run_key)
+        if existing is not None:
+            if manifest.num_trials_requested > existing.num_trials_requested:
+                self._runs[manifest.run_key] = manifest
+                self._append_line(self.root / _MANIFEST, manifest.to_dict())
+            return self._runs[manifest.run_key]
+        self._runs[manifest.run_key] = manifest
+        self._append_line(self.root / _MANIFEST, manifest.to_dict())
+        return manifest
+
+    def runs(self) -> List[RunManifest]:
+        """All registered runs, ordered by (problem, label, run_key)."""
+        return sorted(self._runs.values(),
+                      key=lambda m: (m.problem_name, m.label, m.run_key))
+
+    def get_manifest(self, run_key: str) -> RunManifest:
+        """The manifest of ``run_key``; accepts an unambiguous key prefix."""
+        if run_key in self._runs:
+            return self._runs[run_key]
+        matches = [m for k, m in self._runs.items() if k.startswith(run_key)]
+        if not matches:
+            raise KeyError(f"no run with key (prefix) {run_key!r}")
+        if len(matches) > 1:
+            raise KeyError(f"run key prefix {run_key!r} is ambiguous "
+                           f"({len(matches)} matches)")
+        return matches[0]
+
+    # ------------------------------------------------------------------ #
+    # Trial shards
+    # ------------------------------------------------------------------ #
+    def _shard_paths(self, run_key: str) -> List[Path]:
+        return sorted((self.root / _SHARD_DIR).glob(f"{run_key}.*.jsonl"))
+
+    def _shard_path(self, run_key: str, index: int) -> Path:
+        return self.root / _SHARD_DIR / f"{run_key}.{index:0{_SHARD_DIGITS}d}.jsonl"
+
+    def _locate_active_shard(self, run_key: str) -> Tuple[int, int, int]:
+        state = self._active_shard.get(run_key)
+        if state is not None:
+            # Guard against writes through another handle (a CLI merge, an
+            # alternating campaign): the cache is only trusted while no
+            # later shard exists *and* the active shard's on-disk size
+            # matches what this handle last saw; otherwise rescan.
+            index, _, size = state
+            path = self._shard_path(run_key, index)
+            if not self._shard_path(run_key, index + 1).exists() and \
+                    (path.stat().st_size if path.exists() else 0) == size:
+                return state
+        shards = self._shard_paths(run_key)
+        if not shards:
+            state = (0, 0, 0)
+        else:
+            last = shards[-1]
+            index = int(last.name.rsplit(".", 2)[-2])
+            raw = last.read_bytes()
+            if raw and not raw.endswith(b"\n"):
+                # Torn tail from a crash mid-append.  Discard the partial
+                # record *before* writing anything after it -- appending
+                # behind it would weld two records into one corrupt mid-file
+                # line that no later read could recover from.  (Only the
+                # non-full active shard is ever repaired this way; full
+                # shards stay immutable.)
+                keep = raw.rfind(b"\n") + 1
+                with last.open("rb+") as handle:
+                    handle.truncate(keep)
+                raw = raw[:keep]
+            state = (index, raw.count(b"\n"), len(raw))
+        self._active_shard[run_key] = state
+        return state
+
+    def append_result(self, run_key: str, trial_index: int,
+                      result: SolveResult) -> None:
+        """Persist one completed trial (crash-safe single-line append)."""
+        if trial_index < 0:
+            raise ValueError("trial_index must be non-negative")
+        self._append_trial_payload(run_key, {
+            "trial_index": int(trial_index),
+            "result": serialize_solve_result(result),
+        })
+
+    def _append_trial_payload(self, run_key: str,
+                              payload: Mapping[str, Any]) -> None:
+        if run_key not in self._runs:
+            raise KeyError(f"run {run_key!r} is not registered; call "
+                           "register_run before appending results")
+        index, lines, size = self._locate_active_shard(run_key)
+        if lines >= self.shard_size:
+            index, lines, size = index + 1, 0, 0
+        line = dumps_line(payload)
+        path = self._shard_path(run_key, index)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+        self._active_shard[run_key] = (index, lines + 1,
+                                       size + len(line.encode("utf-8")))
+
+    def _iter_trial_payloads(self, run_key: str):
+        """Raw ``(trial_index, line payload)`` pairs, in append order."""
+        shards = self._shard_paths(run_key)
+        for position, shard in enumerate(shards):
+            tail_ok = position == len(shards) - 1
+            for payload in _read_jsonl(shard, tolerate_torn_tail=tail_ok):
+                try:
+                    index = int(payload["trial_index"])
+                except (KeyError, TypeError, ValueError) as error:
+                    raise StoreError(
+                        f"{shard}: trial line without a valid trial_index"
+                    ) from error
+                yield index, payload
+
+    def load_results(self, run_key: str) -> Dict[int, SolveResult]:
+        """All persisted trials of a run, keyed by trial index.
+
+        Duplicate indices resolve to the *latest* line (append-only overwrite
+        semantics); a torn final line in the final shard is dropped.
+        """
+        latest = {index: payload
+                  for index, payload in self._iter_trial_payloads(run_key)}
+        return {index: deserialize_solve_result(payload["result"])
+                for index, payload in latest.items()}
+
+    def trial_indices(self, run_key: str) -> set:
+        """Indices of the persisted trials, without deserializing them --
+        counting and diffing at paper scale must not materialize every
+        configuration array."""
+        return {index for index, _ in self._iter_trial_payloads(run_key)}
+
+    def num_results(self, run_key: str) -> int:
+        """Distinct persisted trials of a run."""
+        return len(self.trial_indices(run_key))
+
+    # ------------------------------------------------------------------ #
+    # Campaign log
+    # ------------------------------------------------------------------ #
+    def append_campaign_record(self, record: Any, run_key: str) -> None:
+        """Log one campaign cell (header + statistics; trials live in shards)."""
+        if run_key not in self._runs:
+            raise KeyError(f"run {run_key!r} is not registered")
+        payload = serialize_campaign_record(record, run_key=run_key,
+                                            include_results=False)
+        self._append_line(self.root / _CAMPAIGNS, payload)
+
+    def load_campaign_records(self) -> List[Any]:
+        """All logged campaign cells with their trial results re-joined.
+
+        Cells logged repeatedly under the same run key (an interrupted and a
+        resumed campaign, say) dedupe to the latest line.
+        """
+        latest: Dict[str, Mapping[str, Any]] = {}
+        for payload in _read_jsonl(self.root / _CAMPAIGNS,
+                                   tolerate_torn_tail=True):
+            key = payload.get("run_key")
+            if key is None:
+                raise StoreError("campaign record without a run_key")
+            latest[key] = payload
+        records = []
+        for key, payload in sorted(latest.items()):
+            stored = self.load_results(key)
+            results = [stored[i] for i in sorted(stored)]
+            records.append(deserialize_campaign_record(payload, results=results))
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Merge / export
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "CampaignStore") -> Dict[str, int]:
+        """Fold another store into this one.
+
+        Runs unknown here are registered; trials absent here are appended
+        (trials present in both keep *this* store's version -- merging never
+        rewrites existing data).  Campaign log lines are carried over for
+        runs this store had not logged.  Returns ``{"runs": ..., "trials":
+        ...}`` counts of newly added entries.
+        """
+        added_runs = 0
+        added_trials = 0
+        for manifest in other.runs():
+            if manifest.run_key not in self._runs:
+                added_runs += 1
+            self.register_run(manifest)
+            mine = self.trial_indices(manifest.run_key)
+            # Copy the raw persisted lines (latest line per index) -- merge
+            # moves serialized records between stores, it never needs to
+            # rebuild SolveResults.
+            theirs = {index: payload for index, payload
+                      in other._iter_trial_payloads(manifest.run_key)}
+            for index in sorted(set(theirs) - mine):
+                self._append_trial_payload(manifest.run_key, theirs[index])
+                added_trials += 1
+        seen_campaign_keys = {
+            payload.get("run_key")
+            for payload in _read_jsonl(self.root / _CAMPAIGNS,
+                                       tolerate_torn_tail=True)
+        }
+        for payload in _read_jsonl(other.root / _CAMPAIGNS,
+                                   tolerate_torn_tail=True):
+            if payload.get("run_key") not in seen_campaign_keys:
+                self._append_line(self.root / _CAMPAIGNS, payload)
+        return {"runs": added_runs, "trials": added_trials}
+
+    def export_csv(self, path: Union[str, Path]) -> int:
+        """Write every persisted trial as one CSV row; returns the row count.
+
+        Floats are rendered with ``repr`` so the CSV round-trips bit-exactly
+        through ``float()`` -- the analysis/reporting helpers can recompute
+        success rates from the exported values and land on the numbers the
+        live aggregation produced.
+        """
+        import csv
+
+        rows = 0
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(EXPORT_CSV_COLUMNS)
+            for manifest in self.runs():
+                stored = self.load_results(manifest.run_key)
+                for index in sorted(stored):
+                    result = stored[index]
+                    writer.writerow([_format_csv_value(v) for v in (
+                        manifest.run_key, manifest.problem_name,
+                        manifest.instance_hash, manifest.solver,
+                        manifest.label, manifest.backend,
+                        manifest.master_seed, index, result.trial_seed,
+                        result.best_energy, result.best_objective,
+                        result.feasible, result.num_iterations,
+                        result.num_feasible_evaluations,
+                        result.num_infeasible_skipped,
+                        result.num_accepted_moves, result.wall_time,
+                    )])
+                    rows += 1
+        os.replace(tmp, path)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _append_line(self, path: Path, payload: Mapping[str, Any]) -> None:
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(dumps_line(payload))
+            handle.flush()
+
+
+def _read_jsonl(path: Path, tolerate_torn_tail: bool = False) -> Iterator[Mapping[str, Any]]:
+    """Parse a JSONL file, optionally forgiving a torn final line.
+
+    A record only counts as committed once its terminating newline is on
+    disk, so an *unterminated* final line is a torn write even when its
+    prefix happens to parse -- the same rule the append path's
+    crash-repair uses, keeping readers and writers in agreement.  A line
+    that fails to parse anywhere else is corruption and raises
+    :class:`StoreError`.
+    """
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        content = handle.read()
+    lines = content.splitlines()
+    unterminated = bool(content) and not content.endswith("\n")
+    for number, line in enumerate(lines):
+        last = number == len(lines) - 1
+        if not line.strip():
+            continue
+        if last and unterminated:
+            if tolerate_torn_tail:
+                return
+            raise StoreError(f"{path}:{number + 1}: torn (unterminated) line")
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            if tolerate_torn_tail and last:
+                return
+            raise StoreError(f"{path}:{number + 1}: corrupt line") from error
+        if not isinstance(payload, Mapping):
+            raise StoreError(f"{path}:{number + 1}: expected a JSON object")
+        yield payload

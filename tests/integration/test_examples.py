@@ -54,6 +54,13 @@ class TestExamples:
         assert "all chips advanced in one lock-step batch: True" in output
         assert "worst chip" in output
 
+    def test_resumable_campaign_resumes_with_parity(self, capsys):
+        output = run_example("resumable_campaign.py", capsys)
+        assert "interrupted after 5 of 14 trials" in output
+        assert "5 trials loaded from the store, 9 freshly executed" in output
+        assert "aggregate parity with uninterrupted run: True" in output
+        assert "exported 14 trial rows to CSV" in output
+
     def test_logistics_loading_produces_feasible_manifest(self, capsys):
         output = run_example("logistics_loading.py", capsys)
         assert "HyCiM loading plan" in output

@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.problems.generators import generate_qkp_instance
-from repro.problems.io import read_qkp_file, write_qkp_file
+from repro.problems.io import content_hash, read_qkp_file, write_qkp_file
 from repro.problems.qkp import QuadraticKnapsackProblem
 
 
@@ -71,6 +71,88 @@ class TestFormat:
             read_qkp_file(path)
 
 
+class TestContentHash:
+    def test_deterministic_and_content_sensitive(self):
+        a = generate_qkp_instance(num_items=12, seed=3)
+        b = generate_qkp_instance(num_items=12, seed=3)
+        c = generate_qkp_instance(num_items=12, seed=4)
+        assert content_hash(a) == content_hash(b)
+        assert content_hash(a) != content_hash(c)
+        assert len(content_hash(a)) == 64
+
+    def test_name_is_not_content(self):
+        problem = generate_qkp_instance(num_items=8, seed=1, name="alpha")
+        renamed = QuadraticKnapsackProblem(
+            profits=problem.profits, weights=problem.weights,
+            capacity=problem.capacity, name="beta")
+        assert content_hash(problem) == content_hash(renamed)
+
+    def test_stable_across_array_dtype(self):
+        weights = [2, 3, 4]
+        profits = np.diag([5, 6, 7])
+        as_int = QuadraticKnapsackProblem(
+            profits=profits.astype(np.int64), weights=np.array(weights, dtype=np.int32),
+            capacity=6, name="dtype")
+        as_float = QuadraticKnapsackProblem(
+            profits=profits.astype(np.float64), weights=np.array(weights, dtype=float),
+            capacity=6.0, name="dtype")
+        assert content_hash(as_int) == content_hash(as_float)
+
+    def test_object_attributes_hash_by_value_not_address(self):
+        """Equal instances carrying object-valued attributes must hash
+        identically (a default repr would embed the memory address and give
+        every process a fresh hash, defeating store resume)."""
+        class Aux:
+            def __init__(self, level):
+                self.level = level
+
+        def build(level):
+            problem = generate_qkp_instance(num_items=6, seed=2)
+            problem.aux = Aux(level)
+            return problem
+
+        assert content_hash(build(1)) == content_hash(build(1))
+        assert content_hash(build(1)) != content_hash(build(2))
+
+    def test_different_problem_classes_never_collide(self):
+        from repro.problems.generators import generate_maxcut_instance
+
+        qkp = generate_qkp_instance(num_items=6, seed=2)
+        maxcut = generate_maxcut_instance(num_nodes=6, edge_probability=0.5,
+                                          seed=2)
+        assert content_hash(qkp) != content_hash(maxcut)
+
+    def test_save_load_round_trip_preserves_hash(self, tmp_path):
+        problem = generate_qkp_instance(num_items=20, density=0.6, seed=8)
+        path = tmp_path / "inst.txt"
+        write_qkp_file(problem, path)
+        assert content_hash(read_qkp_file(path)) == content_hash(problem)
+
+    def test_non_integral_capacity_survives_save_load(self, tmp_path):
+        # The float-formatting instability the hash surfaced: int() used to
+        # silently truncate a non-integral capacity on write.
+        problem = QuadraticKnapsackProblem(
+            profits=np.diag([3.0, 4.0]), weights=np.array([1.0, 2.0]),
+            capacity=2.5, name="fractional")
+        path = tmp_path / "frac.txt"
+        write_qkp_file(problem, path)
+        restored = read_qkp_file(path)
+        assert restored.capacity == 2.5
+        assert content_hash(restored) == content_hash(problem)
+
+    def test_non_integral_profits_and_weights_round_trip(self, tmp_path):
+        profits = np.array([[0.1 + 0.2, 1.25], [1.25, 2.0]])
+        problem = QuadraticKnapsackProblem(
+            profits=profits, weights=np.array([0.5, 1.5]), capacity=1.75,
+            name="floats")
+        path = tmp_path / "floats.txt"
+        write_qkp_file(problem, path)
+        restored = read_qkp_file(path)
+        np.testing.assert_array_equal(restored.profits, problem.profits)
+        np.testing.assert_array_equal(restored.weights, problem.weights)
+        assert content_hash(restored) == content_hash(problem)
+
+
 # --------------------------------------------------------------------- #
 # Property tests: any integer QKP instance round-trips exactly.
 # --------------------------------------------------------------------- #
@@ -107,6 +189,7 @@ class TestRoundTripProperties:
         assert restored.capacity == problem.capacity
         assert restored.name == problem.name
         assert restored.num_items == problem.num_items
+        assert content_hash(restored) == content_hash(problem)
 
     @settings(max_examples=20, deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])

@@ -250,6 +250,81 @@ class TestPortfolio:
             run_portfolio(suite[0], solvers=())
 
 
+class TestAdaptivePortfolio:
+    """Two-stage budget allocation: explore all members, exploit the best."""
+
+    SOLVERS = (("hycim", HYCIM_FAST),
+               ("sa", {"num_iterations": 25}),
+               "greedy")
+
+    def test_budget_reallocates_to_best_explorer(self, suite, references):
+        problem = suite[0]
+        result = run_portfolio(problem, solvers=self.SOLVERS, num_trials=6,
+                               master_seed=3, adaptive=True,
+                               reference=references[problem.name])
+        # Exploration: 3 trials each; exploitation: the remaining 2*3 trials
+        # all go to one stochastic member.
+        assert result.allocation["greedy"] == 1
+        stochastic = {label: n for label, n in result.allocation.items()
+                      if label != "greedy"}
+        assert sorted(stochastic.values()) == [3, 9]
+        favourite = max(stochastic, key=stochastic.get)
+        assert result.batches[favourite].num_trials == 9
+        # The exploitation batch's statistics were re-aggregated.
+        assert result.statistics[favourite].num_trials == 9
+
+    def test_adaptive_race_is_seed_deterministic(self, suite, references):
+        problem = suite[0]
+        runs = [run_portfolio(problem, solvers=self.SOLVERS, num_trials=5,
+                              master_seed=8, adaptive=True,
+                              reference=references[problem.name])
+                for _ in range(2)]
+        assert runs[0].winner == runs[1].winner
+        assert runs[0].allocation == runs[1].allocation
+        for label in runs[0].batches:
+            np.testing.assert_array_equal(runs[0].batches[label].best_energies,
+                                          runs[1].batches[label].best_energies)
+
+    def test_exploration_trials_are_the_plain_race_prefix(self, suite,
+                                                          references):
+        """Stage 1 uses the members' usual spawned seeds, so the exploration
+        results are a prefix of what the non-adaptive race would produce."""
+        problem = suite[0]
+        adaptive = run_portfolio(problem, solvers=self.SOLVERS, num_trials=6,
+                                 master_seed=3, adaptive=True,
+                                 explore_trials=2,
+                                 reference=references[problem.name])
+        plain = run_portfolio(problem, solvers=self.SOLVERS, num_trials=2,
+                              master_seed=3,
+                              reference=references[problem.name])
+        for label, batch in plain.batches.items():
+            np.testing.assert_array_equal(
+                adaptive.batches[label].best_energies[:batch.num_trials],
+                batch.best_energies)
+
+    def test_explore_budget_equal_to_num_trials_skips_exploitation(
+            self, suite, references):
+        problem = suite[0]
+        result = run_portfolio(problem, solvers=self.SOLVERS, num_trials=4,
+                               master_seed=3, adaptive=True, explore_trials=4,
+                               reference=references[problem.name])
+        assert all(result.batches[label].num_trials == 4
+                   for label in result.batches if label != "greedy")
+
+    def test_adaptive_validation(self, suite, references):
+        with pytest.raises(ValueError, match="reference"):
+            run_portfolio(suite[0], solvers=self.SOLVERS, num_trials=4,
+                          adaptive=True)
+        with pytest.raises(ValueError, match="explore_trials"):
+            run_portfolio(suite[0], solvers=self.SOLVERS, num_trials=4,
+                          adaptive=True, explore_trials=9,
+                          reference=references[suite[0].name])
+
+    def test_non_adaptive_allocation_mirrors_batches(self, suite):
+        result = run_portfolio(suite[0], solvers=("greedy",), num_trials=7)
+        assert result.allocation == {"greedy": 1}
+
+
 class TestChipsKnob:
     """The batch-of-chips campaign knob for variability ablations."""
 

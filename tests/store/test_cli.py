@@ -1,0 +1,135 @@
+"""The ``python -m repro.store`` results CLI."""
+
+import csv
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import normalized_values, success_rate
+from repro.exact.local_search import reference_qkp_value
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import aggregate_trials, run_campaign, run_trials
+from repro.store import CampaignStore
+from repro.store.cli import main
+
+HYCIM_FAST = {"num_iterations": 15, "move_generator": "knapsack",
+              "use_hardware": False}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return generate_qkp_instance(num_items=12, density=0.5, max_weight=8,
+                                 seed=31, name="cli_prob")
+
+
+@pytest.fixture
+def populated(tmp_path, problem):
+    store = CampaignStore(tmp_path / "store")
+    batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=5,
+                       master_seed=2, store=store)
+    return tmp_path / "store", batch
+
+
+class TestListInspect:
+    def test_list_shows_runs(self, populated, capsys):
+        store_dir, batch = populated
+        assert main(["list", str(store_dir)]) == 0
+        output = capsys.readouterr().out
+        assert batch.run_key[:12] in output
+        assert "cli_prob" in output
+        assert "5/5" in output
+        assert "1 run(s)" in output
+
+    def test_list_empty_store(self, tmp_path, capsys):
+        CampaignStore(tmp_path / "empty")   # existing but empty
+        assert main(["list", str(tmp_path / "empty")]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+    def test_read_commands_fail_loudly_on_missing_store(self, tmp_path,
+                                                        capsys):
+        """A mistyped path must not materialise an empty store and report
+        the checkpoints gone."""
+        missing = tmp_path / "typo-store"
+        for argv in (["list", str(missing)],
+                     ["inspect", str(missing), "abc"],
+                     ["export-csv", str(missing)]):
+            assert main(argv) == 1
+            assert "no store directory" in capsys.readouterr().out
+            assert not missing.exists()
+
+    def test_inspect_accepts_key_prefix(self, populated, capsys):
+        store_dir, batch = populated
+        assert main(["inspect", str(store_dir), batch.run_key[:10]]) == 0
+        output = capsys.readouterr().out
+        assert f"run key      : {batch.run_key}" in output
+        assert "5 persisted of 5 requested" in output
+        assert str(batch.results[0].trial_seed) in output
+
+    def test_inspect_unknown_key_fails(self, populated, capsys):
+        store_dir, _ = populated
+        assert main(["inspect", str(store_dir), "zzzz"]) == 1
+        assert "no run" in capsys.readouterr().out
+
+
+class TestMerge:
+    def test_merge_combines_distributed_stores(self, tmp_path, problem,
+                                               capsys):
+        for seed, name in ((1, "left"), (2, "right")):
+            run_trials(problem, ("hycim", HYCIM_FAST), num_trials=3,
+                       master_seed=seed,
+                       store=CampaignStore(tmp_path / name))
+        assert main(["merge", str(tmp_path / "merged"),
+                     str(tmp_path / "left"), str(tmp_path / "right")]) == 0
+        assert "2 run(s) total" in capsys.readouterr().out
+        merged = CampaignStore(tmp_path / "merged")
+        assert len(merged.runs()) == 2
+        assert all(merged.num_results(m.run_key) == 3 for m in merged.runs())
+
+
+class TestExportCsv:
+    def test_export_round_trips_through_the_analysis_path(self, tmp_path,
+                                                          problem, capsys):
+        """Acceptance check: the Fig. 10-style success-rate / normalized-value
+        numbers recomputed from the exported CSV equal the live aggregation's
+        bit for bit."""
+        reference = reference_qkp_value(problem)
+        store = CampaignStore(tmp_path / "store")
+        campaign = run_campaign([problem], [("hycim", HYCIM_FAST), "greedy"],
+                                num_trials=6,
+                                references={problem.name: reference},
+                                master_seed=7, early_stop=False, store=store)
+
+        out = tmp_path / "trials.csv"
+        assert main(["export-csv", str(tmp_path / "store"), str(out)]) == 0
+        assert "12 trial row(s)" not in capsys.readouterr().err
+
+        by_run = defaultdict(list)
+        with out.open() as handle:
+            for row in csv.DictReader(handle):
+                value = (float(row["best_objective"])
+                         if row["feasible"] == "True" and row["best_objective"]
+                         else 0.0)
+                by_run[row["run_key"]].append(
+                    (int(row["trial_index"]), value))
+
+        for record in campaign.records:
+            exported = [v for _, v in sorted(by_run[record.batch.run_key])]
+            stats = record.statistics
+            # The exact values the paper's protocol scores on...
+            live = [r.best_objective if r.feasible else 0.0
+                    for r in record.batch.results]
+            assert exported == live
+            # ...and the aggregate metrics recomputed from the CSV.
+            assert success_rate(exported, reference, 0.95) == \
+                stats.success_rate_value
+            assert float(np.mean(normalized_values(exported, reference))) == \
+                stats.mean_normalized_value
+
+    def test_export_default_output_name(self, populated, capsys, monkeypatch,
+                                        tmp_path):
+        store_dir, _ = populated
+        monkeypatch.chdir(tmp_path)
+        assert main(["export-csv", str(store_dir)]) == 0
+        assert "5 trial row(s)" in capsys.readouterr().out
+        assert (tmp_path / "trials.csv").exists()

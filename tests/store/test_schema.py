@@ -1,0 +1,271 @@
+"""Schema round-trip fidelity and run-key determinism.
+
+The hypothesis properties are the store's core guarantee: *any*
+:class:`SolveResult` -- NaN/inf energies, 64-bit seeds, negative zeros --
+survives serialize -> JSON text -> deserialize bit-exactly, so resumed
+aggregates cannot drift from uninterrupted ones.
+"""
+
+import json
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing.result import SolveResult
+from repro.problems.generators import generate_qkp_instance
+from repro.problems.io import content_hash
+from repro.runtime import SolverSpec, TrialBatch, TrialStatistics, aggregate_trials
+from repro.runtime.campaign import CampaignRecord
+from repro.store import (
+    StoreError,
+    canonical_json,
+    canonical_value,
+    deserialize_campaign_record,
+    deserialize_solve_result,
+    deserialize_trial_batch,
+    initial_states_hash,
+    manifest_for_run,
+    serialize_campaign_record,
+    serialize_solve_result,
+    serialize_trial_batch,
+    trial_run_key,
+)
+
+# Any IEEE-754 double, including NaN, the infinities and -0.0.
+any_float = st.floats(allow_nan=True, allow_infinity=True)
+finite_float = st.floats(allow_nan=False, allow_infinity=False)
+# Full uint64 range: SeedSequence-spawned trial seeds live here.
+seed_value = st.integers(min_value=0, max_value=2**64 - 1)
+json_scalar = st.one_of(st.none(), st.booleans(), st.integers(), finite_float,
+                        st.text(max_size=20))
+metadata_dicts = st.dictionaries(st.text(max_size=10), json_scalar, max_size=4)
+
+
+@st.composite
+def solve_results(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    configuration = np.array(draw(st.lists(st.sampled_from([0.0, 1.0]),
+                                           min_size=n, max_size=n)))
+    return SolveResult(
+        best_configuration=configuration,
+        best_energy=draw(any_float),
+        best_objective=draw(st.one_of(st.none(), any_float)),
+        feasible=draw(st.booleans()),
+        energy_history=draw(st.lists(any_float, max_size=5)),
+        num_iterations=draw(st.integers(0, 10**6)),
+        num_feasible_evaluations=draw(st.integers(0, 10**6)),
+        num_infeasible_skipped=draw(st.integers(0, 10**6)),
+        num_accepted_moves=draw(st.integers(0, 10**6)),
+        solver_name=draw(st.text(max_size=12)),
+        trial_seed=draw(st.one_of(st.none(), seed_value)),
+        wall_time=draw(st.one_of(st.none(), finite_float.map(abs))),
+        metadata=draw(metadata_dicts),
+    )
+
+
+def bits(value):
+    """The exact IEEE-754 bit pattern (distinguishes -0.0, compares NaN)."""
+    return struct.pack("<d", value)
+
+
+def assert_float_identical(left, right):
+    if left is None or right is None:
+        assert left is right
+    elif math.isnan(float(left)) or math.isnan(float(right)):
+        # JSON's NaN token restores the canonical quiet NaN; payload bits of
+        # exotic NaNs are not representable (and never observable downstream).
+        assert math.isnan(float(left)) and math.isnan(float(right))
+    else:
+        assert bits(float(left)) == bits(float(right))
+
+
+def assert_results_identical(left: SolveResult, right: SolveResult):
+    np.testing.assert_array_equal(left.best_configuration,
+                                  right.best_configuration)
+    assert left.best_configuration.dtype == right.best_configuration.dtype
+    assert_float_identical(left.best_energy, right.best_energy)
+    assert_float_identical(left.best_objective, right.best_objective)
+    assert left.feasible == right.feasible
+    assert len(left.energy_history) == len(right.energy_history)
+    for a, b in zip(left.energy_history, right.energy_history):
+        assert_float_identical(a, b)
+    assert left.num_iterations == right.num_iterations
+    assert left.num_feasible_evaluations == right.num_feasible_evaluations
+    assert left.num_infeasible_skipped == right.num_infeasible_skipped
+    assert left.num_accepted_moves == right.num_accepted_moves
+    assert left.solver_name == right.solver_name
+    assert left.trial_seed == right.trial_seed
+    assert_float_identical(left.wall_time, right.wall_time)
+    assert left.metadata == right.metadata
+
+
+class TestSolveResultRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(result=solve_results())
+    def test_round_trip_through_json_text_is_bit_exact(self, result):
+        payload = json.loads(json.dumps(serialize_solve_result(result)))
+        assert_results_identical(result, deserialize_solve_result(payload))
+
+    def test_nan_inf_and_negative_zero_energies(self):
+        for energy in (float("nan"), float("inf"), float("-inf"), -0.0):
+            result = SolveResult(best_configuration=np.zeros(2),
+                                 best_energy=energy,
+                                 energy_history=[energy, 1.0])
+            restored = deserialize_solve_result(
+                json.loads(json.dumps(serialize_solve_result(result))))
+            assert_float_identical(result.best_energy, restored.best_energy)
+            assert_float_identical(result.energy_history[0],
+                                   restored.energy_history[0])
+
+    def test_shortest_repr_floats_survive(self):
+        # A float whose decimal rendering needs all 17 significant digits.
+        energy = 0.1 + 0.2
+        result = SolveResult(best_configuration=np.ones(1), best_energy=energy)
+        restored = deserialize_solve_result(
+            json.loads(json.dumps(serialize_solve_result(result))))
+        assert restored.best_energy == energy
+
+    def test_malformed_payload_raises_store_error(self):
+        with pytest.raises(StoreError):
+            deserialize_solve_result({"best_energy": 1.0})
+
+
+class TestBatchAndRecordRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(results=st.lists(solve_results(), min_size=1, max_size=4),
+           master_seed=seed_value, stopped=st.booleans())
+    def test_trial_batch_round_trip(self, results, master_seed, stopped):
+        batch = TrialBatch(results=results, spec=SolverSpec("hycim"),
+                           problem_name="prop", backend="serial",
+                           master_seed=master_seed,
+                           num_trials_requested=len(results),
+                           stopped_early=stopped, wall_time=1.25)
+        restored = deserialize_trial_batch(
+            json.loads(json.dumps(serialize_trial_batch(batch))))
+        assert restored.spec == batch.spec
+        assert restored.problem_name == batch.problem_name
+        assert restored.backend == batch.backend
+        assert restored.master_seed == batch.master_seed
+        assert restored.num_trials_requested == batch.num_trials_requested
+        assert restored.stopped_early == batch.stopped_early
+        for original, back in zip(batch.results, restored.results):
+            assert_results_identical(original, back)
+
+    def test_campaign_record_round_trip(self):
+        batch = TrialBatch(
+            results=[SolveResult(best_configuration=np.ones(3),
+                                 best_energy=-7.5, best_objective=7.5,
+                                 wall_time=0.5)],
+            spec=SolverSpec("hycim", {"num_iterations": 10}),
+            problem_name="cell", backend="vectorized", master_seed=3,
+            num_trials_requested=1)
+        record = CampaignRecord(
+            problem_name="cell", spec=batch.spec, batch=batch,
+            statistics=aggregate_trials(batch, reference=7.5),
+            reference=7.5, maximize=True)
+        restored = deserialize_campaign_record(
+            json.loads(json.dumps(serialize_campaign_record(record))))
+        assert restored.statistics == record.statistics
+        assert isinstance(restored.statistics, TrialStatistics)
+        assert restored.reference == record.reference
+        assert restored.spec == record.spec
+        assert_results_identical(record.batch.results[0],
+                                 restored.batch.results[0])
+
+    def test_header_only_record_rejoins_external_results(self):
+        batch = TrialBatch(
+            results=[SolveResult(best_configuration=np.zeros(2),
+                                 best_energy=0.0)],
+            spec=SolverSpec("greedy"), problem_name="cell",
+            backend="serial", master_seed=0, num_trials_requested=1)
+        record = CampaignRecord(problem_name="cell", spec=batch.spec,
+                                batch=batch,
+                                statistics=aggregate_trials(batch),
+                                reference=None)
+        payload = json.loads(json.dumps(
+            serialize_campaign_record(record, run_key="abc",
+                                      include_results=False)))
+        assert "results" not in payload["batch"]
+        restored = deserialize_campaign_record(payload, results=batch.results)
+        assert restored.batch.num_trials == 1
+
+
+class TestRunKeys:
+    def setup_method(self):
+        self.problem = generate_qkp_instance(num_items=10, seed=1, name="keys")
+        self.instance = content_hash(self.problem)
+
+    def key(self, params=None, seed=0, backend="serial", label=None,
+            initials=None):
+        spec = SolverSpec("hycim", params or {}, label=label)
+        return trial_run_key(spec, self.instance, seed, backend,
+                             initial_states_hash(initials))
+
+    def test_key_is_deterministic_and_param_order_invariant(self):
+        a = self.key({"num_iterations": 10, "use_hardware": False})
+        b = self.key({"use_hardware": False, "num_iterations": 10})
+        assert a == b
+        assert len(a) == 64
+
+    def test_key_changes_with_every_identity_component(self):
+        base = self.key({"num_iterations": 10})
+        assert base != self.key({"num_iterations": 20})
+        assert base != self.key({"num_iterations": 10}, seed=1)
+        assert base != self.key({"num_iterations": 10}, backend="process")
+        assert base != self.key({"num_iterations": 10}, label="other")
+        assert base != self.key({"num_iterations": 10},
+                                initials=[np.zeros(10)])
+        other = content_hash(generate_qkp_instance(num_items=10, seed=2))
+        spec = SolverSpec("hycim", {"num_iterations": 10})
+        assert base != trial_run_key(spec, other, 0, "serial", None)
+
+    def test_object_valued_params_key_deterministically(self):
+        from repro.fefet.variability import VariabilityModel
+
+        a = self.key({"variability": VariabilityModel(0.02, 0.1, seed=7)})
+        b = self.key({"variability": VariabilityModel(0.02, 0.1, seed=7)})
+        c = self.key({"variability": VariabilityModel(0.03, 0.1, seed=7)})
+        assert a == b
+        assert a != c
+
+    def test_manifest_for_run_carries_the_key_material(self):
+        spec = SolverSpec("hycim", {"num_iterations": 10}, label="fast")
+        manifest = manifest_for_run(spec, self.problem, self.instance,
+                                    master_seed=5, backend="serial",
+                                    num_trials=8)
+        assert manifest.run_key == self.key({"num_iterations": 10}, seed=5,
+                                            label="fast")
+        assert manifest.problem_name == "keys"
+        assert manifest.label == "fast"
+        assert manifest.num_trials_requested == 8
+
+
+class TestCanonicalValue:
+    def test_numpy_and_python_scalars_agree(self):
+        assert canonical_value(np.float64(1.5)) == canonical_value(1.5)
+        assert canonical_value(np.int32(3)) == canonical_value(3)
+        assert canonical_json({"a": np.arange(3)}) == canonical_json(
+            {"a": [0, 1, 2]})
+
+    def test_sets_and_tuples_are_order_stable(self):
+        assert canonical_json({2, 1, 3}) == canonical_json({3, 2, 1})
+        assert canonical_value((1, 2)) == [1, 2]
+
+    def test_enum_and_generator_handling(self):
+        from repro.core.dqubo import SlackEncoding
+
+        assert canonical_value(SlackEncoding.ONE_HOT) == \
+            canonical_value(SlackEncoding.ONE_HOT.value)
+        # Generators canonicalize from their full bit-generator state: equal
+        # seeds agree, different seeds (or advanced streams) differ.
+        same = canonical_value(np.random.default_rng(0))
+        assert same == canonical_value(np.random.default_rng(0))
+        assert same["__generator__"] == "PCG64"
+        assert same != canonical_value(np.random.default_rng(1))
+        advanced = np.random.default_rng(0)
+        advanced.random()
+        assert same != canonical_value(advanced)
