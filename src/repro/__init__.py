@@ -10,8 +10,14 @@ General Combinatorial Optimization Problems with Inequality Constraints"
 * :mod:`repro.exact` -- exact / reference solvers.
 * :mod:`repro.fefet` -- behavioural FeFET device and 1FeFET1R cell models.
 * :mod:`repro.cim` -- CiM inequality filter, crossbar and cost model.
+* :mod:`repro.dynamics` -- pluggable annealing dynamics: temperature
+  schedules (precomputed tables) and per-replica ladders, move proposals,
+  batched acceptance rules, and replica exchange across the lock-step batch
+  (``run_trials(..., dynamics=ParallelTempering())`` turns M independent
+  trials into one tempered ladder at the same sweep budget; the
+  chip-faithful ``rng_mode="shared"`` runs all replicas on one stream).
 * :mod:`repro.annealing` -- SA engines, the HyCiM solver and the D-QUBO
-  baseline annealer.
+  baseline annealer (their control loops drive through the dynamics layer).
 * :mod:`repro.runtime` -- the parallel solver runtime: a registry of solver
   names -> picklable factory specs, a trial executor fanning replica seeds
   out over a process pool (``run_trials``, bitwise reproducible across
@@ -44,6 +50,7 @@ Running solvers at scale goes through the runtime::
 from repro.core import InequalityQUBO, IsingModel, QUBOModel, to_dqubo, to_inequality_qubo
 from repro.problems import QuadraticKnapsackProblem, generate_qkp_instance
 from repro.annealing import DQUBOAnnealer, HyCiMSolver, SimulatedAnnealer
+from repro.dynamics import Dynamics, ParallelTempering, TemperatureLadder
 from repro.runtime import (
     SolverSpec,
     TrialBatch,
@@ -67,6 +74,9 @@ __all__ = [
     "HyCiMSolver",
     "DQUBOAnnealer",
     "SimulatedAnnealer",
+    "Dynamics",
+    "ParallelTempering",
+    "TemperatureLadder",
     "CampaignStore",
     "SolverSpec",
     "TrialBatch",

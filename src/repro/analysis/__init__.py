@@ -17,7 +17,12 @@ from repro.analysis.metrics import (
     success_rate,
 )
 from repro.analysis.reporting import format_table, render_markdown_table
-from repro.analysis.sweeps import SweepPoint, sweep_filter_noise, sweep_sa_budget
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_exchange_interval,
+    sweep_filter_noise,
+    sweep_sa_budget,
+)
 from repro.analysis.experiments import (
     EnergyEvolutionResult,
     FilterValidationResult,
@@ -40,6 +45,7 @@ __all__ = [
     "render_markdown_table",
     "SweepPoint",
     "sweep_sa_budget",
+    "sweep_exchange_interval",
     "sweep_filter_noise",
     "FilterValidationResult",
     "HardwareOverheadRecord",

@@ -31,6 +31,7 @@ from typing import Any, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.metrics import success_rate
+from repro.dynamics import ParallelTempering
 from repro.exact.local_search import reference_qkp_value
 from repro.fefet.variability import VariabilityModel
 from repro.problems.qkp import QuadraticKnapsackProblem
@@ -102,6 +103,63 @@ def sweep_sa_budget(
             success_rate=success_rate(values, reference, threshold),
             mean_normalized_value=float(np.mean(values) / reference),
             num_runs=num_runs,
+        ))
+    return points
+
+
+def sweep_exchange_interval(
+    problem: QuadraticKnapsackProblem,
+    intervals: Sequence[int] = (1, 5, 10, 25),
+    num_replicas: int = 16,
+    sa_iterations: int = 60,
+    hottest: float = 8.0,
+    threshold: float = 0.95,
+    seed: int = 0,
+    backend: str = "vectorized",
+    store: Optional[Any] = None,
+) -> List[SweepPoint]:
+    """Success rate versus the parallel-tempering exchange interval.
+
+    Each sweep point runs the instance's ``num_replicas`` HyCiM trials as
+    *one* tempered ladder (:class:`repro.dynamics.ParallelTempering`):
+    rung 0 anneals at the instance-scaled schedule, the hottest rung at
+    ``hottest`` times it, with even-odd replica exchange every ``interval``
+    iterations across the lock-step batch.  The sweep budget per point is
+    identical to ``num_replicas`` independent trials -- exchange only
+    re-routes configurations between rungs -- so the points are directly
+    comparable to a no-exchange baseline at the same budget.
+    """
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be positive")
+    if sa_iterations < 1:
+        raise ValueError("sa_iterations must be positive")
+    reference = reference_qkp_value(problem, seed=seed)
+    points = []
+    for interval in intervals:
+        if interval < 1:
+            raise ValueError("exchange intervals must be positive")
+        batch = run_trials(
+            problem,
+            solver="hycim",
+            num_trials=num_replicas,
+            params={
+                "num_iterations": int(sa_iterations),
+                "moves_per_iteration": problem.num_items,
+                "move_generator": "knapsack",
+                "use_hardware": False,
+            },
+            backend=backend,
+            master_seed=seed,
+            dynamics=ParallelTempering(hottest=float(hottest),
+                                       exchange_interval=int(interval)),
+            store=store,
+        )
+        values = [result.best_objective or 0.0 for result in batch.results]
+        points.append(SweepPoint(
+            parameter=float(interval),
+            success_rate=success_rate(values, reference, threshold),
+            mean_normalized_value=float(np.mean(values) / reference),
+            num_runs=num_replicas,
         ))
     return points
 

@@ -20,11 +20,11 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.annealing.moves import MoveGenerator, SingleFlipMove
 from repro.annealing.result import SolveResult
-from repro.annealing.sa import SimulatedAnnealer
-from repro.annealing.schedule import GeometricSchedule, TemperatureSchedule, acceptance_probability
+from repro.annealing.sa import _METROPOLIS, SimulatedAnnealer
 from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
+from repro.dynamics.moves import MoveGenerator, SingleFlipMove
+from repro.dynamics.schedule import GeometricSchedule, TemperatureSchedule
 from repro.core.dqubo import DQUBOTransformation, SlackEncoding, to_dqubo
 from repro.core.qubo import QUBOModel
 from repro.problems.knapsack import KnapsackProblem
@@ -244,14 +244,15 @@ class DQUBOAnnealer:
         history = []
         num_feasible = 0
         num_accepted = 0
+        temperatures = self.schedule.temperatures(self.num_iterations)
         for iteration in range(self.num_iterations):
-            temperature = self.schedule.temperature(iteration, self.num_iterations)
+            temperature = temperatures[iteration]
             for _ in range(self.moves_per_iteration):
                 candidate = self.move_generator.propose(current, generator)
                 candidate_energy = self._energy(candidate)
                 num_feasible += 1
                 delta = candidate_energy - current_energy
-                if generator.random() < acceptance_probability(delta, temperature):
+                if _METROPOLIS.accept_scalar(delta, temperature, generator):
                     current = candidate
                     current_energy = candidate_energy
                     num_accepted += 1

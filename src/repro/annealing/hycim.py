@@ -25,10 +25,11 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.annealing.moves import MoveGenerator, SingleFlipMove
 from repro.annealing.result import SolveResult
-from repro.annealing.schedule import GeometricSchedule, TemperatureSchedule, acceptance_probability
+from repro.annealing.sa import _METROPOLIS
 from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
+from repro.dynamics.moves import MoveGenerator, SingleFlipMove
+from repro.dynamics.schedule import GeometricSchedule, TemperatureSchedule
 from repro.cim.inequality_filter import InequalityFilter
 from repro.core.constraints import InequalityConstraint
 from repro.core.transformation import InequalityQUBO
@@ -208,13 +209,16 @@ class HyCiMSolver:
         best_energy = current_energy
         best_feasible = current_feasible
 
+        # Validated once, computed once (see repro.dynamics.schedule): the
+        # hot loop indexes the table, bit-identical to temperature() calls.
+        temperatures = self.schedule.temperatures(self.num_iterations)
         history = []
         num_feasible = 0
         num_skipped = 0
         num_accepted = 0
 
         for iteration in range(self.num_iterations):
-            temperature = self.schedule.temperature(iteration, self.num_iterations)
+            temperature = temperatures[iteration]
             for _ in range(self.moves_per_iteration):
                 candidate = self.move_generator.propose(current, generator)
 
@@ -237,7 +241,7 @@ class HyCiMSolver:
 
                 # Step 3: Metropolis acceptance in the SA logic.
                 delta = candidate_energy - current_energy
-                if generator.random() < acceptance_probability(delta, temperature):
+                if _METROPOLIS.accept_scalar(delta, temperature, generator):
                     current = candidate
                     current_energy = candidate_energy
                     current_feasible = True

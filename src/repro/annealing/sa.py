@@ -15,10 +15,15 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.annealing.moves import MoveGenerator, SingleFlipMove
 from repro.annealing.result import SolveResult
-from repro.annealing.schedule import GeometricSchedule, TemperatureSchedule, acceptance_probability
 from repro.core.qubo import QUBOModel
+from repro.dynamics.acceptance import MetropolisRule
+from repro.dynamics.moves import MoveGenerator, SingleFlipMove
+from repro.dynamics.schedule import GeometricSchedule, TemperatureSchedule
+
+#: The scalar solvers decide through the dynamics layer's batched rule (its
+#: M = 1 view), so the Metropolis logic exists exactly once in the codebase.
+_METROPOLIS = MetropolisRule()
 
 
 @dataclass
@@ -91,13 +96,17 @@ class SimulatedAnnealer:
         best_energy = current_energy
 
         single_flip = isinstance(self.move_generator, SingleFlipMove)
+        # Validated once, computed once: the hot loop indexes the table
+        # instead of re-deriving (and re-checking) the temperature per
+        # iteration.  Entries are bit-identical to temperature() calls.
+        temperatures = self.schedule.temperatures(self.num_iterations)
         history = []
         num_feasible = 0
         num_skipped = 0
         num_accepted = 0
 
         for iteration in range(self.num_iterations):
-            temperature = self.schedule.temperature(iteration, self.num_iterations)
+            temperature = temperatures[iteration]
 
             for _ in range(self.moves_per_iteration):
                 if single_flip:
@@ -119,7 +128,7 @@ class SimulatedAnnealer:
                     candidate_energy = qubo.energy(candidate)
                     delta = candidate_energy - current_energy
 
-                if generator.random() < acceptance_probability(delta, temperature):
+                if _METROPOLIS.accept_scalar(delta, temperature, generator):
                     current = candidate
                     current_energy = candidate_energy
                     num_accepted += 1

@@ -1,121 +1,25 @@
-"""Annealing temperature schedules.
+"""Back-compat shim: temperature schedules live in :mod:`repro.dynamics`.
 
-The SA logic of HyCiM (paper Fig. 6(b)) accepts worse solutions with a
-probability tied to an annealing temperature that decreases over iterations.
-Several standard schedules are provided; the default used by the solvers is
-:class:`GeometricSchedule`, the most common choice for hardware annealers.
+The schedule classes (and the scalar Metropolis
+:func:`acceptance_probability`) moved into the pluggable dynamics layer
+(:mod:`repro.dynamics.schedule` / :mod:`repro.dynamics.acceptance`); this
+module re-exports them so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.dynamics.acceptance import acceptance_probability
+from repro.dynamics.schedule import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    TemperatureSchedule,
+)
 
-import math
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-
-
-class TemperatureSchedule(ABC):
-    """Maps iteration progress to an annealing temperature."""
-
-    @abstractmethod
-    def temperature(self, iteration: int, num_iterations: int) -> float:
-        """Temperature at ``iteration`` (0-based) of a ``num_iterations`` run."""
-
-    def _check(self, iteration: int, num_iterations: int) -> None:
-        if num_iterations < 1:
-            raise ValueError("num_iterations must be positive")
-        if not 0 <= iteration < num_iterations:
-            raise ValueError(
-                f"iteration {iteration} out of range for a {num_iterations}-iteration run"
-            )
-
-
-@dataclass
-class GeometricSchedule(TemperatureSchedule):
-    """``T_k = T_start * (T_end / T_start)^(k / (K-1))`` -- exponential decay
-    hitting ``T_end`` exactly on the last iteration."""
-
-    start_temperature: float = 10.0
-    end_temperature: float = 0.01
-
-    def __post_init__(self) -> None:
-        if self.start_temperature <= 0 or self.end_temperature <= 0:
-            raise ValueError("temperatures must be positive")
-        if self.end_temperature > self.start_temperature:
-            raise ValueError("end temperature must not exceed start temperature")
-
-    def temperature(self, iteration: int, num_iterations: int) -> float:
-        self._check(iteration, num_iterations)
-        if num_iterations == 1:
-            return self.start_temperature
-        ratio = self.end_temperature / self.start_temperature
-        fraction = iteration / (num_iterations - 1)
-        return self.start_temperature * (ratio ** fraction)
-
-
-@dataclass
-class LinearSchedule(TemperatureSchedule):
-    """Linear interpolation from start to end temperature."""
-
-    start_temperature: float = 10.0
-    end_temperature: float = 0.01
-
-    def __post_init__(self) -> None:
-        if self.start_temperature <= 0 or self.end_temperature <= 0:
-            raise ValueError("temperatures must be positive")
-        if self.end_temperature > self.start_temperature:
-            raise ValueError("end temperature must not exceed start temperature")
-
-    def temperature(self, iteration: int, num_iterations: int) -> float:
-        self._check(iteration, num_iterations)
-        if num_iterations == 1:
-            return self.start_temperature
-        fraction = iteration / (num_iterations - 1)
-        return self.start_temperature + fraction * (self.end_temperature - self.start_temperature)
-
-
-@dataclass
-class ExponentialSchedule(TemperatureSchedule):
-    """``T_k = T_start * alpha^k`` with a fixed decay factor ``alpha``."""
-
-    start_temperature: float = 10.0
-    decay: float = 0.99
-
-    def __post_init__(self) -> None:
-        if self.start_temperature <= 0:
-            raise ValueError("start temperature must be positive")
-        if not 0.0 < self.decay < 1.0:
-            raise ValueError("decay must be in (0, 1)")
-
-    def temperature(self, iteration: int, num_iterations: int) -> float:
-        self._check(iteration, num_iterations)
-        return self.start_temperature * (self.decay ** iteration)
-
-
-@dataclass
-class ConstantSchedule(TemperatureSchedule):
-    """Fixed temperature (degenerates SA into Metropolis sampling)."""
-
-    value: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.value <= 0:
-            raise ValueError("temperature must be positive")
-
-    def temperature(self, iteration: int, num_iterations: int) -> float:
-        self._check(iteration, num_iterations)
-        return self.value
-
-
-def acceptance_probability(delta: float, temperature: float) -> float:
-    """Metropolis acceptance probability for an energy increase ``delta``.
-
-    ``delta <= 0`` is always accepted; otherwise ``exp(-delta / T)``.
-    """
-    if delta <= 0:
-        return 1.0
-    if temperature <= 0:
-        return 0.0
-    exponent = -delta / temperature
-    if exponent < -700:
-        return 0.0
-    return math.exp(exponent)
+__all__ = [
+    "TemperatureSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "ExponentialSchedule",
+    "ConstantSchedule",
+    "acceptance_probability",
+]

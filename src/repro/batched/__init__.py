@@ -17,6 +17,12 @@ per-seed results identical to the serial backend in software mode on
 integer-valued objective data (the paper's QKP benchmarks -- float
 coefficients agree to floating-point tolerance, see
 :mod:`repro.batched.kernels`).
+
+The engines' control loops (temperature tables, acceptance, replica
+exchange, RNG topology) are owned by :mod:`repro.dynamics`;
+``run_trials(..., dynamics=ParallelTempering())`` runs a replica batch as
+one tempered ladder with exchange at the iteration boundaries the replicas
+already share.
 """
 
 from repro.batched.engine import BatchedHyCiMSolver, BatchedSimulatedAnnealer

@@ -37,6 +37,16 @@ independent scalar trials that each rebuild their own hardware.
 The engines are deliberately *not* new solvers: they borrow the model,
 hardware, schedule and move generator from a scalar solver instance, so any
 configuration accepted by the scalar path runs vectorised unchanged.
+
+**Dynamics.**  The control loop itself -- temperature table, acceptance
+decisions, inter-replica exchange, RNG topology -- is owned by
+:class:`~repro.dynamics.driver.LoopDriver`; the engines contain no
+Metropolis or cooling code.  Passing a
+:class:`~repro.dynamics.Dynamics` bundle to :meth:`anneal` /
+:meth:`solve_batch` turns the lock-step batch into a temperature ladder
+with replica exchange (parallel tempering) and/or switches all replicas to
+one chip-faithful shared RNG stream; the default dynamics reproduce the
+scalar trajectories bit for bit.
 """
 
 from __future__ import annotations
@@ -46,10 +56,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.annealing.hycim import HyCiMSolver
-from repro.annealing.moves import SingleFlipMove
 from repro.annealing.result import SolveResult
 from repro.annealing.sa import SimulatedAnnealer
-from repro.annealing.schedule import acceptance_probability
 from repro.batched.kernels import (
     as_replica_matrix,
     batched_energies,
@@ -60,6 +68,9 @@ from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
 from repro.cim.inequality_filter import InequalityFilter
 from repro.core.constraints import InequalityConstraint
 from repro.core.qubo import QUBOModel
+from repro.dynamics.driver import LoopDriver
+from repro.dynamics.dynamics import Dynamics
+from repro.dynamics.moves import SingleFlipMove
 from repro.fefet.variability import VariabilityModel
 
 __all__ = ["BatchedHyCiMSolver", "BatchedSimulatedAnnealer"]
@@ -103,6 +114,9 @@ class BatchedSimulatedAnnealer:
         rngs: Sequence[np.random.Generator],
         accept_filter: Optional[RowFilter] = None,
         accept_filter_batch: Optional[BatchFilter] = None,
+        dynamics: Optional[Dynamics] = None,
+        exchange_rng: Optional[np.random.Generator] = None,
+        shared_rng: Optional[np.random.Generator] = None,
     ) -> List[SolveResult]:
         """Run one SA descent per replica, in lock-step.
 
@@ -114,7 +128,8 @@ class BatchedSimulatedAnnealer:
             ``(M, n)`` matrix of starting configurations, one replica per row.
         rngs:
             One independent :class:`~numpy.random.Generator` per replica
-            (e.g. seeded from :func:`repro.runtime.derive_trial_seeds`).
+            (e.g. seeded from :func:`repro.runtime.derive_trial_seeds`); in
+            shared-RNG mode the entries alias the group's shared stream.
         accept_filter:
             Per-row feasibility predicate, semantically identical to the
             scalar annealer's ``accept_filter`` hook.
@@ -122,6 +137,14 @@ class BatchedSimulatedAnnealer:
             Optional vectorised form evaluating a whole candidate batch at
             once (e.g. :meth:`CombinatorialProblem.is_feasible_batch`); must
             agree with ``accept_filter`` row-wise.  Preferred when given.
+        dynamics:
+            Optional :class:`~repro.dynamics.Dynamics` bundle (temperature
+            ladder, exchange policy, RNG topology).  ``None`` -- or a
+            default bundle -- reproduces the scalar trajectories exactly.
+        exchange_rng / shared_rng:
+            The dedicated auxiliary streams coupled dynamics need (see
+            :func:`repro.dynamics.exchange_stream` /
+            :func:`repro.dynamics.shared_stream`).
         """
         cfg = self.annealer
         n = qubo.num_variables
@@ -136,10 +159,9 @@ class BatchedSimulatedAnnealer:
 
         single_flip = isinstance(cfg.move_generator, SingleFlipMove)
         symmetric = matrix + matrix.T if single_flip else None
-        # Pre-bound per-replica draw methods: the engines call these once per
-        # replica per proposal, so shaving the attribute lookup matters.
-        int_draws = [g.integers for g in generators]
-        uniform_draws = [g.random for g in generators]
+        driver = LoopDriver(cfg.schedule, cfg.num_iterations, generators,
+                            dynamics=dynamics, exchange_rng=exchange_rng,
+                            shared_rng=shared_rng)
         histories: List[List[float]] = [[] for _ in range(num_replicas)]
         num_feasible = np.zeros(num_replicas, dtype=int)
         num_skipped = np.zeros(num_replicas, dtype=int)
@@ -147,22 +169,17 @@ class BatchedSimulatedAnnealer:
         rows = np.arange(num_replicas)
 
         for iteration in range(cfg.num_iterations):
-            temperature = cfg.schedule.temperature(iteration, cfg.num_iterations)
-
             for _ in range(cfg.moves_per_iteration):
                 if single_flip:
                     # Same stream consumption as SingleFlipMove.propose: one
-                    # integer draw per replica.
-                    flips = np.fromiter((draw(0, n) for draw in int_draws),
-                                        dtype=np.intp, count=num_replicas)
+                    # integer draw per replica (one vectorised draw from the
+                    # shared stream in chip-faithful mode).
+                    flips = driver.flip_indices(n)
                     candidates = current.copy()
                     candidates[rows, flips] = 1.0 - candidates[rows, flips]
                 else:
                     flips = None
-                    candidates = np.stack([
-                        cfg.move_generator.propose(current[k], generators[k])
-                        for k in range(num_replicas)
-                    ])
+                    candidates = driver.propose(cfg.move_generator, current)
 
                 passed = _apply_filters(candidates, accept_filter,
                                         accept_filter_batch)
@@ -182,8 +199,7 @@ class BatchedSimulatedAnnealer:
                         matrix, candidates[feasible_idx], qubo.offset)
                     delta = candidate_energy - current_energy[feasible_idx]
 
-                accepted = _metropolis(delta, temperature, uniform_draws,
-                                       feasible_idx)
+                accepted = driver.metropolis(delta, feasible_idx, iteration)
                 accepted_idx = feasible_idx[accepted]
                 if accepted_idx.size:
                     current[accepted_idx] = candidates[accepted_idx]
@@ -194,10 +210,14 @@ class BatchedSimulatedAnnealer:
                     best_energy[improved] = current_energy[improved]
                     best[improved] = current[improved]
 
+            driver.maybe_exchange(iteration, current_energy,
+                                  (current, current_energy))
+
             if cfg.record_history:
                 for k in range(num_replicas):
                     histories[k].append(float(best_energy[k]))
 
+        dynamics_meta = driver.metadata()
         return [
             SolveResult(
                 best_configuration=best[k].copy(),
@@ -209,7 +229,7 @@ class BatchedSimulatedAnnealer:
                 num_accepted_moves=int(num_accepted[k]),
                 solver_name="SimulatedAnnealer",
                 metadata={"seed": cfg.seed, "vectorized": True,
-                          "num_replicas": num_replicas},
+                          "num_replicas": num_replicas, **dynamics_meta},
             )
             for k in range(num_replicas)
         ]
@@ -355,13 +375,26 @@ class BatchedHyCiMSolver:
     # Solving
     # ------------------------------------------------------------------ #
     def solve_batch(self, initials: np.ndarray,
-                    rngs: Sequence[np.random.Generator]) -> List[SolveResult]:
+                    rngs: Sequence[np.random.Generator],
+                    dynamics: Optional[Dynamics] = None,
+                    exchange_rng: Optional[np.random.Generator] = None,
+                    shared_rng: Optional[np.random.Generator] = None,
+                    ) -> List[SolveResult]:
         """Run one HyCiM SA descent per replica, in lock-step.
 
         Mirrors ``HyCiMSolver.solve`` step for step: inequality filtering
         first (batched), QUBO computation on feasible candidates only
         (batched), then the per-replica Metropolis rule; infeasible
         incumbents drift freely at energy 0 exactly as in the scalar flow.
+
+        ``dynamics`` plugs in a temperature ladder, replica exchange across
+        the lock-step batch and/or the chip-faithful shared RNG topology
+        (with the matching ``exchange_rng`` / ``shared_rng`` auxiliary
+        streams); the default dynamics reproduce the scalar trajectories
+        exactly.  Exchange swaps travelling state -- configurations,
+        energies, feasibility flags, cached raw energies -- between rungs;
+        on a device axis the chips stay put (replica ``k`` keeps annealing
+        chip ``k``, only its configuration migrates).
         """
         solver = self.solver
         n = solver.model.num_variables
@@ -402,8 +435,9 @@ class BatchedHyCiMSolver:
         else:
             raw_energy = None
             symmetric = None
-        int_draws = [g.integers for g in generators]
-        uniform_draws = [g.random for g in generators]
+        driver = LoopDriver(solver.schedule, solver.num_iterations, generators,
+                            dynamics=dynamics, exchange_rng=exchange_rng,
+                            shared_rng=shared_rng)
         histories: List[List[float]] = [[] for _ in range(num_replicas)]
         num_feasible = np.zeros(num_replicas, dtype=int)
         num_skipped = np.zeros(num_replicas, dtype=int)
@@ -411,19 +445,13 @@ class BatchedHyCiMSolver:
         rows = np.arange(num_replicas)
 
         for iteration in range(solver.num_iterations):
-            temperature = solver.schedule.temperature(iteration,
-                                                      solver.num_iterations)
             for _ in range(solver.moves_per_iteration):
                 if single_flip:
-                    flips = np.fromiter((draw(0, n) for draw in int_draws),
-                                        dtype=np.intp, count=num_replicas)
+                    flips = driver.flip_indices(n)
                     candidates = current.copy()
                     candidates[rows, flips] = 1.0 - candidates[rows, flips]
                 else:
-                    candidates = np.stack([
-                        solver.move_generator.propose(current[k], generators[k])
-                        for k in range(num_replicas)
-                    ])
+                    candidates = driver.propose(solver.move_generator, current)
 
                 if use_delta:
                     candidate_raw = raw_energy + batched_energy_delta(
@@ -457,8 +485,7 @@ class BatchedHyCiMSolver:
 
                 # Step 3: per-replica Metropolis acceptance.
                 delta = candidate_energy - current_energy[feasible_idx]
-                accepted = _metropolis(delta, temperature, uniform_draws,
-                                       feasible_idx)
+                accepted = driver.metropolis(delta, feasible_idx, iteration)
                 accepted_idx = feasible_idx[accepted]
                 if accepted_idx.size:
                     current[accepted_idx] = candidates[accepted_idx]
@@ -474,11 +501,17 @@ class BatchedHyCiMSolver:
                     best[improved] = current[improved]
                     best_feasible[improved] = True
 
+            swap_state = [current, current_energy, current_feasible]
+            if use_delta:
+                swap_state.append(raw_energy)
+            driver.maybe_exchange(iteration, current_energy, tuple(swap_state))
+
             if solver.record_history:
                 for k in range(num_replicas):
                     histories[k].append(float(best_energy[k]))
 
         native = solver._native_problem
+        dynamics_meta = driver.metadata()
         results: List[SolveResult] = []
         for k in range(num_replicas):
             if best_feasible[k]:
@@ -505,6 +538,7 @@ class BatchedHyCiMSolver:
                     "num_replicas": num_replicas,
                     **({"num_chips": len(self.chips)}
                        if self.chips is not None else {}),
+                    **dynamics_meta,
                 },
             ))
         return results
@@ -520,25 +554,3 @@ def _apply_filters(candidates: np.ndarray,
         return np.array([bool(accept_filter(row)) for row in candidates],
                         dtype=bool)
     return np.ones(candidates.shape[0], dtype=bool)
-
-
-def _metropolis(delta: np.ndarray, temperature: float,
-                uniform_draws: Sequence[Callable[[], float]],
-                replica_indices: np.ndarray) -> np.ndarray:
-    """Per-replica Metropolis decisions, preserving each replica's stream.
-
-    ``uniform_draws[k]`` is replica ``k``'s bound ``Generator.random``.
-    Exactly one uniform draw per listed replica, from that replica's own
-    generator, compared against the *scalar* ``acceptance_probability`` (the
-    same ``math.exp`` the scalar solvers call, so a borderline draw cannot
-    decide differently due to a vectorised-exp ulp).
-    """
-    decisions = np.empty(replica_indices.shape[0], dtype=bool)
-    for position, replica in enumerate(replica_indices):
-        draw = uniform_draws[replica]()
-        step = delta[position]
-        # delta <= 0 is always accepted (probability 1 > any uniform draw),
-        # but the draw above still happens to keep the stream aligned.
-        decisions[position] = step <= 0 or \
-            draw < acceptance_probability(float(step), temperature)
-    return decisions

@@ -39,20 +39,52 @@ from repro.annealing.result import SolveResult
 from repro.annealing.sa import SimulatedAnnealer
 from repro.batched.engine import BatchedHyCiMSolver, BatchedSimulatedAnnealer
 from repro.core.dqubo import SlackEncoding
+from repro.dynamics.dynamics import exchange_stream, shared_stream
 from repro.problems.base import CombinatorialProblem
 from repro.runtime.registry import (
-    _auto_schedule,
     _build_move,
-    _build_schedule,
     _build_variability,
     _dqubo_trial,
     _hycim_trial,
     _initial_configuration,
     _register_builtin_batched,
+    _resolve_schedule,
     _sa_trial,
+    build_dynamics,
 )
 
 __all__ = ["dqubo_batched_trials", "hycim_batched_trials", "sa_batched_trials"]
+
+
+def _dynamics_setup(params: Mapping[str, object], seeds: Sequence[int]):
+    """Resolve the group's dynamics bundle and its auxiliary streams.
+
+    The exchange and shared streams are spawned from the group's trial seeds
+    (tagged ``SeedSequence`` material), so they are deterministic per
+    ``(master_seed, group)``, independent of every replica's own stream, and
+    replayed exactly by a store-resumed run.
+    """
+    dynamics = build_dynamics(params.get("dynamics"))
+    if dynamics is None:
+        return None, None, None
+    exchange_rng = (exchange_stream(seeds) if dynamics.exchange.is_active
+                    else None)
+    shared_rng = (shared_stream(seeds) if dynamics.rng_mode == "shared"
+                  else None)
+    return dynamics, exchange_rng, shared_rng
+
+
+def _group_generators(seeds: Sequence[int],
+                      shared_rng) -> List[np.random.Generator]:
+    """Per-replica generators, or M aliases of the shared stream.
+
+    In chip-faithful shared mode every per-replica draw site -- initial
+    configurations, generic move proposals, noisy-filter draws -- consumes
+    the one shared stream sequentially, like the physical SA logic would.
+    """
+    if shared_rng is not None:
+        return [shared_rng] * len(seeds)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
 
 
 def _replica_starts(problem: CombinatorialProblem, params: Mapping[str, object],
@@ -103,7 +135,7 @@ def hycim_batched_trials(
     the scalar path's even under non-ideal devices.
     """
     started = time.perf_counter()
-    schedule = params.get("schedule")
+    dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
     use_hardware = bool(params.get("use_hardware", True))
     variability = params.get("variability")
     device_mode = use_hardware and variability is not None
@@ -112,8 +144,7 @@ def hycim_batched_trials(
         use_hardware=use_hardware,
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=(_build_schedule(schedule) if schedule is not None
-                  else _auto_schedule(problem)),
+        schedule=_resolve_schedule(problem, params, dynamics),
         move_generator=_build_move(params.get("move_generator", "single_flip")),
         filter_rows=int(params.get("filter_rows", 16)),
         crossbar_config=params.get("crossbar_config"),
@@ -133,10 +164,12 @@ def hycim_batched_trials(
         config = params.get("crossbar_config")
         chip_seeds = ([config.seed] * len(chips) if config is not None
                       else [int(seed) for seed in seeds])
-    rngs = [np.random.default_rng(int(seed)) for seed in seeds]
+    rngs = _group_generators(seeds, shared_rng)
     starts = _replica_starts(problem, params, rngs, initials)
     results = BatchedHyCiMSolver(solver, chips=chips,
-                                 chip_seeds=chip_seeds).solve_batch(starts, rngs)
+                                 chip_seeds=chip_seeds).solve_batch(
+        starts, rngs, dynamics=dynamics, exchange_rng=exchange_rng,
+        shared_rng=shared_rng)
     return _stamp(results, seeds, time.perf_counter() - started)
 
 
@@ -155,16 +188,15 @@ def sa_batched_trials(
     verdicts.
     """
     started = time.perf_counter()
-    schedule = params.get("schedule")
+    dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
     annealer = SimulatedAnnealer(
-        schedule=(_build_schedule(schedule) if schedule is not None
-                  else _auto_schedule(problem)),
+        schedule=_resolve_schedule(problem, params, dynamics),
         move_generator=_build_move(params.get("move_generator", "single_flip")),
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
         record_history=bool(params.get("record_history", False)),
     )
-    rngs = [np.random.default_rng(int(seed)) for seed in seeds]
+    rngs = _group_generators(seeds, shared_rng)
     starts = _replica_starts(problem, params, rngs, initials)
     respect_constraints = bool(params.get("respect_constraints", True))
     results = BatchedSimulatedAnnealer(annealer).anneal(
@@ -174,6 +206,9 @@ def sa_batched_trials(
         accept_filter=problem.is_feasible if respect_constraints else None,
         accept_filter_batch=(problem.is_feasible_batch
                              if respect_constraints else None),
+        dynamics=dynamics,
+        exchange_rng=exchange_rng,
+        shared_rng=shared_rng,
     )
     for result in results:
         best = result.best_configuration
@@ -200,10 +235,15 @@ def dqubo_batched_trials(
     to scalar trials with identical per-seed results.
     """
     if bool(params.get("use_hardware", False)):
+        dynamics = build_dynamics(params.get("dynamics"))
+        if dynamics is not None and dynamics.coupled:
+            raise ValueError(
+                "hardware-mode dqubo is the documented scalar fallback and "
+                "cannot run coupled dynamics (replica exchange / shared RNG)")
         return [_dqubo_trial(problem, params, int(seed), initial)
                 for seed, initial in zip(seeds, initials)]
     started = time.perf_counter()
-    schedule = params.get("schedule")
+    dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
     encoding = params.get("encoding", SlackEncoding.ONE_HOT)
     if isinstance(encoding, str):
         encoding = SlackEncoding(encoding)
@@ -215,14 +255,13 @@ def dqubo_batched_trials(
         use_hardware=False,
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=(_build_schedule(schedule) if schedule is not None
-                  else _auto_schedule(problem)),
+        schedule=_resolve_schedule(problem, params, dynamics),
         move_generator=_build_move(params.get("move_generator", "single_flip")),
         record_history=bool(params.get("record_history", False)),
     )
     transformation = solver.transformation
     total = transformation.num_variables
-    rngs = [np.random.default_rng(int(seed)) for seed in seeds]
+    rngs = _group_generators(seeds, shared_rng)
     starts = _replica_starts(problem, params, rngs, initials)
     # Slack-bit seeding per replica, from that replica's stream (the same
     # extend_initial branch DQUBOAnnealer.solve takes for problem-dim
@@ -240,7 +279,8 @@ def dqubo_batched_trials(
         record_history=solver.record_history,
     )
     inner = BatchedSimulatedAnnealer(annealer).anneal(
-        transformation.qubo, extended, rngs)
+        transformation.qubo, extended, rngs, dynamics=dynamics,
+        exchange_rng=exchange_rng, shared_rng=shared_rng)
     results: List[SolveResult] = [
         solver.assemble_result(
             raw.best_configuration, raw.best_energy, raw.energy_history,

@@ -1,0 +1,84 @@
+"""Pluggable annealing dynamics: the control loop of every SA solver.
+
+The HyCiM SA logic (paper Fig. 6(b)) decomposes into four components, each a
+pluggable value here rather than code hard-wired into the solvers:
+
+* :mod:`repro.dynamics.schedule` -- temperature schedules (validated once,
+  precomputed per-iteration tables) and per-replica
+  :class:`TemperatureLadder` s.
+* :mod:`repro.dynamics.moves` -- move proposals (:data:`MoveProposal`,
+  single-flip, multi-flip, knapsack add/drop/swap, one-hot group moves).
+* :mod:`repro.dynamics.acceptance` -- acceptance rules; the batched
+  ``(M,)``-shaped decision is the only code path, the scalar API its
+  ``M = 1`` view (:class:`MetropolisRule`).
+* :mod:`repro.dynamics.exchange` -- inter-replica exchange across the
+  lock-step batch (:class:`EvenOddExchange` deterministic parallel
+  tempering).
+
+:class:`Dynamics` bundles them into one picklable solver parameter;
+:class:`ParallelTempering` is the ready-made tempered bundle
+(``run_trials(problem, "hycim", num_trials=M,
+dynamics=ParallelTempering())``).  :class:`LoopDriver` is the engine-side
+state machine that executes a bundle for one lock-step replica batch while
+preserving per-replica stream parity for the default dynamics.
+"""
+
+from repro.dynamics.acceptance import (
+    AcceptanceRule,
+    MetropolisRule,
+    acceptance_probability,
+)
+from repro.dynamics.driver import LoopDriver
+from repro.dynamics.dynamics import (
+    RNG_MODES,
+    Dynamics,
+    ParallelTempering,
+    exchange_stream,
+    shared_stream,
+)
+from repro.dynamics.exchange import EvenOddExchange, ExchangePolicy, NoExchange
+from repro.dynamics.moves import (
+    KnapsackNeighborhoodMove,
+    MoveGenerator,
+    MoveProposal,
+    MultiFlipMove,
+    OneHotGroupMove,
+    PermutationSwapMove,
+    SingleFlipMove,
+)
+from repro.dynamics.schedule import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    TemperatureLadder,
+    TemperatureSchedule,
+)
+
+__all__ = [
+    "AcceptanceRule",
+    "ConstantSchedule",
+    "Dynamics",
+    "EvenOddExchange",
+    "ExchangePolicy",
+    "ExponentialSchedule",
+    "GeometricSchedule",
+    "KnapsackNeighborhoodMove",
+    "LinearSchedule",
+    "LoopDriver",
+    "MetropolisRule",
+    "MoveGenerator",
+    "MoveProposal",
+    "MultiFlipMove",
+    "NoExchange",
+    "OneHotGroupMove",
+    "ParallelTempering",
+    "PermutationSwapMove",
+    "RNG_MODES",
+    "SingleFlipMove",
+    "TemperatureLadder",
+    "TemperatureSchedule",
+    "acceptance_probability",
+    "exchange_stream",
+    "shared_stream",
+]

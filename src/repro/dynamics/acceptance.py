@@ -1,0 +1,131 @@
+"""Acceptance rules: who decides whether a proposed move is taken.
+
+Per the ARCHITECTURE.md shape contract, the batched ``(M,)``-shaped decision
+is the **only** decision code path: :meth:`AcceptanceRule.accept` decides for
+a whole replica batch while preserving each replica's ``Generator`` stream,
+and the scalar solvers call :meth:`AcceptanceRule.accept_scalar`, the
+``M = 1`` view over the same implementation.  This is what keeps a borderline
+uniform draw from deciding differently between the scalar and vectorised
+engines.
+
+:class:`MetropolisRule` is the rule of the paper's SA logic (and the only
+built-in today): always accept downhill moves, accept an uphill move of size
+``delta`` at temperature ``T`` with probability ``exp(-delta / T)``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+TemperatureLike = Union[float, np.ndarray]
+
+
+def acceptance_probability(delta: float, temperature: float) -> float:
+    """Metropolis acceptance probability for an energy increase ``delta``.
+
+    ``delta <= 0`` is always accepted; otherwise ``exp(-delta / T)``.
+    """
+    if delta <= 0:
+        return 1.0
+    if temperature <= 0:
+        return 0.0
+    exponent = -delta / temperature
+    if exponent < -700:
+        return 0.0
+    return math.exp(exponent)
+
+
+class AcceptanceRule(ABC):
+    """Decides, per replica, whether a proposed move replaces the incumbent."""
+
+    @abstractmethod
+    def accept(self, delta: np.ndarray, temperatures: TemperatureLike,
+               uniform_draws: Sequence[Callable[[], float]],
+               replica_indices: np.ndarray) -> np.ndarray:
+        """Stream-preserving decisions for the listed replicas.
+
+        Parameters
+        ----------
+        delta:
+            Energy increases, one per entry of ``replica_indices``.
+        temperatures:
+            A scalar temperature shared by all replicas, or an ``(M,)`` array
+            indexed by *absolute* replica id (a per-replica ladder).
+        uniform_draws:
+            ``uniform_draws[k]`` is replica ``k``'s bound
+            ``Generator.random`` -- exactly one draw is consumed per listed
+            replica, from that replica's own stream, whatever the decision.
+        replica_indices:
+            Absolute replica ids of the ``delta`` entries.
+        """
+
+    @abstractmethod
+    def accept_batch(self, delta: np.ndarray, temperatures: TemperatureLike,
+                     draws: np.ndarray) -> np.ndarray:
+        """Vectorised decisions from pre-drawn uniforms (shared-stream mode).
+
+        ``temperatures`` is a scalar or an array already aligned with
+        ``delta``.  Used by the chip-faithful shared-RNG mode, where all
+        replicas draw from one stream and exact per-replica stream parity is
+        deliberately given up for batched draws.
+        """
+
+    def accept_scalar(self, delta: float, temperature: float,
+                      rng: np.random.Generator) -> bool:
+        """The ``M = 1`` view over :meth:`accept` (one replica, one draw)."""
+        return bool(self.accept(
+            np.array([float(delta)]), float(temperature), (rng.random,),
+            np.zeros(1, dtype=np.intp))[0])
+
+
+@dataclass
+class MetropolisRule(AcceptanceRule):
+    """The Metropolis criterion of the paper's SA logic (Fig. 6(b)).
+
+    Exactly one uniform draw per listed replica, from that replica's own
+    generator, compared against the *scalar* :func:`acceptance_probability`
+    (the same ``math.exp`` for every engine, so a borderline draw cannot
+    decide differently due to a vectorised-exp ulp).
+    """
+
+    def accept(self, delta: np.ndarray, temperatures: TemperatureLike,
+               uniform_draws: Sequence[Callable[[], float]],
+               replica_indices: np.ndarray) -> np.ndarray:
+        per_replica = isinstance(temperatures, np.ndarray) and temperatures.ndim > 0
+        decisions = np.empty(replica_indices.shape[0], dtype=bool)
+        for position, replica in enumerate(replica_indices):
+            draw = uniform_draws[replica]()
+            step = delta[position]
+            temperature = (float(temperatures[replica]) if per_replica
+                           else float(temperatures))
+            # delta <= 0 is always accepted (probability 1 > any uniform
+            # draw), but the draw above still happens to keep the stream
+            # aligned with the scalar solvers.
+            decisions[position] = step <= 0 or \
+                draw < acceptance_probability(float(step), temperature)
+        return decisions
+
+    def accept_batch(self, delta: np.ndarray, temperatures: TemperatureLike,
+                     draws: np.ndarray) -> np.ndarray:
+        delta = np.asarray(delta, dtype=float)
+        temps = np.broadcast_to(np.asarray(temperatures, dtype=float),
+                                delta.shape)
+        exponents = np.where(temps > 0, -delta / np.where(temps > 0, temps, 1.0),
+                             -np.inf)
+        probabilities = np.exp(np.minimum(exponents, 0.0))
+        return (delta <= 0) | (np.asarray(draws, dtype=float) < probabilities)
+
+    def accept_scalar(self, delta: float, temperature: float,
+                      rng: np.random.Generator) -> bool:
+        # Allocation-free fast path for the scalar solvers' innermost loop
+        # (millions of calls per campaign); the decision -- one uniform draw
+        # compared against the scalar acceptance_probability -- is exactly
+        # the generic M = 1 view of accept().
+        draw = rng.random()
+        return delta <= 0 or draw < acceptance_probability(float(delta),
+                                                           float(temperature))

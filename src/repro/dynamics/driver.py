@@ -1,0 +1,205 @@
+"""The loop driver: one dynamics state machine per lock-step replica batch.
+
+:class:`LoopDriver` owns everything the batched engines used to hard-code
+about the SA control loop -- the precomputed temperature table (schedule x
+optional per-replica ladder), move-draw and acceptance-draw bookkeeping for
+both RNG topologies, and inter-replica exchange at iteration boundaries --
+so :class:`~repro.batched.engine.BatchedSimulatedAnnealer` and
+:class:`~repro.batched.engine.BatchedHyCiMSolver` contain no Metropolis or
+cooling code of their own.
+
+**Parity contract.**  With default dynamics (no ladder, no exchange,
+per-replica streams) the driver consumes each replica's ``Generator`` in
+exactly the order the scalar solvers do -- one integer draw per single-flip
+proposal, one uniform draw per feasible candidate -- and decides through the
+same scalar :func:`~repro.dynamics.acceptance.acceptance_probability`, so
+per-seed trajectories are bit-identical to the scalar path.  Temperatures
+come from :meth:`TemperatureSchedule.temperatures`, whose entries are
+bit-identical to per-iteration ``temperature()`` calls.
+
+With coupled dynamics the driver adds behaviour on top without touching the
+replica streams: exchange decisions draw from a dedicated per-run stream, so
+a ``NoExchange`` run cannot observe whether exchange code exists; shared-RNG
+mode replaces the per-replica draws wholesale (documented parity break).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dynamics.dynamics import Dynamics
+from repro.dynamics.moves import MoveGenerator
+from repro.dynamics.schedule import TemperatureSchedule
+
+
+class LoopDriver:
+    """Drives temperature, acceptance and exchange for one replica batch.
+
+    Parameters
+    ----------
+    schedule:
+        The base temperature schedule (its per-iteration table is precomputed
+        once here -- the hot loop never calls ``temperature()``).
+    num_iterations:
+        SA iterations of the run (the table length).
+    generators:
+        One ``Generator`` per replica (per-replica mode); in shared mode the
+        entries may all alias the shared stream (they are only used for
+        per-replica fallback paths such as noisy-filter evaluation).
+    dynamics:
+        The :class:`~repro.dynamics.dynamics.Dynamics` bundle; ``None`` means
+        default dynamics (flat batch, Metropolis, no exchange).
+    exchange_rng:
+        Dedicated exchange-decision stream; required when the exchange
+        policy is active (see :func:`repro.dynamics.dynamics.exchange_stream`).
+    shared_rng:
+        The single chip-faithful stream; required when
+        ``dynamics.rng_mode == "shared"``.
+    """
+
+    def __init__(self, schedule: TemperatureSchedule, num_iterations: int,
+                 generators: Sequence[np.random.Generator],
+                 dynamics: Optional[Dynamics] = None,
+                 exchange_rng: Optional[np.random.Generator] = None,
+                 shared_rng: Optional[np.random.Generator] = None) -> None:
+        self.dynamics = dynamics if dynamics is not None else Dynamics()
+        self.num_replicas = len(generators)
+        self.num_iterations = int(num_iterations)
+        self._generators = list(generators)
+        self._base = schedule.temperatures(self.num_iterations)
+        self._factors = self.dynamics.ladder_factors(self.num_replicas)
+        self._exchange = self.dynamics.exchange
+        if self._exchange.is_active and exchange_rng is None:
+            raise ValueError(
+                "an active exchange policy needs a dedicated exchange_rng "
+                "(see repro.dynamics.exchange_stream)")
+        self._exchange_rng = exchange_rng
+        if self.dynamics.rng_mode == "shared" and shared_rng is None:
+            raise ValueError(
+                'rng_mode="shared" needs the group\'s shared_rng '
+                "(see repro.dynamics.shared_stream)")
+        self._shared_rng = (shared_rng if self.dynamics.rng_mode == "shared"
+                            else None)
+        # Pre-bound per-replica draw methods: the engines call these once per
+        # replica per proposal, so shaving the attribute lookup matters.
+        self._int_draws = [g.integers for g in self._generators]
+        self._uniform_draws = [g.random for g in self._generators]
+        self._exchange_round = 0
+        self.exchange_attempts = 0
+        self.exchange_accepted = 0
+
+    # ------------------------------------------------------------------ #
+    # Temperatures
+    # ------------------------------------------------------------------ #
+    def temperature(self, iteration: int):
+        """Scalar temperature (flat batch) or ``(M,)`` row (ladder)."""
+        base = self._base[iteration]
+        if self._factors is None:
+            return float(base)
+        return base * self._factors
+
+    def temperature_row(self, iteration: int) -> np.ndarray:
+        """Always the ``(M,)`` per-replica temperatures (exchange view)."""
+        base = self._base[iteration]
+        if self._factors is None:
+            return np.full(self.num_replicas, float(base))
+        return base * self._factors
+
+    # ------------------------------------------------------------------ #
+    # Move draws
+    # ------------------------------------------------------------------ #
+    def flip_indices(self, num_variables: int) -> np.ndarray:
+        """One single-flip index per replica.
+
+        Per-replica mode consumes one integer draw per replica from that
+        replica's own stream (the scalar ``SingleFlipMove.propose`` order);
+        shared mode takes one vectorised draw from the shared stream.
+        """
+        if self._shared_rng is not None:
+            return self._shared_rng.integers(
+                0, num_variables, size=self.num_replicas).astype(np.intp)
+        return np.fromiter((draw(0, num_variables) for draw in self._int_draws),
+                           dtype=np.intp, count=self.num_replicas)
+
+    def propose(self, move_generator: MoveGenerator,
+                current: np.ndarray) -> np.ndarray:
+        """One generic move proposal per replica (arbitrary generators)."""
+        if self._shared_rng is not None:
+            return np.stack([
+                move_generator.propose(current[k], self._shared_rng)
+                for k in range(self.num_replicas)
+            ])
+        return np.stack([
+            move_generator.propose(current[k], self._generators[k])
+            for k in range(self.num_replicas)
+        ])
+
+    # ------------------------------------------------------------------ #
+    # Acceptance
+    # ------------------------------------------------------------------ #
+    def metropolis(self, delta: np.ndarray, replica_indices: np.ndarray,
+                   iteration: int) -> np.ndarray:
+        """Accept/reject verdicts for the listed replicas at ``iteration``."""
+        temperatures = self.temperature(iteration)
+        if self._shared_rng is not None:
+            draws = self._shared_rng.random(replica_indices.shape[0])
+            if isinstance(temperatures, np.ndarray):
+                temperatures = temperatures[replica_indices]
+            return self.dynamics.acceptance.accept_batch(
+                delta, temperatures, draws)
+        return self.dynamics.acceptance.accept(
+            delta, temperatures, self._uniform_draws, replica_indices)
+
+    # ------------------------------------------------------------------ #
+    # Exchange
+    # ------------------------------------------------------------------ #
+    def maybe_exchange(self, iteration: int, energies: np.ndarray,
+                       state_arrays: Tuple[np.ndarray, ...]) -> None:
+        """Run one exchange round at this iteration boundary, when due.
+
+        ``state_arrays`` are the per-replica state arrays whose rows travel
+        with a swapped configuration (configurations, energies, feasibility
+        flags, cached raw energies); per-rung bookkeeping -- generators,
+        counters, best-so-far -- stays put, as in standard parallel
+        tempering.
+        """
+        if not self._exchange.is_active:
+            return
+        if (iteration + 1) % self._exchange.interval != 0:
+            return
+        pairs = self._exchange.swap_pairs(self._exchange_round,
+                                          self.num_replicas)
+        self._exchange_round += 1
+        if pairs.shape[0] == 0:
+            return
+        draws = self._exchange_rng.random(pairs.shape[0])
+        verdicts = self._exchange.decide(pairs, energies,
+                                         self.temperature_row(iteration),
+                                         draws)
+        swaps = pairs[verdicts]
+        self.exchange_attempts += int(pairs.shape[0])
+        self.exchange_accepted += int(swaps.shape[0])
+        if swaps.shape[0]:
+            left, right = swaps[:, 0], swaps[:, 1]
+            for array in state_arrays:
+                held = array[left].copy()
+                array[left] = array[right]
+                array[right] = held
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def metadata(self) -> dict:
+        """Result-metadata fields describing the non-default dynamics."""
+        fields: dict = {}
+        if self._factors is not None:
+            fields["ladder_rungs"] = int(self.num_replicas)
+        if self._exchange.is_active:
+            fields["exchange_interval"] = int(self._exchange.interval)
+            fields["exchange_attempts"] = int(self.exchange_attempts)
+            fields["exchange_accepted"] = int(self.exchange_accepted)
+        if self._shared_rng is not None:
+            fields["rng_mode"] = "shared"
+        return fields

@@ -1,0 +1,118 @@
+"""Inter-replica exchange policies (replica exchange / parallel tempering).
+
+The lock-step engines in :mod:`repro.batched` synchronise all ``M`` replicas
+of an instance at every iteration boundary, which makes those boundaries free
+synchronisation points for *replica exchange*: pairs of replicas annealing at
+neighbouring temperatures swap configurations with the detailed-balance
+probability ``min(1, exp((1/T_i - 1/T_j) * (E_i - E_j)))``, so good
+configurations migrate down a temperature ladder while hot rungs keep
+exploring.
+
+:class:`EvenOddExchange` is the deterministic checkerboard scheme standard in
+parallel tempering: exchange round ``2r`` proposes the adjacent pairs
+``(0, 1), (2, 3), ...``, round ``2r + 1`` the pairs ``(1, 2), (3, 4), ...``,
+so every adjacent rung pair is proposed every two rounds and all proposals of
+a round are disjoint (one vectorised decision per round).  Exchange draws
+come from a dedicated per-run stream (see
+:func:`repro.dynamics.dynamics.exchange_stream`), never from the replicas'
+own streams -- a :class:`NoExchange` run is bit-identical to one that never
+heard of exchange.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ExchangePolicy(ABC):
+    """Decides which replica pairs swap state at an iteration boundary."""
+
+    @property
+    @abstractmethod
+    def is_active(self) -> bool:
+        """Whether this policy ever proposes an exchange."""
+
+    @property
+    @abstractmethod
+    def interval(self) -> int:
+        """Iterations between exchange rounds (ignored when inactive)."""
+
+    @abstractmethod
+    def swap_pairs(self, round_index: int, num_replicas: int) -> np.ndarray:
+        """``(P, 2)`` replica-index pairs proposed in exchange round
+        ``round_index``; pairs must be disjoint within a round."""
+
+    @abstractmethod
+    def decide(self, pairs: np.ndarray, energies: np.ndarray,
+               temperatures: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """``(P,)`` accept verdicts for the proposed pairs.
+
+        ``energies`` and ``temperatures`` are per-replica ``(M,)`` arrays;
+        ``draws`` is one pre-drawn uniform per pair (consumed whatever the
+        verdict, keeping the exchange stream deterministic)."""
+
+
+@dataclass
+class NoExchange(ExchangePolicy):
+    """Replicas stay independent (the default: plain multi-start annealing)."""
+
+    @property
+    def is_active(self) -> bool:
+        return False
+
+    @property
+    def interval(self) -> int:
+        return 0
+
+    def swap_pairs(self, round_index: int, num_replicas: int) -> np.ndarray:
+        return np.empty((0, 2), dtype=np.intp)
+
+    def decide(self, pairs: np.ndarray, energies: np.ndarray,
+               temperatures: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        return np.empty(0, dtype=bool)
+
+
+@dataclass
+class EvenOddExchange(ExchangePolicy):
+    """Deterministic even-odd (checkerboard) parallel-tempering exchange.
+
+    Every ``interval`` iterations one exchange round runs: even rounds
+    propose the pairs ``(0, 1), (2, 3), ...``, odd rounds ``(1, 2),
+    (3, 4), ...``.  Each pair swaps configurations with the standard
+    detailed-balance probability; with a sorted temperature ladder a swap
+    moves the lower-energy configuration toward the colder rung.
+    """
+
+    exchange_interval: int = 10
+
+    def __post_init__(self) -> None:
+        if self.exchange_interval < 1:
+            raise ValueError("exchange_interval must be positive")
+
+    @property
+    def is_active(self) -> bool:
+        return True
+
+    @property
+    def interval(self) -> int:
+        return self.exchange_interval
+
+    def swap_pairs(self, round_index: int, num_replicas: int) -> np.ndarray:
+        start = round_index % 2
+        left = np.arange(start, num_replicas - 1, 2, dtype=np.intp)
+        return np.stack([left, left + 1], axis=1) if left.size else \
+            np.empty((0, 2), dtype=np.intp)
+
+    def decide(self, pairs: np.ndarray, energies: np.ndarray,
+               temperatures: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        if pairs.shape[0] == 0:
+            return np.empty(0, dtype=bool)
+        energies = np.asarray(energies, dtype=float)
+        betas = 1.0 / np.asarray(temperatures, dtype=float)
+        left, right = pairs[:, 0], pairs[:, 1]
+        exponents = (betas[left] - betas[right]) * (energies[left] - energies[right])
+        return (exponents >= 0) | (np.asarray(draws, dtype=float)
+                                   < np.exp(np.minimum(exponents, 0.0)))

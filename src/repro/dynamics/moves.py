@@ -1,0 +1,194 @@
+"""Move proposals for simulated annealing.
+
+The SA logic generates a new candidate configuration every iteration (paper
+Fig. 6(b), "Generate new x_new").  :class:`MoveGenerator` (aliased
+:data:`MoveProposal`) is the proposal component of the dynamics layer;
+different problem encodings need different neighbourhoods:
+
+* :class:`SingleFlipMove` -- flip one random bit (QKP, knapsack, Max-Cut, SK).
+* :class:`MultiFlipMove` -- flip ``k`` random bits (larger steps early in the
+  anneal; used by the D-QUBO baseline whose search space is much larger).
+* :class:`OneHotGroupMove` -- move the single 1 inside a one-hot group to a
+  different position (keeps graph-colouring / TSP / one-hot slack encodings
+  on their feasible manifold).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class MoveGenerator(ABC):
+    """Produces a neighbouring configuration from the current one.
+
+    Also exported as :data:`MoveProposal`, the dynamics-layer name for the
+    proposal component of an annealing loop.
+    """
+
+    @abstractmethod
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a new configuration (must not modify ``x`` in place)."""
+
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        vec = np.asarray(x, dtype=float)
+        if vec.ndim != 1:
+            raise ValueError("configurations must be 1-D binary vectors")
+        if not np.all((vec == 0) | (vec == 1)):
+            raise ValueError("configurations must be binary")
+        return vec
+
+
+@dataclass
+class SingleFlipMove(MoveGenerator):
+    """Flip exactly one uniformly chosen bit."""
+
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vec = self._validate(x).copy()
+        index = int(rng.integers(0, vec.shape[0]))
+        vec[index] = 1.0 - vec[index]
+        return vec
+
+
+@dataclass
+class MultiFlipMove(MoveGenerator):
+    """Flip ``num_flips`` distinct uniformly chosen bits."""
+
+    num_flips: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_flips < 1:
+            raise ValueError("num_flips must be at least 1")
+
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vec = self._validate(x).copy()
+        k = min(self.num_flips, vec.shape[0])
+        indices = rng.choice(vec.shape[0], size=k, replace=False)
+        vec[indices] = 1.0 - vec[indices]
+        return vec
+
+
+@dataclass
+class KnapsackNeighborhoodMove(MoveGenerator):
+    """Add / drop / swap neighbourhood for knapsack-type selection problems.
+
+    Single bit flips explore the capacity frontier poorly: once the knapsack
+    is (nearly) full, adding is infeasible and dropping is almost always
+    uphill, so plain flips stall.  This generator proposes, with configurable
+    probabilities, an *add* (select one unselected item), a *drop* (deselect
+    one selected item) or a *swap* (one out, one in), which is the standard SA
+    neighbourhood for (quadratic) knapsack problems.
+    """
+
+    add_probability: float = 0.3
+    drop_probability: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.add_probability < 0 or self.drop_probability < 0:
+            raise ValueError("move probabilities must be non-negative")
+        if self.add_probability + self.drop_probability > 1.0:
+            raise ValueError("add and drop probabilities must sum to at most 1")
+
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vec = self._validate(x).copy()
+        selected = np.flatnonzero(vec == 1)
+        unselected = np.flatnonzero(vec == 0)
+        roll = rng.random()
+        if roll < self.add_probability and unselected.size:
+            vec[rng.choice(unselected)] = 1.0
+        elif roll < self.add_probability + self.drop_probability and selected.size:
+            vec[rng.choice(selected)] = 0.0
+        elif selected.size and unselected.size:
+            vec[rng.choice(selected)] = 0.0
+            vec[rng.choice(unselected)] = 1.0
+        elif unselected.size:
+            vec[rng.choice(unselected)] = 1.0
+        elif selected.size:
+            vec[rng.choice(selected)] = 0.0
+        return vec
+
+
+@dataclass
+class PermutationSwapMove(MoveGenerator):
+    """Swap the active positions of two one-hot groups.
+
+    For permutation encodings (TSP: one group per city, positions as the
+    group's entries) a single-group move always breaks the complementary
+    "each position used once" constraint; swapping the active entries of two
+    groups keeps the configuration a valid permutation.  All groups must have
+    the same size.
+    """
+
+    num_groups: int = 0
+    group_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_groups < 2 or self.group_size < 1:
+            raise ValueError("need at least two groups of positive size")
+
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vec = self._validate(x).copy()
+        expected = self.num_groups * self.group_size
+        if vec.shape[0] != expected:
+            raise ValueError(f"configuration length {vec.shape[0]} != {expected}")
+        first, second = rng.choice(self.num_groups, size=2, replace=False)
+        a = slice(first * self.group_size, (first + 1) * self.group_size)
+        b = slice(second * self.group_size, (second + 1) * self.group_size)
+        block_a = vec[a].copy()
+        vec[a] = vec[b]
+        vec[b] = block_a
+        return vec
+
+
+@dataclass
+class OneHotGroupMove(MoveGenerator):
+    """Move the active position within one one-hot group.
+
+    ``group_sizes`` partitions the variable vector into contiguous groups
+    (e.g. one group per vertex for graph colouring, one per tour position for
+    TSP).  A move picks a random group and re-assigns its single 1 to a
+    different position inside the group, so any configuration that starts
+    one-hot-valid stays one-hot-valid.
+    """
+
+    group_sizes: Sequence[int] = ()
+
+    def __post_init__(self) -> None:
+        sizes = [int(s) for s in self.group_sizes]
+        if not sizes or any(s < 1 for s in sizes):
+            raise ValueError("group_sizes must be a non-empty list of positive integers")
+        self.group_sizes = tuple(sizes)
+        starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self._starts = starts.astype(int)
+        self._total = int(np.sum(sizes))
+
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vec = self._validate(x).copy()
+        if vec.shape[0] != self._total:
+            raise ValueError(
+                f"configuration length {vec.shape[0]} != sum of group sizes {self._total}"
+            )
+        group = int(rng.integers(0, len(self.group_sizes)))
+        start = self._starts[group]
+        size = self.group_sizes[group]
+        block = vec[start:start + size]
+        active = np.flatnonzero(block == 1)
+        if active.size == 1 and size > 1:
+            new_position = int(rng.integers(0, size - 1))
+            if new_position >= active[0]:
+                new_position += 1
+            block[:] = 0.0
+            block[new_position] = 1.0
+        else:
+            # Not one-hot (or a singleton group): repair by picking one position.
+            block[:] = 0.0
+            block[int(rng.integers(0, size))] = 1.0
+        vec[start:start + size] = block
+        return vec
+
+
+#: Dynamics-layer alias: a move proposal *is* a move generator.
+MoveProposal = MoveGenerator

@@ -1,0 +1,195 @@
+"""Annealing temperature schedules and per-replica temperature ladders.
+
+The SA logic of HyCiM (paper Fig. 6(b)) accepts worse solutions with a
+probability tied to an annealing temperature that decreases over iterations.
+Several standard schedules are provided; the default used by the solvers is
+:class:`GeometricSchedule`, the most common choice for hardware annealers.
+
+Schedules validate their parameters **once at construction** and expose two
+evaluation forms:
+
+* :meth:`TemperatureSchedule.temperature` -- one iteration's temperature,
+  with range checking (the public spot-check API);
+* :meth:`TemperatureSchedule.temperatures` -- the whole run's temperatures as
+  one cached, read-only ``np.ndarray``, validated once.  This is the form
+  the solver loops consume, so the hot path never re-validates or recomputes
+  ``ratio ** fraction`` per iteration.  Table entries are produced by the
+  same scalar arithmetic as :meth:`temperature`, so looking up ``table[k]``
+  is bit-identical to calling ``temperature(k, K)`` -- a parity requirement
+  of the scalar/vectorised engines.
+
+A :class:`TemperatureLadder` scales one schedule into per-replica
+temperatures for parallel tempering: rung ``r`` of an ``M``-replica lock-step
+batch anneals at ``schedule.temperature(k, K) * factors[r]``.  Ladders are
+validated once at construction (positive, sorted ascending).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+class TemperatureSchedule(ABC):
+    """Maps iteration progress to an annealing temperature."""
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        """Temperature at ``iteration`` (0-based) of a ``num_iterations`` run."""
+        self._check(iteration, num_iterations)
+        return self._value(iteration, num_iterations)
+
+    @abstractmethod
+    def _value(self, iteration: int, num_iterations: int) -> float:
+        """Temperature without range checking (validated parameters only)."""
+
+    def temperatures(self, num_iterations: int) -> np.ndarray:
+        """The whole run's per-iteration temperatures, cached and read-only.
+
+        ``temperatures(K)[k] == temperature(k, K)`` bit for bit: entries come
+        from the same scalar arithmetic, so precomputing the table cannot
+        perturb a borderline Metropolis decision.
+        """
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be positive")
+        cache: Dict[int, np.ndarray] = getattr(self, "_tables", None)
+        if cache is None:
+            cache = {}
+            self._tables = cache
+        table = cache.get(num_iterations)
+        if table is None:
+            table = np.array([self._value(k, num_iterations)
+                              for k in range(num_iterations)], dtype=float)
+            table.setflags(write=False)
+            cache[num_iterations] = table
+        return table
+
+    def _check(self, iteration: int, num_iterations: int) -> None:
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be positive")
+        if not 0 <= iteration < num_iterations:
+            raise ValueError(
+                f"iteration {iteration} out of range for a {num_iterations}-iteration run"
+            )
+
+
+@dataclass
+class _RampSchedule(TemperatureSchedule):
+    """Shared construction-time validation for start -> end schedules."""
+
+    start_temperature: float = 10.0
+    end_temperature: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.start_temperature <= 0 or self.end_temperature <= 0:
+            raise ValueError("temperatures must be positive")
+        if self.end_temperature > self.start_temperature:
+            raise ValueError("end temperature must not exceed start temperature")
+
+
+@dataclass
+class GeometricSchedule(_RampSchedule):
+    """``T_k = T_start * (T_end / T_start)^(k / (K-1))`` -- exponential decay
+    hitting ``T_end`` exactly on the last iteration."""
+
+    def _value(self, iteration: int, num_iterations: int) -> float:
+        if num_iterations == 1:
+            return self.start_temperature
+        ratio = self.end_temperature / self.start_temperature
+        fraction = iteration / (num_iterations - 1)
+        return self.start_temperature * (ratio ** fraction)
+
+
+@dataclass
+class LinearSchedule(_RampSchedule):
+    """Linear interpolation from start to end temperature."""
+
+    def _value(self, iteration: int, num_iterations: int) -> float:
+        if num_iterations == 1:
+            return self.start_temperature
+        fraction = iteration / (num_iterations - 1)
+        return self.start_temperature + fraction * (self.end_temperature - self.start_temperature)
+
+
+@dataclass
+class ExponentialSchedule(TemperatureSchedule):
+    """``T_k = T_start * alpha^k`` with a fixed decay factor ``alpha``."""
+
+    start_temperature: float = 10.0
+    decay: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.start_temperature <= 0:
+            raise ValueError("start temperature must be positive")
+        if not 0.0 < self.decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+
+    def _value(self, iteration: int, num_iterations: int) -> float:
+        return self.start_temperature * (self.decay ** iteration)
+
+
+@dataclass
+class ConstantSchedule(TemperatureSchedule):
+    """Fixed temperature (degenerates SA into Metropolis sampling)."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError("temperature must be positive")
+
+    def _value(self, iteration: int, num_iterations: int) -> float:
+        return self.value
+
+
+@dataclass
+class TemperatureLadder:
+    """Per-rung temperature factors for a lock-step replica batch.
+
+    ``factors[r]`` multiplies the base schedule's temperature for replica
+    (rung) ``r``: rung 0 is the coldest (usually factor 1.0, the plain
+    schedule) and later rungs run hotter.  Validated once at construction:
+    factors must be positive and sorted ascending, so adjacent rungs -- the
+    pairs an even-odd exchange proposes to swap -- are temperature
+    neighbours.
+    """
+
+    factors: Sequence[float] = (1.0,)
+
+    def __post_init__(self) -> None:
+        factors = tuple(float(f) for f in np.atleast_1d(
+            np.asarray(self.factors, dtype=float)))
+        if not factors:
+            raise ValueError("a temperature ladder needs at least one rung")
+        if any(f <= 0 for f in factors):
+            raise ValueError("ladder factors must be positive")
+        if any(a > b for a, b in zip(factors, factors[1:])):
+            raise ValueError("ladder factors must be sorted ascending")
+        self.factors = factors
+
+    @property
+    def num_rungs(self) -> int:
+        return len(self.factors)
+
+    def factors_for(self, num_replicas: int) -> np.ndarray:
+        """The ``(M,)`` per-replica factor array; one rung per replica."""
+        if num_replicas != self.num_rungs:
+            raise ValueError(
+                f"ladder has {self.num_rungs} rungs for {num_replicas} replicas; "
+                "one rung per lock-step replica is required"
+            )
+        return np.asarray(self.factors, dtype=float)
+
+    @classmethod
+    def geometric(cls, num_rungs: int, hottest: float = 8.0) -> "TemperatureLadder":
+        """Geometrically spaced factors from 1.0 (rung 0) to ``hottest``."""
+        if num_rungs < 1:
+            raise ValueError("num_rungs must be positive")
+        if hottest < 1.0:
+            raise ValueError("hottest factor must be >= 1 (rung 0 is coldest)")
+        if num_rungs == 1:
+            return cls((1.0,))
+        exponents = np.arange(num_rungs) / (num_rungs - 1)
+        return cls(tuple(hottest ** e for e in exponents))

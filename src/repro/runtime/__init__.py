@@ -34,6 +34,7 @@ from repro.runtime.registry import (
     SolverSpec,
     as_solver_spec,
     available_solvers,
+    build_dynamics,
     get_batched_trial_function,
     get_trial_function,
     register_batched_solver,
@@ -84,6 +85,7 @@ __all__ = [
     "aggregate_trials",
     "as_solver_spec",
     "available_solvers",
+    "build_dynamics",
     "concatenate_batches",
     "derive_trial_seeds",
     "expand_param_grid",

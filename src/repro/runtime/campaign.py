@@ -182,6 +182,7 @@ def run_campaign(
     threshold: float = 0.95,
     early_stop: bool = True,
     chips: Optional[int] = None,
+    dynamics: Optional[Any] = None,
     store: Optional[Any] = None,
     resume: bool = True,
 ) -> CampaignResult:
@@ -216,6 +217,12 @@ def run_campaign(
         variability keep ``num_trials`` and ``backend`` unchanged, so one
         campaign can mix ideal-device cells with Monte-Carlo-over-chips
         cells.
+    dynamics:
+        Optional :class:`repro.dynamics.Dynamics` bundle applied to every
+        cell (see :func:`repro.runtime.run_trials`); with e.g.
+        :class:`repro.dynamics.ParallelTempering` each cell's ``num_trials``
+        replicas anneal as one temperature ladder with replica exchange.  A
+        cell whose spec already carries a ``dynamics`` param keeps its own.
     store / resume:
         Optional :class:`repro.store.CampaignStore` checkpointing.  Every
         cell's trials are persisted as they complete and the finished cell is
@@ -266,6 +273,8 @@ def run_campaign(
                 num_workers=num_workers,
                 chunk_size=cell_chunk,
                 target_objective=target,
+                dynamics=(None if spec.params.get("dynamics") is not None
+                          else dynamics),
                 store=store,
                 resume=resume,
             )

@@ -55,6 +55,7 @@ from repro.runtime.registry import (
     SpecLike,
     TrialFunction,
     as_solver_spec,
+    build_dynamics,
     get_batched_trial_function,
     get_trial_function,
     run_single_trial,
@@ -186,7 +187,7 @@ def _execute_chunk(payload: _ChunkPayload) -> List[Tuple[int, SolveResult]]:
     """
     problem, spec, trial_fn, batched_fn, replicas_per_task, trials = payload
     out: List[Tuple[int, SolveResult]] = []
-    if batched_fn is not None and replicas_per_task > 1:
+    if batched_fn is not None:
         for start in range(0, len(trials), replicas_per_task):
             group = trials[start:start + replicas_per_task]
             group_spec = copy.deepcopy(spec)
@@ -237,6 +238,7 @@ def run_trials(
     initial_states: Optional[Sequence[np.ndarray]] = None,
     target_energy: Optional[float] = None,
     target_objective: Optional[float] = None,
+    dynamics: Optional[Any] = None,
     store: Optional[Any] = None,
     resume: bool = True,
 ) -> TrialBatch:
@@ -299,6 +301,25 @@ def run_trials(
         triggering one still execute and are included in the batch; on the
         process backend, chunks already started in other workers also run to
         completion but are discarded (see the module docstring).
+    dynamics:
+        Optional :class:`repro.dynamics.Dynamics` bundle (or config dict --
+        both are canonicalised through
+        :func:`repro.runtime.registry.build_dynamics`, so either spelling
+        addresses the same store run key).  Non-coupled dynamics (a schedule
+        override) apply per trial on any path.  *Coupled* dynamics --
+        an active exchange policy (e.g.
+        :class:`repro.dynamics.ParallelTempering`) or the chip-faithful
+        ``rng_mode="shared"`` -- make the replicas of each lock-step group
+        interact, so the executor routes every replica group (default: the
+        whole batch as one group, override with ``chunk_size`` /
+        ``replicas_per_task``) through the solver's batched engine on *all*
+        backends; solvers without a batched engine reject coupled dynamics.
+        Trial ``i``'s result then depends on its group composition -- still
+        deterministic per ``(master_seed, grouping)``, and resumable: the
+        store keys coupled runs by their grouping (``num_trials`` /
+        ``chunk_size`` / ``replicas_per_task``), so resuming with identical
+        arguments finds the persisted run, a different grouping addresses a
+        fresh one, and a partially persisted group re-runs whole.
     store:
         Optional :class:`repro.store.CampaignStore`.  Every completed trial
         is appended to it under a deterministic run key (solver + params +
@@ -316,8 +337,23 @@ def run_trials(
         raise ValueError("num_trials must be positive")
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    spec = as_solver_spec(solver)
+    if params:
+        spec = spec.with_params(**dict(params))
+    # Canonicalise the dynamics (explicit argument wins over a params entry)
+    # *before* the store run key is derived, so a config dict and the
+    # equivalent constructed bundle address the same persisted run.
+    resolved_dynamics = build_dynamics(
+        dynamics if dynamics is not None else spec.params.get("dynamics"))
+    if resolved_dynamics is not None:
+        spec = spec.with_params(dynamics=resolved_dynamics)
+    coupled = resolved_dynamics is not None and resolved_dynamics.coupled
     if chunk_size is None:
-        if backend == "process":
+        if coupled:
+            # One replica-exchange ladder / shared-stream group per run, on
+            # every backend; override chunk_size for several smaller groups.
+            chunk_size = num_trials
+        elif backend == "process":
             chunk_size = max(1, -(-num_trials // (4 * _resolve_workers(num_workers))))
         elif backend == "vectorized":
             chunk_size = num_trials
@@ -326,12 +362,10 @@ def run_trials(
     if chunk_size < 1:
         raise ValueError("chunk_size must be positive")
     if replicas_per_task is None:
-        replicas_per_task = chunk_size if backend == "vectorized" else 1
+        replicas_per_task = (chunk_size if backend == "vectorized" or coupled
+                             else 1)
     if replicas_per_task < 1:
         raise ValueError("replicas_per_task must be positive")
-    spec = as_solver_spec(solver)
-    if params:
-        spec = spec.with_params(**dict(params))
     if initial_states is not None:
         initial_states = [np.asarray(s, dtype=float) for s in initial_states]
         if len(initial_states) != num_trials:
@@ -349,7 +383,11 @@ def run_trials(
               for start in range(0, num_trials, chunk_size)]
     trial_fn = get_trial_function(spec.solver)
     batched_fn = (get_batched_trial_function(spec.solver)
-                  if replicas_per_task > 1 else None)
+                  if replicas_per_task > 1 or coupled else None)
+    if coupled and batched_fn is None:
+        raise ValueError(
+            f"solver {spec.solver!r} has no batched trial function, so it "
+            "cannot run coupled dynamics (replica exchange / shared RNG)")
     maximize = getattr(problem, "is_maximization", True)
 
     # Store wiring (lazy import: repro.store's schema imports runtime types).
@@ -361,7 +399,13 @@ def run_trials(
 
         manifest = manifest_for_run(
             spec, problem, content_hash(problem), master_seed, backend,
-            num_trials, initials_hash=initial_states_hash(initial_states))
+            num_trials, initials_hash=initial_states_hash(initial_states),
+            # Coupled trial outcomes depend on the replica-group structure,
+            # so it is part of the run key; a re-run with a different
+            # num_trials / chunking addresses a fresh run instead of
+            # silently loading another grouping's results.
+            grouping=((num_trials, chunk_size, replicas_per_task)
+                      if coupled else None))
         run_key = store.register_run(manifest).run_key
         if resume:
             persisted = {
@@ -388,8 +432,18 @@ def run_trials(
     # boundaries -- and therefore early-stop granularity -- are identical
     # with and without persisted trials, which is what makes an interrupted
     # + resumed batch reproduce the uninterrupted result set exactly.
-    pending_per_chunk = [[t for t in chunk if t[0] not in persisted]
-                         for chunk in chunks]
+    # Coupled dynamics make each chunk's replica groups one unit of
+    # execution, so a chunk with any missing trial re-runs whole (the store's
+    # append-only overwrite keeps the re-appended, identical results
+    # consistent); fully persisted chunks still load without re-running.
+    if coupled:
+        pending_per_chunk = [
+            list(chunk) if any(t[0] not in persisted for t in chunk) else []
+            for chunk in chunks
+        ]
+    else:
+        pending_per_chunk = [[t for t in chunk if t[0] not in persisted]
+                             for chunk in chunks]
 
     def _complete_chunk(chunk: List[_Trial],
                         fresh: List[Tuple[int, SolveResult]]) -> bool:

@@ -37,7 +37,12 @@ import numpy as np
 
 from repro.annealing.dqubo_solver import DQUBOAnnealer
 from repro.annealing.hycim import HyCiMSolver
-from repro.annealing.moves import (
+from repro.annealing.result import SolveResult
+from repro.annealing.sa import SimulatedAnnealer
+from repro.core.dqubo import SlackEncoding
+from repro.dynamics.dynamics import Dynamics, ParallelTempering
+from repro.dynamics.exchange import EvenOddExchange, ExchangePolicy, NoExchange
+from repro.dynamics.moves import (
     KnapsackNeighborhoodMove,
     MoveGenerator,
     MultiFlipMove,
@@ -45,16 +50,14 @@ from repro.annealing.moves import (
     PermutationSwapMove,
     SingleFlipMove,
 )
-from repro.annealing.result import SolveResult
-from repro.annealing.sa import SimulatedAnnealer
-from repro.annealing.schedule import (
+from repro.dynamics.schedule import (
     ConstantSchedule,
     ExponentialSchedule,
     GeometricSchedule,
     LinearSchedule,
+    TemperatureLadder,
     TemperatureSchedule,
 )
-from repro.core.dqubo import SlackEncoding
 from repro.exact.brute_force import solve_brute_force
 from repro.exact.dp_knapsack import solve_knapsack_dp
 from repro.exact.greedy import solve_qkp_greedy
@@ -87,6 +90,16 @@ _MOVES = {
     "knapsack": KnapsackNeighborhoodMove,
     "one_hot": OneHotGroupMove,
     "permutation_swap": PermutationSwapMove,
+}
+
+_EXCHANGES = {
+    "none": NoExchange,
+    "even_odd": EvenOddExchange,
+}
+
+_DYNAMICS_KINDS = {
+    "dynamics": Dynamics,
+    "parallel_tempering": ParallelTempering,
 }
 
 
@@ -188,6 +201,84 @@ def _build_move(value: Any) -> MoveGenerator:
     raise TypeError("move_generator must be a MoveGenerator, a name, or a config dict")
 
 
+def _build_exchange(value: Any) -> ExchangePolicy:
+    if isinstance(value, ExchangePolicy):
+        return value
+    if isinstance(value, str):
+        value = {"kind": value}
+    if isinstance(value, Mapping):
+        payload = dict(value)
+        kind = payload.pop("kind", "even_odd")
+        try:
+            return _EXCHANGES[kind](**payload)
+        except KeyError as error:
+            raise ValueError(f"unknown exchange kind {kind!r}") from error
+    raise TypeError("exchange must be an ExchangePolicy, a name, or a config dict")
+
+
+def build_dynamics(value: Any) -> Optional[Dynamics]:
+    """Coerce a dynamics bundle / config dict / ``None`` into a
+    :class:`~repro.dynamics.Dynamics`.
+
+    ``run_trials`` canonicalises its ``dynamics`` parameter through this
+    function *before* the store run key is computed, so a config dict and
+    the equivalent constructed bundle address the same persisted run.  Dict
+    form: ``{"kind": "parallel_tempering", "hottest": 8.0,
+    "exchange_interval": 10}`` or ``{"kind": "dynamics", "ladder":
+    [1.0, 2.0, 4.0], "exchange": {"kind": "even_odd"}, "rng_mode":
+    "shared", "schedule": {"kind": "geometric", ...}}``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, Dynamics):
+        return value
+    if isinstance(value, Mapping):
+        payload = dict(value)
+        kind = payload.pop("kind", "dynamics")
+        if payload.get("schedule") is not None:
+            payload["schedule"] = _build_schedule(payload["schedule"])
+        ladder = payload.get("ladder")
+        if ladder is not None and not isinstance(ladder, TemperatureLadder):
+            payload["ladder"] = TemperatureLadder(tuple(ladder))
+        if payload.get("exchange") is not None:
+            payload["exchange"] = _build_exchange(payload["exchange"])
+        try:
+            factory = _DYNAMICS_KINDS[kind]
+        except KeyError as error:
+            raise ValueError(f"unknown dynamics kind {kind!r}") from error
+        return factory(**payload)
+    raise TypeError("dynamics must be a Dynamics bundle, a config dict or None")
+
+
+def _coupled_dynamics_guard(dynamics: Optional[Dynamics], solver: str) -> None:
+    """Scalar trial functions honour only the schedule component.
+
+    Everything else -- temperature ladders, non-default acceptance rules,
+    replica exchange, the shared RNG topology -- needs the lock-step replica
+    group, so a coupled bundle reaching a scalar trial function is an error
+    rather than a silent drop.
+    """
+    if dynamics is not None and dynamics.coupled:
+        raise ValueError(
+            "coupled dynamics (temperature ladder / custom acceptance rule / "
+            "replica exchange / shared RNG) span a lock-step replica group; "
+            f"run solver {solver!r} through "
+            "repro.runtime.run_trials(dynamics=...), which routes the group "
+            "to the batched engine instead of scalar trials"
+        )
+
+
+def _resolve_schedule(problem: CombinatorialProblem, params: Mapping[str, Any],
+                      dynamics: Optional[Dynamics]) -> TemperatureSchedule:
+    """Schedule precedence: dynamics override > explicit param > auto."""
+    if dynamics is not None and dynamics.schedule is not None:
+        return dynamics.schedule
+    schedule = params.get("schedule")
+    if schedule is not None:
+        return _build_schedule(schedule)
+    return _auto_schedule(problem)
+
+
 def _build_variability(value: Any, seed: int):
     """Per-trial variability model derived from a template and the trial seed.
 
@@ -267,14 +358,15 @@ def _finalize(result: SolveResult, seed: int, started: float) -> SolveResult:
 def _hycim_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
     started = time.perf_counter()
-    schedule = params.get("schedule")
+    dynamics = build_dynamics(params.get("dynamics"))
+    _coupled_dynamics_guard(dynamics, "hycim")
     solver = HyCiMSolver(
         problem,
         # Defaults mirror HyCiMSolver's own: hardware simulation on.
         use_hardware=bool(params.get("use_hardware", True)),
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=_build_schedule(schedule) if schedule is not None else _auto_schedule(problem),
+        schedule=_resolve_schedule(problem, params, dynamics),
         move_generator=_build_move(params.get("move_generator", "single_flip")),
         filter_rows=int(params.get("filter_rows", 16)),
         crossbar_config=params.get("crossbar_config"),
@@ -299,9 +391,10 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
     CiM filter).  Pass ``respect_constraints=False`` to anneal the raw QUBO.
     """
     started = time.perf_counter()
-    schedule = params.get("schedule")
+    dynamics = build_dynamics(params.get("dynamics"))
+    _coupled_dynamics_guard(dynamics, "sa")
     annealer = SimulatedAnnealer(
-        schedule=_build_schedule(schedule) if schedule is not None else _auto_schedule(problem),
+        schedule=_resolve_schedule(problem, params, dynamics),
         move_generator=_build_move(params.get("move_generator", "single_flip")),
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
@@ -323,7 +416,8 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
 def _dqubo_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
     started = time.perf_counter()
-    schedule = params.get("schedule")
+    dynamics = build_dynamics(params.get("dynamics"))
+    _coupled_dynamics_guard(dynamics, "dqubo")
     encoding = params.get("encoding", SlackEncoding.ONE_HOT)
     if isinstance(encoding, str):
         encoding = SlackEncoding(encoding)
@@ -335,7 +429,7 @@ def _dqubo_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
         use_hardware=bool(params.get("use_hardware", False)),
         num_iterations=int(params.get("num_iterations", 1000)),
         moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=_build_schedule(schedule) if schedule is not None else _auto_schedule(problem),
+        schedule=_resolve_schedule(problem, params, dynamics),
         move_generator=_build_move(params.get("move_generator", "single_flip")),
         crossbar_config=params.get("crossbar_config"),
         record_history=bool(params.get("record_history", False)),

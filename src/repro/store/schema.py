@@ -132,7 +132,8 @@ def initial_states_hash(
 
 
 def trial_run_key(spec: Any, instance_hash: str, master_seed: int,
-                  backend: str, initials_hash: Optional[str] = None) -> str:
+                  backend: str, initials_hash: Optional[str] = None,
+                  grouping: Optional[Sequence[int]] = None) -> str:
     """The deterministic store address of one ``run_trials`` invocation.
 
     ``spec`` is a :class:`~repro.runtime.registry.SolverSpec` (typed ``Any``
@@ -141,6 +142,16 @@ def trial_run_key(spec: Any, instance_hash: str, master_seed: int,
     *count* deliberately is not -- per-trial ``SeedSequence.spawn`` seeding
     makes trial ``i``'s result independent of how many trials run, so a
     longer re-run extends the same persisted run instead of forking it.
+
+    The one exception is a run with *coupled* dynamics (see
+    :class:`repro.dynamics.Dynamics`), where a trial's outcome depends on
+    the composition of its lock-step replica group: the executor then passes
+    the group structure -- ``(num_trials, chunk_size, replicas_per_task)``
+    -- as ``grouping``, which becomes part of the key, so a re-run under a
+    different grouping addresses a fresh run instead of silently loading
+    results produced under another ladder shape.  ``grouping=None``
+    (every uncoupled run) leaves the key material -- and therefore every
+    previously persisted run's address -- unchanged.
     """
     material = {
         "v": STORE_FORMAT_VERSION,
@@ -152,6 +163,8 @@ def trial_run_key(spec: Any, instance_hash: str, master_seed: int,
         "backend": backend,
         "initial_states": initials_hash,
     }
+    if grouping is not None:
+        material["grouping"] = [int(value) for value in grouping]
     return _digest(canonical_json(material))
 
 
@@ -356,11 +369,12 @@ class RunManifest:
 
 def manifest_for_run(spec: Any, problem: Any, instance_hash: str,
                      master_seed: int, backend: str, num_trials: int,
-                     initials_hash: Optional[str] = None) -> RunManifest:
+                     initials_hash: Optional[str] = None,
+                     grouping: Optional[Sequence[int]] = None) -> RunManifest:
     """Build the manifest (and key) for one ``run_trials`` invocation."""
     return RunManifest(
         run_key=trial_run_key(spec, instance_hash, master_seed, backend,
-                              initials_hash),
+                              initials_hash, grouping=grouping),
         solver=spec.solver,
         label=spec.display_name,
         params=canonical_value(spec.params),

@@ -1,0 +1,98 @@
+"""Unit tests for the dynamics-layer schedules, tables and ladders."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.schedule import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    TemperatureLadder,
+)
+
+ALL_SCHEDULES = [
+    GeometricSchedule(start_temperature=37.0, end_temperature=0.21),
+    LinearSchedule(start_temperature=12.0, end_temperature=3.0),
+    ExponentialSchedule(start_temperature=5.0, decay=0.93),
+    ConstantSchedule(value=2.5),
+]
+
+
+class TestTemperatureTables:
+    @pytest.mark.parametrize("schedule", ALL_SCHEDULES,
+                             ids=lambda s: type(s).__name__)
+    def test_table_bitwise_equals_scalar_calls(self, schedule):
+        """The precomputed table must be *bit-identical* to per-iteration
+        temperature() calls -- a borderline Metropolis draw must not decide
+        differently because the hot loop switched to the table."""
+        for num_iterations in (1, 2, 7, 100):
+            table = schedule.temperatures(num_iterations)
+            assert table.shape == (num_iterations,)
+            for k in range(num_iterations):
+                assert table[k] == schedule.temperature(k, num_iterations)
+
+    def test_table_is_cached_and_read_only(self):
+        schedule = GeometricSchedule()
+        table = schedule.temperatures(50)
+        assert schedule.temperatures(50) is table
+        with pytest.raises(ValueError):
+            table[0] = 1.0
+
+    def test_table_validates_once(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule().temperatures(0)
+
+    def test_spot_check_api_still_validates_range(self):
+        schedule = GeometricSchedule()
+        with pytest.raises(ValueError):
+            schedule.temperature(5, 5)
+        with pytest.raises(ValueError):
+            schedule.temperature(0, 0)
+
+    def test_deepcopy_and_pickle_survive_cache(self):
+        import copy
+        import pickle
+
+        schedule = GeometricSchedule(start_temperature=8.0, end_temperature=0.5)
+        schedule.temperatures(10)
+        clone = copy.deepcopy(schedule)
+        assert np.array_equal(clone.temperatures(10), schedule.temperatures(10))
+        revived = pickle.loads(pickle.dumps(schedule))
+        assert np.array_equal(revived.temperatures(10),
+                              schedule.temperatures(10))
+
+
+class TestTemperatureLadder:
+    def test_valid_ladder_round_trips(self):
+        ladder = TemperatureLadder((1.0, 2.0, 4.0))
+        assert ladder.num_rungs == 3
+        np.testing.assert_array_equal(ladder.factors_for(3), [1.0, 2.0, 4.0])
+
+    def test_validation_once_at_construction(self):
+        with pytest.raises(ValueError):
+            TemperatureLadder(())
+        with pytest.raises(ValueError):
+            TemperatureLadder((1.0, -2.0))
+        with pytest.raises(ValueError):
+            TemperatureLadder((4.0, 2.0, 1.0))
+
+    def test_rung_count_must_match_replicas(self):
+        with pytest.raises(ValueError):
+            TemperatureLadder((1.0, 2.0)).factors_for(3)
+
+    def test_geometric_ladder_spans_one_to_hottest(self):
+        ladder = TemperatureLadder.geometric(5, hottest=16.0)
+        factors = ladder.factors_for(5)
+        assert factors[0] == pytest.approx(1.0)
+        assert factors[-1] == pytest.approx(16.0)
+        assert np.all(np.diff(factors) > 0)
+
+    def test_geometric_single_rung(self):
+        assert TemperatureLadder.geometric(1, hottest=8.0).factors == (1.0,)
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureLadder.geometric(0)
+        with pytest.raises(ValueError):
+            TemperatureLadder.geometric(4, hottest=0.5)

@@ -1,0 +1,167 @@
+"""Hypothesis properties for the dynamics layer.
+
+The invariants the tempered lock-step engines rest on:
+
+* exchange is a permutation -- it preserves the multiset of configurations
+  (and the pairing of each configuration with its energy);
+* Metropolis acceptance probability is monotone non-decreasing in
+  temperature and non-increasing in the uphill energy step;
+* temperature ladders are positive and sorted ascending, whatever their
+  construction path;
+* schedule tables are bit-identical to per-iteration scalar calls.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics import (
+    Dynamics,
+    EvenOddExchange,
+    LoopDriver,
+    MetropolisRule,
+    ParallelTempering,
+    TemperatureLadder,
+    acceptance_probability,
+    exchange_stream,
+)
+from repro.dynamics.schedule import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+)
+
+finite_energy = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+temperature = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestAcceptanceMonotonicity:
+    @given(delta=st.floats(min_value=1e-9, max_value=1e6),
+           cold=temperature, hot=temperature)
+    def test_probability_monotone_in_temperature(self, delta, cold, hot):
+        if cold > hot:
+            cold, hot = hot, cold
+        assert acceptance_probability(delta, cold) <= \
+            acceptance_probability(delta, hot)
+
+    @given(small=finite_energy, large=finite_energy, t=temperature)
+    def test_probability_antitone_in_delta(self, small, large, t):
+        if small > large:
+            small, large = large, small
+        assert acceptance_probability(large, t) <= \
+            acceptance_probability(small, t)
+
+    @given(delta=finite_energy, t=temperature)
+    def test_probability_is_a_probability(self, delta, t):
+        p = acceptance_probability(delta, t)
+        assert 0.0 <= p <= 1.0
+        if delta <= 0:
+            assert p == 1.0
+
+    @given(delta=st.lists(finite_energy, min_size=1, max_size=8),
+           t=temperature, seed=st.integers(0, 2**32 - 1))
+    def test_batched_rule_agrees_with_scalar_rule_per_draw(self, delta, t,
+                                                          seed):
+        """accept() and accept_batch() given the same uniforms must agree
+        (the scalar/stream path and the shared-stream path decide alike)."""
+        delta = np.asarray(delta)
+        draws = np.random.default_rng(seed).random(delta.size)
+        rule = MetropolisRule()
+        batched = rule.accept_batch(delta, t, draws)
+        position = iter(draws)
+        streamed = rule.accept(delta, float(t),
+                               [lambda: float(next(position))] * delta.size,
+                               np.arange(delta.size))
+        np.testing.assert_array_equal(batched, streamed)
+
+
+class TestExchangeInvariants:
+    @given(num_replicas=st.integers(min_value=1, max_value=12),
+           n=st.integers(min_value=1, max_value=10),
+           rounds=st.integers(min_value=1, max_value=6),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_exchange_preserves_configuration_multiset(self, num_replicas, n,
+                                                       rounds, seed):
+        rng = np.random.default_rng(seed)
+        configs = rng.integers(0, 2, size=(num_replicas, n)).astype(float)
+        energies = rng.normal(size=num_replicas)
+        pairing_before = sorted(
+            (tuple(row), float(e)) for row, e in zip(configs, energies))
+        driver = LoopDriver(
+            ConstantSchedule(1.0), 64,
+            [np.random.default_rng(k) for k in range(num_replicas)],
+            dynamics=ParallelTempering(exchange_interval=1),
+            exchange_rng=exchange_stream([seed]))
+        for iteration in range(rounds):
+            driver.maybe_exchange(iteration, energies, (configs, energies))
+        pairing_after = sorted(
+            (tuple(row), float(e)) for row, e in zip(configs, energies))
+        assert pairing_after == pairing_before
+
+    @given(round_index=st.integers(min_value=0, max_value=7),
+           num_replicas=st.integers(min_value=1, max_value=33))
+    def test_proposed_pairs_are_adjacent_and_disjoint(self, round_index,
+                                                      num_replicas):
+        pairs = EvenOddExchange().swap_pairs(round_index, num_replicas)
+        flat = pairs.ravel().tolist()
+        assert len(flat) == len(set(flat))
+        assert all(j == i + 1 for i, j in pairs.tolist())
+
+
+class TestLadderInvariants:
+    @given(num_rungs=st.integers(min_value=1, max_value=64),
+           hottest=st.floats(min_value=1.0, max_value=1e3))
+    def test_geometric_ladders_sorted_and_positive(self, num_rungs, hottest):
+        factors = TemperatureLadder.geometric(
+            num_rungs, hottest=hottest).factors_for(num_rungs)
+        assert np.all(factors > 0)
+        assert np.all(np.diff(factors) >= 0)
+        assert factors[0] == 1.0
+
+    @given(factors=st.lists(st.floats(min_value=1e-3, max_value=1e3),
+                            min_size=1, max_size=16))
+    def test_constructed_ladders_sorted_and_positive_or_rejected(self,
+                                                                 factors):
+        sorted_factors = sorted(factors)
+        ladder = TemperatureLadder(tuple(sorted_factors))
+        array = ladder.factors_for(len(factors))
+        assert np.all(array > 0)
+        assert np.all(np.diff(array) >= 0)
+
+    @given(num_replicas=st.integers(min_value=1, max_value=16),
+           hottest=st.floats(min_value=1.0, max_value=100.0),
+           iteration=st.integers(min_value=0, max_value=19))
+    def test_driver_ladder_temperatures_stay_sorted(self, num_replicas,
+                                                    hottest, iteration):
+        driver = LoopDriver(
+            GeometricSchedule(50.0, 0.5), 20,
+            [np.random.default_rng(k) for k in range(num_replicas)],
+            dynamics=Dynamics(
+                ladder=TemperatureLadder.geometric(num_replicas, hottest)))
+        row = driver.temperature_row(iteration)
+        assert np.all(row > 0)
+        assert np.all(np.diff(row) >= 0)
+
+
+class TestScheduleTableProperty:
+    @given(start=st.floats(min_value=1e-3, max_value=1e4),
+           frac=st.floats(min_value=1e-6, max_value=1.0),
+           num_iterations=st.integers(min_value=1, max_value=200),
+           kind=st.sampled_from(["geometric", "linear", "exponential",
+                                 "constant"]))
+    @settings(max_examples=60)
+    def test_tables_bitwise_match_scalar_calls(self, start, frac,
+                                               num_iterations, kind):
+        if kind == "geometric":
+            schedule = GeometricSchedule(start, start * frac)
+        elif kind == "linear":
+            schedule = LinearSchedule(start, start * frac)
+        elif kind == "exponential":
+            schedule = ExponentialSchedule(start, decay=min(frac, 0.999999))
+        else:
+            schedule = ConstantSchedule(start)
+        table = schedule.temperatures(num_iterations)
+        for k in range(num_iterations):
+            assert table[k] == schedule.temperature(k, num_iterations)
