@@ -50,27 +50,35 @@ def test_store_checkpoint_overhead_and_warm_resume(benchmark, tmp_path):
 
     plain, cold, warm = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
+    # TrialBatch.wall_time accumulates across store sessions: the warm
+    # resume reports cold's compute plus its own loading, so the warm
+    # *session* cost is the difference.
+    warm_session = warm.wall_time - cold.wall_time
+
     print("\nCheckpointed batch: "
           f"{NUM_TRIALS} HyCiM trials, {problem.num_items}-item QKP\n"
           + format_table(
-              ["mode", "wall clock", "loaded/total", "best profit"],
-              [[label, f"{batch.wall_time * 1000:.1f}ms",
+              ["mode", "session", "loaded/total", "best profit"],
+              [[label, f"{seconds * 1000:.1f}ms",
                 f"{batch.num_loaded_from_store}/{batch.num_trials}",
                 f"{batch.best_result.best_objective:.0f}"]
-               for label, batch in (("no store", plain),
-                                    ("cold + checkpoint", cold),
-                                    ("warm resume", warm))]))
+               for label, batch, seconds in (
+                   ("no store", plain, plain.wall_time),
+                   ("cold + checkpoint", cold, cold.wall_time),
+                   ("warm resume", warm, warm_session))]))
 
     # Correctness contract: the store never changes trial outcomes.
     np.testing.assert_array_equal(plain.best_energies, cold.best_energies)
     np.testing.assert_array_equal(plain.best_energies, warm.best_energies)
 
-    # A warm resume executes zero trials -- everything loads from shards.
+    # A warm resume executes zero trials -- everything loads from shards --
+    # and its accumulated wall time includes the cold session's compute.
     assert warm.num_loaded_from_store == NUM_TRIALS
     assert cold.num_loaded_from_store == 0
+    assert warm.wall_time > cold.wall_time
 
     # Loose wall-clock bounds (generous for noisy single-core CI): JSON
     # loading must beat re-annealing, and checkpoint appends must not
     # multiply the batch cost.
-    assert warm.wall_time < plain.wall_time
+    assert warm_session < plain.wall_time
     assert cold.wall_time < 3.0 * plain.wall_time + 0.1

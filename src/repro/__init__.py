@@ -33,6 +33,13 @@ General Combinatorial Optimization Problems with Inequality Constraints"
   content-addressed run key, so interrupted sweeps resume
   (``run_trials(..., store=CampaignStore(dir))``) with aggregates identical
   to an uninterrupted run; ``python -m repro.store`` is the results CLI.
+* :mod:`repro.telemetry` -- zero-overhead-when-off observability: span
+  tracing, counters and sweep-level probes across the whole solver stack.
+  Off by default (the ambient :class:`~repro.telemetry.NullRecorder` keeps
+  results bit-identical and call sites behind a single ``if``); pass
+  ``run_trials(..., telemetry=InMemoryRecorder())`` to capture a run or
+  ``telemetry=True`` with a store to persist a JSONL sidecar that
+  ``python -m repro.telemetry`` summarizes and replays.
 * :mod:`repro.analysis` -- experiment runners for every table and figure,
   built on the runtime.
 
@@ -60,8 +67,16 @@ from repro.runtime import (
     run_trials,
 )
 from repro.store import CampaignStore
+from repro.telemetry import (
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    current_recorder,
+    set_recorder,
+    use_recorder,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "QUBOModel",
@@ -78,6 +93,12 @@ __all__ = [
     "ParallelTempering",
     "TemperatureLadder",
     "CampaignStore",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "current_recorder",
+    "set_recorder",
+    "use_recorder",
     "SolverSpec",
     "TrialBatch",
     "available_solvers",

@@ -29,6 +29,8 @@ from repro.core.dqubo import DQUBOTransformation, SlackEncoding, to_dqubo
 from repro.core.qubo import QUBOModel
 from repro.problems.knapsack import KnapsackProblem
 from repro.problems.qkp import QuadraticKnapsackProblem
+from repro.telemetry.probes import SweepProbe
+from repro.telemetry.recorder import current_recorder
 
 KnapsackLike = Union[QuadraticKnapsackProblem, KnapsackProblem]
 
@@ -245,6 +247,7 @@ class DQUBOAnnealer:
         num_feasible = 0
         num_accepted = 0
         temperatures = self.schedule.temperatures(self.num_iterations)
+        probe = SweepProbe(current_recorder(), "D-QUBO", self.num_iterations)
         for iteration in range(self.num_iterations):
             temperature = temperatures[iteration]
             for _ in range(self.moves_per_iteration):
@@ -259,6 +262,11 @@ class DQUBOAnnealer:
                     if current_energy < best_energy:
                         best = current.copy()
                         best_energy = current_energy
+            if probe.every:
+                probe.maybe(iteration, temperature=temperature,
+                            energy=current_energy, best_energy=best_energy,
+                            num_feasible=num_feasible, num_skipped=0,
+                            num_accepted=num_accepted)
             if self.record_history:
                 history.append(best_energy)
         return best, best_energy, history, num_feasible, num_accepted

@@ -35,6 +35,8 @@ from repro.core.constraints import InequalityConstraint
 from repro.core.transformation import InequalityQUBO
 from repro.fefet.variability import VariabilityModel
 from repro.problems.base import CombinatorialProblem
+from repro.telemetry.probes import SweepProbe
+from repro.telemetry.recorder import current_recorder
 
 ProblemOrModel = Union[CombinatorialProblem, InequalityQUBO]
 
@@ -216,6 +218,7 @@ class HyCiMSolver:
         num_feasible = 0
         num_skipped = 0
         num_accepted = 0
+        probe = SweepProbe(current_recorder(), "HyCiM", self.num_iterations)
 
         for iteration in range(self.num_iterations):
             temperature = temperatures[iteration]
@@ -250,6 +253,14 @@ class HyCiMSolver:
                         best = candidate.copy()
                         best_energy = candidate_energy
                         best_feasible = True
+
+            if probe.every:
+                probe.maybe(iteration, temperature=temperature,
+                            energy=current_energy, best_energy=best_energy,
+                            num_feasible=num_feasible,
+                            num_skipped=num_skipped,
+                            num_accepted=num_accepted,
+                            feasible=current_feasible)
 
             if self.record_history:
                 history.append(best_energy)

@@ -20,6 +20,8 @@ from repro.core.qubo import QUBOModel
 from repro.dynamics.acceptance import MetropolisRule
 from repro.dynamics.moves import MoveGenerator, SingleFlipMove
 from repro.dynamics.schedule import GeometricSchedule, TemperatureSchedule
+from repro.telemetry.probes import SweepProbe
+from repro.telemetry.recorder import current_recorder
 
 #: The scalar solvers decide through the dynamics layer's batched rule (its
 #: M = 1 view), so the Metropolis logic exists exactly once in the codebase.
@@ -104,6 +106,8 @@ class SimulatedAnnealer:
         num_feasible = 0
         num_skipped = 0
         num_accepted = 0
+        probe = SweepProbe(current_recorder(), "SimulatedAnnealer",
+                           self.num_iterations)
 
         for iteration in range(self.num_iterations):
             temperature = temperatures[iteration]
@@ -135,6 +139,13 @@ class SimulatedAnnealer:
                     if current_energy < best_energy:
                         best_energy = current_energy
                         best = current.copy()
+
+            if probe.every:
+                probe.maybe(iteration, temperature=temperature,
+                            energy=current_energy, best_energy=best_energy,
+                            num_feasible=num_feasible,
+                            num_skipped=num_skipped,
+                            num_accepted=num_accepted)
 
             if self.record_history:
                 history.append(best_energy)

@@ -212,6 +212,13 @@ class BatchedSimulatedAnnealer:
 
             driver.maybe_exchange(iteration, current_energy,
                                   (current, current_energy))
+            if driver.probing:
+                driver.maybe_probe(
+                    iteration, solver="SimulatedAnnealer",
+                    best_energy=best_energy, current_energy=current_energy,
+                    num_accepted=num_accepted, num_feasible=num_feasible,
+                    num_skipped=num_skipped,
+                    final=iteration + 1 == cfg.num_iterations)
 
             if cfg.record_history:
                 for k in range(num_replicas):
@@ -505,6 +512,13 @@ class BatchedHyCiMSolver:
             if use_delta:
                 swap_state.append(raw_energy)
             driver.maybe_exchange(iteration, current_energy, tuple(swap_state))
+            if driver.probing:
+                driver.maybe_probe(
+                    iteration, solver="HyCiM",
+                    best_energy=best_energy, current_energy=current_energy,
+                    num_accepted=num_accepted, num_feasible=num_feasible,
+                    num_skipped=num_skipped, feasible_mask=current_feasible,
+                    final=iteration + 1 == solver.num_iterations)
 
             if solver.record_history:
                 for k in range(num_replicas):

@@ -28,7 +28,6 @@ dict stays valid.
 
 from __future__ import annotations
 
-import time
 from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -52,6 +51,7 @@ from repro.runtime.registry import (
     _sa_trial,
     build_dynamics,
 )
+from repro.telemetry.recorder import current_recorder
 
 __all__ = ["dqubo_batched_trials", "hycim_batched_trials", "sa_batched_trials"]
 
@@ -134,43 +134,48 @@ def hycim_batched_trials(
     streams restart from the same per-trial seed, so per-seed results equal
     the scalar path's even under non-ideal devices.
     """
-    started = time.perf_counter()
-    dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
-    use_hardware = bool(params.get("use_hardware", True))
-    variability = params.get("variability")
-    device_mode = use_hardware and variability is not None
-    solver = HyCiMSolver(
-        problem,
-        use_hardware=use_hardware,
-        num_iterations=int(params.get("num_iterations", 1000)),
-        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=_resolve_schedule(problem, params, dynamics),
-        move_generator=_build_move(params.get("move_generator", "single_flip")),
-        filter_rows=int(params.get("filter_rows", 16)),
-        crossbar_config=params.get("crossbar_config"),
-        matchline_noise_sigma=float(params.get("matchline_noise_sigma", 0.0)),
-        record_history=bool(params.get("record_history", False)),
-        # Device-axis hardware replaces the shared components; building the
-        # shared crossbar/filters would be pure dead work per chunk.
-        defer_hardware=device_mode,
-    )
-    chips = chip_seeds = None
-    if device_mode:
-        # One freshly sampled chip per trial, derived exactly as the scalar
-        # path derives it; the chip's crossbar/ADC seed mirrors the scalar
-        # per-trial CrossbarConfig (the trial seed when no config is given,
-        # the config's own seed -- restarted per trial -- otherwise).
-        chips = [_build_variability(variability, int(seed)) for seed in seeds]
-        config = params.get("crossbar_config")
-        chip_seeds = ([config.seed] * len(chips) if config is not None
-                      else [int(seed) for seed in seeds])
-    rngs = _group_generators(seeds, shared_rng)
-    starts = _replica_starts(problem, params, rngs, initials)
-    results = BatchedHyCiMSolver(solver, chips=chips,
-                                 chip_seeds=chip_seeds).solve_batch(
-        starts, rngs, dynamics=dynamics, exchange_rng=exchange_rng,
-        shared_rng=shared_rng)
-    return _stamp(results, seeds, time.perf_counter() - started)
+    with current_recorder().span("trial_group", solver="hycim",
+                                 replicas=len(seeds)) as span:
+        dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
+        use_hardware = bool(params.get("use_hardware", True))
+        variability = params.get("variability")
+        device_mode = use_hardware and variability is not None
+        solver = HyCiMSolver(
+            problem,
+            use_hardware=use_hardware,
+            num_iterations=int(params.get("num_iterations", 1000)),
+            moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+            schedule=_resolve_schedule(problem, params, dynamics),
+            move_generator=_build_move(
+                params.get("move_generator", "single_flip")),
+            filter_rows=int(params.get("filter_rows", 16)),
+            crossbar_config=params.get("crossbar_config"),
+            matchline_noise_sigma=float(
+                params.get("matchline_noise_sigma", 0.0)),
+            record_history=bool(params.get("record_history", False)),
+            # Device-axis hardware replaces the shared components; building
+            # the shared crossbar/filters would be pure dead work per chunk.
+            defer_hardware=device_mode,
+        )
+        chips = chip_seeds = None
+        if device_mode:
+            # One freshly sampled chip per trial, derived exactly as the
+            # scalar path derives it; the chip's crossbar/ADC seed mirrors
+            # the scalar per-trial CrossbarConfig (the trial seed when no
+            # config is given, the config's own seed -- restarted per trial
+            # -- otherwise).
+            chips = [_build_variability(variability, int(seed))
+                     for seed in seeds]
+            config = params.get("crossbar_config")
+            chip_seeds = ([config.seed] * len(chips) if config is not None
+                          else [int(seed) for seed in seeds])
+        rngs = _group_generators(seeds, shared_rng)
+        starts = _replica_starts(problem, params, rngs, initials)
+        results = BatchedHyCiMSolver(solver, chips=chips,
+                                     chip_seeds=chip_seeds).solve_batch(
+            starts, rngs, dynamics=dynamics, exchange_rng=exchange_rng,
+            shared_rng=shared_rng)
+    return _stamp(results, seeds, span.elapsed)
 
 
 def sa_batched_trials(
@@ -187,35 +192,37 @@ def sa_batched_trials(
     override fall back to row-wise ``is_feasible`` calls with identical
     verdicts.
     """
-    started = time.perf_counter()
-    dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
-    annealer = SimulatedAnnealer(
-        schedule=_resolve_schedule(problem, params, dynamics),
-        move_generator=_build_move(params.get("move_generator", "single_flip")),
-        num_iterations=int(params.get("num_iterations", 1000)),
-        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        record_history=bool(params.get("record_history", False)),
-    )
-    rngs = _group_generators(seeds, shared_rng)
-    starts = _replica_starts(problem, params, rngs, initials)
-    respect_constraints = bool(params.get("respect_constraints", True))
-    results = BatchedSimulatedAnnealer(annealer).anneal(
-        problem.to_qubo(),
-        starts,
-        rngs,
-        accept_filter=problem.is_feasible if respect_constraints else None,
-        accept_filter_batch=(problem.is_feasible_batch
-                             if respect_constraints else None),
-        dynamics=dynamics,
-        exchange_rng=exchange_rng,
-        shared_rng=shared_rng,
-    )
-    for result in results:
-        best = result.best_configuration
-        result.feasible = problem.is_feasible(best)
-        result.best_objective = (problem.objective(best)
-                                 if result.feasible else None)
-    return _stamp(results, seeds, time.perf_counter() - started)
+    with current_recorder().span("trial_group", solver="sa",
+                                 replicas=len(seeds)) as span:
+        dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
+        annealer = SimulatedAnnealer(
+            schedule=_resolve_schedule(problem, params, dynamics),
+            move_generator=_build_move(
+                params.get("move_generator", "single_flip")),
+            num_iterations=int(params.get("num_iterations", 1000)),
+            moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+            record_history=bool(params.get("record_history", False)),
+        )
+        rngs = _group_generators(seeds, shared_rng)
+        starts = _replica_starts(problem, params, rngs, initials)
+        respect_constraints = bool(params.get("respect_constraints", True))
+        results = BatchedSimulatedAnnealer(annealer).anneal(
+            problem.to_qubo(),
+            starts,
+            rngs,
+            accept_filter=problem.is_feasible if respect_constraints else None,
+            accept_filter_batch=(problem.is_feasible_batch
+                                 if respect_constraints else None),
+            dynamics=dynamics,
+            exchange_rng=exchange_rng,
+            shared_rng=shared_rng,
+        )
+        for result in results:
+            best = result.best_configuration
+            result.feasible = problem.is_feasible(best)
+            result.best_objective = (problem.objective(best)
+                                     if result.feasible else None)
+    return _stamp(results, seeds, span.elapsed)
 
 
 def dqubo_batched_trials(
@@ -242,53 +249,56 @@ def dqubo_batched_trials(
                 "cannot run coupled dynamics (replica exchange / shared RNG)")
         return [_dqubo_trial(problem, params, int(seed), initial)
                 for seed, initial in zip(seeds, initials)]
-    started = time.perf_counter()
-    dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
-    encoding = params.get("encoding", SlackEncoding.ONE_HOT)
-    if isinstance(encoding, str):
-        encoding = SlackEncoding(encoding)
-    solver = DQUBOAnnealer(
-        problem,
-        alpha=float(params.get("alpha", 2.0)),
-        beta=float(params.get("beta", 2.0)),
-        encoding=encoding,
-        use_hardware=False,
-        num_iterations=int(params.get("num_iterations", 1000)),
-        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=_resolve_schedule(problem, params, dynamics),
-        move_generator=_build_move(params.get("move_generator", "single_flip")),
-        record_history=bool(params.get("record_history", False)),
-    )
-    transformation = solver.transformation
-    total = transformation.num_variables
-    rngs = _group_generators(seeds, shared_rng)
-    starts = _replica_starts(problem, params, rngs, initials)
-    # Slack-bit seeding per replica, from that replica's stream (the same
-    # extend_initial branch DQUBOAnnealer.solve takes for problem-dim
-    # initials; full-dimension initials pass through untouched).
-    extended = np.stack([
-        start.copy() if start.shape[0] == total
-        else solver.extend_initial(start, rng=rng)
-        for start, rng in zip(starts, rngs)
-    ])
-    annealer = SimulatedAnnealer(
-        schedule=solver.schedule,
-        move_generator=solver.move_generator,
-        num_iterations=solver.num_iterations,
-        moves_per_iteration=solver.moves_per_iteration,
-        record_history=solver.record_history,
-    )
-    inner = BatchedSimulatedAnnealer(annealer).anneal(
-        transformation.qubo, extended, rngs, dynamics=dynamics,
-        exchange_rng=exchange_rng, shared_rng=shared_rng)
-    results: List[SolveResult] = [
-        solver.assemble_result(
-            raw.best_configuration, raw.best_energy, raw.energy_history,
-            raw.num_feasible_evaluations, raw.num_accepted_moves,
-            extra_metadata={"vectorized": True, "num_replicas": len(inner)})
-        for raw in inner
-    ]
-    return _stamp(results, seeds, time.perf_counter() - started)
+    with current_recorder().span("trial_group", solver="dqubo",
+                                 replicas=len(seeds)) as span:
+        dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
+        encoding = params.get("encoding", SlackEncoding.ONE_HOT)
+        if isinstance(encoding, str):
+            encoding = SlackEncoding(encoding)
+        solver = DQUBOAnnealer(
+            problem,
+            alpha=float(params.get("alpha", 2.0)),
+            beta=float(params.get("beta", 2.0)),
+            encoding=encoding,
+            use_hardware=False,
+            num_iterations=int(params.get("num_iterations", 1000)),
+            moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+            schedule=_resolve_schedule(problem, params, dynamics),
+            move_generator=_build_move(
+                params.get("move_generator", "single_flip")),
+            record_history=bool(params.get("record_history", False)),
+        )
+        transformation = solver.transformation
+        total = transformation.num_variables
+        rngs = _group_generators(seeds, shared_rng)
+        starts = _replica_starts(problem, params, rngs, initials)
+        # Slack-bit seeding per replica, from that replica's stream (the same
+        # extend_initial branch DQUBOAnnealer.solve takes for problem-dim
+        # initials; full-dimension initials pass through untouched).
+        extended = np.stack([
+            start.copy() if start.shape[0] == total
+            else solver.extend_initial(start, rng=rng)
+            for start, rng in zip(starts, rngs)
+        ])
+        annealer = SimulatedAnnealer(
+            schedule=solver.schedule,
+            move_generator=solver.move_generator,
+            num_iterations=solver.num_iterations,
+            moves_per_iteration=solver.moves_per_iteration,
+            record_history=solver.record_history,
+        )
+        inner = BatchedSimulatedAnnealer(annealer).anneal(
+            transformation.qubo, extended, rngs, dynamics=dynamics,
+            exchange_rng=exchange_rng, shared_rng=shared_rng)
+        results: List[SolveResult] = [
+            solver.assemble_result(
+                raw.best_configuration, raw.best_energy, raw.energy_history,
+                raw.num_feasible_evaluations, raw.num_accepted_moves,
+                extra_metadata={"vectorized": True,
+                                "num_replicas": len(inner)})
+            for raw in inner
+        ]
+    return _stamp(results, seeds, span.elapsed)
 
 
 # Guarded pairing: registration is skipped if the user already replaced the

@@ -32,6 +32,7 @@ import numpy as np
 from repro.dynamics.dynamics import Dynamics
 from repro.dynamics.moves import MoveGenerator
 from repro.dynamics.schedule import TemperatureSchedule
+from repro.telemetry.recorder import current_recorder
 
 
 class LoopDriver:
@@ -89,6 +90,31 @@ class LoopDriver:
         self._exchange_round = 0
         self.exchange_attempts = 0
         self.exchange_accepted = 0
+        # Per-rung exchange tallies stay driver-internal (never in result
+        # metadata); telemetry probes and future self-tuning dynamics read
+        # them.  Cheap enough to maintain unconditionally.
+        self.exchange_attempts_per_rung = np.zeros(self.num_replicas,
+                                                   dtype=np.int64)
+        self.exchange_accepted_per_rung = np.zeros(self.num_replicas,
+                                                   dtype=np.int64)
+        self._recorder = current_recorder()
+        self._probe_every = (int(self._recorder.probe_interval)
+                             if self._recorder.enabled else 0)
+        #: Engines guard their per-iteration probe call on this one flag, so
+        #: a disabled recorder costs a single attribute test per iteration.
+        self.probing = self._probe_every > 0
+        if self.probing:
+            self._last_probe_iteration = -1
+            self._window = {
+                "feasible": np.zeros(self.num_replicas, dtype=np.int64),
+                "skipped": np.zeros(self.num_replicas, dtype=np.int64),
+                "accepted": np.zeros(self.num_replicas, dtype=np.int64),
+                "x_att": np.zeros(self.num_replicas, dtype=np.int64),
+                "x_acc": np.zeros(self.num_replicas, dtype=np.int64),
+            }
+            self._block = self._recorder.span(
+                "sweep_block", replicas=self.num_replicas)
+            self._block.__enter__()
 
     # ------------------------------------------------------------------ #
     # Temperatures
@@ -181,12 +207,76 @@ class LoopDriver:
         swaps = pairs[verdicts]
         self.exchange_attempts += int(pairs.shape[0])
         self.exchange_accepted += int(swaps.shape[0])
+        np.add.at(self.exchange_attempts_per_rung, pairs.reshape(-1), 1)
         if swaps.shape[0]:
+            np.add.at(self.exchange_accepted_per_rung, swaps.reshape(-1), 1)
             left, right = swaps[:, 0], swaps[:, 1]
             for array in state_arrays:
                 held = array[left].copy()
                 array[left] = array[right]
                 array[right] = held
+
+    # ------------------------------------------------------------------ #
+    # Telemetry probes
+    # ------------------------------------------------------------------ #
+    def maybe_probe(self, iteration: int, *, solver: str,
+                    best_energy: np.ndarray, current_energy: np.ndarray,
+                    num_accepted: np.ndarray, num_feasible: np.ndarray,
+                    num_skipped: np.ndarray,
+                    feasible_mask: Optional[np.ndarray] = None,
+                    final: bool = False) -> None:
+        """Emit one ``"sweep"`` probe if ``iteration`` ends a probe window.
+
+        Call sites MUST guard with ``if driver.probing:`` -- that guard is
+        the whole zero-overhead-when-off contract; this method assumes a
+        live recorder.  The counter arguments are the engine's cumulative
+        ``(M,)`` tallies; rates are reported over the window since the last
+        probe (deltas), matching the scalar :class:`SweepProbe`.  Pass
+        ``final=True`` on the last iteration so short runs still probe.
+        """
+        due = final or (iteration + 1) % self._probe_every == 0
+        if not due or iteration == self._last_probe_iteration:
+            return
+        self._last_probe_iteration = iteration
+        self._block.__exit__(None, None, None)
+        window = self._window
+        delta_feasible = num_feasible - window["feasible"]
+        delta_skipped = num_skipped - window["skipped"]
+        delta_accepted = num_accepted - window["accepted"]
+        proposals = delta_feasible + delta_skipped
+        values = {
+            "temperature": self.temperature_row(iteration),
+            "energy": current_energy,
+            "best_energy": best_energy,
+            "mean_energy": float(np.mean(current_energy)),
+            "accept_rate": delta_accepted / np.maximum(delta_feasible, 1),
+            "filter_reject_rate": delta_skipped / np.maximum(proposals, 1),
+            "proposals_total": num_feasible + num_skipped,
+            "accepted_total": num_accepted,
+            "rejected_total": num_feasible - num_accepted,
+        }
+        if feasible_mask is not None:
+            values["feasible_replicas"] = int(np.count_nonzero(feasible_mask))
+        if self._exchange.is_active:
+            delta_x_att = self.exchange_attempts_per_rung - window["x_att"]
+            delta_x_acc = self.exchange_accepted_per_rung - window["x_acc"]
+            values["exchange_attempts"] = delta_x_att
+            values["exchange_accepted"] = delta_x_acc
+            values["exchange_rate"] = delta_x_acc / np.maximum(delta_x_att, 1)
+            window["x_att"] = self.exchange_attempts_per_rung.copy()
+            window["x_acc"] = self.exchange_accepted_per_rung.copy()
+        self._recorder.probe("sweep", iteration=iteration + 1, solver=solver,
+                             engine="batched", replicas=self.num_replicas,
+                             values=values)
+        window["feasible"] = num_feasible.copy()
+        window["skipped"] = num_skipped.copy()
+        window["accepted"] = num_accepted.copy()
+        if final:
+            self._block = None
+        else:
+            self._block = self._recorder.span(
+                "sweep_block", replicas=self.num_replicas)
+            self._block.__enter__()
 
     # ------------------------------------------------------------------ #
     # Reporting

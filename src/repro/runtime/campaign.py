@@ -39,6 +39,7 @@ from repro.runtime.registry import (
     SpecLike,
     as_solver_spec,
 )
+from repro.telemetry.recorder import current_recorder, use_recorder
 
 ReferenceProvider = Union[
     Mapping[str, float], Callable[[CombinatorialProblem], float], None
@@ -185,6 +186,7 @@ def run_campaign(
     dynamics: Optional[Any] = None,
     store: Optional[Any] = None,
     resume: bool = True,
+    telemetry: Optional[Any] = None,
 ) -> CampaignResult:
     """Sweep every solver spec over every instance and aggregate each cell.
 
@@ -231,6 +233,12 @@ def run_campaign(
         :meth:`CampaignResult.fingerprint` is bitwise identical to the
         uninterrupted run's.  Hierarchical seeding makes each cell's master
         seed -- and so its store run key -- independent of execution order.
+    telemetry:
+        Observability sink (see :func:`repro.runtime.run_trials`).  A
+        recorder instance wraps the whole sweep in a ``campaign`` span and
+        captures every cell's run; ``telemetry=True`` (requires ``store``)
+        makes each cell persist its own JSONL sidecar under its run key;
+        ``None`` reports to the ambient recorder (telemetry off by default).
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
@@ -242,53 +250,69 @@ def run_campaign(
     if not problems:
         raise ValueError("campaign needs at least one problem instance")
 
+    # An explicit recorder becomes ambient for the whole sweep, so the
+    # campaign span wraps every cell's run span; telemetry=True stays True
+    # per cell (each cell persists its own sidecar under its run key).
+    recorder = (telemetry if telemetry is not None and telemetry is not True
+                else current_recorder())
+    cell_telemetry = True if telemetry is True else None
+
     # Hierarchical spawn: one child sequence per problem, then one per spec.
     # SeedSequence.spawn children are a stable prefix -- appending instances
     # or solvers to the grid leaves every existing cell's seed unchanged.
     problem_seeds = np.random.SeedSequence(master_seed).spawn(len(problems))
     records: List[CampaignRecord] = []
-    for problem, problem_seq in zip(problems, problem_seeds):
-        reference = _resolve_reference(problem, references)
-        maximize = getattr(problem, "is_maximization", True)
-        target = None
-        if early_stop and reference is not None:
-            target = success_bar(reference, threshold, maximize)
-        spec_seeds = problem_seq.spawn(len(specs))
-        for spec, spec_seq in zip(specs, spec_seeds):
-            cell_master = int(spec_seq.generate_state(1, np.uint64)[0])
-            trials = 1 if spec.solver in DETERMINISTIC_SOLVERS else num_trials
-            cell_backend, cell_chunk = backend, chunk_size
-            if (chips is not None
-                    and spec.solver not in DETERMINISTIC_SOLVERS
-                    and spec.params.get("variability") is not None):
-                # Monte-Carlo over simulated chips: one trial per chip, all
-                # chips advanced as one device-axis batch.
-                trials, cell_backend, cell_chunk = chips, "vectorized", chips
-            batch = run_trials(
-                problem,
-                solver=spec,
-                num_trials=trials,
-                backend=cell_backend,
-                master_seed=cell_master,
-                num_workers=num_workers,
-                chunk_size=cell_chunk,
-                target_objective=target,
-                dynamics=(None if spec.params.get("dynamics") is not None
-                          else dynamics),
-                store=store,
-                resume=resume,
-            )
-            record = CampaignRecord(
-                problem_name=batch.problem_name,
-                spec=spec,
-                batch=batch,
-                statistics=aggregate_trials(batch, reference=reference,
-                                            threshold=threshold,
-                                            maximize=maximize),
-                reference=reference,
-                maximize=maximize,
-            )
-            if store is not None:
-                store.append_campaign_record(record, run_key=batch.run_key)
-            records.append(record)
-    return CampaignResult(records=records, master_seed=master_seed, backend=backend)
+    with use_recorder(recorder), recorder.span(
+            "campaign", problems=len(problems), solvers=len(specs),
+            backend=backend):
+        for problem, problem_seq in zip(problems, problem_seeds):
+            reference = _resolve_reference(problem, references)
+            maximize = getattr(problem, "is_maximization", True)
+            target = None
+            if early_stop and reference is not None:
+                target = success_bar(reference, threshold, maximize)
+            spec_seeds = problem_seq.spawn(len(specs))
+            for spec, spec_seq in zip(specs, spec_seeds):
+                cell_master = int(spec_seq.generate_state(1, np.uint64)[0])
+                trials = (1 if spec.solver in DETERMINISTIC_SOLVERS
+                          else num_trials)
+                cell_backend, cell_chunk = backend, chunk_size
+                if (chips is not None
+                        and spec.solver not in DETERMINISTIC_SOLVERS
+                        and spec.params.get("variability") is not None):
+                    # Monte-Carlo over simulated chips: one trial per chip,
+                    # all chips advanced as one device-axis batch.
+                    trials, cell_backend, cell_chunk = (chips, "vectorized",
+                                                        chips)
+                batch = run_trials(
+                    problem,
+                    solver=spec,
+                    num_trials=trials,
+                    backend=cell_backend,
+                    master_seed=cell_master,
+                    num_workers=num_workers,
+                    chunk_size=cell_chunk,
+                    target_objective=target,
+                    dynamics=(None if spec.params.get("dynamics") is not None
+                              else dynamics),
+                    store=store,
+                    resume=resume,
+                    telemetry=cell_telemetry,
+                )
+                record = CampaignRecord(
+                    problem_name=batch.problem_name,
+                    spec=spec,
+                    batch=batch,
+                    statistics=aggregate_trials(batch, reference=reference,
+                                                threshold=threshold,
+                                                maximize=maximize),
+                    reference=reference,
+                    maximize=maximize,
+                )
+                if store is not None:
+                    store.append_campaign_record(record, run_key=batch.run_key)
+                records.append(record)
+                if recorder.enabled:
+                    recorder.counter("cells_completed")
+    return CampaignResult(records=records, master_seed=master_seed,
+                          backend=backend)

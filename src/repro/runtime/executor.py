@@ -41,7 +41,6 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -60,6 +59,7 @@ from repro.runtime.registry import (
     get_trial_function,
     run_single_trial,
 )
+from repro.telemetry.recorder import current_recorder, use_recorder
 
 #: Backends accepted by :func:`run_trials`.
 BACKENDS = ("serial", "process", "vectorized")
@@ -105,7 +105,14 @@ class TrialBatch:
         Whether the target condition cut the batch short.
     wall_time:
         End-to-end batch wall-clock time in seconds (includes dispatch
-        overhead, unlike the per-trial ``SolveResult.wall_time``).
+        overhead, unlike the per-trial ``SolveResult.wall_time``).  For a
+        store-resumed run this *accumulates across sessions*: the store
+        persists every invocation's run-span time under the run key, and a
+        resuming invocation reports prior sessions' recorded seconds plus
+        its own -- the total compute ever spent producing the run's
+        persisted trials, not just the resuming invocation's (usually tiny)
+        share.  Timing fields are excluded from statistics fingerprints, so
+        the accumulation never perturbs result identity.
     num_loaded_from_store:
         How many of ``results`` were resumed from a
         :class:`~repro.store.CampaignStore` instead of freshly executed.
@@ -241,6 +248,7 @@ def run_trials(
     dynamics: Optional[Any] = None,
     store: Optional[Any] = None,
     resume: bool = True,
+    telemetry: Optional[Any] = None,
 ) -> TrialBatch:
     """Run ``num_trials`` independent solver trials on ``problem``.
 
@@ -332,11 +340,31 @@ def run_trials(
         is identical to an uninterrupted run -- modulo the wall-clock timing
         fields, exactly like :func:`replay_trial`.  Pass ``resume=False`` to
         re-execute (and overwrite) persisted trials.
+    telemetry:
+        Where to send spans, counters and probes (:mod:`repro.telemetry`).
+        ``None`` (default) reports to the ambient recorder -- the
+        :class:`~repro.telemetry.NullRecorder` unless one was installed with
+        :func:`repro.telemetry.use_recorder` -- so telemetry is off unless
+        asked for.  Pass a recorder instance (e.g.
+        :class:`~repro.telemetry.InMemoryRecorder`) to capture this run, or
+        ``telemetry=True`` with a ``store`` to persist a JSONL sidecar under
+        the run key (``store.telemetry_path(run_key)``; inspect with
+        ``python -m repro.telemetry``).  Telemetry never consumes solver
+        RNG, so results are bit-identical with any recorder.  On the
+        ``"process"`` backend the recorder is deliberately not shipped to
+        pool workers (a sidecar needs a single writer): worker-side spans
+        and probes are dropped, while the parent still records run/chunk
+        spans and counters.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if telemetry is True and store is None:
+        raise ValueError(
+            "telemetry=True persists a JSONL sidecar under a store run key "
+            "and therefore needs store=...; pass a recorder instance to "
+            "capture telemetry without a store")
     spec = as_solver_spec(solver)
     if params:
         spec = spec.with_params(**dict(params))
@@ -422,8 +450,23 @@ def run_trials(
                         "the store contents do not match this invocation"
                     )
 
+    # Telemetry wiring: a passed recorder (or the store sidecar recorder for
+    # telemetry=True) becomes ambient for the run, so the trial functions,
+    # engines and LoopDriver report to it without threading it through
+    # solver params (which would perturb the deterministic store run keys).
+    created_recorder = None
+    if telemetry is True:
+        created_recorder = store.telemetry_recorder(run_key)
+        recorder = created_recorder
+    elif telemetry is not None:
+        recorder = telemetry
+    else:
+        recorder = current_recorder()
+    prior_wall_time = 0.0
+    if store is not None and resume:
+        prior_wall_time = store.accumulated_wall_time(run_key)
+
     has_target = target_energy is not None or target_objective is not None
-    started = time.perf_counter()
     collected: List[Tuple[int, SolveResult]] = []
     num_loaded = 0
     stopped_early = False
@@ -454,13 +497,20 @@ def run_trials(
                 store.append_result(run_key, index, result)
         fresh_by_index = dict(fresh)
         chunk_results = []
+        loaded_here = 0
         for index, _, _ in chunk:
             if index in fresh_by_index:
                 chunk_results.append((index, fresh_by_index[index]))
             else:
                 chunk_results.append((index, persisted[index]))
                 num_loaded += 1
+                loaded_here += 1
         collected.extend(chunk_results)
+        if recorder.enabled:
+            if fresh:
+                recorder.counter("trials_completed", len(fresh))
+            if loaded_here:
+                recorder.counter("trials_loaded_from_store", loaded_here)
         if has_target and _target_reached([r for _, r in chunk_results],
                                           target_energy, target_objective,
                                           maximize):
@@ -468,41 +518,67 @@ def run_trials(
             return True
         return False
 
-    if backend in ("serial", "vectorized"):
-        for chunk, pending in zip(chunks, pending_per_chunk):
-            fresh = _execute_chunk(
-                (problem, spec, trial_fn, batched_fn, replicas_per_task,
-                 pending)) if pending else []
-            if _complete_chunk(chunk, fresh):
-                break
-    else:
-        workers = _resolve_workers(num_workers)
-        context = multiprocessing.get_context()
-        payloads = [(problem, spec, trial_fn, batched_fn, replicas_per_task,
-                     pending) for pending in pending_per_chunk if pending]
-        if not payloads:
-            for chunk in chunks:
-                if _complete_chunk(chunk, []):
-                    break
-        else:
-            with context.Pool(processes=min(workers, len(payloads))) as pool:
-                fresh_iter = pool.imap(_execute_chunk, payloads)
-                for chunk, pending in zip(chunks, pending_per_chunk):
-                    fresh = next(fresh_iter) if pending else []
-                    if _complete_chunk(chunk, fresh):
+    problem_name = getattr(problem, "name", problem.__class__.__name__)
+    # The run span is the batch's single timing source; its elapsed time is
+    # read back even when the run dies mid-chunk (the span exits with the
+    # exception), so the store's accumulated wall time includes interrupted
+    # sessions.
+    run_span = recorder.span("run", solver=spec.solver, problem=problem_name,
+                             backend=backend, trials=num_trials)
+    try:
+        with use_recorder(recorder), run_span:
+            if backend in ("serial", "vectorized"):
+                for number, (chunk, pending) in enumerate(
+                        zip(chunks, pending_per_chunk)):
+                    with recorder.span("chunk", index=number,
+                                       trials=len(chunk), fresh=len(pending)):
+                        fresh = _execute_chunk(
+                            (problem, spec, trial_fn, batched_fn,
+                             replicas_per_task, pending)) if pending else []
+                        stop = _complete_chunk(chunk, fresh)
+                    if stop:
                         break
+            else:
+                workers = _resolve_workers(num_workers)
+                context = multiprocessing.get_context()
+                payloads = [(problem, spec, trial_fn, batched_fn,
+                             replicas_per_task, pending)
+                            for pending in pending_per_chunk if pending]
+                if not payloads:
+                    for chunk in chunks:
+                        if _complete_chunk(chunk, []):
+                            break
+                else:
+                    with context.Pool(
+                            processes=min(workers, len(payloads))) as pool:
+                        fresh_iter = pool.imap(_execute_chunk, payloads)
+                        for number, (chunk, pending) in enumerate(
+                                zip(chunks, pending_per_chunk)):
+                            with recorder.span("chunk", index=number,
+                                               trials=len(chunk),
+                                               fresh=len(pending)):
+                                fresh = next(fresh_iter) if pending else []
+                                stop = _complete_chunk(chunk, fresh)
+                            if stop:
+                                break
+    finally:
+        if (store is not None and run_key is not None
+                and run_span.elapsed is not None):
+            store.record_wall_time(run_key, run_span.elapsed)
+        if created_recorder is not None:
+            created_recorder.close()
 
     collected.sort(key=lambda pair: pair[0])
     results = [result for _, result in collected]
     return TrialBatch(
         results=results,
         spec=spec,
-        problem_name=getattr(problem, "name", problem.__class__.__name__),
+        problem_name=problem_name,
         backend=backend,
         master_seed=master_seed,
         num_trials_requested=num_trials,
         stopped_early=stopped_early,
-        wall_time=time.perf_counter() - started,
+        wall_time=prior_wall_time + run_span.elapsed,
         num_loaded_from_store=num_loaded,
         run_key=run_key,
     )

@@ -21,6 +21,7 @@ from repro.problems.base import CombinatorialProblem
 from repro.runtime.aggregate import TrialStatistics, aggregate_trials, race_key
 from repro.runtime.executor import TrialBatch, concatenate_batches, run_trials
 from repro.runtime.registry import DETERMINISTIC_SOLVERS, SpecLike, as_solver_spec
+from repro.telemetry.recorder import current_recorder, use_recorder
 
 #: Default portfolio: fast greedy seed, local-search reference, HyCiM anneal.
 DEFAULT_PORTFOLIO: Sequence[SpecLike] = ("greedy", "local_search", "hycim")
@@ -67,6 +68,7 @@ def run_portfolio(
     explore_trials: Optional[int] = None,
     store: Optional[Any] = None,
     resume: bool = True,
+    telemetry: Optional[Any] = None,
 ) -> PortfolioResult:
     """Race several solvers on ``problem`` and return the best feasible answer.
 
@@ -104,6 +106,12 @@ def run_portfolio(
         Optional :class:`repro.store.CampaignStore` checkpointing, passed
         through to every member's :func:`run_trials` (each member is its own
         persisted run).
+    telemetry:
+        Observability sink (see :func:`repro.runtime.run_trials`).  A
+        recorder instance wraps the race in a ``portfolio`` span and captures
+        every member's run; ``telemetry=True`` (requires ``store``) persists
+        one JSONL sidecar per member run; ``None`` reports to the ambient
+        recorder (telemetry off by default).
     """
     specs = [as_solver_spec(spec) for spec in solvers]
     if not specs:
@@ -122,58 +130,73 @@ def run_portfolio(
         if not 1 <= explore <= num_trials:
             raise ValueError("explore_trials must be in [1, num_trials]")
 
+    # An explicit recorder becomes ambient for the race, so the portfolio
+    # span wraps every member's run span; telemetry=True stays True per
+    # member (each member run persists its own sidecar).
+    recorder = (telemetry if telemetry is not None and telemetry is not True
+                else current_recorder())
+    member_telemetry = True if telemetry is True else None
+
     maximize = getattr(problem, "is_maximization", True)
     member_seeds = np.random.SeedSequence(master_seed).spawn(len(specs))
     batches: Dict[str, TrialBatch] = {}
     statistics: Dict[str, TrialStatistics] = {}
     stochastic_labels: List[str] = []
-    for spec, seed_seq in zip(specs, member_seeds):
-        overrides = (params or {}).get(spec.display_name)
-        if overrides:
-            spec = spec.with_params(**dict(overrides))
-        deterministic = spec.solver in DETERMINISTIC_SOLVERS
-        trials = 1 if deterministic else explore
-        if not deterministic:
-            stochastic_labels.append(spec.display_name)
-        batch = run_trials(
-            problem,
-            solver=spec,
-            num_trials=trials,
-            backend=backend,
-            master_seed=int(seed_seq.generate_state(1, np.uint64)[0]),
-            num_workers=num_workers,
-            chunk_size=chunk_size,
-            store=store,
-            resume=resume,
-        )
-        batches[spec.display_name] = batch
-        statistics[spec.display_name] = aggregate_trials(batch, reference=reference,
-                                                         threshold=threshold,
-                                                         maximize=maximize)
+    with use_recorder(recorder), recorder.span(
+            "portfolio", members=len(specs), adaptive=adaptive,
+            backend=backend):
+        for spec, seed_seq in zip(specs, member_seeds):
+            overrides = (params or {}).get(spec.display_name)
+            if overrides:
+                spec = spec.with_params(**dict(overrides))
+            deterministic = spec.solver in DETERMINISTIC_SOLVERS
+            trials = 1 if deterministic else explore
+            if not deterministic:
+                stochastic_labels.append(spec.display_name)
+            batch = run_trials(
+                problem,
+                solver=spec,
+                num_trials=trials,
+                backend=backend,
+                master_seed=int(seed_seq.generate_state(1, np.uint64)[0]),
+                num_workers=num_workers,
+                chunk_size=chunk_size,
+                store=store,
+                resume=resume,
+                telemetry=member_telemetry,
+            )
+            batches[spec.display_name] = batch
+            statistics[spec.display_name] = aggregate_trials(
+                batch, reference=reference, threshold=threshold,
+                maximize=maximize)
 
-    remaining = (num_trials - explore) * len(stochastic_labels) if adaptive else 0
-    if adaptive and remaining > 0 and stochastic_labels:
-        # Reallocate the held-back budget to the best explorer.  max() keeps
-        # the first maximum, so ties resolve in member order.
-        favourite = max(stochastic_labels,
-                        key=lambda label: statistics[label].success_rate_value)
-        exploit_seq = member_seeds[labels.index(favourite)].spawn(1)[0]
-        exploit = run_trials(
-            problem,
-            solver=batches[favourite].spec,
-            num_trials=remaining,
-            backend=backend,
-            master_seed=int(exploit_seq.generate_state(1, np.uint64)[0]),
-            num_workers=num_workers,
-            chunk_size=chunk_size,
-            store=store,
-            resume=resume,
-        )
-        batches[favourite] = concatenate_batches(batches[favourite], exploit)
-        statistics[favourite] = aggregate_trials(batches[favourite],
-                                                 reference=reference,
-                                                 threshold=threshold,
-                                                 maximize=maximize)
+        remaining = ((num_trials - explore) * len(stochastic_labels)
+                     if adaptive else 0)
+        if adaptive and remaining > 0 and stochastic_labels:
+            # Reallocate the held-back budget to the best explorer.  max()
+            # keeps the first maximum, so ties resolve in member order.
+            favourite = max(
+                stochastic_labels,
+                key=lambda label: statistics[label].success_rate_value)
+            exploit_seq = member_seeds[labels.index(favourite)].spawn(1)[0]
+            exploit = run_trials(
+                problem,
+                solver=batches[favourite].spec,
+                num_trials=remaining,
+                backend=backend,
+                master_seed=int(exploit_seq.generate_state(1, np.uint64)[0]),
+                num_workers=num_workers,
+                chunk_size=chunk_size,
+                store=store,
+                resume=resume,
+                telemetry=member_telemetry,
+            )
+            batches[favourite] = concatenate_batches(batches[favourite],
+                                                     exploit)
+            statistics[favourite] = aggregate_trials(batches[favourite],
+                                                     reference=reference,
+                                                     threshold=threshold,
+                                                     maximize=maximize)
 
     winner = min(
         batches,

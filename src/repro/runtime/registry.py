@@ -29,7 +29,6 @@ forms pickle cleanly.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -63,6 +62,7 @@ from repro.exact.dp_knapsack import solve_knapsack_dp
 from repro.exact.greedy import solve_qkp_greedy
 from repro.exact.local_search import improve_qkp_local_search
 from repro.problems.base import CombinatorialProblem
+from repro.telemetry.recorder import current_recorder
 
 TrialFunction = Callable[
     [CombinatorialProblem, Mapping[str, Any], int, Optional[np.ndarray]], SolveResult
@@ -346,9 +346,10 @@ def _initial_configuration(problem: CombinatorialProblem, params: Mapping[str, A
     raise ValueError(f"unknown initial-state policy {policy!r}")
 
 
-def _finalize(result: SolveResult, seed: int, started: float) -> SolveResult:
+def _finalize(result: SolveResult, seed: int, elapsed: float) -> SolveResult:
+    """Stamp seed and wall time; ``elapsed`` is the trial span's seconds."""
     result.trial_seed = int(seed)
-    result.wall_time = time.perf_counter() - started
+    result.wall_time = float(elapsed)
     return result
 
 
@@ -357,27 +358,31 @@ def _finalize(result: SolveResult, seed: int, started: float) -> SolveResult:
 # --------------------------------------------------------------------- #
 def _hycim_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    started = time.perf_counter()
-    dynamics = build_dynamics(params.get("dynamics"))
-    _coupled_dynamics_guard(dynamics, "hycim")
-    solver = HyCiMSolver(
-        problem,
-        # Defaults mirror HyCiMSolver's own: hardware simulation on.
-        use_hardware=bool(params.get("use_hardware", True)),
-        num_iterations=int(params.get("num_iterations", 1000)),
-        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=_resolve_schedule(problem, params, dynamics),
-        move_generator=_build_move(params.get("move_generator", "single_flip")),
-        filter_rows=int(params.get("filter_rows", 16)),
-        crossbar_config=params.get("crossbar_config"),
-        variability=_build_variability(params.get("variability"), seed),
-        matchline_noise_sigma=float(params.get("matchline_noise_sigma", 0.0)),
-        record_history=bool(params.get("record_history", False)),
-        seed=seed,
-    )
-    rng = np.random.default_rng(seed)
-    start = _initial_configuration(problem, params, rng, initial)
-    return _finalize(solver.solve(initial=start, rng=rng), seed, started)
+    with current_recorder().span("trial", solver="hycim",
+                                 seed=int(seed)) as span:
+        dynamics = build_dynamics(params.get("dynamics"))
+        _coupled_dynamics_guard(dynamics, "hycim")
+        solver = HyCiMSolver(
+            problem,
+            # Defaults mirror HyCiMSolver's own: hardware simulation on.
+            use_hardware=bool(params.get("use_hardware", True)),
+            num_iterations=int(params.get("num_iterations", 1000)),
+            moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+            schedule=_resolve_schedule(problem, params, dynamics),
+            move_generator=_build_move(
+                params.get("move_generator", "single_flip")),
+            filter_rows=int(params.get("filter_rows", 16)),
+            crossbar_config=params.get("crossbar_config"),
+            variability=_build_variability(params.get("variability"), seed),
+            matchline_noise_sigma=float(
+                params.get("matchline_noise_sigma", 0.0)),
+            record_history=bool(params.get("record_history", False)),
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        start = _initial_configuration(problem, params, rng, initial)
+        result = solver.solve(initial=start, rng=rng)
+    return _finalize(result, seed, span.elapsed)
 
 
 def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
@@ -390,54 +395,60 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
     annealer's ``accept_filter`` hook (the same hook HyCiM replaces with the
     CiM filter).  Pass ``respect_constraints=False`` to anneal the raw QUBO.
     """
-    started = time.perf_counter()
-    dynamics = build_dynamics(params.get("dynamics"))
-    _coupled_dynamics_guard(dynamics, "sa")
-    annealer = SimulatedAnnealer(
-        schedule=_resolve_schedule(problem, params, dynamics),
-        move_generator=_build_move(params.get("move_generator", "single_flip")),
-        num_iterations=int(params.get("num_iterations", 1000)),
-        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        record_history=bool(params.get("record_history", False)),
-        seed=seed,
-    )
-    rng = np.random.default_rng(seed)
-    start = _initial_configuration(problem, params, rng, initial)
-    accept_filter = (problem.is_feasible
-                     if params.get("respect_constraints", True) else None)
-    result = annealer.anneal(problem.to_qubo(), initial=start, rng=rng,
-                             accept_filter=accept_filter)
-    best = result.best_configuration
-    result.feasible = problem.is_feasible(best)
-    result.best_objective = problem.objective(best) if result.feasible else None
-    return _finalize(result, seed, started)
+    with current_recorder().span("trial", solver="sa",
+                                 seed=int(seed)) as span:
+        dynamics = build_dynamics(params.get("dynamics"))
+        _coupled_dynamics_guard(dynamics, "sa")
+        annealer = SimulatedAnnealer(
+            schedule=_resolve_schedule(problem, params, dynamics),
+            move_generator=_build_move(
+                params.get("move_generator", "single_flip")),
+            num_iterations=int(params.get("num_iterations", 1000)),
+            moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+            record_history=bool(params.get("record_history", False)),
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        start = _initial_configuration(problem, params, rng, initial)
+        accept_filter = (problem.is_feasible
+                         if params.get("respect_constraints", True) else None)
+        result = annealer.anneal(problem.to_qubo(), initial=start, rng=rng,
+                                 accept_filter=accept_filter)
+        best = result.best_configuration
+        result.feasible = problem.is_feasible(best)
+        result.best_objective = (problem.objective(best)
+                                 if result.feasible else None)
+    return _finalize(result, seed, span.elapsed)
 
 
 def _dqubo_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    started = time.perf_counter()
-    dynamics = build_dynamics(params.get("dynamics"))
-    _coupled_dynamics_guard(dynamics, "dqubo")
-    encoding = params.get("encoding", SlackEncoding.ONE_HOT)
-    if isinstance(encoding, str):
-        encoding = SlackEncoding(encoding)
-    solver = DQUBOAnnealer(
-        problem,
-        alpha=float(params.get("alpha", 2.0)),
-        beta=float(params.get("beta", 2.0)),
-        encoding=encoding,
-        use_hardware=bool(params.get("use_hardware", False)),
-        num_iterations=int(params.get("num_iterations", 1000)),
-        moves_per_iteration=int(params.get("moves_per_iteration", 1)),
-        schedule=_resolve_schedule(problem, params, dynamics),
-        move_generator=_build_move(params.get("move_generator", "single_flip")),
-        crossbar_config=params.get("crossbar_config"),
-        record_history=bool(params.get("record_history", False)),
-        seed=seed,
-    )
-    rng = np.random.default_rng(seed)
-    start = _initial_configuration(problem, params, rng, initial)
-    return _finalize(solver.solve(initial=start, rng=rng), seed, started)
+    with current_recorder().span("trial", solver="dqubo",
+                                 seed=int(seed)) as span:
+        dynamics = build_dynamics(params.get("dynamics"))
+        _coupled_dynamics_guard(dynamics, "dqubo")
+        encoding = params.get("encoding", SlackEncoding.ONE_HOT)
+        if isinstance(encoding, str):
+            encoding = SlackEncoding(encoding)
+        solver = DQUBOAnnealer(
+            problem,
+            alpha=float(params.get("alpha", 2.0)),
+            beta=float(params.get("beta", 2.0)),
+            encoding=encoding,
+            use_hardware=bool(params.get("use_hardware", False)),
+            num_iterations=int(params.get("num_iterations", 1000)),
+            moves_per_iteration=int(params.get("moves_per_iteration", 1)),
+            schedule=_resolve_schedule(problem, params, dynamics),
+            move_generator=_build_move(
+                params.get("move_generator", "single_flip")),
+            crossbar_config=params.get("crossbar_config"),
+            record_history=bool(params.get("record_history", False)),
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        start = _initial_configuration(problem, params, rng, initial)
+        result = solver.solve(initial=start, rng=rng)
+    return _finalize(result, seed, span.elapsed)
 
 
 # --------------------------------------------------------------------- #
@@ -466,53 +477,60 @@ def _exact_result(problem: CombinatorialProblem, x: np.ndarray, value: float,
 
 def _greedy_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                   seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    started = time.perf_counter()
-    outcome = solve_qkp_greedy(problem)
-    result = _exact_result(problem, outcome.configuration, outcome.value, "Greedy")
-    return _finalize(result, seed, started)
+    with current_recorder().span("trial", solver="greedy",
+                                 seed=int(seed)) as span:
+        outcome = solve_qkp_greedy(problem)
+        result = _exact_result(problem, outcome.configuration, outcome.value,
+                               "Greedy")
+    return _finalize(result, seed, span.elapsed)
 
 
 def _dp_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
               seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    started = time.perf_counter()
-    profits = getattr(problem, "profits", None)
-    if profits is None or np.ndim(profits) != 1:
-        raise TypeError(
-            "solver 'dp' needs a linear knapsack problem (1-D profits); "
-            f"got {type(problem).__name__} -- use 'brute_force' or 'hycim' "
-            "for quadratic objectives"
-        )
-    outcome = solve_knapsack_dp(problem)
-    result = _exact_result(problem, outcome.best_configuration, outcome.best_value, "DP")
-    return _finalize(result, seed, started)
+    with current_recorder().span("trial", solver="dp",
+                                 seed=int(seed)) as span:
+        profits = getattr(problem, "profits", None)
+        if profits is None or np.ndim(profits) != 1:
+            raise TypeError(
+                "solver 'dp' needs a linear knapsack problem (1-D profits); "
+                f"got {type(problem).__name__} -- use 'brute_force' or "
+                "'hycim' for quadratic objectives"
+            )
+        outcome = solve_knapsack_dp(problem)
+        result = _exact_result(problem, outcome.best_configuration,
+                               outcome.best_value, "DP")
+    return _finalize(result, seed, span.elapsed)
 
 
 def _brute_force_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                        seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    started = time.perf_counter()
-    outcome = solve_brute_force(problem,
-                                max_variables=int(params.get("max_variables", 22)))
-    result = _exact_result(problem, outcome.best_configuration, outcome.best_value,
-                           "BruteForce", num_evaluated=outcome.num_evaluated)
-    return _finalize(result, seed, started)
+    with current_recorder().span("trial", solver="brute_force",
+                                 seed=int(seed)) as span:
+        outcome = solve_brute_force(
+            problem, max_variables=int(params.get("max_variables", 22)))
+        result = _exact_result(problem, outcome.best_configuration,
+                               outcome.best_value, "BruteForce",
+                               num_evaluated=outcome.num_evaluated)
+    return _finalize(result, seed, span.elapsed)
 
 
 def _local_search_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                         seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    started = time.perf_counter()
-    rng = np.random.default_rng(seed)
-    if initial is None:
-        if params.get("greedy_start", False):
-            start = solve_qkp_greedy(problem).configuration
+    with current_recorder().span("trial", solver="local_search",
+                                 seed=int(seed)) as span:
+        rng = np.random.default_rng(seed)
+        if initial is None:
+            if params.get("greedy_start", False):
+                start = solve_qkp_greedy(problem).configuration
+            else:
+                start = problem.random_feasible_configuration(rng)
         else:
-            start = problem.random_feasible_configuration(rng)
-    else:
-        start = np.asarray(initial, dtype=float)
-    outcome = improve_qkp_local_search(problem, start,
-                                       max_passes=int(params.get("max_passes", 50)))
-    result = _exact_result(problem, outcome.configuration, outcome.value, "LocalSearch",
-                           num_evaluated=outcome.iterations)
-    return _finalize(result, seed, started)
+            start = np.asarray(initial, dtype=float)
+        outcome = improve_qkp_local_search(
+            problem, start, max_passes=int(params.get("max_passes", 50)))
+        result = _exact_result(problem, outcome.configuration, outcome.value,
+                               "LocalSearch", num_evaluated=outcome.iterations)
+    return _finalize(result, seed, span.elapsed)
 
 
 # --------------------------------------------------------------------- #

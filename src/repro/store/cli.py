@@ -2,10 +2,14 @@
 
 Subcommands::
 
-    list STORE                     # table of persisted runs
-    inspect STORE RUN_KEY          # manifest + per-trial table (key prefix ok)
+    list STORE [--json]            # table of persisted runs
+    inspect STORE RUN_KEY [--json] # manifest + per-trial table (key prefix ok)
     merge DEST SRC [SRC ...]       # fold source stores into DEST
     export-csv STORE [OUTPUT]      # all trials as CSV (default: trials.csv)
+
+``--json`` switches ``list`` and ``inspect`` from human tables to one JSON
+document on stdout (full run keys, params and provenance included), for
+piping into ``jq`` or downstream tooling.
 
 The CLI is read-mostly tooling for humans; campaigns and sweeps talk to the
 store through the runtime (``run_trials(..., store=...)``).  ``merge`` is the
@@ -16,6 +20,8 @@ interrupted sessions) into a single store for cross-run analysis.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from typing import Optional, Sequence
 
 from repro.store.schema import StoreError
@@ -35,12 +41,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     list_cmd = sub.add_parser("list", help="list the runs persisted in a store")
     list_cmd.add_argument("store", help="store directory")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="emit one JSON document instead of a table")
 
     inspect_cmd = sub.add_parser(
         "inspect", help="show one run's manifest and per-trial results")
     inspect_cmd.add_argument("store", help="store directory")
     inspect_cmd.add_argument("run_key",
                              help="run key (an unambiguous prefix is enough)")
+    inspect_cmd.add_argument("--json", action="store_true",
+                             help="emit one JSON document instead of a table")
 
     merge_cmd = sub.add_parser(
         "merge", help="fold one or more source stores into a destination")
@@ -55,11 +65,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dump_json(document: object) -> None:
+    print(json.dumps(document, sort_keys=True, indent=2, allow_nan=True))
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
 
     store = CampaignStore(args.store, create=False)
     runs = store.runs()
+    if args.json:
+        _dump_json([
+            {
+                "run_key": manifest.run_key,
+                "problem": manifest.problem_name,
+                "solver": manifest.solver,
+                "label": manifest.label,
+                "backend": manifest.backend,
+                "master_seed": manifest.master_seed,
+                "trials_persisted": store.num_results(manifest.run_key),
+                "trials_requested": manifest.num_trials_requested,
+                "provenance": manifest.provenance,
+            }
+            for manifest in runs
+        ])
+        return 0
     if not runs:
         print(f"{args.store}: empty store (no runs registered)")
         return 0
@@ -88,6 +118,31 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(error.args[0])
         return 1
     results = store.load_results(manifest.run_key)
+    if args.json:
+        _dump_json({
+            "run_key": manifest.run_key,
+            "problem": manifest.problem_name,
+            "instance_hash": manifest.instance_hash,
+            "solver": manifest.solver,
+            "label": manifest.label,
+            "params": manifest.params,
+            "backend": manifest.backend,
+            "master_seed": manifest.master_seed,
+            "trials_requested": manifest.num_trials_requested,
+            "provenance": manifest.provenance,
+            "trials": [
+                {
+                    "index": index,
+                    "seed": result.trial_seed,
+                    "energy": result.best_energy,
+                    "objective": result.best_objective,
+                    "feasible": result.feasible,
+                    "wall_time": result.wall_time,
+                }
+                for index, result in sorted(results.items())
+            ],
+        })
+        return 0
     print(f"run key      : {manifest.run_key}")
     print(f"instance     : {manifest.problem_name} "
           f"(content {manifest.instance_hash[:12]})")
@@ -96,6 +151,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"backend/seed : {manifest.backend} / {manifest.master_seed}")
     print(f"trials       : {len(results)} persisted "
           f"of {manifest.num_trials_requested} requested")
+    if manifest.provenance:
+        origin = manifest.provenance
+        print(f"provenance   : repro {origin.get('repro_version', '?')}, "
+              f"numpy {origin.get('numpy_version', '?')}, "
+              f"python {origin.get('python_version', '?')} "
+              f"on {origin.get('hostname', '?')}")
     if results:
         rows = [[str(index), str(result.trial_seed),
                  f"{result.best_energy:.6g}",
@@ -151,3 +212,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except StoreError as error:
         print(f"store error: {error}")
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: normal, not an error.
+        sys.stderr.close()
+        return 0

@@ -34,6 +34,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import platform
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -325,13 +326,33 @@ def deserialize_campaign_record(payload: Mapping[str, Any],
 # --------------------------------------------------------------------- #
 # Run manifest
 # --------------------------------------------------------------------- #
+def run_provenance() -> Dict[str, str]:
+    """The software/hardware environment a run was produced under.
+
+    Stored on the :class:`RunManifest` for auditability; deliberately **not**
+    part of the :func:`trial_run_key` material -- upgrading numpy or moving
+    the store to another host must keep addressing the same persisted runs.
+    """
+    import repro
+
+    return {
+        "repro_version": str(repro.__version__),
+        "numpy_version": str(np.__version__),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "hostname": platform.node(),
+    }
+
+
 @dataclass(frozen=True)
 class RunManifest:
     """Identity card of one persisted run (one line of ``manifest.jsonl``).
 
     Attributes mirror the :func:`trial_run_key` material plus bookkeeping
     that is useful for listing but not part of the key
-    (``num_trials_requested`` -- a longer re-run raises it in place).
+    (``num_trials_requested`` -- a longer re-run raises it in place, and
+    ``provenance`` -- the :func:`run_provenance` environment snapshot,
+    ``None`` for manifests written before it existed).
     """
 
     run_key: str
@@ -343,6 +364,7 @@ class RunManifest:
     master_seed: int
     backend: str
     num_trials_requested: int
+    provenance: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
@@ -362,6 +384,7 @@ class RunManifest:
                 master_seed=int(payload["master_seed"]),
                 backend=payload["backend"],
                 num_trials_requested=int(payload["num_trials_requested"]),
+                provenance=payload.get("provenance"),
             )
         except (KeyError, TypeError) as error:
             raise StoreError(f"malformed manifest entry: {error}") from error
@@ -383,6 +406,7 @@ def manifest_for_run(spec: Any, problem: Any, instance_hash: str,
         master_seed=int(master_seed),
         backend=backend,
         num_trials_requested=int(num_trials),
+        provenance=run_provenance(),
     )
 
 

@@ -5,10 +5,13 @@ Layout of a store directory::
     store/
       manifest.jsonl        # one line per registered run (identity card)
       campaigns.jsonl       # one line per campaign cell (header + statistics)
+      wall_times.jsonl      # one line per run invocation (elapsed seconds)
       shards/
         <run_key>.0000.jsonl    # one line per completed trial
         <run_key>.0001.jsonl    # next shard after rotation
         ...
+      telemetry/
+        <run_key>.jsonl         # telemetry sidecar (spans/counters/probes)
 
 Durability model
 ----------------
@@ -41,7 +44,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.annealing.result import SolveResult
 from repro.store.schema import (
@@ -57,6 +60,8 @@ from repro.store.schema import (
 _MANIFEST = "manifest.jsonl"
 _CAMPAIGNS = "campaigns.jsonl"
 _SHARD_DIR = "shards"
+_TELEMETRY_DIR = "telemetry"
+_WALL_TIMES = "wall_times.jsonl"
 _SHARD_DIGITS = 4
 
 #: CSV columns emitted by :meth:`CampaignStore.export_csv` -- one row per
@@ -296,6 +301,62 @@ class CampaignStore:
         return records
 
     # ------------------------------------------------------------------ #
+    # Telemetry sidecars + accumulated wall time
+    # ------------------------------------------------------------------ #
+    def telemetry_path(self, run_key: str) -> Path:
+        """Where ``run_key``'s telemetry sidecar lives (may not exist yet)."""
+        return self.root / _TELEMETRY_DIR / f"{run_key}.jsonl"
+
+    def telemetry_recorder(self, run_key: str,
+                           probe_interval: Optional[int] = None):
+        """A :class:`~repro.telemetry.JsonlRecorder` appending to the run's
+        sidecar (same one-complete-line-plus-flush durability as shards; the
+        recorder repairs a torn tail before its first write, so interrupted
+        and resumed sessions share one well-formed file).  Caller closes it
+        -- ``run_trials(..., telemetry=True)`` does this automatically.
+        """
+        if run_key not in self._runs:
+            raise KeyError(f"run {run_key!r} is not registered; call "
+                           "register_run before recording telemetry")
+        from repro.telemetry.recorder import (DEFAULT_PROBE_INTERVAL,
+                                              JsonlRecorder)
+
+        return JsonlRecorder(
+            self.telemetry_path(run_key),
+            probe_interval=(DEFAULT_PROBE_INTERVAL if probe_interval is None
+                            else probe_interval))
+
+    def load_telemetry(self, run_key: str) -> List[Mapping[str, Any]]:
+        """Committed telemetry events of a run (torn tail dropped; empty
+        list when the run never recorded telemetry).  Accepts an unambiguous
+        key prefix like :meth:`get_manifest`."""
+        from repro.telemetry.recorder import load_events
+
+        manifest = self.get_manifest(run_key)
+        return load_events(self.telemetry_path(manifest.run_key))
+
+    def record_wall_time(self, run_key: str, seconds: float) -> None:
+        """Log one invocation's elapsed seconds against a run.
+
+        The executor calls this after every run span -- completed or
+        interrupted -- so :meth:`accumulated_wall_time` reflects the total
+        compute ever spent producing the run's persisted trials.
+        """
+        if run_key not in self._runs:
+            raise KeyError(f"run {run_key!r} is not registered")
+        self._append_line(self.root / _WALL_TIMES,
+                          {"run_key": run_key, "seconds": float(seconds)})
+
+    def accumulated_wall_time(self, run_key: str) -> float:
+        """Total recorded seconds across every invocation of a run."""
+        total = 0.0
+        for payload in _read_jsonl(self.root / _WALL_TIMES,
+                                   tolerate_torn_tail=True):
+            if payload.get("run_key") == run_key:
+                total += float(payload.get("seconds", 0.0))
+        return total
+
+    # ------------------------------------------------------------------ #
     # Merge / export
     # ------------------------------------------------------------------ #
     def merge(self, other: "CampaignStore") -> Dict[str, int]:
@@ -304,8 +365,10 @@ class CampaignStore:
         Runs unknown here are registered; trials absent here are appended
         (trials present in both keep *this* store's version -- merging never
         rewrites existing data).  Campaign log lines are carried over for
-        runs this store had not logged.  Returns ``{"runs": ..., "trials":
-        ...}`` counts of newly added entries.
+        runs this store had not logged, telemetry sidecars for runs without
+        one here, and wall-time lines for runs with no recorded time here.
+        Returns ``{"runs": ..., "trials": ...}`` counts of newly added
+        entries.
         """
         added_runs = 0
         added_trials = 0
@@ -322,6 +385,36 @@ class CampaignStore:
             for index in sorted(set(theirs) - mine):
                 self._append_trial_payload(manifest.run_key, theirs[index])
                 added_trials += 1
+            # Telemetry is per-run observability, not mergeable result data:
+            # carry the other store's sidecar only when this store has none
+            # for the run (committed events only -- a torn tail stays behind).
+            their_sidecar = other.telemetry_path(manifest.run_key)
+            my_sidecar = self.telemetry_path(manifest.run_key)
+            if their_sidecar.exists() and not my_sidecar.exists():
+                from repro.telemetry.recorder import load_events
+
+                my_sidecar.parent.mkdir(parents=True, exist_ok=True)
+                tmp = my_sidecar.with_name(my_sidecar.name + ".tmp")
+                with tmp.open("w", encoding="utf-8") as handle:
+                    for event in load_events(their_sidecar):
+                        handle.write(json.dumps(
+                            event, sort_keys=True, separators=(",", ":"),
+                            allow_nan=True) + "\n")
+                os.replace(tmp, my_sidecar)
+        their_wall_times: Dict[str, List[Mapping[str, Any]]] = {}
+        for payload in _read_jsonl(other.root / _WALL_TIMES,
+                                   tolerate_torn_tail=True):
+            their_wall_times.setdefault(payload.get("run_key"),
+                                        []).append(payload)
+        mine_with_time = {
+            payload.get("run_key")
+            for payload in _read_jsonl(self.root / _WALL_TIMES,
+                                       tolerate_torn_tail=True)
+        }
+        for key in sorted(k for k in their_wall_times if k is not None):
+            if key not in mine_with_time and key in self._runs:
+                for payload in their_wall_times[key]:
+                    self._append_line(self.root / _WALL_TIMES, payload)
         seen_campaign_keys = {
             payload.get("run_key")
             for payload in _read_jsonl(self.root / _CAMPAIGNS,

@@ -1,0 +1,49 @@
+"""repro.telemetry -- zero-overhead-when-off observability for the solver stack.
+
+Three instruments, one event stream:
+
+- **spans** -- hierarchical timers (run -> chunk -> trial -> sweep-block);
+  the single timing code path for the runtime (``TrialBatch.wall_time`` and
+  ``SolveResult.wall_time`` are read off span elapsed times).
+- **counters** -- cumulative tallies (trials completed, cells finished).
+- **probes** -- sweep-level samples every ``probe_interval`` iterations:
+  acceptance rate, per-rung exchange rate, the paper's filter rejection
+  rate, best/mean energy, temperature, feasible-replica count -- shaped
+  ``(M,)`` per the axis contract.
+
+The default sink is :data:`NULL_RECORDER` (telemetry off; call sites reduce
+to one ``if``).  Turn it on by passing a recorder to the runtime entry
+points (``run_trials(..., telemetry=InMemoryRecorder())``), installing one
+ambiently (:func:`use_recorder`), or letting a campaign store persist a
+JSONL sidecar per run (``run_trials(..., store=store, telemetry=True)``,
+inspected with ``python -m repro.telemetry``).
+"""
+
+from repro.telemetry.analyze import (build_timeline, counter_totals,
+                                     probe_rows, probe_summary, span_summary)
+from repro.telemetry.probes import SweepProbe
+from repro.telemetry.recorder import (DEFAULT_PROBE_INTERVAL, InMemoryRecorder,
+                                      JsonlRecorder, NullRecorder,
+                                      NULL_RECORDER, Span, TelemetryError,
+                                      current_recorder, load_events,
+                                      set_recorder, use_recorder)
+
+__all__ = [
+    "DEFAULT_PROBE_INTERVAL",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "SweepProbe",
+    "TelemetryError",
+    "build_timeline",
+    "counter_totals",
+    "current_recorder",
+    "load_events",
+    "probe_rows",
+    "probe_summary",
+    "set_recorder",
+    "span_summary",
+    "use_recorder",
+]

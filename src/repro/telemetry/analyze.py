@@ -1,0 +1,183 @@
+"""Pure functions over telemetry event streams (no I/O, no solver imports).
+
+These back both ``python -m repro.telemetry`` and programmatic consumers:
+given the list of event dicts a recorder produced (or
+:func:`repro.telemetry.load_events` read back), they fold spans into timing
+summaries, counters into totals, and probes into per-name statistics or
+flat CSV rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def span_summary(events: Sequence[Mapping[str, Any]]
+                 ) -> Dict[str, Dict[str, float]]:
+    """Per span name: ``count``, ``total`` and ``mean`` elapsed seconds."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("kind") != "span_end":
+            continue
+        row = summary.setdefault(event["name"],
+                                 {"count": 0, "total": 0.0, "mean": 0.0})
+        row["count"] += 1
+        row["total"] += float(event.get("elapsed") or 0.0)
+    for row in summary.values():
+        row["mean"] = row["total"] / row["count"]
+    return summary
+
+
+def counter_totals(events: Sequence[Mapping[str, Any]]) -> Dict[str, float]:
+    """Final cumulative total per counter name (events are seq-ordered)."""
+    totals: Dict[str, float] = {}
+    for event in events:
+        if event.get("kind") == "counter":
+            totals[event["name"]] = event.get("total", 0)
+    return totals
+
+
+def _replica_mean(value: Any) -> Optional[float]:
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, list) and value:
+        flat: List[float] = []
+        for entry in value:
+            entry = _replica_mean(entry)
+            if entry is not None:
+                flat.append(entry)
+        return _mean(flat)
+    return None
+
+
+def probe_summary(events: Sequence[Mapping[str, Any]]
+                  ) -> Dict[str, Dict[str, Any]]:
+    """Per probe name: sample count, last iteration, mean rates, best energy."""
+    summary: Dict[str, Dict[str, Any]] = {}
+    tracked = ("accept_rate", "filter_reject_rate", "exchange_rate")
+    samples: Dict[str, Dict[str, List[float]]] = {}
+    for event in events:
+        if event.get("kind") != "probe":
+            continue
+        name = event["name"]
+        row = summary.setdefault(name, {"count": 0, "last_iteration": None,
+                                        "best_energy": None})
+        rates = samples.setdefault(name, {key: [] for key in tracked})
+        row["count"] += 1
+        if event.get("iteration") is not None:
+            row["last_iteration"] = event["iteration"]
+        values = event.get("values") or {}
+        for key in tracked:
+            mean = _replica_mean(values.get(key))
+            if mean is not None:
+                rates[key].append(mean)
+        best = values.get("best_energy")
+        if isinstance(best, list) and best:
+            low = min(float(b) for b in best)
+            if row["best_energy"] is None or low < row["best_energy"]:
+                row["best_energy"] = low
+    for name, row in summary.items():
+        for key in tracked:
+            row[f"mean_{key}"] = _mean(samples[name][key])
+    return summary
+
+
+def build_timeline(events: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Render the span tree (with probe leaves) as indented text lines.
+
+    Spans from multiple sessions of one sidecar render sequentially; a span
+    whose ``span_end`` never landed (killed run) shows as ``[torn]``.
+    """
+    elapsed: Dict[Tuple[Any, Any], float] = {}
+    for event in events:
+        if event.get("kind") == "span_end":
+            key = (event.get("session"), event.get("span"))
+            elapsed[key] = float(event.get("elapsed") or 0.0)
+    lines: List[str] = []
+    depth: Dict[Tuple[Any, Any], int] = {}
+    open_spans: List[Tuple[Any, Any]] = []
+    sessions_seen: List[Any] = []
+    for event in events:
+        kind = event.get("kind")
+        session = event.get("session")
+        if session not in sessions_seen:
+            sessions_seen.append(session)
+            open_spans = [key for key in open_spans if key[0] == session]
+            if len(sessions_seen) > 1:
+                lines.append(f"-- session {session or '?'} --")
+        if kind == "span_start":
+            key = (session, event.get("span"))
+            parent = (session, event.get("parent"))
+            level = depth.get(parent, -1) + 1
+            depth[key] = level
+            open_spans.append(key)
+            attrs = {name: value for name, value in event.items()
+                     if name not in ("kind", "name", "span", "parent",
+                                     "seq", "t", "session")}
+            note = (" " + " ".join(f"{n}={v}" for n, v in sorted(attrs.items()))
+                    if attrs else "")
+            duration = elapsed.get(key)
+            stamp = "[torn]" if duration is None else f"{duration:.3f}s"
+            lines.append(f"{'  ' * level}{event['name']}{note}  {stamp}")
+        elif kind == "span_end":
+            key = (session, event.get("span"))
+            if key in open_spans:
+                open_spans.remove(key)
+        elif kind == "probe":
+            parent = open_spans[-1] if open_spans else None
+            level = depth.get(parent, -1) + 1
+            values = event.get("values") or {}
+            best = _replica_mean(values.get("best_energy"))
+            accept = _replica_mean(values.get("accept_rate"))
+            reject = _replica_mean(values.get("filter_reject_rate"))
+            bits = [f"probe {event['name']} iter={event.get('iteration')}"]
+            if best is not None:
+                bits.append(f"best={best:.6g}")
+            if accept is not None:
+                bits.append(f"accept={accept:.2f}")
+            if reject is not None:
+                bits.append(f"reject={reject:.2f}")
+            lines.append("  " * level + " ".join(bits))
+    return lines
+
+
+def probe_rows(events: Sequence[Mapping[str, Any]]
+               ) -> Tuple[List[str], List[List[Any]]]:
+    """Flatten probes to CSV-able rows: one row per (probe event, replica).
+
+    Vector values (``(M,)`` lists) contribute the replica's entry; scalar
+    values repeat on every replica row of their event.
+    """
+    vector_keys: List[str] = []
+    scalar_keys: List[str] = []
+    probes = [e for e in events if e.get("kind") == "probe"]
+    for event in probes:
+        for key, value in (event.get("values") or {}).items():
+            bucket = vector_keys if isinstance(value, list) else scalar_keys
+            if key not in bucket:
+                bucket.append(key)
+    header = (["seq", "t", "name", "solver", "engine", "iteration", "replica"]
+              + sorted(vector_keys) + sorted(scalar_keys))
+    rows: List[List[Any]] = []
+    for event in probes:
+        values = event.get("values") or {}
+        replicas = max([len(v) for v in values.values()
+                        if isinstance(v, list)] or [1])
+        for replica in range(replicas):
+            row: List[Any] = [event.get("seq"), event.get("t"),
+                              event.get("name"), event.get("solver"),
+                              event.get("engine"), event.get("iteration"),
+                              replica]
+            for key in sorted(vector_keys):
+                value = values.get(key)
+                row.append(value[replica]
+                           if isinstance(value, list) and replica < len(value)
+                           else None)
+            for key in sorted(scalar_keys):
+                row.append(values.get(key))
+            rows.append(row)
+    return header, rows

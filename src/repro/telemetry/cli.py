@@ -1,0 +1,157 @@
+"""``python -m repro.telemetry`` -- the operator view over telemetry sidecars.
+
+Subcommands::
+
+    summarize TARGET [RUN_KEY]    # span timings, counter totals, probe stats
+    timeline  TARGET [RUN_KEY]    # indented span tree with probe leaves
+    export-csv TARGET [RUN_KEY] [-o OUT]   # probes as CSV (default stdout)
+
+``TARGET`` is either a telemetry JSONL file directly, or a campaign-store
+directory -- in which case ``RUN_KEY`` (an unambiguous prefix is enough)
+selects which run's sidecar to read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.analyze import (build_timeline, counter_totals,
+                                     probe_rows, probe_summary, span_summary)
+from repro.telemetry.recorder import TelemetryError, load_events
+
+
+def _resolve_events(target: str,
+                    run_key: Optional[str]) -> List[Dict[str, Any]]:
+    path = Path(target)
+    if path.is_dir():
+        from repro.store.store import CampaignStore
+
+        store = CampaignStore(path, create=False)
+        if run_key is None:
+            raise SystemExit(
+                f"{target} is a store directory; a run key is required "
+                "(see `python -m repro.store list`)")
+        manifest = store.get_manifest(run_key)
+        sidecar = store.telemetry_path(manifest.run_key)
+        if not sidecar.exists():
+            raise SystemExit(f"run {manifest.run_key[:12]} has no telemetry "
+                             f"sidecar in {target}")
+        return load_events(sidecar)
+    if not path.exists():
+        raise SystemExit(f"{target}: no such file or store directory")
+    return load_events(path)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize, render and export telemetry sidecars.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+            ("summarize", "span timings, counter totals and probe statistics"),
+            ("timeline", "indented span tree with probe leaves"),
+            ("export-csv", "flatten probes to CSV rows")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("target",
+                         help="telemetry JSONL file or store directory")
+        cmd.add_argument("run_key", nargs="?",
+                         help="run key when TARGET is a store (prefix ok)")
+        if name == "export-csv":
+            cmd.add_argument("-o", "--output", default=None,
+                             help="output CSV path (default: stdout)")
+    return parser
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _cmd_summarize(events: List[Dict[str, Any]],
+                   args: argparse.Namespace) -> int:
+    print(f"{len(events)} event(s)")
+    spans = span_summary(events)
+    if spans:
+        print("spans:")
+        for name, row in sorted(spans.items(),
+                                key=lambda item: -item[1]["total"]):
+            print(f"  {name:<14} count={row['count']:<6} "
+                  f"total={row['total']:.3f}s mean={row['mean']:.4f}s")
+    counters = counter_totals(events)
+    if counters:
+        print("counters:")
+        for name, total in sorted(counters.items()):
+            print(f"  {name:<26} {_fmt(total)}")
+    probes = probe_summary(events)
+    if probes:
+        print("probes:")
+        for name, row in sorted(probes.items()):
+            print(f"  {name}: {row['count']} sample(s), "
+                  f"last iteration {_fmt(row['last_iteration'])}, "
+                  f"best energy {_fmt(row['best_energy'])}")
+            for key in ("accept_rate", "filter_reject_rate", "exchange_rate"):
+                mean = row.get(f"mean_{key}")
+                if mean is not None:
+                    print(f"    mean {key:<20} {mean:.3f}")
+    return 0
+
+
+def _cmd_timeline(events: List[Dict[str, Any]],
+                  args: argparse.Namespace) -> int:
+    lines = build_timeline(events)
+    if not lines:
+        print("no span or probe events recorded")
+        return 0
+    for line in lines:
+        print(line)
+    return 0
+
+
+def _cmd_export(events: List[Dict[str, Any]],
+                args: argparse.Namespace) -> int:
+    header, rows = probe_rows(events)
+    if args.output is None:
+        writer = csv.writer(sys.stdout)
+        writer.writerow(header)
+        writer.writerows(rows)
+    else:
+        with open(args.output, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        print(f"wrote {len(rows)} probe row(s) to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "summarize": _cmd_summarize,
+    "timeline": _cmd_timeline,
+    "export-csv": _cmd_export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    try:
+        events = _resolve_events(args.target, args.run_key)
+        return _COMMANDS[args.command](events, args)
+    except KeyError as error:
+        print(error.args[0])
+        return 1
+    except TelemetryError as error:
+        print(f"telemetry error: {error}")
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: normal, not an error.
+        sys.stderr.close()
+        return 0

@@ -1,0 +1,104 @@
+"""Sweep-level probe helpers shared by the scalar annealing loops.
+
+The batched engines probe through :class:`repro.dynamics.driver.LoopDriver`
+(which owns the replica axis and the exchange counters); the scalar loops in
+``repro.annealing`` -- :class:`SimulatedAnnealer`, :class:`HyCiMSolver` and
+the D-QUBO crossbar path -- share this :class:`SweepProbe` instead.  Both
+emit the same ``"sweep"`` probe schema with ``(M,)``-shaped value lists
+(``M = 1`` here), so downstream analysis never needs to know which engine
+produced a sidecar.
+
+Rates are *windowed*: each probe reports the acceptance / filter-rejection
+fraction over the iterations since the previous probe (deltas of the loop's
+cumulative counters), not a lifetime average -- a collapsing acceptance rate
+late in a schedule is the signal operators look for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.recorder import NullRecorder, Span
+
+
+class SweepProbe:
+    """Per-iteration probe cadence for one scalar annealing loop.
+
+    Cost when telemetry is off: ``self.every`` is ``0`` and every call site
+    guards with ``if probe.every:``, so the loop pays one attribute load and
+    one integer test per iteration.  When on, the probe also brackets the
+    iterations between samples in ``sweep_block`` spans, giving the timeline
+    view per-window timing without per-iteration span overhead.
+    """
+
+    __slots__ = ("every", "_recorder", "_solver", "_num_iterations",
+                 "_last_iteration", "_block",
+                 "_seen_feasible", "_seen_skipped", "_seen_accepted")
+
+    def __init__(self, recorder: NullRecorder, solver: str,
+                 num_iterations: int) -> None:
+        self._recorder = recorder
+        self._solver = solver
+        self._num_iterations = int(num_iterations)
+        self.every = int(recorder.probe_interval) if recorder.enabled else 0
+        self._last_iteration = -1
+        self._seen_feasible = 0
+        self._seen_skipped = 0
+        self._seen_accepted = 0
+        self._block: Optional[Span] = None
+        if self.every:
+            self._block = recorder.span("sweep_block", solver=solver)
+            self._block.__enter__()
+
+    def maybe(self, iteration: int, *, temperature: float, energy: float,
+              best_energy: float, num_feasible: int, num_skipped: int,
+              num_accepted: int, feasible: Optional[bool] = None) -> None:
+        """Sample if ``iteration`` (0-based) ends a probe window.
+
+        The counter arguments are the loop's cumulative tallies; the probe
+        publishes deltas against its previous snapshot.  The final iteration
+        always probes so short runs still leave a record.
+        """
+        done = iteration + 1 == self._num_iterations
+        if not (done or (iteration + 1) % self.every == 0):
+            return
+        if iteration == self._last_iteration:
+            return
+        self._last_iteration = iteration
+        if self._block is not None:
+            self._block.__exit__(None, None, None)
+        delta_feasible = num_feasible - self._seen_feasible
+        delta_skipped = num_skipped - self._seen_skipped
+        delta_accepted = num_accepted - self._seen_accepted
+        proposals = delta_feasible + delta_skipped
+        values = {
+            "temperature": [float(temperature)],
+            "energy": [float(energy)],
+            "best_energy": [float(best_energy)],
+            "mean_energy": float(energy),
+            "accept_rate": [delta_accepted / max(delta_feasible, 1)],
+            "filter_reject_rate": [delta_skipped / max(proposals, 1)],
+            "proposals_total": [num_feasible + num_skipped],
+            "accepted_total": [num_accepted],
+            "rejected_total": [num_feasible - num_accepted],
+        }
+        if feasible is not None:
+            values["feasible_replicas"] = int(feasible)
+        self._recorder.probe("sweep", iteration=iteration + 1,
+                             solver=self._solver, engine="scalar",
+                             replicas=1, values=values)
+        self._seen_feasible = num_feasible
+        self._seen_skipped = num_skipped
+        self._seen_accepted = num_accepted
+        if done:
+            self._block = None
+        else:
+            self._block = self._recorder.span("sweep_block",
+                                              solver=self._solver)
+            self._block.__enter__()
+
+    def finish(self) -> None:
+        """Close a dangling sweep block (loop exited before the last probe)."""
+        if self._block is not None:
+            self._block.__exit__(None, None, None)
+            self._block = None

@@ -1,0 +1,380 @@
+"""Recorders: the event sinks behind the telemetry layer.
+
+A *recorder* receives structured events -- spans, counters, probes -- from
+instrumented call sites across the solver stack and either drops them
+(:class:`NullRecorder`, the default), buffers them
+(:class:`InMemoryRecorder`) or appends them to a JSONL file
+(:class:`JsonlRecorder`, the store sidecar format).
+
+Zero overhead when off
+----------------------
+Telemetry must not tax the hot loops it observes.  Every per-iteration call
+site therefore guards on a single precomputed flag::
+
+    probe_every = recorder.probe_interval if recorder.enabled else 0
+    ...
+    if probe_every and (iteration + 1) % probe_every == 0:
+        recorder.probe(...)
+
+so a disabled recorder costs one integer test per iteration -- pinned below
+3% on the vectorized QKP benchmark by
+``benchmarks/test_bench_telemetry_overhead.py``.  Spans are the exception:
+they *always* time (two ``perf_counter`` calls), because they replaced the
+runtime's ad-hoc timing math as the single timing code path -- they emit
+events only when the recorder is enabled.
+
+Determinism
+-----------
+Recorders never consume solver RNG streams and never feed solver state, so
+running with any recorder -- live or null -- produces bit-identical
+trajectories, results and store fingerprints.  The ambient recorder travels
+*outside* solver params for the same reason: a recorder inside the params
+would perturb the store's content-addressed run keys.
+
+Ambient recorder
+----------------
+Instrumented code fetches the process-wide current recorder via
+:func:`current_recorder`; :func:`use_recorder` swaps it for the duration of
+a ``with`` block (the executor does this around every run).  Worker
+processes of the ``"process"`` backend start with the default
+:class:`NullRecorder` -- recorders are deliberately not shipped to workers
+(a JSONL sidecar must have one writer) -- so worker-internal events are
+dropped while the parent still records per-chunk spans.
+
+Event schema
+------------
+Every event is one JSON-serializable dict carrying ``kind`` (``span_start``,
+``span_end``, ``counter`` or ``probe``), ``name``, a per-recorder monotonic
+``seq`` and a wall-clock ``t`` (``time.time()``).  Span events add ``span``
+(id) / ``parent``; ``span_end`` adds ``elapsed`` seconds.  Counter events
+add ``value`` and the cumulative ``total``.  Probe events add ``iteration``
+and a ``values`` mapping whose per-replica entries are ``(M,)`` lists,
+matching the axis contract of the batched engines (``M = 1`` for scalar
+solvers).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
+
+#: Iterations between sweep probes when the caller does not override it.
+DEFAULT_PROBE_INTERVAL = 100
+
+
+class TelemetryError(RuntimeError):
+    """A persisted telemetry sidecar is malformed."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and nested containers) to JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:  # numpy arrays and scalars
+        return _jsonable(tolist())
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    return repr(value)
+
+
+class Span:
+    """A hierarchical timer: always times, emits only when recording.
+
+    Spans are the runtime's *single* timing code path -- ``run_trials``, the
+    batched trial functions and the scalar trial functions all read their
+    wall time from ``span.elapsed`` after the ``with`` block exits -- so the
+    two ``perf_counter`` calls happen for every recorder, null included.
+    Event emission (``span_start`` / ``span_end`` with parent links) is
+    skipped entirely on a disabled recorder.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "elapsed",
+                 "_recorder", "_started")
+
+    def __init__(self, recorder: "NullRecorder", name: str,
+                 attrs: Mapping[str, Any]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        recorder = self._recorder
+        if recorder.enabled:
+            self.span_id = recorder._next_span_id()
+            stack = recorder._span_stack
+            self.parent_id = stack[-1] if stack else None
+            stack.append(self.span_id)
+            recorder.emit({"kind": "span_start", "name": self.name,
+                           "span": self.span_id, "parent": self.parent_id,
+                           **_jsonable(dict(self.attrs))})
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = time.perf_counter() - self._started
+        recorder = self._recorder
+        if recorder.enabled and self.span_id is not None:
+            stack = recorder._span_stack
+            if stack and stack[-1] == self.span_id:
+                stack.pop()
+            recorder.emit({"kind": "span_end", "name": self.name,
+                           "span": self.span_id, "parent": self.parent_id,
+                           "elapsed": self.elapsed})
+        return False
+
+
+class NullRecorder:
+    """The default recorder: drops everything, costs one ``if`` per site.
+
+    Also the base class of the real recorders -- subclasses flip
+    ``enabled`` and implement :meth:`_write`.  ``subscribe`` on a null
+    recorder returns a working unsubscribe handle but the callback never
+    fires (nothing is emitted).
+    """
+
+    enabled = False
+
+    def __init__(self, probe_interval: int = DEFAULT_PROBE_INTERVAL) -> None:
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be positive")
+        self.probe_interval = int(probe_interval)
+        self._seq = 0
+        self._span_ids = 0
+        self._span_stack: List[int] = []
+        self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
+        self._totals: Dict[str, Union[int, float]] = {}
+
+    # -- emission ------------------------------------------------------- #
+    def _next_span_id(self) -> int:
+        self._span_ids += 1
+        return self._span_ids
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        pass
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Stamp ``seq``/``t`` on one event, sink it, notify subscribers."""
+        if not self.enabled:
+            return
+        payload = dict(event)
+        payload["seq"] = self._seq
+        self._seq += 1
+        payload["t"] = time.time()
+        self._write(payload)
+        for callback in tuple(self._subscribers):
+            callback(payload)
+
+    # -- instruments ---------------------------------------------------- #
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A hierarchical timer (see :class:`Span`); use as ``with`` block."""
+        return Span(self, name, attrs)
+
+    def counter(self, name: str, value: Union[int, float] = 1,
+                **attrs: Any) -> None:
+        """Add ``value`` to the named cumulative counter and emit the event."""
+        if not self.enabled:
+            return
+        total = self._totals.get(name, 0) + value
+        self._totals[name] = total
+        self.emit({"kind": "counter", "name": name,
+                   "value": _jsonable(value), "total": _jsonable(total),
+                   **_jsonable(dict(attrs))})
+
+    def probe(self, name: str, iteration: Optional[int] = None,
+              values: Optional[Mapping[str, Any]] = None,
+              **attrs: Any) -> None:
+        """Emit one sampled measurement (per-replica values as lists)."""
+        if not self.enabled:
+            return
+        self.emit({"kind": "probe", "name": name,
+                   "iteration": None if iteration is None else int(iteration),
+                   "values": _jsonable(dict(values or {})),
+                   **_jsonable(dict(attrs))})
+
+    @property
+    def totals(self) -> Dict[str, Union[int, float]]:
+        """Cumulative counter totals seen so far."""
+        return dict(self._totals)
+
+    # -- event bus ------------------------------------------------------ #
+    def subscribe(self, callback: Callable[[Dict[str, Any]], None]
+                  ) -> Callable[[], None]:
+        """Call ``callback(event)`` on every emitted event.
+
+        Returns an unsubscribe function.  This is the hook a streaming
+        consumer (e.g. a future async solve service) attaches to -- events
+        arrive in ``seq`` order, synchronously with the emitting call site.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+
+class InMemoryRecorder(NullRecorder):
+    """Buffers every event in ``self.events`` (tests, notebooks, tuning)."""
+
+    enabled = True
+
+    def __init__(self, probe_interval: int = DEFAULT_PROBE_INTERVAL) -> None:
+        super().__init__(probe_interval)
+        self.events: List[Dict[str, Any]] = []
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def events_of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def probes(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == "probe"
+                and (name is None or e["name"] == name)]
+
+
+class JsonlRecorder(NullRecorder):
+    """Appends one JSON line per event: the store-sidecar format.
+
+    Follows the same durability discipline as the campaign store's shards
+    (append one complete line, flush; see :mod:`repro.store.store`): a crash
+    can tear at most the final line, which :func:`load_events` drops and
+    which opening the file for appending truncates away *before* the first
+    new write -- so events from a killed run and its resumed successor
+    coexist in one well-formed file.
+
+    Each recorder instance stamps its events with a ``session`` id (start
+    time + pid + per-process counter), so a resumed run's events are
+    distinguishable from the interrupted session's -- including back-to-back
+    sessions inside one process; ``seq`` is monotonic per session.
+    """
+
+    enabled = True
+
+    _session_counter = itertools.count()
+
+    def __init__(self, path: Union[str, Path],
+                 probe_interval: int = DEFAULT_PROBE_INTERVAL) -> None:
+        super().__init__(probe_interval)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _repair_torn_tail(self.path)
+        self.session = (f"{int(time.time() * 1000):x}-{os.getpid()}"
+                        f"-{next(self._session_counter)}")
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        event["session"] = self.session
+        self._handle.write(json.dumps(event, sort_keys=True,
+                                      separators=(",", ":"),
+                                      allow_nan=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def load(self) -> List[Dict[str, Any]]:
+        """Re-read every committed event from disk (torn tail dropped)."""
+        self._handle.flush()
+        return load_events(self.path)
+
+
+def _repair_torn_tail(path: Path) -> None:
+    """Truncate an unterminated final line before appending behind it.
+
+    Mirrors the store's active-shard repair: writing after a torn tail
+    would weld two records into one corrupt mid-file line that no later
+    read could recover from.
+    """
+    if not path.exists():
+        return
+    raw = path.read_bytes()
+    if raw and not raw.endswith(b"\n"):
+        keep = raw.rfind(b"\n") + 1
+        with path.open("rb+") as handle:
+            handle.truncate(keep)
+
+
+def load_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a telemetry JSONL sidecar, forgiving a torn final line.
+
+    A record only counts as committed once its terminating newline is on
+    disk (the store's rule), so an unterminated final line is dropped even
+    when its prefix parses; a malformed line anywhere else is real
+    corruption and raises :class:`TelemetryError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    content = path.read_text(encoding="utf-8")
+    lines = content.splitlines()
+    unterminated = bool(content) and not content.endswith("\n")
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines):
+        last = number == len(lines) - 1
+        if not line.strip():
+            continue
+        if last and unterminated:
+            break
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TelemetryError(f"{path}:{number + 1}: corrupt line") from error
+        if not isinstance(payload, dict):
+            raise TelemetryError(f"{path}:{number + 1}: expected a JSON object")
+        events.append(payload)
+    return events
+
+
+#: The process-wide default: telemetry off.
+NULL_RECORDER = NullRecorder()
+
+_current: NullRecorder = NULL_RECORDER
+
+
+def current_recorder() -> NullRecorder:
+    """The ambient recorder instrumented call sites report to."""
+    return _current
+
+
+def set_recorder(recorder: Optional[NullRecorder]) -> NullRecorder:
+    """Install ``recorder`` (``None`` = the null default); returns the old one."""
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: Optional[NullRecorder]) -> Iterator[NullRecorder]:
+    """Make ``recorder`` ambient for the duration of the ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield current_recorder()
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,148 @@
+"""Hypothesis properties for the telemetry layer.
+
+The invariants the analysis tooling rests on:
+
+* span events are well-formed: every ``span_end`` matches an open
+  ``span_start``, parents are the enclosing open span (LIFO), and a fully
+  unwound recorder leaves no span open;
+* counter totals are monotone (for non-negative increments) and equal the
+  running sum of emitted values;
+* ``seq`` is strictly increasing and ``t`` non-decreasing across any emitted
+  event sequence, whatever mix of instruments produced it;
+* JSONL persistence is lossless for committed events under arbitrary
+  interleavings.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import InMemoryRecorder, JsonlRecorder
+
+# A program: a sequence of instrument operations. Span ops are balanced by
+# construction (we interpret "open" ops against a stack and close the rest).
+operation = st.one_of(
+    st.tuples(st.just("open"), st.sampled_from(["run", "chunk", "trial"])),
+    st.just(("close",)),
+    st.tuples(st.just("counter"), st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=0, max_value=100)),
+    st.tuples(st.just("probe"), st.integers(min_value=0, max_value=10_000),
+              st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                 width=32),
+                       min_size=1, max_size=4)),
+)
+
+
+def _run_program(recorder, program):
+    stack = []
+    for op in program:
+        if op[0] == "open":
+            stack.append(recorder.span(op[1]).__enter__())
+        elif op[0] == "close":
+            if stack:
+                stack.pop().__exit__(None, None, None)
+        elif op[0] == "counter":
+            recorder.counter(op[1], op[2])
+        else:
+            recorder.probe("sweep", iteration=op[1],
+                           values={"energy": op[2]})
+    while stack:
+        stack.pop().__exit__(None, None, None)
+
+
+class TestSpanNesting:
+    @given(program=st.lists(operation, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_spans_well_formed(self, program):
+        recorder = InMemoryRecorder()
+        _run_program(recorder, program)
+        open_spans = {}   # span id -> parent id
+        for event in recorder.events:
+            if event["kind"] == "span_start":
+                assert event["span"] not in open_spans
+                open_spans[event["span"]] = event["parent"]
+            elif event["kind"] == "span_end":
+                assert event["span"] in open_spans
+                assert event["parent"] == open_spans.pop(event["span"])
+                assert event["elapsed"] >= 0
+        assert open_spans == {}  # fully unwound
+
+    @given(program=st.lists(operation, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_parent_is_enclosing_open_span(self, program):
+        recorder = InMemoryRecorder()
+        _run_program(recorder, program)
+        stack = []
+        for event in recorder.events:
+            if event["kind"] == "span_start":
+                assert event["parent"] == (stack[-1] if stack else None)
+                stack.append(event["span"])
+            elif event["kind"] == "span_end":
+                assert stack and stack[-1] == event["span"]
+                stack.pop()
+
+
+class TestCounterMonotonicity:
+    @given(increments=st.lists(
+        st.tuples(st.sampled_from(["a", "b"]),
+                  st.integers(min_value=0, max_value=1000)),
+        max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_totals_are_running_sums(self, increments):
+        recorder = InMemoryRecorder()
+        expected = {}
+        for name, value in increments:
+            recorder.counter(name, value)
+            expected[name] = expected.get(name, 0) + value
+        assert recorder.totals == expected
+        last_total = {}
+        for event in recorder.events_of_kind("counter"):
+            name = event["name"]
+            assert event["total"] >= last_total.get(name, 0)
+            assert event["total"] == last_total.get(name, 0) + event["value"]
+            last_total[name] = event["total"]
+
+
+class TestEventOrdering:
+    @given(program=st.lists(operation, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_seq_strictly_increasing_t_non_decreasing(self, program):
+        recorder = InMemoryRecorder()
+        _run_program(recorder, program)
+        seqs = [event["seq"] for event in recorder.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        times = [event["t"] for event in recorder.events]
+        assert times == sorted(times)
+
+    @given(program=st.lists(operation, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_probe_iterations_preserved_in_order(self, program):
+        recorder = InMemoryRecorder()
+        _run_program(recorder, program)
+        emitted = [event["iteration"] for event in recorder.events
+                   if event["kind"] == "probe"]
+        expected = [op[1] for op in program if op[0] == "probe"]
+        assert emitted == expected
+
+
+class TestJsonlRoundTrip:
+    @given(program=st.lists(operation, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_persisted_events_match_memory(self, program, tmp_path_factory):
+        root = tmp_path_factory.mktemp("telemetry")
+        memory = InMemoryRecorder()
+        _run_program(memory, program)
+        with JsonlRecorder(root / "events.jsonl") as disk:
+            _run_program(disk, program)
+            loaded = disk.load()
+        assert len(loaded) == len(memory.events)
+        for from_disk, from_memory in zip(loaded, memory.events):
+            for key, value in from_memory.items():
+                if key in ("t", "elapsed"):  # wall-clock, never identical
+                    continue
+                if isinstance(value, float):
+                    assert from_disk[key] == value or (
+                        np.isnan(value) and np.isnan(from_disk[key]))
+                else:
+                    assert from_disk[key] == value

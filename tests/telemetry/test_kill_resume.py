@@ -1,0 +1,124 @@
+"""Kill-mid-run durability: a tempering run's sidecar survives a hard death.
+
+A child process runs a vectorized parallel-tempering sweep with
+``telemetry=True``, dies via ``os._exit`` mid-sweep (after a fixed number of
+probes) leaving a deliberately torn final line, and the parent then resumes
+the same run against the same store.  The acceptance contract: the persisted
+probes -- per-rung accept/exchange rates, filter rejection rates -- survive
+the kill, the resumed session appends cleanly behind the repaired tail, and
+the resumed results are fingerprint-identical to an uninterrupted run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dynamics import ParallelTempering
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import aggregate_trials, run_trials, statistics_fingerprint
+from repro.store import CampaignStore
+from repro.telemetry import load_events
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+HYCIM_FAST = {"num_iterations": 60, "move_generator": "knapsack",
+              "use_hardware": False}
+
+_CHILD = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.dynamics import ParallelTempering
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import run_trials
+from repro.store import CampaignStore
+
+root, kill_after = sys.argv[1], int(sys.argv[2])
+
+class DyingStore(CampaignStore):
+    # Kill the process after ``kill_after`` persisted probes, tearing the
+    # sidecar's final line exactly as a SIGKILL mid-write would.
+    def telemetry_recorder(self, run_key, probe_interval=None):
+        recorder = super().telemetry_recorder(run_key, probe_interval=5)
+        seen = [0]
+        def killer(event):
+            if event["kind"] != "probe":
+                return
+            seen[0] += 1
+            if seen[0] >= kill_after:
+                recorder._handle.write('{{"kind":"probe","name":"swee')
+                recorder._handle.flush()
+                os._exit(3)
+        recorder.subscribe(killer)
+        return recorder
+
+problem = generate_qkp_instance(num_items=14, density=0.5, max_weight=8,
+                                seed=51, name="kill_telemetry")
+run_trials(problem, ("hycim", {hycim!r}), num_trials=4, master_seed=17,
+           backend="vectorized",
+           dynamics=ParallelTempering(exchange_interval=5),
+           store=DyingStore(root), telemetry=True)
+os._exit(9)   # run unexpectedly completed
+""".format(src=str(SRC), hycim=HYCIM_FAST)
+
+
+@pytest.mark.slow
+def test_killed_tempering_run_keeps_probes_and_resumes(tmp_path):
+    problem = generate_qkp_instance(num_items=14, density=0.5, max_weight=8,
+                                    seed=51, name="kill_telemetry")
+    run_args = dict(num_trials=4, master_seed=17, backend="vectorized")
+
+    def dynamics():
+        return ParallelTempering(exchange_interval=5)
+
+    uninterrupted = run_trials(problem, ("hycim", HYCIM_FAST),
+                               dynamics=dynamics(), **run_args)
+
+    script = tmp_path / "child.py"
+    script.write_text(_CHILD)
+    child = subprocess.run(
+        [sys.executable, str(script), str(tmp_path / "store"), "4"],
+        capture_output=True, text=True, timeout=300)
+    assert child.returncode == 3, child.stderr
+
+    store = CampaignStore(tmp_path / "store")
+    manifests = store.runs()
+    assert len(manifests) == 1
+    run_key = manifests[0].run_key
+
+    # The dead session's committed probes survive; the torn line is dropped.
+    sidecar = store.telemetry_path(run_key)
+    assert not sidecar.read_text().endswith("\n")  # really torn on disk
+    killed_events = store.load_telemetry(run_key)
+    killed_probes = [e for e in killed_events if e["kind"] == "probe"]
+    assert len(killed_probes) == 4
+    values = killed_probes[-1]["values"]
+    assert len(values["exchange_rate"]) == 4       # per-rung, (M,)
+    assert len(values["filter_reject_rate"]) == 4
+    assert len(values["accept_rate"]) == 4
+
+    # Resume against the same store: identical results, sidecar extended.
+    resumed = run_trials(problem, ("hycim", HYCIM_FAST), dynamics=dynamics(),
+                         store=store, telemetry=True, **run_args)
+    assert statistics_fingerprint(aggregate_trials(resumed)) == \
+        statistics_fingerprint(aggregate_trials(uninterrupted))
+    np.testing.assert_array_equal(resumed.best_energies,
+                                  uninterrupted.best_energies)
+
+    events = store.load_telemetry(run_key)
+    sessions = {e["session"] for e in events}
+    assert len(sessions) == 2
+    # The resumed session repaired the tail before appending: the file is
+    # fully well-formed again and holds the dead session's probes plus a
+    # complete probe sequence from the resumed sweep.
+    assert sidecar.read_text().endswith("\n")
+    assert load_events(sidecar) == events
+    final_session = [e for e in events if e["kind"] == "probe"
+                     and e["session"] != killed_probes[0]["session"]]
+    assert [p["iteration"] for p in final_session][-1] == \
+        HYCIM_FAST["num_iterations"]
+    last = final_session[-1]["values"]
+    assert len(last["exchange_rate"]) == 4
+    assert all(0.0 <= rate <= 1.0 for rate in last["exchange_rate"])
