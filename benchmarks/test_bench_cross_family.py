@@ -1,0 +1,47 @@
+"""Pinned cross-family success-rate benchmark.
+
+Every registered problem family solved end-to-end through HyCiM with its
+registered move generator, schedule and filter split, scored against the
+family's exact reference optimum.  The run is deterministic (fixed seeds,
+software mode), so the asserted floors are pins, not statistics: a drop
+means a real regression in a family's transformation, moves or schedule.
+"""
+
+from repro.analysis import run_family_study
+from repro.analysis.reporting import format_table
+from repro.problems import family_names
+
+NUM_TRIALS = 10
+SA_ITERATIONS = 400
+SEED = 11
+
+# Per-family floors measured at the pin point (all families currently reach
+# success rate 1.0; the floor leaves headroom for schedule-level jitter
+# introduced by deliberate upstream changes, not for family regressions).
+SUCCESS_FLOOR = 0.9
+
+
+def test_every_family_reaches_its_reference_optimum(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_family_study(num_trials=NUM_TRIALS,
+                                 sa_iterations=SA_ITERATIONS, seed=SEED),
+        rounds=1, iterations=1)
+
+    print("\nCross-family HyCiM study "
+          f"({NUM_TRIALS} trials x {SA_ITERATIONS} iterations):\n" + format_table(
+              ["family", "n", "reference", "best", "success", "feasible"],
+              [[row.family, row.problem_size, f"{row.reference_value:g}",
+                f"{row.best_objective:g}", f"{row.success_rate:.2f}",
+                f"{row.feasible_fraction:.2f}"]
+               for row in result.rows]))
+
+    assert result.families == list(family_names())
+    for row in result.rows:
+        # Every trial of every family ends on a feasible state...
+        assert row.feasible_fraction == 1.0, row.family
+        # ...the best-of-trials objective is the exact optimum...
+        assert row.best_objective == row.reference_value, row.family
+        # ...and the per-trial success rate stays above the pinned floor.
+        assert row.success_rate >= SUCCESS_FLOOR, (
+            f"{row.family}: success rate {row.success_rate} fell below the "
+            f"pinned floor {SUCCESS_FLOOR}")

@@ -25,12 +25,15 @@ from repro.analysis.sweeps import (
 )
 from repro.analysis.experiments import (
     EnergyEvolutionResult,
+    FamilyStudyResult,
+    FamilyStudyRow,
     FilterValidationResult,
     HardwareOverheadRecord,
     SolverSummaryRow,
     SolvingEfficiencyResult,
     run_crossbar_linearity,
     run_energy_evolution,
+    run_family_study,
     run_filter_validation,
     run_hardware_overhead_study,
     run_solver_summary,
@@ -52,10 +55,13 @@ __all__ = [
     "SolvingEfficiencyResult",
     "EnergyEvolutionResult",
     "SolverSummaryRow",
+    "FamilyStudyRow",
+    "FamilyStudyResult",
     "run_filter_validation",
     "run_hardware_overhead_study",
     "run_solving_efficiency_study",
     "run_energy_evolution",
     "run_crossbar_linearity",
     "run_solver_summary",
+    "run_family_study",
 ]

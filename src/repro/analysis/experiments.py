@@ -50,8 +50,9 @@ from repro.problems.generators import (
     generate_sk_instance,
     generate_tsp_instance,
 )
+from repro.problems.families import family_names, get_family
 from repro.problems.qkp import QuadraticKnapsackProblem
-from repro.runtime import meets_success_bar, run_trials
+from repro.runtime import aggregate_trials, meets_success_bar, run_trials
 
 
 # --------------------------------------------------------------------- #
@@ -590,3 +591,105 @@ def run_solver_summary(
     ))
 
     return rows
+
+
+# --------------------------------------------------------------------- #
+# Cross-family study -- every registered family through HyCiM
+# --------------------------------------------------------------------- #
+@dataclass
+class FamilyStudyRow:
+    """One registered problem family solved end-to-end through HyCiM.
+
+    Attributes
+    ----------
+    family:
+        Registry name (:func:`repro.problems.family_names`).
+    instance_name / problem_size:
+        The conformance-sized instance the study solves.
+    transformation:
+        The family's QUBO/filter transformation summary.
+    reference_value:
+        Exact optimum of the instance (the family's reference solver).
+    best_objective:
+        Best native objective over the feasible trials (``None`` if no
+        trial ended feasible).
+    success_rate / feasible_fraction:
+        Fraction of trials reaching the paper's success bar / ending on a
+        feasible state.
+    num_loaded_from_store:
+        Trials served from the campaign store instead of re-executed
+        (0 on a cold run; equal to ``num_trials`` on a warm re-run).
+    """
+
+    family: str
+    instance_name: str
+    problem_size: int
+    transformation: str
+    reference_value: float
+    best_objective: Optional[float]
+    success_rate: Optional[float]
+    feasible_fraction: float
+    num_trials: int
+    num_loaded_from_store: int
+
+
+@dataclass
+class FamilyStudyResult:
+    """Rows of :func:`run_family_study`, one per registered family."""
+
+    rows: List[FamilyStudyRow] = field(default_factory=list)
+
+    def row(self, family: str) -> FamilyStudyRow:
+        for candidate in self.rows:
+            if candidate.family == family:
+                return candidate
+        raise KeyError(f"no study row for family {family!r}")
+
+    @property
+    def families(self) -> List[str]:
+        return [row.family for row in self.rows]
+
+
+def run_family_study(
+    families: Optional[Sequence[str]] = None,
+    num_trials: int = 8,
+    sa_iterations: int = 300,
+    threshold: float = 0.95,
+    seed: int = 11,
+    backend: str = "vectorized",
+    store=None,
+) -> FamilyStudyResult:
+    """Solve every registered problem family end-to-end through HyCiM.
+
+    The cross-family generalisation of the Table 1 runner: each family's
+    registered parameters (move generator, schedule, filter split) drive
+    ``run_trials`` on its conformance instance, scored against the family's
+    exact reference solution.  Passing a :class:`repro.store.CampaignStore`
+    makes the study resumable -- re-running with the same arguments loads
+    every persisted trial instead of re-executing it.
+    """
+    result = FamilyStudyResult()
+    for name in families if families is not None else family_names():
+        family = get_family(name)
+        problem = family.conformance_instance(seed)
+        _, reference_value = family.reference_solution(problem)
+        params = dict(family.solver_params(problem))
+        params.update({"use_hardware": False, "num_iterations": sa_iterations})
+        batch = run_trials(problem, ("hycim", params), num_trials=num_trials,
+                           backend=backend, master_seed=seed, store=store)
+        stats = aggregate_trials(batch, reference=reference_value,
+                                 threshold=threshold,
+                                 maximize=problem.is_maximization)
+        result.rows.append(FamilyStudyRow(
+            family=name,
+            instance_name=problem.name,
+            problem_size=problem.num_variables,
+            transformation=family.transformation,
+            reference_value=float(reference_value),
+            best_objective=stats.best_objective,
+            success_rate=stats.success_rate_value,
+            feasible_fraction=stats.num_feasible / max(stats.num_trials, 1),
+            num_trials=stats.num_trials,
+            num_loaded_from_store=batch.num_loaded_from_store,
+        ))
+    return result

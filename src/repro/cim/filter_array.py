@@ -64,6 +64,25 @@ def as_chip_models(variability: VariabilityLike) -> List[Optional[VariabilityMod
     return models
 
 
+def _as_integer_weights(weights: Sequence[int], what: str) -> np.ndarray:
+    """Coerce programmed weights to integers, loudly rejecting fractions.
+
+    FeFET cells store discrete levels, so a fractional weight cannot be
+    programmed; silently rounding it would make the array evaluate a
+    *different* constraint than the caller asked for (the filter's
+    integer-scaling front end is the supported route for fractional
+    constraint data).
+    """
+    values = np.asarray(list(weights), dtype=float)
+    if values.size and np.any(np.abs(values - np.round(values)) > 1e-9):
+        offender = values[np.abs(values - np.round(values)) > 1e-9][0]
+        raise ValueError(
+            f"{what} must be integers (FeFET cells store discrete levels); "
+            f"got {offender!r} -- scale the constraint to integers first"
+        )
+    return np.round(values).astype(int)
+
+
 def decompose_weight(weight: int, num_rows: int, max_cell_weight: int) -> List[int]:
     """Decompose an integer item weight into per-cell weights.
 
@@ -180,7 +199,7 @@ class WorkingArray:
         variability: VariabilityLike = None,
     ) -> None:
         self.config = config or FilterArrayConfig()
-        self._stored_weights = np.array([int(round(w)) for w in weights], dtype=int)
+        self._stored_weights = _as_integer_weights(weights, "item weights")
         if np.any(self._stored_weights < 0):
             raise ValueError("item weights must be non-negative")
         if np.any(self._stored_weights > self.config.max_column_weight):
@@ -300,7 +319,7 @@ class WorkingArray:
     # ------------------------------------------------------------------ #
     def reprogram(self, weights: Sequence[int]) -> None:
         """Erase and reprogram the array with a new weight vector."""
-        new_weights = np.array([int(round(w)) for w in weights], dtype=int)
+        new_weights = _as_integer_weights(weights, "item weights")
         if new_weights.shape[0] != self.num_columns:
             raise ValueError("reprogramming must keep the number of columns")
         if np.any(new_weights < 0) or np.any(new_weights > self.config.max_column_weight):

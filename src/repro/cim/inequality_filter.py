@@ -38,6 +38,35 @@ from repro.cim.replica import ReplicaArray
 from repro.core.constraints import InequalityConstraint
 from repro.fefet.cell import CellParameters
 
+#: Largest power-of-ten multiplier tried when scaling fractional constraint
+#: data onto integer cells (supports e.g. 1e-6-granular weights).
+_MAX_WEIGHT_SCALE = 10 ** 6
+
+
+def integer_constraint_scale(weights: np.ndarray) -> int:
+    """Smallest power-of-ten multiplier making every weight integral.
+
+    FeFET cells store discrete levels, so a constraint with fractional
+    weights must be rescaled before programming: ``w . x <= C`` and
+    ``(s w) . x <= s C`` have identical feasible sets for any ``s > 0``.
+    Raises a loud :class:`ValueError` when no power of ten up to
+    ``_MAX_WEIGHT_SCALE`` works (e.g. irrational weights) -- silently
+    rounding would make the filter enforce a different constraint.
+    """
+    weights = np.asarray(weights, dtype=float)
+    scale = 1
+    while scale <= _MAX_WEIGHT_SCALE:
+        scaled = weights * scale
+        if not weights.size or np.all(
+                np.abs(scaled - np.round(scaled)) <= 1e-9 * scale):
+            return scale
+        scale *= 10
+    raise ValueError(
+        "constraint weights cannot be represented on integer FeFET cells: "
+        f"no power-of-ten scale up to {_MAX_WEIGHT_SCALE:g} makes them "
+        "integral; quantise the constraint data first"
+    )
+
 
 @dataclass(frozen=True)
 class FilterDecision:
@@ -71,9 +100,11 @@ class InequalityFilter:
     Parameters
     ----------
     constraint:
-        The inequality to accelerate.  Weights must be non-negative integers
-        (the QKP benchmark guarantees this); the capacity must be a
-        non-negative integer.
+        The inequality to accelerate.  Weights must be non-negative;
+        fractional (decimal) weights are scaled onto integer cells by the
+        smallest power of ten that makes them integral, with the bound
+        floored after scaling (sound: no infeasible state is accepted).
+        Weights with no such scale (e.g. irrational values) raise.
     num_rows:
         Cells per column of both arrays (paper evaluation: 16).  When the
         largest constraint weight does not fit in ``num_rows`` cells the
@@ -110,23 +141,32 @@ class InequalityFilter:
         weights = constraint.weight_vector
         if np.any(weights < 0):
             raise ValueError("the inequality filter requires non-negative weights")
-        if np.any(np.abs(weights - np.round(weights)) > 1e-9):
-            raise ValueError("the inequality filter requires integer weights")
         if constraint.bound < 0:
             raise ValueError("the inequality bound must be non-negative")
         if not 0.0 < discharge_fraction < 1.0:
             raise ValueError("discharge_fraction must be in (0, 1)")
 
         self.constraint = constraint
+        # Fractional constraint data is programmed by scaling the whole
+        # inequality onto integer cells: (s w) . x <= s C for the smallest
+        # power-of-ten s that makes the weights integral (a loud error when
+        # none does).  The scaled bound is *floored*: s w . x is integral,
+        # so flooring keeps every truly feasible state accepted while never
+        # admitting w . x > C -- rounding could round the bound *up* and
+        # accept infeasible configurations.
+        self.weight_scale = integer_constraint_scale(weights)
+        scaled_weights = np.round(weights * self.weight_scale)
+        scaled_bound = float(np.floor(
+            constraint.bound * self.weight_scale + 1e-9))
         cell = cell_parameters or CellParameters()
-        capacity = max(1.0, float(constraint.bound))
+        capacity = max(1.0, scaled_bound)
         discharge_per_unit = discharge_fraction * cell.supply_voltage / capacity
         # Deepen the arrays when an item weight (or the per-column share of
         # the capacity) exceeds what `num_rows` cells can represent.
-        max_weight = float(weights.max()) if weights.size else 0.0
+        max_weight = float(scaled_weights.max()) if scaled_weights.size else 0.0
         required_rows = int(np.ceil(max(max_weight, 1.0) / cell.max_weight))
-        if weights.size:
-            capacity_rows = int(np.ceil(capacity / (weights.size * cell.max_weight)))
+        if scaled_weights.size:
+            capacity_rows = int(np.ceil(capacity / (scaled_weights.size * cell.max_weight)))
             required_rows = max(required_rows, capacity_rows)
         num_rows = max(num_rows, required_rows)
         self.config = FilterArrayConfig(
@@ -135,11 +175,11 @@ class InequalityFilter:
             discharge_per_unit=discharge_per_unit,
             noise_sigma=matchline_noise_sigma,
         )
-        int_weights = [int(round(w)) for w in weights]
+        int_weights = [int(w) for w in scaled_weights]
         self.working_array = WorkingArray(int_weights, config=self.config,
                                           variability=variability)
         self.replica_array = ReplicaArray(
-            capacity=float(round(constraint.bound)),
+            capacity=scaled_bound,
             num_columns=len(int_weights),
             config=self.config,
             variability=variability,

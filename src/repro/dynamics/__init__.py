@@ -38,6 +38,7 @@ from repro.dynamics.dynamics import (
 )
 from repro.dynamics.exchange import EvenOddExchange, ExchangePolicy, NoExchange
 from repro.dynamics.moves import (
+    BinPackingMove,
     KnapsackNeighborhoodMove,
     MoveGenerator,
     MoveProposal,
@@ -57,6 +58,7 @@ from repro.dynamics.schedule import (
 
 __all__ = [
     "AcceptanceRule",
+    "BinPackingMove",
     "ConstantSchedule",
     "Dynamics",
     "EvenOddExchange",

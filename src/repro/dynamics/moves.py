@@ -190,5 +190,47 @@ class OneHotGroupMove(MoveGenerator):
         return vec
 
 
+@dataclass
+class BinPackingMove(MoveGenerator):
+    """Relocate one item to a different bin and re-derive the usage bits.
+
+    Variable layout (see :class:`repro.problems.BinPackingProblem`): ``n * m``
+    one-hot assignment variables followed by ``m`` bin-usage indicators.
+    A move picks a random item, moves it to a different bin (repairing the
+    item's one-hot block if it is invalid), then sets every usage bit to
+    "bin non-empty" — so any proposal satisfies the assignment equalities and
+    usage consistency by construction, leaving only the capacity inequalities
+    to the filter.
+    """
+
+    num_items: int = 0
+    num_bins: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_items < 1 or self.num_bins < 1:
+            raise ValueError("need at least one item and one bin")
+
+    def propose(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vec = self._validate(x).copy()
+        n, m = self.num_items, self.num_bins
+        expected = n * m + m
+        if vec.shape[0] != expected:
+            raise ValueError(f"configuration length {vec.shape[0]} != {expected}")
+        item = int(rng.integers(0, n))
+        block = vec[item * m:(item + 1) * m]
+        active = np.flatnonzero(block == 1)
+        if active.size == 1 and m > 1:
+            new_bin = int(rng.integers(0, m - 1))
+            if new_bin >= active[0]:
+                new_bin += 1
+        else:
+            new_bin = int(rng.integers(0, m))
+        block[:] = 0.0
+        block[new_bin] = 1.0
+        assignments = vec[:n * m].reshape(n, m)
+        vec[n * m:] = (assignments.sum(axis=0) > 0).astype(float)
+        return vec
+
+
 #: Dynamics-layer alias: a move proposal *is* a move generator.
 MoveProposal = MoveGenerator

@@ -17,6 +17,11 @@ Every COP the paper references is implemented here with a common interface
   cedric.cnam.fr dataset.
 * :mod:`repro.problems.io` -- reader/writer for the Billionnet-Soutif QKP
   text format.
+* :mod:`repro.problems.orlib` / :mod:`repro.problems.qplib` -- loaders for
+  the OR-Library (Beasley) ``mknap`` and QPLIB benchmark formats.
+* :mod:`repro.problems.families` -- the registered family catalogue
+  (:class:`ProblemFamily`) and campaign-scale instance streams; the
+  contract every family is held to by ``tests/conformance``.
 """
 
 from repro.problems.base import CombinatorialProblem
@@ -32,6 +37,8 @@ from repro.problems.tsp import TravelingSalesmanProblem
 from repro.problems.bin_packing import BinPackingProblem
 from repro.problems.spin_glass import SherringtonKirkpatrickProblem
 from repro.problems.generators import (
+    generate_bin_packing_instance,
+    generate_coloring_instance,
     generate_knapsack_instance,
     generate_maxcut_instance,
     generate_qkp_benchmark_suite,
@@ -40,6 +47,20 @@ from repro.problems.generators import (
     generate_tsp_instance,
 )
 from repro.problems.io import read_qkp_file, write_qkp_file
+from repro.problems.families import (
+    ProblemFamily,
+    family_names,
+    family_of,
+    get_family,
+    register_family,
+    stream_instances,
+)
+from repro.problems.orlib import (
+    read_orlib_file,
+    read_orlib_knapsack,
+    write_orlib_file,
+)
+from repro.problems.qplib import read_qplib_file, write_qplib_file
 
 __all__ = [
     "CombinatorialProblem",
@@ -52,12 +73,25 @@ __all__ = [
     "TravelingSalesmanProblem",
     "BinPackingProblem",
     "SherringtonKirkpatrickProblem",
+    "ProblemFamily",
+    "register_family",
+    "get_family",
+    "family_names",
+    "family_of",
+    "stream_instances",
     "generate_qkp_instance",
     "generate_qkp_benchmark_suite",
     "generate_knapsack_instance",
     "generate_maxcut_instance",
+    "generate_coloring_instance",
+    "generate_bin_packing_instance",
     "generate_tsp_instance",
     "generate_sk_instance",
     "read_qkp_file",
     "write_qkp_file",
+    "read_orlib_file",
+    "read_orlib_knapsack",
+    "write_orlib_file",
+    "read_qplib_file",
+    "write_qplib_file",
 ]

@@ -60,11 +60,16 @@ class CombinatorialProblem(ABC):
         :meth:`is_feasible` row by row (so verdicts always agree with the
         scalar path); problems with cheap vectorised constraint checks
         override it with a single batched evaluation.
+
+        Contract (asserted for every registered family by the
+        ``tests/conformance`` suite): a 1-D input is treated as the ``M = 1``
+        view, an empty ``(0, n)`` batch returns an empty verdict vector, the
+        returned dtype is always ``bool``, and verdict ``k`` equals
+        ``is_feasible(batch[k])`` for any input dtype.
         """
-        batch = np.asarray(configurations, dtype=float)
-        if batch.ndim == 1:
-            batch = batch[None, :]
-        return np.array([self.is_feasible(row) for row in batch], dtype=bool)
+        batch = self._validate_batch(configurations)
+        return np.fromiter((self.is_feasible(row) for row in batch),
+                           dtype=bool, count=batch.shape[0])
 
     def to_inequality_qubo(self) -> InequalityQUBO:
         """HyCiM inequality-QUBO form: objective QUBO + detached constraints.
@@ -87,6 +92,25 @@ class CombinatorialProblem(ABC):
         if not np.all((vec == 0) | (vec == 1)):
             raise ValueError("decision vectors must be binary (0/1)")
         return vec
+
+    def _validate_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Coerce a replica batch into a float ``(M, n)`` matrix.
+
+        Accepts a 1-D vector (the ``M = 1`` view), any integer/float/bool
+        dtype, and the empty ``(0, n)`` batch; rejects wrong trailing
+        dimensions and non-binary values so every ``is_feasible_batch``
+        override shares one validation path with the scalar ``_validate``.
+        """
+        batch = np.asarray(configurations, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.ndim != 2 or batch.shape[1] != self.num_variables:
+            raise ValueError(
+                f"expected an (M, {self.num_variables}) batch, got shape {batch.shape}"
+            )
+        if batch.size and not np.all((batch == 0) | (batch == 1)):
+            raise ValueError("decision vectors must be binary (0/1)")
+        return batch
 
     def random_feasible_configuration(self, rng: np.random.Generator,
                                       max_tries: int = 10_000) -> np.ndarray:

@@ -138,6 +138,22 @@ class BinPackingProblem(CombinatorialProblem):
                 return False
         return True
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Vectorised feasibility over an ``(M, n*m + m)`` batch.
+
+        Mirrors :meth:`is_feasible`: every item one-hot assigned, every bin
+        load within capacity, and ``u_b = 1`` for every non-empty bin.
+        """
+        batch = self._validate_batch(configurations)
+        n, m = self.num_items, self.num_bins
+        assignments = batch[:, :n * m].reshape(batch.shape[0], n, m)
+        usage = batch[:, n * m:]
+        assigned_once = (assignments.sum(axis=2) == 1).all(axis=1)
+        loads = np.einsum("kim,i->km", assignments, self.sizes)
+        within_capacity = (loads <= self.capacity + 1e-9).all(axis=1)
+        usage_consistent = ((loads <= 0) | (usage == 1)).all(axis=1)
+        return assigned_once & within_capacity & usage_consistent
+
     def assignment_constraints(self) -> Tuple[EqualityConstraint, ...]:
         """One equality constraint ``sum_b x_{i,b} == 1`` per item."""
         constraints = []

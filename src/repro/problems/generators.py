@@ -169,16 +169,25 @@ def generate_coloring_instance(
 def generate_tsp_instance(
     num_cities: int = 6,
     coordinate_range: float = 100.0,
+    integer_distances: bool = False,
     seed: Optional[int] = None,
     name: Optional[str] = None,
 ) -> TravelingSalesmanProblem:
-    """Euclidean TSP instance with cities uniform in a square."""
+    """Euclidean TSP instance with cities uniform in a square.
+
+    With ``integer_distances=True`` each Euclidean distance is rounded to the
+    nearest positive integer (TSPLIB ``EUC_2D`` convention) so QUBO energies
+    stay integer-valued — the precondition for bitwise serial↔vectorized
+    parity and for exact hardware evaluation.
+    """
     rng = _rng(seed)
     points = rng.uniform(0.0, coordinate_range, size=(num_cities, 2))
     distances = np.zeros((num_cities, num_cities))
     for i in range(num_cities):
         for j in range(i + 1, num_cities):
             d = float(np.linalg.norm(points[i] - points[j]))
+            if integer_distances:
+                d = max(1.0, float(round(d)))
             distances[i, j] = d
             distances[j, i] = d
     return TravelingSalesmanProblem(distances=distances,
@@ -187,12 +196,26 @@ def generate_tsp_instance(
 
 def generate_sk_instance(
     num_spins: int = 15,
+    discrete: bool = False,
+    max_coupling: int = 10,
     seed: Optional[int] = None,
     name: Optional[str] = None,
 ) -> SherringtonKirkpatrickProblem:
-    """Sherrington-Kirkpatrick instance with ``J_ij ~ N(0, 1/N)``."""
+    """Sherrington-Kirkpatrick instance with ``J_ij ~ N(0, 1/N)``.
+
+    With ``discrete=True`` couplings are instead uniform non-zero integers in
+    ``[-max_coupling, max_coupling]`` — integer-valued energies for bitwise
+    backend parity (the Gaussian default keeps the canonical SK statistics).
+    """
     rng = _rng(seed)
-    j = rng.normal(0.0, 1.0 / np.sqrt(max(num_spins, 1)), size=(num_spins, num_spins))
+    if discrete:
+        if max_coupling < 1:
+            raise ValueError("max_coupling must be at least 1")
+        magnitude = rng.integers(1, max_coupling + 1, size=(num_spins, num_spins))
+        sign = rng.choice([-1.0, 1.0], size=(num_spins, num_spins))
+        j = magnitude * sign
+    else:
+        j = rng.normal(0.0, 1.0 / np.sqrt(max(num_spins, 1)), size=(num_spins, num_spins))
     j = np.triu(j, k=1)
     j = j + j.T
     return SherringtonKirkpatrickProblem(couplings=j, name=name or f"sk_n{num_spins}_s{seed}")
@@ -203,13 +226,24 @@ def generate_bin_packing_instance(
     num_bins: int = 4,
     capacity: float = 100.0,
     max_size_fraction: float = 0.6,
+    integer_sizes: bool = True,
     seed: Optional[int] = None,
     name: Optional[str] = None,
 ) -> BinPackingProblem:
-    """Random bin packing instance with item sizes bounded by a capacity fraction."""
+    """Random bin packing instance with item sizes bounded by a capacity fraction.
+
+    Sizes default to integers (uniform in ``1..floor(C * max_size_fraction)``)
+    so the per-bin capacity constraints program directly onto the integer-cell
+    FeFET inequality filter; ``integer_sizes=False`` restores continuous sizes
+    for software-only studies.
+    """
     if not 0.0 < max_size_fraction <= 1.0:
         raise ValueError("max_size_fraction must be in (0, 1]")
     rng = _rng(seed)
-    sizes = rng.uniform(1.0, capacity * max_size_fraction, size=num_items)
+    if integer_sizes:
+        high = max(1, int(np.floor(capacity * max_size_fraction)))
+        sizes = rng.integers(1, high + 1, size=num_items).astype(float)
+    else:
+        sizes = rng.uniform(1.0, capacity * max_size_fraction, size=num_items)
     return BinPackingProblem(sizes=sizes, capacity=capacity, num_bins=num_bins,
                              name=name or f"binpacking_n{num_items}_s{seed}")

@@ -132,6 +132,16 @@ class GraphColoringProblem(CombinatorialProblem):
                 return False
         return True
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Vectorised one-hot check over an ``(M, V*k)`` batch.
+
+        A replica is feasible iff every vertex's colour block sums to exactly
+        one — the same test :meth:`is_feasible` applies per vertex.
+        """
+        batch = self._validate_batch(configurations)
+        blocks = batch.reshape(batch.shape[0], self.num_nodes, self.num_colors)
+        return (blocks.sum(axis=2) == 1).all(axis=1)
+
     def is_proper_coloring(self, x: Iterable[float]) -> bool:
         """Feasible and conflict-free."""
         return self.is_feasible(x) and self.conflicts(x) == 0

@@ -80,6 +80,11 @@ class MaxCutProblem(CombinatorialProblem):
         self._validate(x)
         return True
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Every replica is feasible: Max-Cut is unconstrained."""
+        batch = self._validate_batch(configurations)
+        return np.ones(batch.shape[0], dtype=bool)
+
     def to_qubo(self) -> QUBOModel:
         """Standard Max-Cut QUBO: ``min sum_{(i,j)} w_ij (2 x_i x_j - x_i - x_j)``.
 

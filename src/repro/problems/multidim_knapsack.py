@@ -106,9 +106,7 @@ class MultiDimensionalKnapsackProblem(CombinatorialProblem):
 
     def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
         """Vectorised resource check: one ``W x`` product covers all replicas."""
-        batch = np.asarray(configurations, dtype=float)
-        if batch.ndim == 1:
-            batch = batch[None, :]
+        batch = self._validate_batch(configurations)
         usage = batch @ self.weights.T
         return np.all(usage <= self.capacities + 1e-9, axis=1)
 

@@ -1,0 +1,187 @@
+"""Reader/writer for the OR-Library (Beasley) multi-knapsack file format.
+
+The OR-Library ``mknap`` files (people.brunel.ac.uk/~mastjjb/jeb/orlib)
+store one or more linear multi-dimensional knapsack instances as a single
+whitespace-separated token stream:
+
+    K                           number of instances in the file
+    for each instance:
+      n m opt                   items, constraints, known optimum (0 = unknown)
+      p_1 ... p_n               profits
+      w_11 ... w_1n             constraint 1 weights
+      ...
+      w_m1 ... w_mn             constraint m weights
+      C_1 ... C_m               capacities
+
+Line breaks are not significant — values for one section routinely span
+several lines — so parsing is token-stream based, and every premature end
+of stream or leftover token is a loud :class:`ValueError` naming the
+section being read (no silent truncation; the same discipline as
+:mod:`repro.problems.io`).
+
+Instances load as :class:`~repro.problems.knapsack.KnapsackProblem` when
+``m == 1`` and as
+:class:`~repro.problems.multidim_knapsack.MultiDimensionalKnapsackProblem`
+(with a diagonal profit matrix) otherwise.  The known optimum, when the
+file records one, lands in ``optimal_values`` of :func:`read_orlib_file`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.problems.knapsack import KnapsackProblem
+from repro.problems.multidim_knapsack import MultiDimensionalKnapsackProblem
+
+OrlibProblem = Union[KnapsackProblem, MultiDimensionalKnapsackProblem]
+
+
+class _TokenStream:
+    """Whitespace token stream with position-aware truncation errors."""
+
+    def __init__(self, path: Union[str, Path], text: str) -> None:
+        self._path = str(path)
+        self._tokens = text.split()
+        self._pos = 0
+
+    def next_float(self, what: str) -> float:
+        if self._pos >= len(self._tokens):
+            raise ValueError(
+                f"{self._path}: file truncated while reading {what} "
+                f"(token {self._pos + 1})")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        try:
+            return float(token)
+        except ValueError as error:
+            raise ValueError(
+                f"{self._path}: expected a number for {what}, got {token!r} "
+                f"(token {self._pos})") from error
+
+    def next_int(self, what: str) -> int:
+        value = self.next_float(what)
+        if not float(value).is_integer():
+            raise ValueError(
+                f"{self._path}: expected an integer for {what}, got {value!r}")
+        return int(value)
+
+    def next_floats(self, count: int, what: str) -> np.ndarray:
+        return np.array([self.next_float(f"{what} [{i}]") for i in range(count)],
+                        dtype=float)
+
+    def expect_exhausted(self) -> None:
+        if self._pos < len(self._tokens):
+            leftover = len(self._tokens) - self._pos
+            raise ValueError(
+                f"{self._path}: {leftover} unread token(s) after the last "
+                f"instance (starting with {self._tokens[self._pos]!r}) -- "
+                "corrupt file or wrong instance count")
+
+
+def _build_problem(profits: np.ndarray, weights: np.ndarray,
+                   capacities: np.ndarray, name: str) -> OrlibProblem:
+    if weights.shape[0] == 1:
+        return KnapsackProblem(profits=profits, weights=weights[0],
+                               capacity=float(capacities[0]), name=name)
+    return MultiDimensionalKnapsackProblem(
+        profits=np.diag(profits), weights=weights, capacities=capacities,
+        name=name)
+
+
+def read_orlib_file(
+    path: Union[str, Path],
+) -> Tuple[List[OrlibProblem], List[Optional[float]]]:
+    """Read every instance in an OR-Library ``mknap`` file.
+
+    Returns ``(problems, optimal_values)`` where ``optimal_values[k]`` is the
+    file's recorded optimum for instance ``k`` (``None`` when recorded as 0,
+    the format's "unknown" marker).
+    """
+    text = Path(path).read_text()
+    stream = _TokenStream(path, text)
+    num_instances = stream.next_int("instance count")
+    if num_instances < 1:
+        raise ValueError(f"{path}: instance count must be positive, got {num_instances}")
+    stem = Path(path).stem
+    problems: List[OrlibProblem] = []
+    optima: List[Optional[float]] = []
+    for k in range(num_instances):
+        where = f"instance {k}"
+        n = stream.next_int(f"{where} item count")
+        m = stream.next_int(f"{where} constraint count")
+        if n < 1 or m < 1:
+            raise ValueError(
+                f"{path}: {where} has invalid dimensions n={n}, m={m}")
+        optimum = stream.next_float(f"{where} known optimum")
+        profits = stream.next_floats(n, f"{where} profits")
+        weights = np.vstack([
+            stream.next_floats(n, f"{where} constraint-{i} weights")
+            for i in range(m)
+        ])
+        capacities = stream.next_floats(m, f"{where} capacities")
+        problems.append(_build_problem(profits, weights, capacities,
+                                       name=f"{stem}_{k}"))
+        optima.append(float(optimum) if optimum != 0 else None)
+    stream.expect_exhausted()
+    return problems, optima
+
+
+def read_orlib_knapsack(path: Union[str, Path], index: int = 0) -> OrlibProblem:
+    """Read one instance (by position) from an OR-Library ``mknap`` file."""
+    problems, _ = read_orlib_file(path)
+    if not 0 <= index < len(problems):
+        raise IndexError(
+            f"{path}: instance index {index} out of range (file has "
+            f"{len(problems)} instance(s))")
+    return problems[index]
+
+
+def _linear_profits(problem: OrlibProblem) -> np.ndarray:
+    profits = np.asarray(problem.profits, dtype=float)
+    if profits.ndim == 1:
+        return profits
+    if np.any(np.triu(profits, k=1) != 0):
+        raise ValueError(
+            f"instance {problem.name!r} has quadratic (pairwise) profits; "
+            "the OR-Library mknap format is linear -- use write_qplib_file")
+    return np.diag(profits)
+
+
+def write_orlib_file(problems: Sequence[OrlibProblem],
+                     path: Union[str, Path],
+                     optimal_values: Optional[Sequence[Optional[float]]] = None,
+                     ) -> None:
+    """Write linear (MD-)knapsack instances in the OR-Library ``mknap`` layout.
+
+    ``optimal_values`` mirrors :func:`read_orlib_file`'s second return value;
+    ``None`` entries are stored as the format's 0 = unknown marker.  Numbers
+    are rendered with the shortest exact representation (integers as
+    integers) so a parse→write→parse round trip preserves
+    :func:`repro.problems.io.content_hash`.
+    """
+    from repro.problems.io import _format_number
+
+    problems = list(problems)
+    if not problems:
+        raise ValueError("cannot write an empty OR-Library file")
+    if optimal_values is None:
+        optimal_values = [None] * len(problems)
+    if len(optimal_values) != len(problems):
+        raise ValueError("optimal_values length must match problems")
+    lines: List[str] = [str(len(problems))]
+    for problem, optimum in zip(problems, optimal_values):
+        profits = _linear_profits(problem)
+        weights = np.atleast_2d(np.asarray(problem.weights, dtype=float))
+        capacities = (np.atleast_1d(np.asarray(problem.capacities, dtype=float))
+                      if hasattr(problem, "capacities")
+                      else np.array([problem.capacity], dtype=float))
+        n, m = profits.shape[0], weights.shape[0]
+        lines.append(f"{n} {m} {_format_number(optimum or 0.0)}")
+        lines.append(" ".join(_format_number(v) for v in profits))
+        for row in weights:
+            lines.append(" ".join(_format_number(v) for v in row))
+        lines.append(" ".join(_format_number(v) for v in capacities))
+    Path(path).write_text("\n".join(lines) + "\n")

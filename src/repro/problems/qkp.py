@@ -97,9 +97,7 @@ class QuadraticKnapsackProblem(CombinatorialProblem):
 
     def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
         """Vectorised capacity check: one weighted sum covers all replicas."""
-        batch = np.asarray(configurations, dtype=float)
-        if batch.ndim == 1:
-            batch = batch[None, :]
+        batch = self._validate_batch(configurations)
         return (batch @ self.weights) <= self.capacity + 1e-9
 
     def constraint(self) -> InequalityConstraint:

@@ -1,0 +1,237 @@
+"""Reader/writer for the binary-quadratic subset of the QPLIB format.
+
+QPLIB (qplib.zib.de; Furini et al., *QPLIB: a library of quadratic
+programming instances*) stores quadratic programs as a sectioned text file.
+This module supports the subset that maps onto the knapsack families —
+problem type ``QBL``/``LBL`` (quadratic/linear objective, binary variables,
+linear constraints) with finite constraint upper bounds:
+
+    ! comment lines start with '!'
+    <name>
+    <problem type>              QBL or LBL
+    <sense>                     minimize | maximize
+    <n>                         number of variables
+    <m>                         number of constraints
+    <nnz Q>                     quadratic objective entries (QBL only)
+    i j Q_ij                    1-based, lower triangle of Q in 1/2 x'Qx
+    <default b>                 default linear objective coefficient
+    <nnz b>                     non-default linear coefficients
+    i b_i
+    <objective constant>
+    <nnz A>                     constraint matrix entries
+    row col A_rc                1-based
+    <infinity>                  the file's infinity marker
+    <default c_l> <nnz c_l>     constraint lower bounds (pairs i value)
+    <default c_u> <nnz c_u>     constraint upper bounds (pairs i value)
+
+Objective convention is QPLIB's ``1/2 x'Qx + b'x + const``; on binary
+variables the diagonal contributes ``Q_ii / 2 * x_i``.  Constraints must
+reduce to ``A x <= c_u`` (every lower bound -infinity, every upper bound
+finite) with non-negative rows and positive bounds — anything else is
+outside the HyCiM inequality form and raises a loud :class:`ValueError`,
+as does any truncated or trailing token (no silent truncation).
+
+Mapping: ``m == 1`` with a diagonal-only objective loads as
+:class:`KnapsackProblem`, ``m == 1`` with pairwise terms as
+:class:`QuadraticKnapsackProblem`, ``m > 1`` as
+:class:`MultiDimensionalKnapsackProblem`.  A ``minimize`` sense is loaded
+by negating the objective (the knapsack families maximise).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.problems.knapsack import KnapsackProblem
+from repro.problems.multidim_knapsack import MultiDimensionalKnapsackProblem
+from repro.problems.orlib import _TokenStream
+from repro.problems.qkp import QuadraticKnapsackProblem
+
+QplibProblem = Union[KnapsackProblem, QuadraticKnapsackProblem,
+                     MultiDimensionalKnapsackProblem]
+
+_SUPPORTED_TYPES = {"QBL", "LBL"}
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("!", 1)[0] for line in text.splitlines())
+
+
+def _next_index(stream: _TokenStream, what: str, upper: int) -> int:
+    value = stream.next_int(what)
+    if not 1 <= value <= upper:
+        raise ValueError(f"{what} index {value} out of range 1..{upper}")
+    return value - 1
+
+
+def read_qplib_file(path: Union[str, Path]) -> QplibProblem:
+    """Read a binary-quadratic QPLIB instance into a knapsack-family problem."""
+    text = _strip_comments(Path(path).read_text())
+    stream = _TokenStream(path, text)
+    tokens = text.split()
+    if not tokens:
+        raise ValueError(f"{path}: empty QPLIB file")
+    name = tokens[0]
+    stream._pos = 1  # the name token is free-form, not a number
+    type_token = tokens[1] if len(tokens) > 1 else ""
+    problem_type = type_token.upper()
+    if problem_type not in _SUPPORTED_TYPES:
+        raise ValueError(
+            f"{path}: problem type {type_token!r} is outside the supported "
+            f"QPLIB subset ({sorted(_SUPPORTED_TYPES)}: binary variables, "
+            "linear constraints)")
+    stream._pos = 2
+    sense_token = tokens[2] if len(tokens) > 2 else ""
+    sense = sense_token.lower()
+    if sense not in ("minimize", "maximize"):
+        raise ValueError(f"{path}: unknown objective sense {sense_token!r}")
+    stream._pos = 3
+
+    n = stream.next_int("variable count")
+    m = stream.next_int("constraint count")
+    if n < 1:
+        raise ValueError(f"{path}: variable count must be positive, got {n}")
+    if m < 1:
+        raise ValueError(
+            f"{path}: instance has no constraints; the knapsack-family "
+            "subset needs at least one inequality")
+
+    profits = np.zeros((n, n))
+    if problem_type == "QBL":
+        nnz_q = stream.next_int("quadratic objective entry count")
+        for k in range(nnz_q):
+            i = _next_index(stream, f"quadratic entry {k} row", n)
+            j = _next_index(stream, f"quadratic entry {k} col", n)
+            value = stream.next_float(f"quadratic entry {k} value")
+            if j > i:
+                raise ValueError(
+                    f"{path}: quadratic entry {k} ({i + 1}, {j + 1}) is above "
+                    "the diagonal; QPLIB stores the lower triangle")
+            if i == j:
+                # 1/2 Q_ii x_i^2 = (Q_ii / 2) x_i on binaries.
+                profits[i, i] += value / 2.0
+            else:
+                # Symmetric pair (i,j)+(j,i) contributes Q_ij x_i x_j.
+                profits[i, j] += value
+                profits[j, i] += value
+    default_b = stream.next_float("default linear coefficient")
+    profits[np.diag_indices(n)] += default_b
+    nnz_b = stream.next_int("non-default linear coefficient count")
+    for k in range(nnz_b):
+        i = _next_index(stream, f"linear coefficient {k} index", n)
+        value = stream.next_float(f"linear coefficient {k} value")
+        profits[i, i] += value - default_b
+    stream.next_float("objective constant")  # irrelevant to the argmax
+
+    weights = np.zeros((m, n))
+    nnz_a = stream.next_int("constraint matrix entry count")
+    for k in range(nnz_a):
+        row = _next_index(stream, f"constraint entry {k} row", m)
+        col = _next_index(stream, f"constraint entry {k} col", n)
+        weights[row, col] = stream.next_float(f"constraint entry {k} value")
+    infinity = stream.next_float("infinity marker")
+
+    lower = np.full(m, -infinity)
+    default_cl = stream.next_float("default constraint lower bound")
+    lower[:] = default_cl
+    nnz_cl = stream.next_int("non-default constraint lower bound count")
+    for k in range(nnz_cl):
+        i = _next_index(stream, f"constraint lower bound {k} index", m)
+        lower[i] = stream.next_float(f"constraint lower bound {k} value")
+
+    upper = np.empty(m)
+    default_cu = stream.next_float("default constraint upper bound")
+    upper[:] = default_cu
+    nnz_cu = stream.next_int("non-default constraint upper bound count")
+    for k in range(nnz_cu):
+        i = _next_index(stream, f"constraint upper bound {k} index", m)
+        upper[i] = stream.next_float(f"constraint upper bound {k} value")
+    stream.expect_exhausted()
+
+    if np.any(lower > -infinity + 1e-12):
+        raise ValueError(
+            f"{path}: finite constraint lower bounds are outside the "
+            "supported A x <= c_u subset")
+    if np.any(np.abs(upper) >= infinity - 1e-12):
+        raise ValueError(f"{path}: every constraint needs a finite upper bound")
+    if np.any(weights < 0):
+        raise ValueError(
+            f"{path}: negative constraint coefficients are outside the "
+            "knapsack-family subset (weights must be non-negative)")
+    if np.any(upper <= 0):
+        raise ValueError(f"{path}: constraint upper bounds must be positive")
+
+    if sense == "minimize":
+        profits = -profits
+    label = name or Path(path).stem
+
+    if m > 1:
+        return MultiDimensionalKnapsackProblem(
+            profits=profits, weights=weights, capacities=upper, name=label)
+    if np.any(np.triu(profits, k=1) != 0):
+        return QuadraticKnapsackProblem(
+            profits=profits, weights=weights[0], capacity=float(upper[0]),
+            name=label)
+    return KnapsackProblem(profits=np.diag(profits).copy(), weights=weights[0],
+                           capacity=float(upper[0]), name=label)
+
+
+def write_qplib_file(problem: QplibProblem, path: Union[str, Path],
+                     infinity: float = 1e20) -> None:
+    """Write a knapsack-family instance in the QPLIB subset layout.
+
+    Always emits ``maximize`` sense with type ``QBL`` (quadratic binary,
+    linear constraints); :func:`read_qplib_file` round-trips the result to
+    an instance with the same :func:`repro.problems.io.content_hash`.
+    """
+    from repro.problems.io import _format_number
+
+    profits = np.asarray(problem.profits, dtype=float)
+    if profits.ndim == 1:
+        profits = np.diag(profits)
+    if hasattr(problem, "capacities"):
+        weights = np.asarray(problem.weights, dtype=float)
+        capacities = np.asarray(problem.capacities, dtype=float)
+    else:
+        weights = np.asarray(problem.weights, dtype=float)[None, :]
+        capacities = np.array([problem.capacity], dtype=float)
+    n = profits.shape[0]
+    m = weights.shape[0]
+
+    lines: List[str] = [
+        problem.name.replace(" ", "_") or "instance",
+        "QBL",
+        "maximize",
+        str(n),
+        str(m),
+    ]
+    quad_entries = []
+    for i in range(n):
+        if profits[i, i] != 0:
+            # Diagonal of 1/2 x'Qx: Q_ii = 2 p_ii.
+            quad_entries.append((i, i, 2.0 * profits[i, i]))
+        for j in range(i):
+            if profits[i, j] != 0:
+                quad_entries.append((i, j, profits[i, j]))
+    lines.append(str(len(quad_entries)))
+    for i, j, value in quad_entries:
+        lines.append(f"{i + 1} {j + 1} {_format_number(value)}")
+    lines.append("0")  # default linear coefficient
+    lines.append("0")  # no non-default linear coefficients
+    lines.append("0")  # objective constant
+    a_entries = [(r, c, weights[r, c]) for r in range(m) for c in range(n)
+                 if weights[r, c] != 0]
+    lines.append(str(len(a_entries)))
+    for r, c, value in a_entries:
+        lines.append(f"{r + 1} {c + 1} {_format_number(value)}")
+    lines.append(_format_number(infinity))
+    lines.append(_format_number(-infinity))  # default constraint lower bound
+    lines.append("0")
+    lines.append("0")  # default constraint upper bound (all non-default)
+    lines.append(str(m))
+    for r in range(m):
+        lines.append(f"{r + 1} {_format_number(capacities[r])}")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -66,6 +66,11 @@ class SherringtonKirkpatrickProblem(CombinatorialProblem):
         self._validate(x)
         return True
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Every replica is feasible: the SK model is unconstrained."""
+        batch = self._validate_batch(configurations)
+        return np.ones(batch.shape[0], dtype=bool)
+
     def to_ising(self) -> IsingModel:
         """The underlying Ising model (zero external fields)."""
         return IsingModel(couplings=np.triu(self.couplings, k=1),

@@ -120,6 +120,21 @@ class TravelingSalesmanProblem(CombinatorialProblem):
             return False
         return True
 
+    def is_feasible_batch(self, configurations: np.ndarray) -> np.ndarray:
+        """Vectorised permutation check over an ``(M, n^2)`` batch.
+
+        A configuration is feasible iff its ``(n, n)`` city-by-position grid
+        is a permutation matrix: every position has exactly one city and
+        every city exactly one position (together those imply the decoded
+        tour is a permutation).
+        """
+        batch = self._validate_batch(configurations)
+        n = self.num_cities
+        grid = batch.reshape(batch.shape[0], n, n)
+        one_position_per_city = (grid.sum(axis=2) == 1).all(axis=1)
+        one_city_per_position = (grid.sum(axis=1) == 1).all(axis=1)
+        return one_position_per_city & one_city_per_position
+
     def permutation_constraints(self) -> Tuple[EqualityConstraint, ...]:
         """Row (per-city) and column (per-position) one-hot equality constraints."""
         n = self.num_cities

@@ -42,6 +42,7 @@ from repro.core.dqubo import SlackEncoding
 from repro.dynamics.dynamics import Dynamics, ParallelTempering
 from repro.dynamics.exchange import EvenOddExchange, ExchangePolicy, NoExchange
 from repro.dynamics.moves import (
+    BinPackingMove,
     KnapsackNeighborhoodMove,
     MoveGenerator,
     MultiFlipMove,
@@ -90,6 +91,7 @@ _MOVES = {
     "knapsack": KnapsackNeighborhoodMove,
     "one_hot": OneHotGroupMove,
     "permutation_swap": PermutationSwapMove,
+    "bin_packing": BinPackingMove,
 }
 
 _EXCHANGES = {

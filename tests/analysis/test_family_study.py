@@ -1,0 +1,60 @@
+"""Tests for the store-backed cross-family study (``run_family_study``)."""
+
+import pytest
+
+from repro.analysis import FamilyStudyResult, run_family_study
+from repro.problems import family_names
+from repro.store import CampaignStore
+
+STUDY_ARGS = dict(num_trials=3, sa_iterations=120, seed=11)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_family_study(**STUDY_ARGS)
+
+
+class TestStudyShape:
+    def test_one_row_per_registered_family(self, study):
+        assert study.families == list(family_names())
+
+    def test_rows_are_grounded_in_exact_references(self, study):
+        for row in study.rows:
+            assert row.num_trials == 3
+            assert 0.0 <= row.feasible_fraction <= 1.0
+            assert row.success_rate is None or 0.0 <= row.success_rate <= 1.0
+            assert row.transformation
+            assert row.problem_size > 0
+
+    def test_every_family_reaches_feasible_states(self, study):
+        for row in study.rows:
+            assert row.feasible_fraction == 1.0, row.family
+            assert row.best_objective is not None
+
+    def test_row_lookup(self, study):
+        assert study.row("qkp").family == "qkp"
+        with pytest.raises(KeyError, match="sudoku"):
+            study.row("sudoku")
+
+    def test_family_subset_selection(self):
+        result = run_family_study(families=["maxcut"], num_trials=2,
+                                  sa_iterations=60, seed=11)
+        assert result.families == ["maxcut"]
+
+
+class TestStoreBackedStudy:
+    def test_rerun_loads_every_trial_from_the_store(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        cold = run_family_study(families=["knapsack", "tsp"], num_trials=2,
+                                sa_iterations=60, seed=11, store=store)
+        assert all(row.num_loaded_from_store == 0 for row in cold.rows)
+        warm = run_family_study(families=["knapsack", "tsp"], num_trials=2,
+                                sa_iterations=60, seed=11,
+                                store=CampaignStore(tmp_path / "store"))
+        assert all(row.num_loaded_from_store == 2 for row in warm.rows)
+        for a, b in zip(cold.rows, warm.rows):
+            assert a.best_objective == b.best_objective
+            assert a.success_rate == b.success_rate
+
+    def test_empty_result_container(self):
+        assert FamilyStudyResult().families == []

@@ -1,0 +1,107 @@
+"""Regression tests for knapsack-specific assumptions the conformance suite
+exposed in the filter stack (ISSUE 7 satellite).
+
+Three fixed defects, one test class each:
+
+1. ``InequalityFilter`` rejected fractional weights outright -- decimal
+   weights now scale onto integer cells by a power of ten, exactly.
+2. The replica bound was *rounded* (banker's rounding), so a bound of 11.5
+   programmed capacity 12 and the filter accepted ``w . x = 12 > 11.5`` --
+   unsound.  The scaled bound is now floored.
+3. ``WorkingArray`` silently truncated fractional weights with
+   ``int(round(w))`` -- it now raises loudly, on construction and on
+   ``reprogram``.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cim.filter_array import FilterArrayConfig, WorkingArray
+from repro.cim.inequality_filter import InequalityFilter, integer_constraint_scale
+from repro.core.constraints import InequalityConstraint
+from repro.problems import generate_bin_packing_instance
+
+
+def _all_configs(n):
+    return np.array(list(itertools.product((0.0, 1.0), repeat=n)))
+
+
+class TestFractionalWeightScaling:
+    def test_half_granular_weights_classify_exactly(self):
+        constraint = InequalityConstraint(np.array([0.5, 1.5, 2.5, 3.0]), 4.5)
+        filt = InequalityFilter(constraint)
+        assert filt.weight_scale == 10
+        assert filt.classification_accuracy(_all_configs(4)) == 1.0
+
+    def test_centi_granular_weights_classify_exactly(self):
+        constraint = InequalityConstraint(np.array([0.25, 1.75, 2.05]), 2.3)
+        filt = InequalityFilter(constraint)
+        assert filt.weight_scale == 100
+        assert filt.classification_accuracy(_all_configs(3)) == 1.0
+
+    def test_unscalable_weights_raise_loudly(self):
+        constraint = InequalityConstraint(np.array([np.pi, 1.0]), 5.0)
+        with pytest.raises(ValueError, match="integer FeFET cells"):
+            InequalityFilter(constraint)
+
+    def test_integer_scale_helper(self):
+        assert integer_constraint_scale(np.array([1.0, 2.0])) == 1
+        assert integer_constraint_scale(np.array([0.5, 2.0])) == 10
+        assert integer_constraint_scale(np.array([])) == 1
+        with pytest.raises(ValueError):
+            integer_constraint_scale(np.array([1.0 / 3.0]))
+
+
+class TestBoundRoundingSoundness:
+    def test_half_integer_bound_never_accepts_overweight(self):
+        """round(11.5) == 12 (banker's rounding) used to admit w.x = 12."""
+        constraint = InequalityConstraint(np.array([5.0, 7.0]), 11.5)
+        filt = InequalityFilter(constraint)
+        assert not filt.is_feasible([1, 1])          # 12 > 11.5
+        assert filt.is_feasible([1, 0])              # 5 <= 11.5
+        assert filt.is_feasible([0, 1])              # 7 <= 11.5
+        assert filt.classification_accuracy(_all_configs(2)) == 1.0
+
+    @pytest.mark.parametrize("bound", [3.2, 7.9, 10.5, 11.999])
+    def test_fractional_bounds_match_exact_arithmetic(self, bound):
+        constraint = InequalityConstraint(np.array([1.0, 2.0, 4.0, 5.0]), bound)
+        filt = InequalityFilter(constraint)
+        assert filt.classification_accuracy(_all_configs(4)) == 1.0
+
+    def test_no_feasible_state_rejected_near_integral_bound(self):
+        """Flooring must not clip a bound that is integral up to float fuzz."""
+        constraint = InequalityConstraint(np.array([3.0, 4.0]), 7.0 - 1e-12)
+        filt = InequalityFilter(constraint)
+        assert filt.is_feasible([1, 1])  # 7 <= 7 - 1e-12 within tolerance
+
+
+class TestWorkingArrayIntegrality:
+    def test_constructor_rejects_fractional_weights(self):
+        with pytest.raises(ValueError, match="discrete levels"):
+            WorkingArray([1.5, 2.0])
+
+    def test_reprogram_rejects_fractional_weights(self):
+        array = WorkingArray([1, 2], config=FilterArrayConfig(num_rows=4))
+        with pytest.raises(ValueError, match="discrete levels"):
+            array.reprogram([1, 2.5])
+        # The array keeps its original programming after the failed call.
+        assert array.stored_weights.tolist() == [1, 2]
+
+    def test_float_valued_integers_still_accepted(self):
+        array = WorkingArray([1.0, 2.0])
+        assert array.stored_weights.tolist() == [1, 2]
+
+
+class TestNonKnapsackConstraintsOnHardware:
+    def test_bin_packing_capacity_filters_classify_exactly(self):
+        """Per-bin capacity constraints (zero-padded weights over assignment
+        and usage variables) run through the hardware filter unchanged."""
+        problem = generate_bin_packing_instance(num_items=4, num_bins=2,
+                                                capacity=10.0, seed=5)
+        rng = np.random.default_rng(0)
+        batch = rng.integers(0, 2, size=(64, problem.num_variables)).astype(float)
+        for constraint in problem.capacity_constraints():
+            filt = InequalityFilter(constraint)
+            assert filt.classification_accuracy(batch) == 1.0

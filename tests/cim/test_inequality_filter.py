@@ -16,13 +16,21 @@ def paper_example_filter():
 
 
 class TestConstruction:
-    def test_rejects_negative_or_fractional_weights(self):
+    def test_rejects_negative_weights_and_bounds(self):
         with pytest.raises(ValueError):
             InequalityFilter(InequalityConstraint([-1, 2], 3))
         with pytest.raises(ValueError):
-            InequalityFilter(InequalityConstraint([1.5, 2], 3))
-        with pytest.raises(ValueError):
             InequalityFilter(InequalityConstraint([1, 2], -1))
+
+    def test_fractional_weights_scale_onto_integer_cells(self):
+        """Decimal weights are programmed exactly via power-of-ten scaling
+        (they used to be rejected as a knapsack-specific integrality
+        assumption); unscalable weights still raise loudly."""
+        filt = InequalityFilter(InequalityConstraint([1.5, 2], 3))
+        assert filt.weight_scale == 10
+        assert filt.is_feasible([1, 0]) and not filt.is_feasible([1, 1])
+        with pytest.raises(ValueError, match="integer FeFET cells"):
+            InequalityFilter(InequalityConstraint([np.pi, 2], 3))
 
     def test_rejects_bad_discharge_fraction(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,36 @@
+"""Shared fixtures for the cross-family conformance suite.
+
+Every test in this package is parametrized over *all* registered problem
+families (:func:`repro.problems.family_names`): registering a new family
+automatically subjects it to the full contract.  The ``harness`` module
+caches each family's conformance instance and exact reference solution so
+the (brute-force) reference is computed once per session, not once per test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.problems import family_names, get_family
+
+from harness import conformance_instance, reference_solution
+
+
+@pytest.fixture(params=family_names())
+def family(request):
+    """Parametrizes every conformance test over all registered families."""
+    return get_family(request.param)
+
+
+@pytest.fixture
+def instance(family):
+    return conformance_instance(family.name)
+
+
+@pytest.fixture
+def reference(family):
+    return reference_solution(family.name)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(93)

@@ -1,0 +1,62 @@
+"""Shared helpers for the cross-family conformance suite (imported by the
+test modules; fixtures live in ``conftest.py``)."""
+
+import numpy as np
+
+from repro.problems import get_family
+
+# One fixed seed for every family's conformance instance: the suite gates a
+# *deterministic* contract, not a statistical one.
+CONFORMANCE_SEED = 1
+
+# Software-mode solve recipe shared by the backend-parity and store-resume
+# tests.  Integer-valued conformance instances + software mode is exactly
+# the regime where serial and vectorized backends are bitwise identical.
+SOLVE_OVERRIDES = {"use_hardware": False, "num_iterations": 60}
+MASTER_SEED = 11
+
+_INSTANCES = {}
+_REFERENCES = {}
+
+
+def conformance_instance(name):
+    """The (cached) conformance instance of a registered family."""
+    if name not in _INSTANCES:
+        _INSTANCES[name] = get_family(name).conformance_instance(CONFORMANCE_SEED)
+    return _INSTANCES[name]
+
+
+def reference_solution(name):
+    """The (cached) exact reference solution of the conformance instance."""
+    if name not in _REFERENCES:
+        family = get_family(name)
+        _REFERENCES[name] = family.reference_solution(conformance_instance(name))
+    return _REFERENCES[name]
+
+
+def solver_params(family, problem, **overrides):
+    """Family-appropriate HyCiM parameters merged with test overrides."""
+    params = dict(family.solver_params(problem))
+    params.update(SOLVE_OVERRIDES)
+    params.update(overrides)
+    return params
+
+
+def feasible_states(problem, rng, count=8):
+    """A deduplicated stack of feasible states of ``problem``."""
+    states = [problem.random_feasible_configuration(rng) for _ in range(count)]
+    return np.unique(np.stack(states), axis=0)
+
+
+def find_infeasible_state(problem, rng, tries=200):
+    """An infeasible binary state, or ``None`` if none is found (which the
+    callers treat as "this family is unconstrained")."""
+    n = problem.num_variables
+    for candidate in (np.ones(n), np.zeros(n)):
+        if not problem.is_feasible(candidate):
+            return candidate
+    for _ in range(tries):
+        candidate = rng.integers(0, 2, size=n).astype(float)
+        if not problem.is_feasible(candidate):
+            return candidate
+    return None

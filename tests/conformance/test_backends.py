@@ -1,0 +1,63 @@
+"""Every family solves end-to-end on all three ``run_trials`` backends.
+
+Clause 4 of the contract: with the family's registered solver parameters,
+per-seed results are *bitwise identical* across serial, process and
+vectorized backends (integer conformance instances, software mode), and
+hardware mode runs the same pipeline through the FeFET filter stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_trials
+
+from harness import MASTER_SEED, solver_params
+
+
+def _solve(family, instance, backend, *, num_trials=4, **kwargs):
+    params = solver_params(family, instance, **kwargs.pop("params", {}))
+    return run_trials(instance, ("hycim", params), num_trials=num_trials,
+                      backend=backend, master_seed=MASTER_SEED, **kwargs)
+
+
+class TestSerialVectorizedParity:
+    def test_per_seed_results_are_bitwise_identical(self, family, instance):
+        serial = _solve(family, instance, "serial")
+        vectorized = _solve(family, instance, "vectorized")
+        np.testing.assert_array_equal(serial.best_energies,
+                                      vectorized.best_energies)
+        for a, b in zip(serial.results, vectorized.results):
+            assert a.trial_seed == b.trial_seed
+            assert a.best_energy == b.best_energy
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+
+
+class TestProcessBackend:
+    def test_process_matches_serial_per_seed(self, family, instance):
+        serial = _solve(family, instance, "serial", num_trials=2,
+                        params={"num_iterations": 40})
+        process = _solve(family, instance, "process", num_trials=2,
+                         params={"num_iterations": 40},
+                         num_workers=2, chunk_size=1)
+        np.testing.assert_array_equal(serial.best_energies,
+                                      process.best_energies)
+        for a, b in zip(serial.results, process.results):
+            assert a.trial_seed == b.trial_seed
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+
+
+class TestSolutionsAreFeasible:
+    def test_every_trial_returns_a_feasible_state(self, family, instance):
+        batch = _solve(family, instance, "vectorized")
+        configs = np.stack([r.best_configuration for r in batch.results])
+        assert instance.is_feasible_batch(configs).all()
+
+
+class TestHardwareMode:
+    def test_fefet_filter_path_runs_and_stays_feasible(self, family, instance):
+        batch = _solve(family, instance, "serial", num_trials=2,
+                       params={"use_hardware": True, "num_iterations": 40})
+        for result in batch.results:
+            assert instance.is_feasible(result.best_configuration)

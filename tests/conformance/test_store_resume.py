@@ -1,0 +1,53 @@
+"""Clause 5: store round-trip and fingerprint-identical resume per family.
+
+A campaign over any registered family must persist to a
+:class:`~repro.store.CampaignStore`, extend a previous run by loading its
+persisted prefix, and aggregate to a fingerprint bitwise identical to an
+uninterrupted run -- on both deterministic backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import aggregate_trials, run_trials, statistics_fingerprint
+from repro.store import CampaignStore
+
+from harness import MASTER_SEED, solver_params
+
+BACKENDS = ["serial", "vectorized"]
+
+
+def _run(family, instance, backend, num_trials, **kwargs):
+    params = solver_params(family, instance, num_iterations=40)
+    return run_trials(instance, ("hycim", params), num_trials=num_trials,
+                      backend=backend, master_seed=MASTER_SEED, **kwargs)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStoreRoundTrip:
+    def test_persisted_results_reload_identically(self, tmp_path, family,
+                                                  instance, backend):
+        store = CampaignStore(tmp_path / "store")
+        first = _run(family, instance, backend, 3, store=store)
+        assert first.num_loaded_from_store == 0
+        again = _run(family, instance, backend, 3,
+                     store=CampaignStore(tmp_path / "store"))
+        assert again.num_loaded_from_store == 3
+        np.testing.assert_array_equal(first.best_energies, again.best_energies)
+        for a, b in zip(first.results, again.results):
+            assert a.trial_seed == b.trial_seed
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+
+    def test_resume_extends_to_fingerprint_identical_aggregates(
+            self, tmp_path, family, instance, backend):
+        uninterrupted = _run(family, instance, backend, 6)
+        store = CampaignStore(tmp_path / "store")
+        _run(family, instance, backend, 3, store=store)
+        resumed = _run(family, instance, backend, 6,
+                       store=CampaignStore(tmp_path / "store"))
+        assert resumed.num_loaded_from_store == 3
+        np.testing.assert_array_equal(uninterrupted.best_energies,
+                                      resumed.best_energies)
+        assert statistics_fingerprint(aggregate_trials(resumed)) == \
+            statistics_fingerprint(aggregate_trials(uninterrupted))

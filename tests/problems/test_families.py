@@ -1,0 +1,102 @@
+"""Unit tests for the problem-family registry and instance streams."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    KnapsackProblem,
+    ProblemFamily,
+    family_names,
+    family_of,
+    get_family,
+    register_family,
+    stream_instances,
+)
+from repro.problems.io import content_hash
+
+EXPECTED_FAMILIES = ("binpacking", "coloring", "knapsack", "maxcut", "mdqkp",
+                     "qkp", "spin_glass", "tsp")
+
+
+class TestRegistry:
+    def test_all_paper_families_are_registered(self):
+        assert family_names() == EXPECTED_FAMILIES
+
+    def test_get_family_unknown_name_lists_catalogue(self):
+        with pytest.raises(KeyError, match="binpacking"):
+            get_family("sudoku")
+
+    def test_family_of_matches_exact_type(self):
+        family = get_family("knapsack")
+        problem = family.conformance_instance(0)
+        assert family_of(problem) is family
+
+    def test_family_of_unregistered_type_is_none(self):
+        class Unregistered(KnapsackProblem):
+            pass
+
+        problem = Unregistered(profits=np.array([1.0]),
+                               weights=np.array([1.0]), capacity=1.0)
+        assert family_of(problem) is None
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        family = get_family("knapsack")
+        with pytest.raises(KeyError, match="already registered"):
+            register_family(family)
+        register_family(family, overwrite=True)  # no-op replace is allowed
+        assert get_family("knapsack") is family
+
+    def test_family_validates_its_fields(self):
+        family = get_family("maxcut")
+        with pytest.raises(ValueError):
+            ProblemFamily(**{**family.__dict__, "name": ""})
+        with pytest.raises(TypeError):
+            ProblemFamily(**{**family.__dict__, "problem_type": dict})
+
+
+class TestConformanceInstances:
+    @pytest.mark.parametrize("name", EXPECTED_FAMILIES)
+    def test_instances_are_deterministic_in_the_seed(self, name):
+        family = get_family(name)
+        a, b = family.conformance_instance(7), family.conformance_instance(7)
+        assert content_hash(a) == content_hash(b)
+        assert content_hash(a) != content_hash(family.conformance_instance(8))
+
+    @pytest.mark.parametrize("name", EXPECTED_FAMILIES)
+    def test_solver_params_are_picklable_dicts(self, name):
+        import pickle
+
+        family = get_family(name)
+        params = family.solver_params(family.conformance_instance(0))
+        assert isinstance(params, dict)
+        pickle.dumps(params)
+
+
+class TestStreams:
+    def test_stream_is_deterministic(self):
+        a = [content_hash(p) for p in stream_instances("qkp", 4, seed=5)]
+        b = [content_hash(p) for p in stream_instances("qkp", 4, seed=5)]
+        assert a == b
+        assert len(set(a)) == 4  # independent instances
+
+    def test_stream_prefix_is_independent_of_count(self):
+        short = [content_hash(p) for p in stream_instances("maxcut", 3, seed=9)]
+        long = [content_hash(p) for p in stream_instances("maxcut", 6, seed=9)]
+        assert long[:3] == short
+
+    def test_unbounded_stream_composes_with_islice(self):
+        taken = list(itertools.islice(
+            stream_instances("knapsack", seed=2, num_items=5), 3))
+        assert len(taken) == 3
+        assert all(p.num_variables == 5 for p in taken)
+
+    def test_stream_names_encode_seed_and_index(self):
+        problems = list(stream_instances("tsp", 2, seed=3, num_cities=4))
+        assert problems[0].name == "tsp_stream_s3_00000"
+        assert problems[1].name == "tsp_stream_s3_00001"
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            list(stream_instances("qkp", -1))

@@ -1,0 +1,132 @@
+"""Unit tests for the OR-Library (Beasley mknap) and QPLIB loaders,
+including the bundled fixture the CI smoke job loads."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    KnapsackProblem,
+    MultiDimensionalKnapsackProblem,
+    QuadraticKnapsackProblem,
+    read_orlib_file,
+    read_orlib_knapsack,
+    read_qplib_file,
+    write_orlib_file,
+    write_qplib_file,
+)
+from repro.problems.io import content_hash
+
+FIXTURE = Path(__file__).resolve().parents[1] / "data" / "orlib_mknap_small.txt"
+
+
+class TestBundledFixture:
+    def test_fixture_loads_both_instances(self):
+        problems, optima = read_orlib_file(FIXTURE)
+        assert len(problems) == 2
+        assert isinstance(problems[0], KnapsackProblem)
+        assert isinstance(problems[1], MultiDimensionalKnapsackProblem)
+        assert optima == [318.0, 288.0]
+
+    def test_recorded_optima_match_brute_force(self):
+        problems, optima = read_orlib_file(FIXTURE)
+        for problem, optimum in zip(problems, optima):
+            _, best = problem.brute_force_best()
+            assert best == pytest.approx(optimum)
+
+    def test_single_instance_accessor(self):
+        problem = read_orlib_knapsack(FIXTURE, index=1)
+        assert isinstance(problem, MultiDimensionalKnapsackProblem)
+        assert problem.num_constraints == 3
+
+    def test_fixture_round_trips(self, tmp_path):
+        problems, optima = read_orlib_file(FIXTURE)
+        out = tmp_path / "copy.txt"
+        write_orlib_file(problems, out, optimal_values=optima)
+        reread, reread_optima = read_orlib_file(out)
+        assert reread_optima == optima
+        for a, b in zip(problems, reread):
+            assert content_hash(a) == content_hash(b)
+
+
+class TestOrlibValidation:
+    def test_truncated_file_raises_naming_the_section(self, tmp_path):
+        tokens = FIXTURE.read_text().split()
+        bad = tmp_path / "truncated.txt"
+        bad.write_text(" ".join(tokens[:6]))
+        with pytest.raises(ValueError, match="truncated|weight|profit"):
+            read_orlib_file(bad)
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            read_orlib_knapsack(FIXTURE, index=5)
+
+    def test_quadratic_profits_rejected_with_pointer_to_qplib(self, tmp_path):
+        problem = QuadraticKnapsackProblem(
+            profits=np.array([[3.0, 1.0], [1.0, 2.0]]),
+            weights=np.array([1.0, 2.0]), capacity=2.0)
+        with pytest.raises(ValueError, match="qplib"):
+            write_orlib_file([problem], tmp_path / "nope.txt")
+
+
+class TestQplibLoader:
+    def test_qkp_round_trip_preserves_type_and_hash(self, tmp_path):
+        problem = QuadraticKnapsackProblem(
+            profits=np.array([[3.0, 1.0], [1.0, 2.0]]),
+            weights=np.array([1.0, 2.0]), capacity=2.0, name="qp")
+        path = tmp_path / "qp.qplib"
+        write_qplib_file(problem, path)
+        loaded = read_qplib_file(path)
+        assert isinstance(loaded, QuadraticKnapsackProblem)
+        assert content_hash(loaded) == content_hash(problem)
+
+    def test_minimize_sense_negates_objective(self, tmp_path):
+        path = tmp_path / "min.qplib"
+        path.write_text("\n".join([
+            "tiny", "QBL", "minimize",
+            "2", "1",
+            "1",               # one quadratic entry
+            "1 1 -6",          # Q_11 = -6 -> p_11 = -3, negated to +3
+            "0", "0", "0",     # default b, nnz b, constant
+            "2", "1 1 1", "1 2 2",
+            "1e20",
+            "-1e20", "0",
+            "5", "0",
+        ]) + "\n")
+        loaded = read_qplib_file(path)
+        assert isinstance(loaded, KnapsackProblem)
+        np.testing.assert_allclose(loaded.profits, [3.0, 0.0])
+        assert loaded.capacity == 5.0
+
+    def test_unsupported_type_raises(self, tmp_path):
+        path = tmp_path / "bad.qplib"
+        path.write_text("x QCQ minimize 2 1\n")
+        with pytest.raises(ValueError, match="subset"):
+            read_qplib_file(path)
+
+    def test_finite_lower_bounds_rejected(self, tmp_path):
+        path = tmp_path / "lb.qplib"
+        path.write_text("\n".join([
+            "lb", "LBL", "maximize", "2", "1",
+            "1", "2",          # default b = 1, nnz b = 2
+            "1 2", "2 3",
+            "0",               # constant
+            "2", "1 1 1", "1 2 1",
+            "1e20",
+            "0", "0",          # default c_l = 0 (finite): unsupported
+            "0", "1", "1 4",
+        ]) + "\n")
+        with pytest.raises(ValueError, match="lower bound"):
+            read_qplib_file(path)
+
+    def test_comments_are_stripped(self, tmp_path):
+        problem = KnapsackProblem(profits=np.array([4.0, 5.0]),
+                                  weights=np.array([1.0, 2.0]), capacity=2.0)
+        path = tmp_path / "c.qplib"
+        write_qplib_file(problem, path)
+        commented = tmp_path / "commented.qplib"
+        commented.write_text("! OR-Library style header comment\n"
+                             + path.read_text().replace("\n", " ! eol\n", 3))
+        loaded = read_qplib_file(commented)
+        assert content_hash(loaded) == content_hash(problem)

@@ -1,0 +1,213 @@
+"""Hypothesis property tests for the OR-Library and QPLIB loaders.
+
+Two properties, mirroring the PR-1 ``io.py`` contract:
+
+1. parse -> write -> parse is the identity up to
+   :func:`repro.problems.io.content_hash` (name excluded by design);
+2. malformed files fail *loudly* -- any token-level truncation or trailing
+   garbage raises :class:`ValueError`, never a silently shorter instance.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import (
+    KnapsackProblem,
+    MultiDimensionalKnapsackProblem,
+    QuadraticKnapsackProblem,
+    read_orlib_file,
+    read_qplib_file,
+    write_orlib_file,
+    write_qplib_file,
+)
+from repro.problems.io import content_hash
+
+# Weights drawn from this grid exercise the decimal-scaling path of the
+# loaders and filters while staying exactly representable in the text
+# formats (integers and halves round-trip through repr exactly).
+_WEIGHT_GRID = [1.0, 2.0, 3.5, 5.0, 7.5, 10.0]
+
+
+@st.composite
+def knapsack_problems(draw, max_items=8):
+    n = draw(st.integers(2, max_items))
+    profits = draw(st.lists(st.integers(1, 100), min_size=n, max_size=n))
+    weights = draw(st.lists(st.sampled_from(_WEIGHT_GRID),
+                            min_size=n, max_size=n))
+    capacity = draw(st.integers(1, 60))
+    return KnapsackProblem(profits=np.asarray(profits, dtype=float),
+                           weights=np.asarray(weights, dtype=float),
+                           capacity=float(capacity), name="prop_kp")
+
+
+@st.composite
+def mdqkp_problems(draw, max_items=6, max_constraints=3, quadratic=True):
+    n = draw(st.integers(2, max_items))
+    m = draw(st.integers(2, max_constraints))
+    profits = np.zeros((n, n))
+    np.fill_diagonal(profits,
+                     draw(st.lists(st.integers(1, 50), min_size=n, max_size=n)))
+    if quadratic:
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = draw(st.integers(0, 30))
+                profits[i, j] = value
+                profits[j, i] = value
+    weights = np.array([
+        draw(st.lists(st.integers(1, 12), min_size=n, max_size=n))
+        for _ in range(m)], dtype=float)
+    capacities = np.asarray(draw(st.lists(st.integers(1, 80),
+                                          min_size=m, max_size=m)), dtype=float)
+    return MultiDimensionalKnapsackProblem(profits=profits, weights=weights,
+                                           capacities=capacities,
+                                           name="prop_mdqkp")
+
+
+@st.composite
+def qkp_problems(draw, max_items=7):
+    n = draw(st.integers(2, max_items))
+    profits = np.zeros((n, n))
+    np.fill_diagonal(profits,
+                     draw(st.lists(st.integers(1, 60), min_size=n, max_size=n)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = draw(st.integers(0, 40))
+            profits[i, j] = value
+            profits[j, i] = value
+    # At least one pairwise term, else the QPLIB reader correctly loads the
+    # instance back as a plain (linear) KnapsackProblem.
+    profits[0, 1] = profits[1, 0] = max(profits[0, 1],
+                                        draw(st.integers(1, 40)))
+    weights = draw(st.lists(st.integers(1, 15), min_size=n, max_size=n))
+    capacity = draw(st.integers(1, 70))
+    return QuadraticKnapsackProblem(profits=profits,
+                                    weights=np.asarray(weights, dtype=float),
+                                    capacity=float(capacity), name="prop_qkp")
+
+
+def _roundtrip_orlib(problems, optima):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "instances.txt"
+        write_orlib_file(problems, path, optimal_values=optima)
+        return read_orlib_file(path)
+
+
+def _roundtrip_qplib(problem):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "instance.qplib"
+        write_qplib_file(problem, path)
+        return read_qplib_file(path)
+
+
+class TestOrlibRoundTrip:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_parse_write_parse_is_identity(self, data):
+        problems = data.draw(st.lists(
+            st.one_of(knapsack_problems(),
+                      mdqkp_problems(quadratic=False)),
+            min_size=1, max_size=3))
+        optima = [data.draw(st.one_of(st.none(), st.integers(1, 500)))
+                  for _ in problems]
+        optima = [float(v) if v is not None else None for v in optima]
+        reread, reread_optima = _roundtrip_orlib(problems, optima)
+        assert len(reread) == len(problems)
+        assert reread_optima == optima
+        for original, loaded in zip(problems, reread):
+            assert type(loaded) is type(original)
+            assert content_hash(loaded) == content_hash(original)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_second_round_trip_is_stable(self, data):
+        problems = [data.draw(knapsack_problems())]
+        reread, optima = _roundtrip_orlib(problems, [None])
+        again, _ = _roundtrip_orlib(reread, optima)
+        assert content_hash(again[0]) == content_hash(problems[0])
+
+
+class TestQplibRoundTrip:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_parse_write_parse_is_identity(self, data):
+        problem = data.draw(st.one_of(knapsack_problems(), qkp_problems(),
+                                      mdqkp_problems()))
+        loaded = _roundtrip_qplib(problem)
+        assert type(loaded) is type(problem)
+        assert content_hash(loaded) == content_hash(problem)
+
+
+class TestMalformedFilesFailLoudly:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_orlib_truncation_raises(self, data):
+        """Dropping any suffix of the token stream is a loud ValueError,
+        never a silently truncated instance (the PR-1 io.py contract)."""
+        problems = [data.draw(knapsack_problems())]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "instances.txt"
+            write_orlib_file(problems, path)
+            tokens = path.read_text().split()
+            keep = data.draw(st.integers(0, len(tokens) - 1))
+            path.write_text(" ".join(tokens[:keep]) + "\n")
+            try:
+                read_orlib_file(path)
+            except ValueError:
+                return
+            raise AssertionError(
+                f"truncation to {keep}/{len(tokens)} tokens parsed silently")
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_orlib_trailing_garbage_raises(self, data):
+        problems = [data.draw(knapsack_problems())]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "instances.txt"
+            write_orlib_file(problems, path)
+            path.write_text(path.read_text() + " 42\n")
+            try:
+                read_orlib_file(path)
+            except ValueError as error:
+                assert "trailing" in str(error) or "leftover" in str(error) \
+                    or "42" in str(error)
+                return
+            raise AssertionError("trailing token parsed silently")
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_qplib_truncation_raises(self, data):
+        problem = data.draw(st.one_of(knapsack_problems(), qkp_problems()))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "instance.qplib"
+            write_qplib_file(problem, path)
+            tokens = path.read_text().split()
+            keep = data.draw(st.integers(0, len(tokens) - 1))
+            path.write_text(" ".join(tokens[:keep]) + "\n")
+            try:
+                read_qplib_file(path)
+            except ValueError:
+                return
+            raise AssertionError(
+                f"truncation to {keep}/{len(tokens)} tokens parsed silently")
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_non_numeric_token_raises(self, data):
+        problems = [data.draw(knapsack_problems())]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "instances.txt"
+            write_orlib_file(problems, path)
+            tokens = path.read_text().split()
+            index = data.draw(st.integers(0, len(tokens) - 1))
+            tokens[index] = "bogus"
+            path.write_text(" ".join(tokens) + "\n")
+            try:
+                read_orlib_file(path)
+            except ValueError as error:
+                assert "bogus" in str(error)
+                return
+            raise AssertionError("non-numeric token parsed silently")
