@@ -10,6 +10,7 @@ the energy; 6+ bits track exact arithmetic closely).
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
 from repro.problems.generators import generate_qkp_instance
@@ -39,6 +40,14 @@ def test_ablation_qubo_error_vs_adc_resolution(benchmark):
         ["ADC bits", "mean relative error"],
         [["ideal" if bits is None else bits, f"{err:.4f}"]
          for bits, err in zip(adc_bits, errors)]))
+
+    reporting.emit(
+        "ablation_adc_bits",
+        "mean relative QUBO error at 6-bit column ADCs",
+        errors[3], "relative error", floor=0.05, higher_is_better=False,
+        details={"errors_by_adc_bits": {
+            "ideal" if bits is None else str(bits): err
+            for bits, err in zip(adc_bits, errors)}})
 
     # Error decreases (weakly) with resolution and vanishes for the ideal ADC.
     assert all(a >= b - 1e-9 for a, b in zip(errors, errors[1:]))

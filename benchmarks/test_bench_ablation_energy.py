@@ -12,6 +12,7 @@ import math
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.annealing.dqubo_solver import DQUBOAnnealer
 from repro.annealing.hycim import HyCiMSolver
@@ -58,6 +59,17 @@ def test_ablation_energy_per_run_hycim_vs_dqubo(benchmark):
           dqubo_cost.num_filter_evaluations,
           f"{dqubo_cost.energy:.3e}", f"{dqubo_cost.latency:.3e}"]]))
     print(f"energy saving of HyCiM over D-QUBO: {saving * 100:.2f}%")
+
+    reporting.emit(
+        "ablation_energy",
+        "per-run energy saving of HyCiM over the D-QUBO baseline",
+        saving, "fraction", floor=0.7,
+        details={"hycim_energy_pj": hycim_cost.energy,
+                 "dqubo_energy_pj": dqubo_cost.energy,
+                 "hycim_crossbar_evaluations":
+                     hycim_cost.num_crossbar_evaluations,
+                 "dqubo_crossbar_evaluations":
+                     dqubo_cost.num_crossbar_evaluations})
 
     # Same proposal budget for both solvers.
     assert hycim_result.num_iterations == dqubo_result.num_iterations

@@ -10,6 +10,7 @@ accuracy towards chance only for configurations near the capacity boundary.
 
 import numpy as np
 
+import reporting
 from repro.analysis.experiments import run_filter_validation
 from repro.analysis.reporting import format_table
 from repro.fefet.variability import VariabilityModel
@@ -40,6 +41,14 @@ def test_ablation_filter_accuracy_vs_matchline_noise(benchmark):
     print("\nFilter-noise ablation:\n" + format_table(
         ["matchline noise sigma (V)", "classification accuracy"],
         [[noise, f"{acc * 100:.1f}%"] for noise, acc in zip(noise_levels, accuracies)]))
+
+    reporting.emit(
+        "ablation_filter_noise",
+        "filter classification accuracy at the extreme matchline noise level",
+        accuracies[-1], "fraction", floor=0.6,
+        details={"accuracy_by_noise_sigma": {
+            str(noise): acc
+            for noise, acc in zip(noise_levels, accuracies)}})
 
     # The ideal filter classifies every Monte-Carlo case correctly; low noise
     # only affects configurations sitting right at the capacity boundary.

@@ -10,6 +10,7 @@ one-hot baseline and to HyCiM.
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.core.dqubo import SlackEncoding, to_dqubo
 from repro.core.quantization import quantization_report
@@ -38,6 +39,20 @@ def test_ablation_slack_encodings_compare_dimensions_and_qmax(benchmark,
         [[name, h.num_variables, b.num_variables, o.num_variables,
           h.max_abs_coefficient, b.max_abs_coefficient, o.max_abs_coefficient]
          for name, h, b, o in records]))
+
+    reporting.emit(
+        "ablation_slack_encoding",
+        "worst-case one-hot/HyCiM coefficient blow-up across the suite",
+        max(o.max_abs_coefficient / h.max_abs_coefficient
+            for _, h, _, o in records),
+        "x",
+        details={name: {"hycim_n": h.num_variables,
+                        "binary_n": b.num_variables,
+                        "one_hot_n": o.num_variables,
+                        "hycim_qmax": h.max_abs_coefficient,
+                        "binary_qmax": b.max_abs_coefficient,
+                        "one_hot_qmax": o.max_abs_coefficient}
+                 for name, h, b, o in records})
 
     for _, hycim, binary, one_hot in records:
         # Dimension ordering: HyCiM < binary slack << one-hot slack.

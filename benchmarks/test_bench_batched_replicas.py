@@ -17,6 +17,7 @@ import os
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.problems.generators import generate_qkp_instance
 from repro.runtime import run_trials
@@ -102,5 +103,12 @@ def test_vectorized_backend_throughput(benchmark):
         _per_replica_ms(batches["vectorized/sw"])
     print(f"per-replica speedup: hardware {hw_speedup:.1f}x, "
           f"software {sw_speedup:.1f}x")
+
+    reporting.emit(
+        "batched_replicas",
+        "vectorized-backend per-replica speedup over serial (hardware mode)",
+        hw_speedup, "x", floor=5.0,
+        details={"software_speedup": sw_speedup, "num_trials": NUM_TRIALS})
+
     assert hw_speedup >= 5.0
     assert sw_speedup >= 2.0

@@ -7,6 +7,7 @@ software mode), so the asserted floors are pins, not statistics: a drop
 means a real regression in a family's transformation, moves or schedule.
 """
 
+import reporting
 from repro.analysis import run_family_study
 from repro.analysis.reporting import format_table
 from repro.problems import family_names
@@ -34,6 +35,16 @@ def test_every_family_reaches_its_reference_optimum(benchmark):
                 f"{row.best_objective:g}", f"{row.success_rate:.2f}",
                 f"{row.feasible_fraction:.2f}"]
                for row in result.rows]))
+
+    reporting.emit(
+        "cross_family",
+        "minimum per-family success rate across all problem families",
+        min(row.success_rate for row in result.rows),
+        "fraction", floor=SUCCESS_FLOOR,
+        details={row.family: {"success_rate": row.success_rate,
+                              "best_objective": row.best_objective,
+                              "reference_value": row.reference_value}
+                 for row in result.rows})
 
     assert result.families == list(family_names())
     for row in result.rows:

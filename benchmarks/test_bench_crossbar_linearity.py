@@ -8,6 +8,7 @@ the linear fit quality.
 
 import numpy as np
 
+import reporting
 from repro.analysis.experiments import run_crossbar_linearity
 
 
@@ -24,6 +25,12 @@ def test_fig7d_column_current_linearity(benchmark):
     counts, currents, r_squared = benchmark(run)
 
     print(f"\nFig. 7(d): column current vs activated cells, r^2 = {r_squared:.5f}")
+
+    reporting.emit(
+        "crossbar_linearity",
+        "r^2 of column current vs number of activated cells (Fig. 7(d))",
+        r_squared, "r^2", floor=0.98,
+        details={"max_cells": int(counts[-1])})
 
     assert counts[-1] == 24
     assert r_squared > 0.98                       # visually linear, as on the chip

@@ -13,6 +13,7 @@ separated.
 
 import numpy as np
 
+import reporting
 from repro.analysis.experiments import run_solving_efficiency_study
 from repro.analysis.reporting import format_table
 
@@ -47,6 +48,14 @@ def test_fig10_solving_efficiency_hycim_vs_dqubo(benchmark, small_capacity_suite
           + format_table(["instance", "HyCiM", "D-QUBO"], rows))
     print(f"normalized value means: HyCiM {result.hycim_normalized.mean():.3f}, "
           f"D-QUBO {result.dqubo_normalized.mean():.3f}")
+
+    reporting.emit(
+        "fig10_efficiency",
+        "mean HyCiM success rate @ 95% of reference (Fig. 10)",
+        result.hycim_mean_success, "fraction", floor=0.85,
+        details={"dqubo_mean_success": result.dqubo_mean_success,
+                 "hycim_normalized_mean": result.hycim_normalized.mean(),
+                 "dqubo_normalized_mean": result.dqubo_normalized.mean()})
 
     # Shape of the paper's result: HyCiM near-perfect, D-QUBO poor.
     assert result.hycim_mean_success >= 0.85

@@ -7,6 +7,7 @@ infeasible case.  The benchmark runs the same protocol on a reduced instance
 count with device variability enabled.
 """
 
+import reporting
 from repro.analysis.experiments import run_filter_validation
 from repro.fefet.variability import VariabilityModel
 
@@ -31,6 +32,14 @@ def test_fig8_filter_classifies_monte_carlo_configurations(benchmark, qkp_suite)
           f"{result.metrics['accuracy'] * 100:.2f}%, "
           f"feasible ML in [{feasible.min():.3f}, {feasible.max():.3f}], "
           f"infeasible ML in [{infeasible.min():.3f}, {infeasible.max():.3f}]")
+
+    reporting.emit(
+        "fig8_filter_validation",
+        "filter classification accuracy over Monte-Carlo cases (Fig. 8)",
+        result.metrics["accuracy"], "fraction", floor=1.0,
+        details={"num_cases": result.num_cases,
+                 "false_positive_rate": result.metrics["false_positive_rate"],
+                 "false_negative_rate": result.metrics["false_negative_rate"]})
 
     # 20 cases per instance, half feasible / half infeasible by construction.
     assert result.num_cases == 20 * len(qkp_suite)

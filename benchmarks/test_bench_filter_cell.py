@@ -8,6 +8,7 @@ single-cell column and checks the linear relationship of paper Eq. (7)/(8).
 
 import numpy as np
 
+import reporting
 from repro.cim.filter_array import FilterArrayConfig, WorkingArray
 
 
@@ -31,6 +32,14 @@ def test_fig4c_matchline_voltage_linear_in_stored_weight(benchmark):
     # Linearity: equal steps of discharge_per_unit between adjacent weights.
     steps = -np.diff(final_voltages)
     np.testing.assert_allclose(steps, 0.05, rtol=1e-6)
+
+    reporting.emit(
+        "filter_cell",
+        "worst relative deviation of the matchline discharge step from the "
+        "configured per-unit value (Fig. 4(c))",
+        float(np.abs(steps / 0.05 - 1.0).max()), "relative error",
+        floor=1e-6, higher_is_better=False,
+        details={"final_voltages": final_voltages.tolist()})
 
     # ML stays at VDD when the input bit is 0 regardless of the stored weight.
     array = WorkingArray([4], config=config)

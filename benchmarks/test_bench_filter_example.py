@@ -7,6 +7,7 @@ the infeasible ones drop below it.
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.cim.inequality_filter import InequalityFilter
 from repro.core.constraints import InequalityConstraint
@@ -37,6 +38,13 @@ def test_fig5f_example_inequality_classification(benchmark):
     decisions = [ok for _, _, _, ok in rows]
     assert sum(decisions) == 6            # six feasible configurations
     assert decisions.count(False) == 2    # two infeasible ones
+
+    correct = sum((lhs <= 9) == ok for _, lhs, _, ok in rows)
+    reporting.emit(
+        "filter_example",
+        "correct filter decisions on the Fig. 5(f) worked example",
+        correct, "configurations", floor=len(rows),
+        details={"num_configurations": len(rows)})
 
     # Voltage ordering reproduces the waveform picture: every feasible ML is
     # at or above the replica level, every infeasible ML strictly below.

@@ -10,6 +10,7 @@ reference quality.
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.annealing.hycim import HyCiMSolver
 from repro.annealing.moves import KnapsackNeighborhoodMove
@@ -45,6 +46,15 @@ def test_multidimensional_qkp_with_one_filter_per_constraint(benchmark):
         [[p.name, p.num_constraints, len(s.inequality_filters),
           f"{r.best_objective:.0f}", f"{opt:.0f}",
           f"{r.best_objective / opt:.3f}"] for p, s, r, opt in rows]))
+
+    reporting.emit(
+        "multidim_constraints",
+        "minimum normalized objective across multi-dimensional QKP instances",
+        min(r.best_objective / opt for _, _, r, opt in rows),
+        "fraction", floor=0.9,
+        details={p.name: {"constraints": p.num_constraints,
+                          "normalized": r.best_objective / opt}
+                 for p, _, r, opt in rows})
 
     for problem, solver, result, optimum in rows:
         # One hardware filter per resource dimension.

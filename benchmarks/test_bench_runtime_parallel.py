@@ -14,6 +14,7 @@ import os
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.problems.generators import generate_qkp_instance
 from repro.runtime import run_trials
@@ -61,6 +62,14 @@ def test_runtime_serial_vs_process_wall_clock(benchmark):
     assert serial.num_trials == process.num_trials == NUM_TRIALS
     assert [r.trial_seed for r in serial.results] == \
            [r.trial_seed for r in process.results]
+
+    reporting.emit(
+        "runtime_parallel",
+        "process-backend wall clock relative to the serial backend",
+        process.wall_time / serial.wall_time, "x", higher_is_better=False,
+        details={"serial_wall_time_s": serial.wall_time,
+                 "process_wall_time_s": process.wall_time,
+                 "cpu_count": os.cpu_count()})
 
     # Dispatch overhead stays bounded: the process backend must not cost more
     # than the serial batch plus a fixed pool start-up allowance.

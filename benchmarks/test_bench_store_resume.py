@@ -14,6 +14,7 @@ import shutil
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.problems.generators import generate_qkp_instance
 from repro.runtime import run_trials
@@ -76,6 +77,14 @@ def test_store_checkpoint_overhead_and_warm_resume(benchmark, tmp_path):
     assert warm.num_loaded_from_store == NUM_TRIALS
     assert cold.num_loaded_from_store == 0
     assert warm.wall_time > cold.wall_time
+
+    reporting.emit(
+        "store_resume",
+        "warm-resume session cost relative to re-annealing from scratch",
+        warm_session / plain.wall_time, "x", higher_is_better=False,
+        details={"plain_wall_time_s": plain.wall_time,
+                 "cold_wall_time_s": cold.wall_time,
+                 "warm_session_s": warm_session})
 
     # Loose wall-clock bounds (generous for noisy single-core CI): JSON
     # loading must beat re-annealing, and checkpoint appends must not

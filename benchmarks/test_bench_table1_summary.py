@@ -9,6 +9,7 @@ against an exact reference, confirming that the single framework handles
 unconstrained, equality-constrained and inequality-constrained COPs.
 """
 
+import reporting
 from repro.analysis.experiments import run_solver_summary
 from repro.analysis.reporting import format_table
 
@@ -24,6 +25,12 @@ def test_table1_solver_summary(benchmark):
         [[r.problem_class, r.constraint_type,
           "Yes" if r.search_space_reduction else "No",
           r.problem_size, f"{r.success_rate * 100:.0f}%"] for r in rows]))
+
+    reporting.emit(
+        "table1_summary",
+        "minimum success rate across the Table 1 problem classes",
+        min(r.success_rate for r in rows), "fraction", floor=0.5,
+        details={r.problem_class: r.success_rate for r in rows})
 
     classes = {r.problem_class: r for r in rows}
     assert set(classes) == {

@@ -17,6 +17,7 @@ CI machine.
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.problems.generators import generate_qkp_instance
 from repro.runtime import run_trials
@@ -77,6 +78,13 @@ def test_disabled_telemetry_overhead_under_3_percent(benchmark):
                ["in-memory, probes every 20",
                 f"{live * 1000:.1f}ms", str(len(recorder.events))]])
           + f"\nlive-vs-null overhead: {overhead * 100:+.1f}%")
+
+    reporting.emit(
+        "telemetry_overhead",
+        "live-recorder wall clock relative to the null recorder",
+        live / off, "x", higher_is_better=False,
+        details={"null_ms": off * 1000, "live_ms": live * 1000,
+                 "events": len(recorder.events)})
 
     # The live recorder really observed the run...
     assert recorder.probes("sweep")

@@ -19,6 +19,7 @@ import os
 
 import numpy as np
 
+import reporting
 from repro.analysis.reporting import format_table
 from repro.problems.generators import generate_qkp_instance
 from repro.runtime import run_trials
@@ -86,4 +87,12 @@ def test_batched_chips_throughput(benchmark):
     speedup = _per_trial_ms(scalar) / _per_trial_ms(batched)
     print(f"per-trial speedup (batched chips vs scalar fallback): "
           f"{speedup:.1f}x")
+
+    reporting.emit(
+        "variability_batch",
+        "per-trial speedup of batched chip simulation over the scalar "
+        "fallback",
+        speedup, "x", floor=4.0,
+        details={"num_trials": NUM_TRIALS})
+
     assert speedup >= 4.0

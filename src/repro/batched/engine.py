@@ -47,6 +47,16 @@ Metropolis or cooling code.  Passing a
 with replica exchange (parallel tempering) and/or switches all replicas to
 one chip-faithful shared RNG stream; the default dynamics reproduce the
 scalar trajectories bit for bit.
+
+**Kernels.**  The inner sweep itself -- propose, delta, filter, accept,
+state update, best tracking -- lives in :mod:`repro.kernels`; the engines
+build a :class:`~repro.kernels.SweepKernel` and drive it block-wise, with
+:meth:`LoopDriver.block_length` placing block boundaries exactly where an
+exchange round or telemetry probe is due.  ``kernel="reference"`` (the
+default) is the engines' original loop body moved verbatim;
+``kernel="fused"`` / ``"numba"`` are the incremental local-field kernels
+(same RNG draws, different arithmetic -- exact on integer data); see
+:mod:`repro.kernels.base` for the backend matrix.
 """
 
 from __future__ import annotations
@@ -61,7 +71,6 @@ from repro.annealing.sa import SimulatedAnnealer
 from repro.batched.kernels import (
     as_replica_matrix,
     batched_energies,
-    batched_energy_delta,
     batched_inequality_verdicts,
 )
 from repro.cim.crossbar import CrossbarConfig, FeFETCrossbar
@@ -72,6 +81,9 @@ from repro.dynamics.driver import LoopDriver
 from repro.dynamics.dynamics import Dynamics
 from repro.dynamics.moves import SingleFlipMove
 from repro.fefet.variability import VariabilityModel
+# NOTE: repro.kernels is imported lazily inside anneal()/solve_batch():
+# its reference backend imports repro.batched.kernels, so a module-scope
+# import here would make the package import order significant.
 
 __all__ = ["BatchedHyCiMSolver", "BatchedSimulatedAnnealer"]
 
@@ -90,6 +102,43 @@ def _check_replica_generators(rngs: Sequence[np.random.Generator],
             f"{num_replicas} replicas"
         )
     return generators
+
+
+def _drive_kernel(driver: LoopDriver, kernel, total_iterations: int,
+                  record_history: bool, histories: List[List[float]],
+                  solver_name: str) -> None:
+    """Advance a sweep kernel block-wise to the end of the run.
+
+    Block boundaries come from :meth:`LoopDriver.block_length`, so exchange
+    rounds and telemetry probes fire at exactly the iterations the old
+    per-iteration loop fired them at; a per-iteration energy history forces
+    blocks of one.  Calling :meth:`maybe_exchange` at a non-exchange
+    boundary is a no-op, as in the per-iteration convention.
+    """
+    limit = 1 if record_history else None
+    num_replicas = kernel.current_energy.shape[0]
+    iteration = 0
+    while iteration < total_iterations:
+        block = driver.block_length(iteration, limit)
+        kernel.run_block(iteration, block)
+        iteration += block
+        boundary = iteration - 1
+        driver.maybe_exchange(boundary, kernel.current_energy,
+                              kernel.swap_arrays())
+        if driver.probing:
+            driver.maybe_probe(
+                boundary, solver=solver_name,
+                best_energy=kernel.best_energy,
+                current_energy=kernel.current_energy,
+                num_accepted=kernel.num_accepted,
+                num_feasible=kernel.num_feasible,
+                num_skipped=kernel.num_skipped,
+                feasible_mask=getattr(kernel, "current_feasible", None),
+                final=iteration == total_iterations)
+        if record_history:
+            for k in range(num_replicas):
+                histories[k].append(float(kernel.best_energy[k]))
+    kernel.finalize()
 
 
 class BatchedSimulatedAnnealer:
@@ -117,13 +166,17 @@ class BatchedSimulatedAnnealer:
         dynamics: Optional[Dynamics] = None,
         exchange_rng: Optional[np.random.Generator] = None,
         shared_rng: Optional[np.random.Generator] = None,
+        kernel: Optional[str] = None,
+        feasibility_constraints: Optional[Sequence[InequalityConstraint]] = None,
     ) -> List[SolveResult]:
         """Run one SA descent per replica, in lock-step.
 
         Parameters
         ----------
         qubo:
-            The QUBO model to minimise (shared by all replicas).
+            The QUBO model to minimise (shared by all replicas); a
+            :class:`~repro.core.sparse.SparseQUBOModel` runs through the
+            sparse-aware kernels unchanged.
         initials:
             ``(M, n)`` matrix of starting configurations, one replica per row.
         rngs:
@@ -145,6 +198,15 @@ class BatchedSimulatedAnnealer:
             The dedicated auxiliary streams coupled dynamics need (see
             :func:`repro.dynamics.exchange_stream` /
             :func:`repro.dynamics.shared_stream`).
+        kernel:
+            Sweep-kernel backend (``"reference"``/``"fused"``/``"numba"``/
+            ``"auto"``; see :mod:`repro.kernels.base`).  ``None`` means the
+            reference backend, whose trajectories this docstring describes.
+        feasibility_constraints:
+            The linear-inequality form of ``accept_filter_batch``, when one
+            exists -- what lets the fused kernels track feasibility as
+            incremental constraint loads instead of calling the opaque
+            filter.  Ignored by the reference backend.
         """
         cfg = self.annealer
         n = qubo.num_variables
@@ -154,89 +216,40 @@ class BatchedSimulatedAnnealer:
         matrix = qubo.matrix
 
         current_energy = batched_energies(matrix, current, qubo.offset)
-        best = current.copy()
-        best_energy = current_energy.copy()
-
         single_flip = isinstance(cfg.move_generator, SingleFlipMove)
-        symmetric = matrix + matrix.T if single_flip else None
         driver = LoopDriver(cfg.schedule, cfg.num_iterations, generators,
                             dynamics=dynamics, exchange_rng=exchange_rng,
                             shared_rng=shared_rng)
+        from repro.kernels import make_sa_kernel
+
+        sweep = make_sa_kernel(
+            kernel, matrix=matrix, offset=qubo.offset, driver=driver,
+            move_generator=cfg.move_generator, single_flip=single_flip,
+            moves_per_iteration=cfg.moves_per_iteration, current=current,
+            current_energy=current_energy, accept_filter=accept_filter,
+            accept_filter_batch=accept_filter_batch,
+            feasibility_constraints=feasibility_constraints,
+            generators=generators)
         histories: List[List[float]] = [[] for _ in range(num_replicas)]
-        num_feasible = np.zeros(num_replicas, dtype=int)
-        num_skipped = np.zeros(num_replicas, dtype=int)
-        num_accepted = np.zeros(num_replicas, dtype=int)
-        rows = np.arange(num_replicas)
-
-        for iteration in range(cfg.num_iterations):
-            for _ in range(cfg.moves_per_iteration):
-                if single_flip:
-                    # Same stream consumption as SingleFlipMove.propose: one
-                    # integer draw per replica (one vectorised draw from the
-                    # shared stream in chip-faithful mode).
-                    flips = driver.flip_indices(n)
-                    candidates = current.copy()
-                    candidates[rows, flips] = 1.0 - candidates[rows, flips]
-                else:
-                    flips = None
-                    candidates = driver.propose(cfg.move_generator, current)
-
-                passed = _apply_filters(candidates, accept_filter,
-                                        accept_filter_batch)
-                num_skipped[~passed] += 1
-                feasible_idx = np.flatnonzero(passed)
-                if feasible_idx.size == 0:
-                    continue
-                num_feasible[feasible_idx] += 1
-
-                if single_flip:
-                    delta = batched_energy_delta(
-                        matrix, current[feasible_idx], flips[feasible_idx],
-                        symmetric=symmetric)
-                    candidate_energy = current_energy[feasible_idx] + delta
-                else:
-                    candidate_energy = batched_energies(
-                        matrix, candidates[feasible_idx], qubo.offset)
-                    delta = candidate_energy - current_energy[feasible_idx]
-
-                accepted = driver.metropolis(delta, feasible_idx, iteration)
-                accepted_idx = feasible_idx[accepted]
-                if accepted_idx.size:
-                    current[accepted_idx] = candidates[accepted_idx]
-                    current_energy[accepted_idx] = candidate_energy[accepted]
-                    num_accepted[accepted_idx] += 1
-                    improved = accepted_idx[
-                        current_energy[accepted_idx] < best_energy[accepted_idx]]
-                    best_energy[improved] = current_energy[improved]
-                    best[improved] = current[improved]
-
-            driver.maybe_exchange(iteration, current_energy,
-                                  (current, current_energy))
-            if driver.probing:
-                driver.maybe_probe(
-                    iteration, solver="SimulatedAnnealer",
-                    best_energy=best_energy, current_energy=current_energy,
-                    num_accepted=num_accepted, num_feasible=num_feasible,
-                    num_skipped=num_skipped,
-                    final=iteration + 1 == cfg.num_iterations)
-
-            if cfg.record_history:
-                for k in range(num_replicas):
-                    histories[k].append(float(best_energy[k]))
+        _drive_kernel(driver, sweep, cfg.num_iterations, cfg.record_history,
+                      histories, "SimulatedAnnealer")
 
         dynamics_meta = driver.metadata()
+        kernel_meta = ({} if sweep.backend == "reference"
+                       else {"kernel": sweep.backend})
         return [
             SolveResult(
-                best_configuration=best[k].copy(),
-                best_energy=float(best_energy[k]),
+                best_configuration=sweep.best[k].copy(),
+                best_energy=float(sweep.best_energy[k]),
                 energy_history=histories[k],
                 num_iterations=cfg.num_iterations * cfg.moves_per_iteration,
-                num_feasible_evaluations=int(num_feasible[k]),
-                num_infeasible_skipped=int(num_skipped[k]),
-                num_accepted_moves=int(num_accepted[k]),
+                num_feasible_evaluations=int(sweep.num_feasible[k]),
+                num_infeasible_skipped=int(sweep.num_skipped[k]),
+                num_accepted_moves=int(sweep.num_accepted[k]),
                 solver_name="SimulatedAnnealer",
                 metadata={"seed": cfg.seed, "vectorized": True,
-                          "num_replicas": num_replicas, **dynamics_meta},
+                          "num_replicas": num_replicas, **kernel_meta,
+                          **dynamics_meta},
             )
             for k in range(num_replicas)
         ]
@@ -386,6 +399,7 @@ class BatchedHyCiMSolver:
                     dynamics: Optional[Dynamics] = None,
                     exchange_rng: Optional[np.random.Generator] = None,
                     shared_rng: Optional[np.random.Generator] = None,
+                    kernel: Optional[str] = None,
                     ) -> List[SolveResult]:
         """Run one HyCiM SA descent per replica, in lock-step.
 
@@ -399,9 +413,14 @@ class BatchedHyCiMSolver:
         (with the matching ``exchange_rng`` / ``shared_rng`` auxiliary
         streams); the default dynamics reproduce the scalar trajectories
         exactly.  Exchange swaps travelling state -- configurations,
-        energies, feasibility flags, cached raw energies -- between rungs;
-        on a device axis the chips stay put (replica ``k`` keeps annealing
-        chip ``k``, only its configuration migrates).
+        energies, feasibility flags, cached raw energies and kernel caches
+        -- between rungs; on a device axis the chips stay put (replica ``k``
+        keeps annealing chip ``k``, only its configuration migrates).
+
+        ``kernel`` selects the sweep-kernel backend; the fused/JIT kernels
+        cover the software-mode single-flip configuration (exact on integer
+        data), hardware modes run on the reference backend (what ``"auto"``
+        falls back to).
         """
         solver = self.solver
         n = solver.model.num_variables
@@ -421,10 +440,6 @@ class BatchedHyCiMSolver:
             current_energy[feasible_idx] = self._energies(current[feasible_idx],
                                                           replicas=feasible_idx)
 
-        best = current.copy()
-        best_energy = current_energy.copy()
-        best_feasible = current_feasible.copy()
-
         single_flip = isinstance(solver.move_generator, SingleFlipMove)
         # Software-mode single-flip fast path: track the raw QUBO value of
         # every incumbent (feasible or not) and update it with the O(n)
@@ -433,99 +448,42 @@ class BatchedHyCiMSolver:
         # losslessly stored integer matrices of the paper benchmarks both
         # routes are exact, so parity is preserved; the hardware path always
         # goes through the batched crossbar MVM.
-        use_delta = (single_flip and solver.crossbar is None
-                     and self._device_crossbar is None)
+        use_crossbar = (solver.crossbar is not None
+                        or self._device_crossbar is not None)
+        use_delta = single_flip and not use_crossbar
         qubo = solver.model.qubo
-        if use_delta:
-            raw_energy = batched_energies(qubo.matrix, current, qubo.offset)
-            symmetric = qubo.matrix + qubo.matrix.T
-        else:
-            raw_energy = None
-            symmetric = None
+        raw_energy = (batched_energies(qubo.matrix, current, qubo.offset)
+                      if use_delta else None)
+        use_hardware_filters = (self._device_filters is not None
+                                or bool(solver.inequality_filters))
         driver = LoopDriver(solver.schedule, solver.num_iterations, generators,
                             dynamics=dynamics, exchange_rng=exchange_rng,
                             shared_rng=shared_rng)
+        from repro.kernels import make_hycim_kernel
+
+        sweep = make_hycim_kernel(
+            kernel, num_variables=n, driver=driver,
+            move_generator=solver.move_generator, single_flip=single_flip,
+            moves_per_iteration=solver.moves_per_iteration,
+            feasible_batch=lambda batch: self._feasible_batch(batch,
+                                                              generators),
+            energies=self._energies, current=current,
+            current_energy=current_energy, current_feasible=current_feasible,
+            use_delta=use_delta, matrix=qubo.matrix, raw_energy=raw_energy,
+            constraints=solver.model.constraints,
+            use_hardware_filters=use_hardware_filters,
+            use_crossbar=use_crossbar, generators=generators)
         histories: List[List[float]] = [[] for _ in range(num_replicas)]
-        num_feasible = np.zeros(num_replicas, dtype=int)
-        num_skipped = np.zeros(num_replicas, dtype=int)
-        num_accepted = np.zeros(num_replicas, dtype=int)
-        rows = np.arange(num_replicas)
+        _drive_kernel(driver, sweep, solver.num_iterations,
+                      solver.record_history, histories, "HyCiM")
 
-        for iteration in range(solver.num_iterations):
-            for _ in range(solver.moves_per_iteration):
-                if single_flip:
-                    flips = driver.flip_indices(n)
-                    candidates = current.copy()
-                    candidates[rows, flips] = 1.0 - candidates[rows, flips]
-                else:
-                    candidates = driver.propose(solver.move_generator, current)
-
-                if use_delta:
-                    candidate_raw = raw_energy + batched_energy_delta(
-                        qubo.matrix, current, flips, symmetric=symmetric)
-
-                # Step 1: inequality evaluation, one batched filter pass.
-                candidate_feasible = self._feasible_batch(candidates, generators)
-                infeasible_idx = np.flatnonzero(~candidate_feasible)
-                num_skipped[infeasible_idx] += 1
-                # Replicas whose incumbent is itself infeasible drift freely
-                # at energy 0 (paper Eq. (6)), as in the scalar solver.
-                drifting = infeasible_idx[~current_feasible[infeasible_idx]]
-                if drifting.size:
-                    current[drifting] = candidates[drifting]
-                    current_energy[drifting] = 0.0
-                    if use_delta:
-                        raw_energy[drifting] = candidate_raw[drifting]
-
-                feasible_idx = np.flatnonzero(candidate_feasible)
-                if feasible_idx.size == 0:
-                    continue
-                num_feasible[feasible_idx] += 1
-
-                # Step 2: QUBO computation for all feasible candidates in one
-                # batched crossbar MVM (or BLAS product in software mode).
-                if use_delta:
-                    candidate_energy = candidate_raw[feasible_idx]
-                else:
-                    candidate_energy = self._energies(candidates[feasible_idx],
-                                                      replicas=feasible_idx)
-
-                # Step 3: per-replica Metropolis acceptance.
-                delta = candidate_energy - current_energy[feasible_idx]
-                accepted = driver.metropolis(delta, feasible_idx, iteration)
-                accepted_idx = feasible_idx[accepted]
-                if accepted_idx.size:
-                    current[accepted_idx] = candidates[accepted_idx]
-                    current_energy[accepted_idx] = candidate_energy[accepted]
-                    if use_delta:
-                        raw_energy[accepted_idx] = candidate_energy[accepted]
-                    current_feasible[accepted_idx] = True
-                    num_accepted[accepted_idx] += 1
-                    improved = accepted_idx[
-                        (current_energy[accepted_idx] < best_energy[accepted_idx])
-                        | ~best_feasible[accepted_idx]]
-                    best_energy[improved] = current_energy[improved]
-                    best[improved] = current[improved]
-                    best_feasible[improved] = True
-
-            swap_state = [current, current_energy, current_feasible]
-            if use_delta:
-                swap_state.append(raw_energy)
-            driver.maybe_exchange(iteration, current_energy, tuple(swap_state))
-            if driver.probing:
-                driver.maybe_probe(
-                    iteration, solver="HyCiM",
-                    best_energy=best_energy, current_energy=current_energy,
-                    num_accepted=num_accepted, num_feasible=num_feasible,
-                    num_skipped=num_skipped, feasible_mask=current_feasible,
-                    final=iteration + 1 == solver.num_iterations)
-
-            if solver.record_history:
-                for k in range(num_replicas):
-                    histories[k].append(float(best_energy[k]))
-
+        best = sweep.best
+        best_energy = sweep.best_energy
+        best_feasible = sweep.best_feasible
         native = solver._native_problem
         dynamics_meta = driver.metadata()
+        kernel_meta = ({} if sweep.backend == "reference"
+                       else {"kernel": sweep.backend})
         results: List[SolveResult] = []
         for k in range(num_replicas):
             if best_feasible[k]:
@@ -540,9 +498,9 @@ class BatchedHyCiMSolver:
                 feasible=bool(best_feasible[k]),
                 energy_history=histories[k],
                 num_iterations=solver.num_iterations * solver.moves_per_iteration,
-                num_feasible_evaluations=int(num_feasible[k]),
-                num_infeasible_skipped=int(num_skipped[k]),
-                num_accepted_moves=int(num_accepted[k]),
+                num_feasible_evaluations=int(sweep.num_feasible[k]),
+                num_infeasible_skipped=int(sweep.num_skipped[k]),
+                num_accepted_moves=int(sweep.num_accepted[k]),
                 solver_name="HyCiM",
                 metadata={
                     "use_hardware": solver.use_hardware,
@@ -552,19 +510,8 @@ class BatchedHyCiMSolver:
                     "num_replicas": num_replicas,
                     **({"num_chips": len(self.chips)}
                        if self.chips is not None else {}),
+                    **kernel_meta,
                     **dynamics_meta,
                 },
             ))
         return results
-
-
-def _apply_filters(candidates: np.ndarray,
-                   accept_filter: Optional[RowFilter],
-                   accept_filter_batch: Optional[BatchFilter]) -> np.ndarray:
-    """Feasibility verdicts for a candidate batch (vectorised when possible)."""
-    if accept_filter_batch is not None:
-        return np.asarray(accept_filter_batch(candidates), dtype=bool)
-    if accept_filter is not None:
-        return np.array([bool(accept_filter(row)) for row in candidates],
-                        dtype=bool)
-    return np.ones(candidates.shape[0], dtype=bool)

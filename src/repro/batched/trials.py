@@ -39,6 +39,7 @@ from repro.annealing.sa import SimulatedAnnealer
 from repro.batched.engine import BatchedHyCiMSolver, BatchedSimulatedAnnealer
 from repro.core.dqubo import SlackEncoding
 from repro.dynamics.dynamics import exchange_stream, shared_stream
+from repro.kernels.base import canonical_kernel_param
 from repro.problems.base import CombinatorialProblem
 from repro.runtime.registry import (
     _build_move,
@@ -174,7 +175,7 @@ def hycim_batched_trials(
         results = BatchedHyCiMSolver(solver, chips=chips,
                                      chip_seeds=chip_seeds).solve_batch(
             starts, rngs, dynamics=dynamics, exchange_rng=exchange_rng,
-            shared_rng=shared_rng)
+            shared_rng=shared_rng, kernel=params.get("kernel"))
     return _stamp(results, seeds, span.elapsed)
 
 
@@ -206,8 +207,12 @@ def sa_batched_trials(
         rngs = _group_generators(seeds, shared_rng)
         starts = _replica_starts(problem, params, rngs, initials)
         respect_constraints = bool(params.get("respect_constraints", True))
+        # ``sparse=True`` anneals the CSR encoding (needs SciPy); the kernels
+        # are duck-typed over the matrix, so everything downstream is shared.
+        qubo = (problem.to_sparse_qubo() if params.get("sparse")
+                else problem.to_qubo())
         results = BatchedSimulatedAnnealer(annealer).anneal(
-            problem.to_qubo(),
+            qubo,
             starts,
             rngs,
             accept_filter=problem.is_feasible if respect_constraints else None,
@@ -216,6 +221,13 @@ def sa_batched_trials(
             dynamics=dynamics,
             exchange_rng=exchange_rng,
             shared_rng=shared_rng,
+            kernel=params.get("kernel"),
+            # The fused/JIT backends trade the opaque batch filter for
+            # incrementally maintained linear constraint loads; ``None``
+            # (no linear form) makes them report unsupported, which "auto"
+            # turns into a reference-backend fallback.
+            feasibility_constraints=(problem.linear_feasibility_constraints()
+                                     if respect_constraints else None),
         )
         for result in results:
             best = result.best_configuration
@@ -247,6 +259,11 @@ def dqubo_batched_trials(
             raise ValueError(
                 "hardware-mode dqubo is the documented scalar fallback and "
                 "cannot run coupled dynamics (replica exchange / shared RNG)")
+        if canonical_kernel_param(params.get("kernel")) is not None:
+            raise ValueError(
+                "hardware-mode dqubo is the documented scalar fallback and "
+                "cannot select a sweep-kernel backend; drop params['kernel'] "
+                "or run software mode")
         return [_dqubo_trial(problem, params, int(seed), initial)
                 for seed, initial in zip(seeds, initials)]
     with current_recorder().span("trial_group", solver="dqubo",
@@ -289,7 +306,10 @@ def dqubo_batched_trials(
         )
         inner = BatchedSimulatedAnnealer(annealer).anneal(
             transformation.qubo, extended, rngs, dynamics=dynamics,
-            exchange_rng=exchange_rng, shared_rng=shared_rng)
+            exchange_rng=exchange_rng, shared_rng=shared_rng,
+            # The penalty QUBO is annealed unconstrained, so the fused/JIT
+            # backends apply without a linear-feasibility form.
+            kernel=params.get("kernel"))
         results: List[SolveResult] = [
             solver.assemble_result(
                 raw.best_configuration, raw.best_energy, raw.energy_history,

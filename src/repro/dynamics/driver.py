@@ -134,6 +134,33 @@ class LoopDriver:
         return base * self._factors
 
     # ------------------------------------------------------------------ #
+    # Fused-block boundaries
+    # ------------------------------------------------------------------ #
+    def block_length(self, iteration: int,
+                     limit: Optional[int] = None) -> int:
+        """Iterations a sweep kernel may fuse starting at ``iteration``.
+
+        A fused kernel invocation must end exactly where the driver would
+        next act -- an exchange round or a telemetry probe window -- so the
+        returned count is the distance to the nearest such boundary (or the
+        end of the run).  Exchange fires when ``(it + 1) % interval == 0``
+        and probes when ``(it + 1) % probe_every == 0``, so running
+        ``block_length`` iterations and then calling
+        :meth:`maybe_exchange` / :meth:`maybe_probe` once at the final
+        iteration reproduces the per-iteration calling convention exactly.
+        ``limit`` caps the block (engines pass 1 when per-iteration state,
+        e.g. an energy history, must be observed).
+        """
+        remaining = self.num_iterations - iteration
+        block = remaining if limit is None else min(int(limit), remaining)
+        if self._exchange.is_active:
+            interval = self._exchange.interval
+            block = min(block, interval - iteration % interval)
+        if self.probing:
+            block = min(block, self._probe_every - iteration % self._probe_every)
+        return max(block, 1)
+
+    # ------------------------------------------------------------------ #
     # Move draws
     # ------------------------------------------------------------------ #
     def flip_indices(self, num_variables: int) -> np.ndarray:

@@ -1,0 +1,333 @@
+"""Vectorised PCG64 stream replay across the replica batch.
+
+Profiling the fused kernels shows the sweep floor is not the ΔE arithmetic
+but the per-replica Python draw loops behind it: ``LoopDriver.flip_indices``
+calls each replica's ``Generator.integers`` one at a time, and
+``MetropolisRule.accept`` loops replicas for the uniform draws.  At
+``M = 32`` those two loops cost more than the whole incremental sweep.
+
+:class:`ReplayStreams` removes them by replaying every replica's PCG64
+stream in numpy uint64 lanes -- the same limb arithmetic the numba backend
+compiles (see :mod:`repro.kernels.jit`), applied batch-wide.  Advancing the
+128-bit LCG one draw at a time would still cost a dozen numpy calls per
+proposal, so the replay exploits that the LCG is affine:
+
+    state_j = MULT**j * state_0  +  (MULT**j - 1) / (MULT - 1) * inc
+
+with both coefficients precomputed per lookahead depth ``j``, a lane's next
+:data:`BUFFER_OUTPUTS` raw 64-bit outputs (XSL-RR applied to each
+``state_j``) materialise in one vectorised pass, and the per-proposal cost
+collapses to buffered reads.  On top of the raw outputs sit the exact
+``Generator`` draw pipelines:
+
+* ``Generator.random()`` as ``(next64() >> 11) * 2**-53``;
+* ``Generator.integers(0, n)`` (``n <= 2**32``) as numpy's 32-bit Lemire
+  bounded sampler over PCG64's *buffered* ``next32`` -- low half of a 64-bit
+  draw first, high half parked per lane (``has_uint32`` / ``uinteger``).
+
+Each lane advances exactly as its ``Generator`` object would -- lanes
+consume at different rates (feasibility-dependent uniforms, Lemire
+rejections) and refill independently from their own jumped states -- so the
+draws are bit-identical to the reference engine's, and :meth:`write_back`
+leaves the ``Generator`` objects exactly where a reference run would have.
+
+:func:`metropolis_decisions` vectorises the acceptance rule.  ``np.exp``
+and ``math.exp`` may disagree in the last ulp, so any draw landing within a
+few ulps of the vectorised probability is re-judged through the scalar
+:func:`~repro.dynamics.acceptance.acceptance_probability` -- decisions stay
+bit-identical to :class:`~repro.dynamics.acceptance.MetropolisRule` while
+the re-judge triggers with probability ~1e-15 per draw.
+
+Eligibility (:func:`try_replay_streams`): per-replica mode only (shared-RNG
+draws are already vectorised), plain :class:`MetropolisRule` acceptance,
+PCG64 bit generators, ``n <= 2**32``.  Anything else returns ``None`` and
+the fused kernels keep drawing through the :class:`LoopDriver`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dynamics.acceptance import MetropolisRule, acceptance_probability
+from repro.dynamics.driver import LoopDriver
+from repro.kernels.base import KernelUnsupportedError
+
+__all__ = ["ReplayStreams", "metropolis_decisions", "try_replay_streams"]
+
+#: PCG64's 128-bit LCG multiplier.
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK64 = (1 << 64) - 1
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+_ROT_SHIFT = np.uint64(58)
+_SHIFT11 = np.uint64(11)
+_C64 = np.uint64(64)
+_C63 = np.uint64(63)
+#: ``Generator.random()`` scale: 2**-53.
+_INV53 = 1.0 / 9007199254740992.0
+
+#: Raw 64-bit outputs generated ahead per lane and refill.
+BUFFER_OUTPUTS = 64
+
+#: Largest ``integers`` bound the 32-bit Lemire sampler covers.
+MAX_LEMIRE_BOUND = 2 ** 32
+
+#: Draws within this relative distance of the vectorised probability are
+#: re-judged with the scalar rule (``np.exp`` vs ``math.exp`` last-ulp
+#: disagreement is far inside this margin).
+_BORDERLINE_RTOL = 8e-16
+
+
+def _mulhi64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """High 64 bits of ``a * b`` via 32-bit partial products."""
+    a_lo = a & _MASK32
+    a_hi = a >> _SHIFT32
+    b_lo = b & _MASK32
+    b_hi = b >> _SHIFT32
+    lo_lo = a_lo * b_lo
+    hi_lo = a_hi * b_lo
+    cross = (lo_lo >> _SHIFT32) + (hi_lo & _MASK32) + a_lo * b_hi
+    return (hi_lo >> _SHIFT32) + (cross >> _SHIFT32) + a_hi * b_hi
+
+
+def _mul128(a_hi: np.ndarray, a_lo: np.ndarray, b_hi: np.ndarray,
+            b_lo: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``a * b mod 2**128`` on 64-bit limb arrays (broadcasting)."""
+    lo = a_lo * b_lo
+    hi = _mulhi64(a_lo, b_lo) + a_lo * b_hi + a_hi * b_lo
+    return hi, lo
+
+
+def _split(value: int) -> Tuple[np.uint64, np.uint64]:
+    """A 128-bit Python int as (hi, lo) uint64 limbs."""
+    return np.uint64((value >> 64) & _MASK64), np.uint64(value & _MASK64)
+
+
+def _jump_tables() -> Tuple[np.ndarray, ...]:
+    """``MULT**j`` and ``(MULT**j - 1) / (MULT - 1)`` for each lookahead.
+
+    ``state_j = mult_j * state_0 + incc_j * inc  (mod 2**128)``: the j-step
+    jump of the LCG, exact because the coefficients satisfy
+    ``mult_j = mult_{j-1} * MULT`` and ``incc_j = incc_{j-1} * MULT + 1``.
+    """
+    mult_hi = np.empty(BUFFER_OUTPUTS, dtype=np.uint64)
+    mult_lo = np.empty(BUFFER_OUTPUTS, dtype=np.uint64)
+    incc_hi = np.empty(BUFFER_OUTPUTS, dtype=np.uint64)
+    incc_lo = np.empty(BUFFER_OUTPUTS, dtype=np.uint64)
+    mult, incc = 1, 0
+    mask128 = (1 << 128) - 1
+    for j in range(BUFFER_OUTPUTS):
+        mult = (mult * _PCG_MULT) & mask128
+        incc = (incc * _PCG_MULT + 1) & mask128
+        mult_hi[j], mult_lo[j] = _split(mult)
+        incc_hi[j], incc_lo[j] = _split(incc)
+    return mult_hi, mult_lo, incc_hi, incc_lo
+
+
+_JUMP_MULT_HI, _JUMP_MULT_LO, _JUMP_INCC_HI, _JUMP_INCC_LO = _jump_tables()
+
+
+class ReplayStreams:
+    """Per-replica PCG64 states as uint64 lanes, advanced in lock step.
+
+    Raises :class:`~repro.kernels.base.KernelUnsupportedError` if any
+    generator is not PCG64-backed.
+    """
+
+    def __init__(self, generators: Sequence[np.random.Generator]) -> None:
+        self.generators = list(generators)
+        count = len(self.generators)
+        self.s_hi = np.empty(count, dtype=np.uint64)
+        self.s_lo = np.empty(count, dtype=np.uint64)
+        self.i_hi = np.empty(count, dtype=np.uint64)
+        self.i_lo = np.empty(count, dtype=np.uint64)
+        self.has32 = np.empty(count, dtype=np.uint64)
+        self.buffered = np.empty(count, dtype=np.uint64)
+        self._all = np.arange(count)
+        for k, generator in enumerate(self.generators):
+            state = generator.bit_generator.state
+            if state.get("bit_generator") != "PCG64":
+                raise KernelUnsupportedError(
+                    f"replica {k} uses bit generator "
+                    f"{state.get('bit_generator')!r}; stream replay covers "
+                    "PCG64 only")
+            raw = state["state"]["state"]
+            inc = state["state"]["inc"]
+            self.s_hi[k] = (raw >> 64) & _MASK64
+            self.s_lo[k] = raw & _MASK64
+            self.i_hi[k] = (inc >> 64) & _MASK64
+            self.i_lo[k] = inc & _MASK64
+            self.has32[k] = int(state["has_uint32"])
+            self.buffered[k] = int(state["uinteger"])
+        # Lookahead buffers: per lane, the raw outputs of the next
+        # BUFFER_OUTPUTS steps and the state each step lands on.
+        # ``s_hi``/``s_lo`` stay the state *before* slot 0 of the buffer;
+        # ``_pos[k]`` is the next unconsumed slot.
+        self._out = np.empty((count, BUFFER_OUTPUTS), dtype=np.uint64)
+        self._st_hi = np.empty((count, BUFFER_OUTPUTS), dtype=np.uint64)
+        self._st_lo = np.empty((count, BUFFER_OUTPUTS), dtype=np.uint64)
+        self._pos = np.zeros(count, dtype=np.intp)
+        self._refill(self._all)
+
+    # ------------------------------------------------------------------ #
+    # Raw output stream (lane-subset aware, buffered lookahead)
+    # ------------------------------------------------------------------ #
+    def _refill(self, lanes: np.ndarray) -> None:
+        """Jump the listed lanes' buffers forward from their base states."""
+        s_hi = self.s_hi[lanes, None]
+        s_lo = self.s_lo[lanes, None]
+        hi_a, lo_a = _mul128(_JUMP_MULT_HI, _JUMP_MULT_LO, s_hi, s_lo)
+        hi_b, lo_b = _mul128(_JUMP_INCC_HI, _JUMP_INCC_LO,
+                             self.i_hi[lanes, None], self.i_lo[lanes, None])
+        lo = lo_a + lo_b
+        hi = hi_a + hi_b + (lo < lo_a)
+        self._st_hi[lanes] = hi
+        self._st_lo[lanes] = lo
+        # XSL-RR output permutation of every jumped state.
+        rot = hi >> _ROT_SHIFT
+        word = hi ^ lo
+        self._out[lanes] = (word >> rot) | (word << ((_C64 - rot) & _C63))
+
+    def _next64(self, lanes: np.ndarray) -> np.ndarray:
+        """The listed lanes' next raw 64-bit outputs (refilling as needed)."""
+        positions = self._pos[lanes]
+        depleted = positions == BUFFER_OUTPUTS
+        if depleted.any():
+            exhausted = lanes[depleted]
+            self.s_hi[exhausted] = self._st_hi[exhausted, -1]
+            self.s_lo[exhausted] = self._st_lo[exhausted, -1]
+            self._refill(exhausted)
+            self._pos[exhausted] = 0
+            positions = self._pos[lanes]
+        self._pos[lanes] = positions + 1
+        return self._out[lanes, positions]
+
+    # ------------------------------------------------------------------ #
+    # Generator draw pipelines
+    # ------------------------------------------------------------------ #
+    def _next32(self, lanes: np.ndarray) -> np.ndarray:
+        """Buffered 32-bit draws: parked high halves first, else a next64.
+
+        Lanes usually stay parity-synchronised (uniform draws bypass the
+        32-bit buffer and Lemire rejections are rare), so the all-parked /
+        all-fresh fast paths cover almost every call.
+        """
+        parked = self.has32[lanes] != 0
+        if not parked.any():
+            value = self._next64(lanes)
+            self.buffered[lanes] = value >> _SHIFT32
+            self.has32[lanes] = 1
+            return value & _MASK32
+        if parked.all():
+            out = self.buffered[lanes]
+            self.has32[lanes] = 0
+            return out
+        out = np.empty(lanes.shape[0], dtype=np.uint64)
+        consumed = lanes[parked]
+        out[parked] = self.buffered[consumed]
+        self.has32[consumed] = 0
+        fresh = lanes[~parked]
+        value = self._next64(fresh)
+        out[~parked] = value & _MASK32
+        self.buffered[fresh] = value >> _SHIFT32
+        self.has32[fresh] = 1
+        return out
+
+    def integers(self, bound: int) -> np.ndarray:
+        """``Generator.integers(0, bound)`` for every lane (32-bit Lemire)."""
+        if bound <= 1:
+            # numpy consumes no draw for an empty/singleton range.
+            return np.zeros(self._all.shape[0], dtype=np.intp)
+        wide = np.uint64(bound)
+        product = self._next32(self._all) * wide
+        # ``threshold < bound``, so numpy's ``leftover < bound`` pre-check
+        # before computing the threshold never changes the verdict.
+        threshold = np.uint64((MAX_LEMIRE_BOUND - bound) % bound)
+        rejected = (product & _MASK32) < threshold
+        if rejected.any():
+            retry = np.flatnonzero(rejected)
+            while retry.size:
+                redrawn = self._next32(retry) * wide
+                product[retry] = redrawn
+                retry = retry[(redrawn & _MASK32) < threshold]
+        return (product >> _SHIFT32).astype(np.intp)
+
+    def uniforms(self, lanes: np.ndarray) -> np.ndarray:
+        """``Generator.random()`` for the listed lanes."""
+        return (self._next64(lanes) >> _SHIFT11) * _INV53
+
+    def write_back(self) -> None:
+        """Restore the advanced states into the ``Generator`` objects."""
+        for k, generator in enumerate(self.generators):
+            position = self._pos[k]
+            if position == 0:
+                hi, lo = int(self.s_hi[k]), int(self.s_lo[k])
+            else:
+                hi = int(self._st_hi[k, position - 1])
+                lo = int(self._st_lo[k, position - 1])
+            state = generator.bit_generator.state
+            state["state"]["state"] = (hi << 64) | lo
+            state["has_uint32"] = int(self.has32[k])
+            state["uinteger"] = int(self.buffered[k])
+            generator.bit_generator.state = state
+
+
+def metropolis_decisions(step: np.ndarray,
+                         temperatures: Union[float, np.ndarray],
+                         draws: np.ndarray) -> np.ndarray:
+    """Vectorised Metropolis verdicts, bit-identical to the scalar rule.
+
+    ``temperatures`` is a scalar (flat batch) or already gathered to the
+    same shape as ``step`` (ladder rows indexed by the listed replicas).
+    """
+    if isinstance(temperatures, np.ndarray):
+        positive = temperatures > 0.0
+        exponent = np.where(positive,
+                            -step / np.where(positive, temperatures, 1.0),
+                            -np.inf)
+    elif temperatures <= 0.0:
+        return step <= 0.0
+    else:
+        exponent = -step / temperatures
+    # Exponents past the double range underflow to exactly 0, matching the
+    # scalar rule; flushing is intended, so mask the underflow flag.
+    with np.errstate(under="ignore"):
+        probability = np.where(exponent < -700.0, 0.0,
+                               np.exp(np.minimum(exponent, 0.0)))
+    decisions = (step <= 0.0) | (draws < probability)
+    # A draw within a few ulps of the probability could be decided by the
+    # np.exp-vs-math.exp last ulp; re-judge those through the scalar rule.
+    borderline = (np.abs(draws - probability)
+                  <= _BORDERLINE_RTOL * probability) & (step > 0.0)
+    if borderline.any():  # pragma: no cover - ~1e-15 per draw
+        for index in np.flatnonzero(borderline):
+            temperature = (float(temperatures[index])
+                           if isinstance(temperatures, np.ndarray)
+                           else float(temperatures))
+            decisions[index] = draws[index] < acceptance_probability(
+                float(step[index]), temperature)
+    return decisions
+
+
+def try_replay_streams(driver: LoopDriver,
+                       generators: Optional[Sequence[np.random.Generator]],
+                       num_variables: int) -> Optional[ReplayStreams]:
+    """A :class:`ReplayStreams` when the configuration is replayable.
+
+    ``None`` means the kernel should keep drawing through the driver: shared
+    RNG (already vectorised there), a custom acceptance rule (subclassing
+    :class:`MetropolisRule` counts -- its override must be honoured), a
+    non-PCG64 bit generator, or a flip bound past the 32-bit Lemire sampler.
+    """
+    if generators is None or driver._shared_rng is not None:
+        return None
+    if type(driver.dynamics.acceptance) is not MetropolisRule:
+        return None
+    if num_variables > MAX_LEMIRE_BOUND:
+        return None
+    try:
+        return ReplayStreams(generators)
+    except KernelUnsupportedError:
+        return None

@@ -15,12 +15,16 @@ TSP) document their own variable layout in the class docstring.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.core.constraints import InequalityConstraint
 from repro.core.qubo import QUBOModel
 from repro.core.transformation import InequalityQUBO
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.sparse import SparseQUBOModel
 
 
 class CombinatorialProblem(ABC):
@@ -70,6 +74,33 @@ class CombinatorialProblem(ABC):
         batch = self._validate_batch(configurations)
         return np.fromiter((self.is_feasible(row) for row in batch),
                            dtype=bool, count=batch.shape[0])
+
+    def linear_feasibility_constraints(
+            self) -> Optional[Tuple[InequalityConstraint, ...]]:
+        """The feasible region as linear inequalities, when expressible.
+
+        Returns the tuple of :class:`InequalityConstraint` objects whose
+        conjunction is *exactly* :meth:`is_feasible` / row-wise
+        :meth:`is_feasible_batch` (an empty tuple for unconstrained
+        problems), or ``None`` when the feasible region has no such form
+        (colorings, tours, packings).  The fused sweep kernels
+        (:mod:`repro.kernels.fused`) use this to replace the opaque batched
+        filter with incrementally maintained constraint loads;
+        ``kernel="auto"`` falls back to the reference backend on ``None``.
+        """
+        return None
+
+    def to_sparse_qubo(self) -> "SparseQUBOModel":
+        """CSR encoding of :meth:`to_qubo` (needs the SciPy ``sparse`` extra).
+
+        The default round-trips through the dense matrix, so it is exactly
+        :meth:`to_qubo` in sparse storage; families whose coefficients come
+        from an edge/coordinate list override it to skip the dense
+        intermediate at large ``n``.
+        """
+        from repro.core.sparse import SparseQUBOModel
+
+        return SparseQUBOModel.from_dense(self.to_qubo())
 
     def to_inequality_qubo(self) -> InequalityQUBO:
         """HyCiM inequality-QUBO form: objective QUBO + detached constraints.

@@ -76,6 +76,10 @@ class KnapsackProblem(CombinatorialProblem):
         """The capacity constraint as a standalone object."""
         return InequalityConstraint(self.weights, self.capacity, name=f"{self.name}-capacity")
 
+    def linear_feasibility_constraints(self) -> tuple:
+        """Feasibility is exactly the capacity inequality."""
+        return (self.constraint(),)
+
     def to_qubo(self) -> QUBOModel:
         """Objective-only QUBO (diagonal ``-p_i``); constraint not embedded."""
         return QUBOModel(np.diag(-self.profits))

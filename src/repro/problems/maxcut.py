@@ -85,6 +85,26 @@ class MaxCutProblem(CombinatorialProblem):
         batch = self._validate_batch(configurations)
         return np.ones(batch.shape[0], dtype=bool)
 
+    def linear_feasibility_constraints(self) -> tuple:
+        """Unconstrained: the empty conjunction."""
+        return ()
+
+    def to_sparse_qubo(self):
+        """CSR Max-Cut QUBO assembled straight from the edge list.
+
+        Skips the dense ``(n, n)`` intermediate and the Python double loop
+        of :meth:`to_qubo`; coefficient values are identical.
+        """
+        from repro.core.sparse import SparseQUBOModel
+
+        rows, cols = np.nonzero(np.triu(self.adjacency, k=1))
+        weights = self.adjacency[rows, cols]
+        n = self.num_nodes
+        coo_rows = np.concatenate([rows, rows, cols])
+        coo_cols = np.concatenate([cols, rows, cols])
+        coo_vals = np.concatenate([2.0 * weights, -weights, -weights])
+        return SparseQUBOModel.from_coo(coo_rows, coo_cols, coo_vals, n)
+
     def to_qubo(self) -> QUBOModel:
         """Standard Max-Cut QUBO: ``min sum_{(i,j)} w_ij (2 x_i x_j - x_i - x_j)``.
 

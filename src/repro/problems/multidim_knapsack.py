@@ -118,6 +118,10 @@ class MultiDimensionalKnapsackProblem(CombinatorialProblem):
             for k in range(self.num_constraints)
         )
 
+    def linear_feasibility_constraints(self) -> Tuple[InequalityConstraint, ...]:
+        """Feasibility is exactly the conjunction of the resource inequalities."""
+        return self.constraints()
+
     def to_qubo(self) -> QUBOModel:
         """Objective-only QUBO (``Q = -P_upper``); constraints not embedded."""
         p_upper = np.diag(np.diag(self.profits)) + np.triu(self.profits, k=1)

@@ -104,6 +104,10 @@ class QuadraticKnapsackProblem(CombinatorialProblem):
         """The capacity constraint as a standalone object."""
         return InequalityConstraint(self.weights, self.capacity, name=f"{self.name}-capacity")
 
+    def linear_feasibility_constraints(self) -> tuple:
+        """Feasibility is exactly the capacity inequality."""
+        return (self.constraint(),)
+
     def to_qubo(self) -> QUBOModel:
         """Objective-only QUBO: ``Q = -P_upper`` so minimisation maximises profit.
 

@@ -71,6 +71,10 @@ class SherringtonKirkpatrickProblem(CombinatorialProblem):
         batch = self._validate_batch(configurations)
         return np.ones(batch.shape[0], dtype=bool)
 
+    def linear_feasibility_constraints(self) -> tuple:
+        """Unconstrained: the empty conjunction."""
+        return ()
+
     def to_ising(self) -> IsingModel:
         """The underlying Ising model (zero external fields)."""
         return IsingModel(couplings=np.triu(self.couplings, k=1),

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.annealing.result import SolveResult
+from repro.kernels.base import canonical_kernel_param
 from repro.problems.base import CombinatorialProblem
 from repro.runtime.registry import (
     BatchedTrialFunction,
@@ -376,6 +377,24 @@ def run_trials(
     if resolved_dynamics is not None:
         spec = spec.with_params(dynamics=resolved_dynamics)
     coupled = resolved_dynamics is not None and resolved_dynamics.coupled
+    # Canonicalise the sweep-kernel / sparse-matrix params the same way:
+    # the defaults (kernel="reference", sparse=False) are *dropped*, so every
+    # run key minted before the kernel layer existed stays valid, while
+    # non-default values stay in the params and address their own runs.
+    kernel_param = canonical_kernel_param(spec.params.get("kernel"))
+    canonical_params = dict(spec.params)
+    if kernel_param is None:
+        canonical_params.pop("kernel", None)
+    else:
+        canonical_params["kernel"] = kernel_param
+    if "sparse" in canonical_params:
+        if canonical_params["sparse"]:
+            canonical_params["sparse"] = True
+        else:
+            del canonical_params["sparse"]
+    if canonical_params != dict(spec.params):
+        spec = SolverSpec(spec.solver, canonical_params, label=spec.label)
+    wants_engine = kernel_param is not None or bool(spec.params.get("sparse"))
     if chunk_size is None:
         if coupled:
             # One replica-exchange ladder / shared-stream group per run, on
@@ -410,12 +429,22 @@ def run_trials(
     chunks = [trials[start:start + chunk_size]
               for start in range(0, num_trials, chunk_size)]
     trial_fn = get_trial_function(spec.solver)
+    # A non-default kernel backend (or the sparse matrix path) lives in the
+    # lock-step engines, so requesting one routes every group through the
+    # batched trial function even when groups have a single replica -- the
+    # per-seed results are identical to the scalar path by contract.
     batched_fn = (get_batched_trial_function(spec.solver)
-                  if replicas_per_task > 1 or coupled else None)
+                  if replicas_per_task > 1 or coupled or wants_engine
+                  else None)
     if coupled and batched_fn is None:
         raise ValueError(
             f"solver {spec.solver!r} has no batched trial function, so it "
             "cannot run coupled dynamics (replica exchange / shared RNG)")
+    if wants_engine and batched_fn is None:
+        raise ValueError(
+            f"solver {spec.solver!r} has no batched trial function, so it "
+            "cannot honour params['kernel'] / params['sparse'] (the sweep-"
+            "kernel backends live in the lock-step engines)")
     maximize = getattr(problem, "is_maximization", True)
 
     # Store wiring (lazy import: repro.store's schema imports runtime types).

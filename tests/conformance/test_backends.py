@@ -61,3 +61,43 @@ class TestHardwareMode:
                        params={"use_hardware": True, "num_iterations": 40})
         for result in batch.results:
             assert instance.is_feasible(result.best_configuration)
+
+
+class TestKernelBackends:
+    """Clause 5: sweep-kernel backends are exact on the integer conformance
+    instances -- same best energies, configurations and proposal counters
+    per seed as the reference backend, for every family."""
+
+    def _assert_exact(self, reference, other):
+        np.testing.assert_array_equal(reference.best_energies,
+                                      other.best_energies)
+        for a, b in zip(reference.results, other.results):
+            assert a.trial_seed == b.trial_seed
+            np.testing.assert_array_equal(a.best_configuration,
+                                          b.best_configuration)
+            assert a.num_accepted_moves == b.num_accepted_moves
+            assert a.num_feasible_evaluations == b.num_feasible_evaluations
+            assert a.num_infeasible_skipped == b.num_infeasible_skipped
+
+    def test_fused_kernel_is_exact(self, family, instance):
+        # The fused backend covers single-flip dynamics, so both arms run
+        # the family's parameters minus any custom move generator -- every
+        # family then exercises the fused path on its conformance instance
+        # (with its registered moves the family falls under the "auto" test,
+        # where unsupported configurations drop to the reference backend).
+        params = solver_params(family, instance)
+        params.pop("move_generator", None)
+        reference = run_trials(instance, ("hycim", params), num_trials=4,
+                               backend="vectorized", master_seed=MASTER_SEED)
+        fused = run_trials(instance, ("hycim", dict(params, kernel="fused")),
+                           num_trials=4, backend="vectorized",
+                           master_seed=MASTER_SEED)
+        self._assert_exact(reference, fused)
+
+    def test_auto_kernel_is_exact(self, family, instance):
+        # "auto" resolves to the fastest supported backend; whatever it
+        # picks must preserve the per-seed contract.
+        reference = _solve(family, instance, "vectorized")
+        auto = _solve(family, instance, "vectorized",
+                      params={"kernel": "auto"})
+        self._assert_exact(reference, auto)
