@@ -1,0 +1,55 @@
+"""Append-only benchmark trajectory: every report emission leaves a line.
+
+:func:`reporting.emit` writes a per-metric ``BENCH_<name>.json`` snapshot
+that the *next* run overwrites; this module is what keeps the overwritten
+values.  Each emission also appends one line to ``BENCH_history.jsonl`` in
+the same report directory, stamped with a UTC timestamp and the run's
+software/hardware provenance (:func:`repro.store.schema.run_provenance` --
+repro/numpy/python versions, platform, hostname), so the file is a
+machine-parseable perf trajectory across commits and machines.
+
+The append follows the store's durability discipline (one complete line
+plus flush; readers drop an unterminated tail), and the read/compare side
+lives in :mod:`repro.telemetry.bench` so operator tooling
+(``python -m repro.telemetry bench-compare``) needs nothing from this
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from repro.store.schema import run_provenance
+from repro.telemetry.bench import HISTORY_FILENAME, load_history  # noqa: F401
+
+__all__ = ["HISTORY_FILENAME", "history_path", "append_entry",
+           "load_history"]
+
+
+def history_path(directory: Union[str, Path]) -> Path:
+    """Where the trajectory lives inside a report directory."""
+    return Path(directory) / HISTORY_FILENAME
+
+
+def append_entry(payload: Mapping[str, Any],
+                 directory: Union[str, Path]) -> Dict[str, Any]:
+    """Append one report payload to the trajectory; returns the full entry.
+
+    ``payload`` is the exact dict :func:`reporting.emit` snapshotted to
+    ``BENCH_<name>.json``; the history line adds ``recorded_at`` (UTC,
+    seconds precision) and ``provenance`` on top, leaving the snapshot
+    fields untouched so the two stay diffable.
+    """
+    entry: Dict[str, Any] = dict(payload)
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    entry["provenance"] = run_provenance()
+    path = history_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+    return entry

@@ -14,6 +14,11 @@ self-describing: a reader can tell how close the measured value sits to the
 regression gate.  Reports land in ``benchmarks/reports/`` by default;
 set ``REPRO_BENCH_DIR`` to redirect them (CI points it at a workspace
 artifact directory).
+
+Each emission also appends a provenance-stamped line to
+``BENCH_history.jsonl`` in the same directory (see ``history.py``), the
+trajectory ``python -m repro.telemetry bench-compare`` diffs with
+tolerance bands.
 """
 
 from __future__ import annotations
@@ -80,10 +85,35 @@ def emit(name: str, metric: str, value: float, units: str, *,
         payload["floor"] = float(floor)
     if details:
         payload["details"] = _jsonable(details)
-    path = report_dir() / f"BENCH_{name}.json"
+    directory = report_dir()
+    path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+    # The snapshot is overwritten by the next run; the trajectory line is
+    # forever -- BENCH_history.jsonl is what bench-compare regresses against.
+    _history_module().append_entry(payload, directory)
     return path
+
+
+def _history_module():
+    """The sibling ``history`` module, wherever this file was loaded from.
+
+    ``benchmarks/`` is not a package: under pytest a plain ``import
+    history`` resolves (the rootdir conftest puts this directory on the
+    path), but ``reporting`` can also be loaded by path from other tooling,
+    so fall back to loading ``history.py`` from next to this file.
+    """
+    try:
+        import history
+        return history
+    except ImportError:
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "history", Path(__file__).with_name("history.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
 
 
 def _jsonable(value: Any) -> Any:

@@ -21,7 +21,8 @@ import reporting
 from repro.analysis.reporting import format_table
 from repro.problems.generators import generate_qkp_instance
 from repro.runtime import run_trials
-from repro.telemetry import InMemoryRecorder, NullRecorder
+from repro.store import CampaignStore
+from repro.telemetry import InMemoryRecorder, NullRecorder, load_events
 
 NUM_TRIALS = 32
 MASTER_SEED = 41
@@ -99,3 +100,72 @@ def test_disabled_telemetry_overhead_under_3_percent(benchmark):
     # probing is no longer O(interval)-cheap.)
     assert off < 1.03 * live
     assert live < 1.25 * off
+
+
+def test_worker_shard_recorder_overhead_under_5_percent(benchmark, tmp_path):
+    """Process backend: per-worker shard recorders must stay O(probe)-cheap.
+
+    Pool workers rebuild a :class:`JsonlRecorder` from the shipped
+    :class:`RecorderSpec` and append sweep probes to their own shard file.
+    This arm-vs-arm bench pins that machinery (spec pickling, shard open,
+    line-buffered appends) below 5% of the identical campaign run with
+    telemetry off -- where workers install the null recorder and the spec
+    is ``None``.  Each round gets fresh stores so the resume path never
+    short-circuits the trial work being timed.
+    """
+    problem = _problem()
+
+    def run_arm(round_index, telemetry):
+        tag = "tel" if telemetry else "null"
+        store = CampaignStore(tmp_path / f"{tag}{round_index}")
+        batch = run_trials(problem, "hycim", num_trials=NUM_TRIALS,
+                           params=PARAMS, master_seed=MASTER_SEED,
+                           backend="process", chunk_size=4, num_workers=2,
+                           store=store, telemetry=True if telemetry else None)
+        return store, batch
+
+    def run_all():
+        run_arm("warm", False)  # warm-up: pool fork, caches, imports
+        off = live = None
+        for round_index in range(ROUNDS):
+            _, off_batch = run_arm(round_index, False)
+            tel_store, tel_batch = run_arm(round_index, True)
+            off = off_batch.wall_time if off is None \
+                else min(off, off_batch.wall_time)
+            live = tel_batch.wall_time if live is None \
+                else min(live, tel_batch.wall_time)
+        return off, live, off_batch, tel_batch, tel_store
+
+    off, live, off_batch, tel_batch, tel_store = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+
+    # The workers really recorded: every shard committed sweep probes.
+    shards = tel_store.telemetry_shard_paths(tel_batch.run_key)
+    assert shards, "telemetry arm left no worker shards"
+    shard_events = [load_events(shard) for shard in shards]
+    assert all(any(e["kind"] == "probe" for e in events)
+               for events in shard_events)
+    # ...without perturbing the campaign (same seeds -> same results).
+    np.testing.assert_array_equal(off_batch.best_energies,
+                                  tel_batch.best_energies)
+
+    overhead = (live - off) / off
+    print("\nWorker-shard recorder overhead: "
+          f"{NUM_TRIALS} trials, process backend, 2 workers, best of "
+          f"{ROUNDS}\n"
+          + format_table(
+              ["workers record to", "wall clock", "shard events"],
+              [["nothing (null)", f"{off * 1000:.1f}ms", "0"],
+               [f"{len(shards)} jsonl shard(s)", f"{live * 1000:.1f}ms",
+                str(sum(len(events) for events in shard_events))]])
+          + f"\nshard-vs-null overhead: {overhead * 100:+.1f}%")
+
+    reporting.emit(
+        "telemetry_worker_overhead",
+        "process-backend wall clock with worker shard recorders relative "
+        "to null-recorder workers",
+        live / off, "x", floor=1.05, higher_is_better=False,
+        details={"null_ms": off * 1000, "live_ms": live * 1000,
+                 "workers": 2, "shards": len(shards)})
+
+    assert live < 1.05 * off

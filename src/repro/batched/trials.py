@@ -52,7 +52,7 @@ from repro.runtime.registry import (
     _sa_trial,
     build_dynamics,
 )
-from repro.telemetry.recorder import current_recorder
+from repro.telemetry.recorder import current_recorder, worker_attrs
 
 __all__ = ["dqubo_batched_trials", "hycim_batched_trials", "sa_batched_trials"]
 
@@ -136,7 +136,8 @@ def hycim_batched_trials(
     the scalar path's even under non-ideal devices.
     """
     with current_recorder().span("trial_group", solver="hycim",
-                                 replicas=len(seeds)) as span:
+                                 replicas=len(seeds),
+                                 **worker_attrs()) as span:
         dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
         use_hardware = bool(params.get("use_hardware", True))
         variability = params.get("variability")
@@ -194,7 +195,8 @@ def sa_batched_trials(
     verdicts.
     """
     with current_recorder().span("trial_group", solver="sa",
-                                 replicas=len(seeds)) as span:
+                                 replicas=len(seeds),
+                                 **worker_attrs()) as span:
         dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
         annealer = SimulatedAnnealer(
             schedule=_resolve_schedule(problem, params, dynamics),
@@ -267,7 +269,8 @@ def dqubo_batched_trials(
         return [_dqubo_trial(problem, params, int(seed), initial)
                 for seed, initial in zip(seeds, initials)]
     with current_recorder().span("trial_group", solver="dqubo",
-                                 replicas=len(seeds)) as span:
+                                 replicas=len(seeds),
+                                 **worker_attrs()) as span:
         dynamics, exchange_rng, shared_rng = _dynamics_setup(params, seeds)
         encoding = params.get("encoding", SlackEncoding.ONE_HOT)
         if isinstance(encoding, str):

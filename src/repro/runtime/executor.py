@@ -60,7 +60,15 @@ from repro.runtime.registry import (
     get_trial_function,
     run_single_trial,
 )
-from repro.telemetry.recorder import current_recorder, use_recorder
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    RecorderSpec,
+    current_recorder,
+    task_scope,
+    use_recorder,
+    worker_attrs,
+)
 
 #: Backends accepted by :func:`run_trials`.
 BACKENDS = ("serial", "process", "vectorized")
@@ -168,9 +176,35 @@ def _resolve_workers(num_workers: Optional[int]) -> int:
 
 
 #: Chunk payload: problem, spec, scalar trial fn, batched trial fn (or None),
-#: replica-group size for the batched path, and the chunk's trials.
+#: replica-group size for the batched path, the chunk's trials, the chunk
+#: index, the recorder spec a pool worker mirrors (None = record nothing),
+#: and whether the chunk executes inside a pool worker.
 _ChunkPayload = Tuple[CombinatorialProblem, SolverSpec, TrialFunction,
-                      Optional[BatchedTrialFunction], int, List[_Trial]]
+                      Optional[BatchedTrialFunction], int, List[_Trial],
+                      int, Optional[RecorderSpec], bool]
+
+#: Worker-side recorder cache: one shard recorder per sidecar path per
+#: process, so a pool worker keeps appending to its own shard across chunks
+#: instead of reopening (and re-repairing) the file per task.
+_WORKER_RECORDERS: Dict[str, JsonlRecorder] = {}
+
+
+def _worker_recorder(spec: Optional[RecorderSpec]):
+    """The recorder a pool worker reports to while executing a chunk.
+
+    Always installed inside workers -- a fork-started worker inherits the
+    parent's ambient recorder, and letting it write to the parent's sidecar
+    would violate the single-writer rule -- so ``None`` (no recording
+    requested) maps to the :data:`~repro.telemetry.recorder.NULL_RECORDER`
+    rather than "keep whatever is ambient".
+    """
+    if spec is None:
+        return NULL_RECORDER
+    recorder = _WORKER_RECORDERS.get(spec.path)
+    if recorder is None or recorder._handle.closed:
+        recorder = spec.build()
+        _WORKER_RECORDERS[spec.path] = recorder
+    return recorder
 
 
 def _execute_chunk(payload: _ChunkPayload) -> List[Tuple[int, SolveResult]]:
@@ -192,8 +226,41 @@ def _execute_chunk(payload: _ChunkPayload) -> List[Tuple[int, SolveResult]]:
     stateful parameter objects (e.g. a ``VariabilityModel`` with an internal
     RNG) cannot leak state between trials -- the per-trial behaviour is then
     identical across backends, worker counts and chunk sizes.
+
+    Inside a pool worker (``in_worker``), the chunk additionally installs
+    the worker's own shard recorder (built once per process from the shipped
+    :class:`RecorderSpec`) and wraps execution in a ``worker_chunk`` span
+    carrying chunk/trial provenance plus the parent recorder's session id --
+    the join point :mod:`repro.telemetry.shards` merges the shard on.
+    Telemetry never feeds solver state, so results stay bitwise identical
+    with recording on or off.
     """
-    problem, spec, trial_fn, batched_fn, replicas_per_task, trials = payload
+    (problem, spec, trial_fn, batched_fn, replicas_per_task, trials,
+     chunk_index, recorder_spec, in_worker) = payload
+    if not in_worker:
+        with task_scope(chunk_index):
+            return _run_chunk_trials(problem, spec, trial_fn, batched_fn,
+                                     replicas_per_task, trials)
+    recorder = _worker_recorder(recorder_spec)
+    worker = getattr(recorder, "worker", None) or f"w{os.getpid()}"
+    with use_recorder(recorder), task_scope(chunk_index, worker=worker):
+        attrs: Dict[str, Any] = dict(
+            chunk=chunk_index, trials=len(trials),
+            first_trial=trials[0][0] if trials else None,
+            last_trial=trials[-1][0] if trials else None,
+            **worker_attrs())
+        if recorder_spec is not None and recorder_spec.parent_session:
+            attrs["parent_session"] = recorder_spec.parent_session
+        with recorder.span("worker_chunk", **attrs):
+            return _run_chunk_trials(problem, spec, trial_fn, batched_fn,
+                                     replicas_per_task, trials)
+
+
+def _run_chunk_trials(problem: CombinatorialProblem, spec: SolverSpec,
+                      trial_fn: TrialFunction,
+                      batched_fn: Optional[BatchedTrialFunction],
+                      replicas_per_task: int,
+                      trials: List[_Trial]) -> List[Tuple[int, SolveResult]]:
     out: List[Tuple[int, SolveResult]] = []
     if batched_fn is not None:
         for start in range(0, len(trials), replicas_per_task):
@@ -352,9 +419,17 @@ def run_trials(
         the run key (``store.telemetry_path(run_key)``; inspect with
         ``python -m repro.telemetry``).  Telemetry never consumes solver
         RNG, so results are bit-identical with any recorder.  On the
-        ``"process"`` backend the recorder is deliberately not shipped to
-        pool workers (a sidecar needs a single writer): worker-side spans
-        and probes are dropped, while the parent still records run/chunk
+        ``"process"`` backend a live recorder handle is never shipped to
+        pool workers (a sidecar needs a single writer): when the recorder
+        has an on-disk identity (``telemetry=True`` or a passed
+        :class:`~repro.telemetry.JsonlRecorder`), each worker instead
+        builds its own recorder from a picklable
+        :class:`~repro.telemetry.RecorderSpec` and appends worker-side
+        spans, counters and sweep probes to a per-worker shard
+        (``telemetry/<run_key>.w<pid>.jsonl``) that the analysis layer
+        merges back into one timeline (:mod:`repro.telemetry.shards`);
+        in-memory recorders have no cross-process identity, so their
+        workers record nothing while the parent still records run/chunk
         spans and counters.
     """
     if num_trials < 1:
@@ -563,16 +638,24 @@ def run_trials(
                                        trials=len(chunk), fresh=len(pending)):
                         fresh = _execute_chunk(
                             (problem, spec, trial_fn, batched_fn,
-                             replicas_per_task, pending)) if pending else []
+                             replicas_per_task, pending,
+                             number, None, False)) if pending else []
                         stop = _complete_chunk(chunk, fresh)
                     if stop:
                         break
             else:
                 workers = _resolve_workers(num_workers)
                 context = multiprocessing.get_context()
+                # Workers rebuild their own single-writer shard recorder from
+                # this picklable spec (None unless the parent records to a
+                # JSONL sidecar); live recorder handles never cross the
+                # process boundary.
+                worker_spec = recorder.worker_spec()
                 payloads = [(problem, spec, trial_fn, batched_fn,
-                             replicas_per_task, pending)
-                            for pending in pending_per_chunk if pending]
+                             replicas_per_task, pending,
+                             number, worker_spec, True)
+                            for number, pending in enumerate(pending_per_chunk)
+                            if pending]
                 if not payloads:
                     for chunk in chunks:
                         if _complete_chunk(chunk, []):

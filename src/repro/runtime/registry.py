@@ -63,7 +63,7 @@ from repro.exact.dp_knapsack import solve_knapsack_dp
 from repro.exact.greedy import solve_qkp_greedy
 from repro.exact.local_search import improve_qkp_local_search
 from repro.problems.base import CombinatorialProblem
-from repro.telemetry.recorder import current_recorder
+from repro.telemetry.recorder import current_recorder, worker_attrs
 
 TrialFunction = Callable[
     [CombinatorialProblem, Mapping[str, Any], int, Optional[np.ndarray]], SolveResult
@@ -360,8 +360,8 @@ def _finalize(result: SolveResult, seed: int, elapsed: float) -> SolveResult:
 # --------------------------------------------------------------------- #
 def _hycim_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    with current_recorder().span("trial", solver="hycim",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="hycim", seed=int(seed),
+                                 **worker_attrs()) as span:
         dynamics = build_dynamics(params.get("dynamics"))
         _coupled_dynamics_guard(dynamics, "hycim")
         solver = HyCiMSolver(
@@ -397,8 +397,8 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
     annealer's ``accept_filter`` hook (the same hook HyCiM replaces with the
     CiM filter).  Pass ``respect_constraints=False`` to anneal the raw QUBO.
     """
-    with current_recorder().span("trial", solver="sa",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="sa", seed=int(seed),
+                                 **worker_attrs()) as span:
         dynamics = build_dynamics(params.get("dynamics"))
         _coupled_dynamics_guard(dynamics, "sa")
         annealer = SimulatedAnnealer(
@@ -425,8 +425,8 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
 
 def _dqubo_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    with current_recorder().span("trial", solver="dqubo",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="dqubo", seed=int(seed),
+                                 **worker_attrs()) as span:
         dynamics = build_dynamics(params.get("dynamics"))
         _coupled_dynamics_guard(dynamics, "dqubo")
         encoding = params.get("encoding", SlackEncoding.ONE_HOT)
@@ -479,8 +479,8 @@ def _exact_result(problem: CombinatorialProblem, x: np.ndarray, value: float,
 
 def _greedy_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                   seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    with current_recorder().span("trial", solver="greedy",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="greedy", seed=int(seed),
+                                 **worker_attrs()) as span:
         outcome = solve_qkp_greedy(problem)
         result = _exact_result(problem, outcome.configuration, outcome.value,
                                "Greedy")
@@ -489,8 +489,8 @@ def _greedy_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
 
 def _dp_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
               seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    with current_recorder().span("trial", solver="dp",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="dp", seed=int(seed),
+                                 **worker_attrs()) as span:
         profits = getattr(problem, "profits", None)
         if profits is None or np.ndim(profits) != 1:
             raise TypeError(
@@ -506,8 +506,8 @@ def _dp_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
 
 def _brute_force_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                        seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    with current_recorder().span("trial", solver="brute_force",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="brute_force", seed=int(seed),
+                                 **worker_attrs()) as span:
         outcome = solve_brute_force(
             problem, max_variables=int(params.get("max_variables", 22)))
         result = _exact_result(problem, outcome.best_configuration,
@@ -518,8 +518,8 @@ def _brute_force_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
 
 def _local_search_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                         seed: int, initial: Optional[np.ndarray]) -> SolveResult:
-    with current_recorder().span("trial", solver="local_search",
-                                 seed=int(seed)) as span:
+    with current_recorder().span("trial", solver="local_search", seed=int(seed),
+                                 **worker_attrs()) as span:
         rng = np.random.default_rng(seed)
         if initial is None:
             if params.get("greedy_start", False):

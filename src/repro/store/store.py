@@ -12,6 +12,7 @@ Layout of a store directory::
         ...
       telemetry/
         <run_key>.jsonl         # telemetry sidecar (spans/counters/probes)
+        <run_key>.w<pid>.jsonl  # per-worker shards of process-backend runs
 
 Durability model
 ----------------
@@ -307,33 +308,52 @@ class CampaignStore:
         """Where ``run_key``'s telemetry sidecar lives (may not exist yet)."""
         return self.root / _TELEMETRY_DIR / f"{run_key}.jsonl"
 
+    def telemetry_shard_paths(self, run_key: str) -> List[Path]:
+        """Existing per-worker telemetry shards of a run (may be empty)."""
+        from repro.telemetry.recorder import worker_shard_paths
+
+        return worker_shard_paths(self.telemetry_path(run_key))
+
     def telemetry_recorder(self, run_key: str,
                            probe_interval: Optional[int] = None):
         """A :class:`~repro.telemetry.JsonlRecorder` appending to the run's
         sidecar (same one-complete-line-plus-flush durability as shards; the
         recorder repairs a torn tail before its first write, so interrupted
-        and resumed sessions share one well-formed file).  Caller closes it
+        and resumed sessions share one well-formed file).  Opening the
+        recorder also repairs the torn tails of any existing *worker* shards
+        -- a SIGKILLed worker's pid never comes back to reopen its own shard,
+        so the resuming parent is the only writer left to make the shard set
+        well-formed before new sessions append beside it.  Caller closes it
         -- ``run_trials(..., telemetry=True)`` does this automatically.
         """
         if run_key not in self._runs:
             raise KeyError(f"run {run_key!r} is not registered; call "
                            "register_run before recording telemetry")
         from repro.telemetry.recorder import (DEFAULT_PROBE_INTERVAL,
-                                              JsonlRecorder)
+                                              JsonlRecorder,
+                                              _repair_torn_tail)
 
+        for shard in self.telemetry_shard_paths(run_key):
+            _repair_torn_tail(shard)
         return JsonlRecorder(
             self.telemetry_path(run_key),
             probe_interval=(DEFAULT_PROBE_INTERVAL if probe_interval is None
                             else probe_interval))
 
     def load_telemetry(self, run_key: str) -> List[Mapping[str, Any]]:
-        """Committed telemetry events of a run (torn tail dropped; empty
+        """Committed telemetry events of a run (torn tails dropped; empty
         list when the run never recorded telemetry).  Accepts an unambiguous
-        key prefix like :meth:`get_manifest`."""
-        from repro.telemetry.recorder import load_events
+        key prefix like :meth:`get_manifest`.
+
+        A run with per-worker shards (process backend) loads as one causally
+        merged timeline -- worker events tagged with their ``shard`` id and
+        spliced under the parent's chunk spans
+        (:mod:`repro.telemetry.shards`); a single-sidecar run loads exactly
+        as before."""
+        from repro.telemetry.shards import load_run_events
 
         manifest = self.get_manifest(run_key)
-        return load_events(self.telemetry_path(manifest.run_key))
+        return load_run_events(self.telemetry_path(manifest.run_key))
 
     def record_wall_time(self, run_key: str, seconds: float) -> None:
         """Log one invocation's elapsed seconds against a run.
@@ -365,8 +385,9 @@ class CampaignStore:
         Runs unknown here are registered; trials absent here are appended
         (trials present in both keep *this* store's version -- merging never
         rewrites existing data).  Campaign log lines are carried over for
-        runs this store had not logged, telemetry sidecars for runs without
-        one here, and wall-time lines for runs with no recorded time here.
+        runs this store had not logged, telemetry shard sets (sidecar plus
+        per-worker shards) for runs without any telemetry here, and
+        wall-time lines for runs with no recorded time here.
         Returns ``{"runs": ..., "trials": ...}`` counts of newly added
         entries.
         """
@@ -386,21 +407,29 @@ class CampaignStore:
                 self._append_trial_payload(manifest.run_key, theirs[index])
                 added_trials += 1
             # Telemetry is per-run observability, not mergeable result data:
-            # carry the other store's sidecar only when this store has none
-            # for the run (committed events only -- a torn tail stays behind).
-            their_sidecar = other.telemetry_path(manifest.run_key)
+            # carry the other store's shard set (main sidecar plus worker
+            # shards) only when this store has no telemetry at all for the
+            # run (committed events only -- torn tails stay behind).  The
+            # shard set moves as a unit so a merged run's timeline stays
+            # causally complete.
             my_sidecar = self.telemetry_path(manifest.run_key)
-            if their_sidecar.exists() and not my_sidecar.exists():
+            if not my_sidecar.exists() and \
+                    not self.telemetry_shard_paths(manifest.run_key):
+                their_sidecar = other.telemetry_path(manifest.run_key)
+                theirs = ([their_sidecar] if their_sidecar.exists() else []) \
+                    + other.telemetry_shard_paths(manifest.run_key)
                 from repro.telemetry.recorder import load_events
 
-                my_sidecar.parent.mkdir(parents=True, exist_ok=True)
-                tmp = my_sidecar.with_name(my_sidecar.name + ".tmp")
-                with tmp.open("w", encoding="utf-8") as handle:
-                    for event in load_events(their_sidecar):
-                        handle.write(json.dumps(
-                            event, sort_keys=True, separators=(",", ":"),
-                            allow_nan=True) + "\n")
-                os.replace(tmp, my_sidecar)
+                for source in theirs:
+                    dest = my_sidecar.with_name(source.name)
+                    dest.parent.mkdir(parents=True, exist_ok=True)
+                    tmp = dest.with_name(dest.name + ".tmp")
+                    with tmp.open("w", encoding="utf-8") as handle:
+                        for event in load_events(source):
+                            handle.write(json.dumps(
+                                event, sort_keys=True, separators=(",", ":"),
+                                allow_nan=True) + "\n")
+                    os.replace(tmp, dest)
         their_wall_times: Dict[str, List[Mapping[str, Any]]] = {}
         for payload in _read_jsonl(other.root / _WALL_TIMES,
                                    tolerate_torn_tail=True):

@@ -5,6 +5,16 @@ given the list of event dicts a recorder produced (or
 :func:`repro.telemetry.load_events` read back), they fold spans into timing
 summaries, counters into totals, and probes into per-name statistics or
 flat CSV rows.
+
+They are *multi-writer aware*: a causally merged shard set
+(:mod:`repro.telemetry.shards`) interleaves events from several recorder
+streams -- the parent sidecar plus per-worker shards, each possibly holding
+several sessions.  A stream is identified by its ``(shard, session)`` pair
+(both absent on in-memory events, which form a single stream exactly as
+before); span identity is ``(shard, session, span)``, counter totals sum
+each stream's final cumulative value, and a worker span spliced under a
+parent chunk carries the chunk's key as ``merge_parent``, which the
+timeline renderer nests by.
 """
 
 from __future__ import annotations
@@ -33,11 +43,22 @@ def span_summary(events: Sequence[Mapping[str, Any]]
 
 
 def counter_totals(events: Sequence[Mapping[str, Any]]) -> Dict[str, float]:
-    """Final cumulative total per counter name (events are seq-ordered)."""
-    totals: Dict[str, float] = {}
+    """Final cumulative total per counter name, summed across streams.
+
+    Every recorder instance restarts its cumulative totals at zero, so a
+    merged shard set (or a sidecar holding several sessions) contributes one
+    final total per ``(name, shard, session)`` stream; the per-name result
+    is their sum.  Events within one stream are seq-ordered, so "final"
+    means the last counter event of that stream.
+    """
+    finals: Dict[Any, float] = {}
     for event in events:
         if event.get("kind") == "counter":
-            totals[event["name"]] = event.get("total", 0)
+            stream = (event["name"], event.get("shard"), event.get("session"))
+            finals[stream] = event.get("total", 0)
+    totals: Dict[str, float] = {}
+    for (name, _, _), final in finals.items():
+        totals[name] = totals.get(name, 0) + final
     return totals
 
 
@@ -86,48 +107,68 @@ def probe_summary(events: Sequence[Mapping[str, Any]]
     return summary
 
 
+#: Span-start keys that are identity/transport, not displayable attributes.
+_SPAN_META = ("kind", "name", "span", "parent", "seq", "t", "session",
+              "shard", "merge_parent")
+
+
 def build_timeline(events: Sequence[Mapping[str, Any]]) -> List[str]:
     """Render the span tree (with probe leaves) as indented text lines.
 
     Spans from multiple sessions of one sidecar render sequentially; a span
-    whose ``span_end`` never landed (killed run) shows as ``[torn]``.
+    whose ``span_end`` never landed (killed run) shows as ``[torn]``.  In a
+    merged shard set, a worker span carrying a ``merge_parent`` nests under
+    the parent chunk span it was spliced into, and probes nest under the
+    innermost open span *of their own stream*, so interleaved workers never
+    steal each other's leaves.
     """
-    elapsed: Dict[Tuple[Any, Any], float] = {}
+    def span_key(event: Mapping[str, Any]) -> Tuple[Any, Any, Any]:
+        return (event.get("shard"), event.get("session"), event.get("span"))
+
+    elapsed: Dict[Tuple[Any, Any, Any], float] = {}
     for event in events:
         if event.get("kind") == "span_end":
-            key = (event.get("session"), event.get("span"))
-            elapsed[key] = float(event.get("elapsed") or 0.0)
+            elapsed[span_key(event)] = float(event.get("elapsed") or 0.0)
     lines: List[str] = []
-    depth: Dict[Tuple[Any, Any], int] = {}
-    open_spans: List[Tuple[Any, Any]] = []
+    depth: Dict[Tuple[Any, Any, Any], int] = {}
+    open_by_stream: Dict[Tuple[Any, Any], List[Tuple[Any, Any, Any]]] = {}
     sessions_seen: List[Any] = []
     for event in events:
         kind = event.get("kind")
+        shard = event.get("shard")
         session = event.get("session")
-        if session not in sessions_seen:
+        stream = (shard, session)
+        # Session separators mark the parent stream's resume boundaries;
+        # worker shards interleave mid-stream and carry their identity as
+        # span attributes instead.
+        if shard in (None, "main") and session not in sessions_seen:
             sessions_seen.append(session)
-            open_spans = [key for key in open_spans if key[0] == session]
             if len(sessions_seen) > 1:
                 lines.append(f"-- session {session or '?'} --")
         if kind == "span_start":
-            key = (session, event.get("span"))
-            parent = (session, event.get("parent"))
+            key = span_key(event)
+            merge_parent = event.get("merge_parent")
+            if merge_parent is not None:
+                parent = tuple(merge_parent)
+            else:
+                parent = (shard, session, event.get("parent"))
             level = depth.get(parent, -1) + 1
             depth[key] = level
-            open_spans.append(key)
+            open_by_stream.setdefault(stream, []).append(key)
             attrs = {name: value for name, value in event.items()
-                     if name not in ("kind", "name", "span", "parent",
-                                     "seq", "t", "session")}
+                     if name not in _SPAN_META}
             note = (" " + " ".join(f"{n}={v}" for n, v in sorted(attrs.items()))
                     if attrs else "")
             duration = elapsed.get(key)
             stamp = "[torn]" if duration is None else f"{duration:.3f}s"
             lines.append(f"{'  ' * level}{event['name']}{note}  {stamp}")
         elif kind == "span_end":
-            key = (session, event.get("span"))
+            key = span_key(event)
+            open_spans = open_by_stream.get(stream, [])
             if key in open_spans:
                 open_spans.remove(key)
         elif kind == "probe":
+            open_spans = open_by_stream.get(stream, [])
             parent = open_spans[-1] if open_spans else None
             level = depth.get(parent, -1) + 1
             values = event.get("values") or {}
@@ -150,7 +191,9 @@ def probe_rows(events: Sequence[Mapping[str, Any]]
     """Flatten probes to CSV-able rows: one row per (probe event, replica).
 
     Vector values (``(M,)`` lists) contribute the replica's entry; scalar
-    values repeat on every replica row of their event.
+    values repeat on every replica row of their event.  The ``worker``
+    column attributes each row's emitting process in a merged shard set
+    (empty on single-writer sidecars and in-memory captures).
     """
     vector_keys: List[str] = []
     scalar_keys: List[str] = []
@@ -160,8 +203,8 @@ def probe_rows(events: Sequence[Mapping[str, Any]]
             bucket = vector_keys if isinstance(value, list) else scalar_keys
             if key not in bucket:
                 bucket.append(key)
-    header = (["seq", "t", "name", "solver", "engine", "iteration", "replica"]
-              + sorted(vector_keys) + sorted(scalar_keys))
+    header = (["seq", "t", "name", "worker", "solver", "engine", "iteration",
+               "replica"] + sorted(vector_keys) + sorted(scalar_keys))
     rows: List[List[Any]] = []
     for event in probes:
         values = event.get("values") or {}
@@ -169,7 +212,8 @@ def probe_rows(events: Sequence[Mapping[str, Any]]
                         if isinstance(v, list)] or [1])
         for replica in range(replicas):
             row: List[Any] = [event.get("seq"), event.get("t"),
-                              event.get("name"), event.get("solver"),
+                              event.get("name"), event.get("worker"),
+                              event.get("solver"),
                               event.get("engine"), event.get("iteration"),
                               replica]
             for key in sorted(vector_keys):

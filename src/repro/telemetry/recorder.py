@@ -35,11 +35,22 @@ Ambient recorder
 ----------------
 Instrumented code fetches the process-wide current recorder via
 :func:`current_recorder`; :func:`use_recorder` swaps it for the duration of
-a ``with`` block (the executor does this around every run).  Worker
-processes of the ``"process"`` backend start with the default
-:class:`NullRecorder` -- recorders are deliberately not shipped to workers
-(a JSONL sidecar must have one writer) -- so worker-internal events are
-dropped while the parent still records per-chunk spans.
+a ``with`` block (the executor does this around every run).
+
+Cross-process recording
+-----------------------
+Live recorder *handles* never cross a process boundary (a JSONL shard must
+have exactly one writer), so the executor ships workers of the
+``"process"`` backend a :class:`RecorderSpec` instead -- a picklable recipe
+from which each worker builds its *own* :class:`JsonlRecorder` appending to
+a per-worker sidecar shard next to the parent's
+(``telemetry/<run_key>.w<pid>.jsonl``).  Worker events carry a ``worker``
+tag and their ``worker_chunk`` spans carry chunk/trial provenance plus the
+parent recorder's session id, which is what the shard merge
+(:mod:`repro.telemetry.shards`) joins the timelines on.  Recorders without
+a on-disk identity (:class:`InMemoryRecorder`, :class:`NullRecorder`)
+return ``None`` from :meth:`~NullRecorder.worker_spec`, and their workers
+record nothing -- exactly the pre-shard behaviour.
 
 Event schema
 ------------
@@ -58,8 +69,10 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import platform
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
@@ -69,6 +82,109 @@ DEFAULT_PROBE_INTERVAL = 100
 
 class TelemetryError(RuntimeError):
     """A persisted telemetry sidecar is malformed."""
+
+
+# --------------------------------------------------------------------- #
+# Worker context: which process/task is emitting
+# --------------------------------------------------------------------- #
+#: Worker label of this process ("main" in the parent / serial backends; the
+#: shard id, e.g. "w12345", inside a process-backend pool worker).
+_worker_id: Optional[str] = None
+#: Index of the chunk/task currently executing in this process, if any.
+_task_index: Optional[int] = None
+_hostname: Optional[str] = None
+
+
+def worker_attrs() -> Dict[str, Any]:
+    """Identity of the emitting process: pid, hostname, worker label, task.
+
+    Stamped onto ``trial`` / ``trial_group`` / ``worker_chunk`` spans on
+    *every* backend, so a merged multi-process timeline and a serial one
+    carry the same attribution schema (``task`` is the executor chunk index
+    and is present only while a chunk is executing).
+    """
+    global _hostname
+    if _hostname is None:
+        _hostname = platform.node() or "localhost"
+    attrs: Dict[str, Any] = {"pid": os.getpid(), "hostname": _hostname,
+                             "worker": _worker_id or "main"}
+    if _task_index is not None:
+        attrs["task"] = _task_index
+    return attrs
+
+
+@contextmanager
+def task_scope(task: Optional[int],
+               worker: Optional[str] = None) -> Iterator[None]:
+    """Mark the current process as executing chunk ``task``.
+
+    The executor wraps every chunk execution -- in-process or inside a pool
+    worker -- in this scope, so :func:`worker_attrs` (and therefore the
+    span attribution) knows the chunk provenance without threading it
+    through every solver call signature.
+    """
+    global _task_index, _worker_id
+    previous_task, previous_worker = _task_index, _worker_id
+    _task_index = task if task is None else int(task)
+    if worker is not None:
+        _worker_id = worker
+    try:
+        yield
+    finally:
+        _task_index, _worker_id = previous_task, previous_worker
+
+
+def worker_shard_path(main_path: Union[str, Path], worker_id: str) -> Path:
+    """The per-worker sidecar shard next to a main sidecar path.
+
+    ``telemetry/<run_key>.jsonl`` -> ``telemetry/<run_key>.<worker_id>.jsonl``
+    (worker ids look like ``w12345``: the worker's pid, or a task label).
+    """
+    main_path = Path(main_path)
+    stem = main_path.name
+    if stem.endswith(".jsonl"):
+        stem = stem[:-len(".jsonl")]
+    return main_path.with_name(f"{stem}.{worker_id}.jsonl")
+
+
+def worker_shard_paths(main_path: Union[str, Path]) -> List[Path]:
+    """Every existing worker shard belonging to a main sidecar path."""
+    main_path = Path(main_path)
+    stem = main_path.name
+    if stem.endswith(".jsonl"):
+        stem = stem[:-len(".jsonl")]
+    if not main_path.parent.is_dir():
+        return []
+    return sorted(main_path.parent.glob(f"{stem}.w*.jsonl"))
+
+
+@dataclass(frozen=True)
+class RecorderSpec:
+    """Picklable recipe for a worker-side recorder (never a live handle).
+
+    The executor derives one from the parent's :class:`JsonlRecorder` via
+    :meth:`~NullRecorder.worker_spec` and ships it inside each process-
+    backend chunk payload; the worker builds its own single-writer
+    :class:`JsonlRecorder` from it, appending to the worker shard named
+    after its pid.  ``parent_session`` records the parent recorder's
+    session id so the shard merge can join worker chunks onto the right
+    parent session's chunk spans.
+    """
+
+    path: str
+    probe_interval: int = DEFAULT_PROBE_INTERVAL
+    parent_session: Optional[str] = None
+
+    def shard_path(self, worker_id: str) -> Path:
+        return worker_shard_path(self.path, worker_id)
+
+    def build(self, worker_id: Optional[str] = None) -> "JsonlRecorder":
+        """Open this worker's shard recorder (repairs its torn tail)."""
+        worker_id = worker_id or f"w{os.getpid()}"
+        recorder = JsonlRecorder(self.shard_path(worker_id),
+                                 probe_interval=self.probe_interval)
+        recorder.worker = worker_id
+        return recorder
 
 
 def _jsonable(value: Any) -> Any:
@@ -210,6 +326,16 @@ class NullRecorder:
         """Cumulative counter totals seen so far."""
         return dict(self._totals)
 
+    def worker_spec(self) -> Optional[RecorderSpec]:
+        """A picklable spec for building worker-side recorders, or ``None``.
+
+        ``None`` (the default, inherited by :class:`InMemoryRecorder`) means
+        "this recorder cannot be mirrored across a process boundary":
+        process-backend workers then record nothing, as before.
+        :class:`JsonlRecorder` overrides this with its sidecar identity.
+        """
+        return None
+
     # -- event bus ------------------------------------------------------ #
     def subscribe(self, callback: Callable[[Dict[str, Any]], None]
                   ) -> Callable[[], None]:
@@ -263,7 +389,10 @@ class JsonlRecorder(NullRecorder):
     Each recorder instance stamps its events with a ``session`` id (start
     time + pid + per-process counter), so a resumed run's events are
     distinguishable from the interrupted session's -- including back-to-back
-    sessions inside one process; ``seq`` is monotonic per session.
+    sessions inside one process; ``seq`` is monotonic per session.  A
+    recorder built from a :class:`RecorderSpec` inside a pool worker
+    additionally stamps every event with its ``worker`` id, so shard lines
+    stay attributable even when copied between stores.
     """
 
     enabled = True
@@ -278,14 +407,24 @@ class JsonlRecorder(NullRecorder):
         _repair_torn_tail(self.path)
         self.session = (f"{int(time.time() * 1000):x}-{os.getpid()}"
                         f"-{next(self._session_counter)}")
+        #: Worker id stamped on every event (None outside pool workers).
+        self.worker: Optional[str] = None
         self._handle = self.path.open("a", encoding="utf-8")
 
     def _write(self, event: Dict[str, Any]) -> None:
         event["session"] = self.session
+        if self.worker is not None:
+            event["worker"] = self.worker
         self._handle.write(json.dumps(event, sort_keys=True,
                                       separators=(",", ":"),
                                       allow_nan=True) + "\n")
         self._handle.flush()
+
+    def worker_spec(self) -> Optional[RecorderSpec]:
+        """The spec a process-backend worker mirrors this recorder from."""
+        return RecorderSpec(path=str(self.path),
+                            probe_interval=self.probe_interval,
+                            parent_session=self.session)
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -1,0 +1,234 @@
+"""Multi-process telemetry shards: discovery, loading and causal merge.
+
+A process-backend run with a persistent recorder leaves a *shard set*:
+
+    telemetry/<run_key>.jsonl            # parent: run/chunk spans, counters
+    telemetry/<run_key>.w<pid>.jsonl     # one shard per pool worker
+
+Each shard is a single-writer JSONL sidecar with the usual torn-tail
+discipline, so any shard of a killed run loses at most its final line.
+This module folds a shard set back into **one causally ordered timeline**:
+
+- every loaded event is tagged with its ``shard`` id (``"main"`` or the
+  worker id, e.g. ``"w12345"``) whenever more than one shard exists;
+- each worker shard is partitioned into *chunk blocks* delimited by its
+  top-level ``worker_chunk`` spans, which carry the executor chunk index
+  and the parent recorder's session id;
+- the parent's ``chunk`` spans are the join points: a worker block is
+  spliced into the parent stream just before the matching chunk span
+  closes (the worker's events really happened inside that parent wait),
+  with the block's top-level spans re-parented onto the chunk span via a
+  ``merge_parent`` key that :func:`repro.telemetry.analyze.build_timeline`
+  understands;
+- per-shard ``seq`` order is never perturbed (streams are only
+  interleaved, never reordered), blocks competing for one join point
+  order by their first timestamp, and orphan blocks -- a worker whose
+  parent died before logging the chunk's end -- append after the parent
+  stream under the torn chunk span when one was started, or at the end.
+
+The merge is pure (no I/O beyond the loaders) and deterministic for a
+given shard set, so ``summarize`` / ``timeline`` / ``export-csv`` output
+over a merged run is stable across invocations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.telemetry.recorder import load_events, worker_shard_paths
+
+#: Shard id of the parent (single-writer) sidecar in a shard-set mapping.
+MAIN_SHARD = "main"
+
+__all__ = ["MAIN_SHARD", "load_run_shards", "load_run_events",
+           "merge_run_events", "shard_id_for"]
+
+
+def shard_id_for(path: Union[str, Path]) -> str:
+    """The shard id a sidecar file carries in a merged timeline.
+
+    ``<run_key>.w123.jsonl`` -> ``"w123"``; anything else is the main
+    sidecar.
+    """
+    name = Path(path).name
+    if name.endswith(".jsonl"):
+        name = name[:-len(".jsonl")]
+    suffix = name.rsplit(".", 1)[-1]
+    if "." in name and suffix.startswith("w") and suffix[1:]:
+        return suffix
+    return MAIN_SHARD
+
+
+def load_run_shards(main_path: Union[str, Path]
+                    ) -> Dict[str, List[Dict[str, Any]]]:
+    """Load a run's full shard set, keyed by shard id.
+
+    The main sidecar loads under :data:`MAIN_SHARD` (present even when the
+    file is missing but worker shards exist -- a parent killed before its
+    first flush still has observable workers).  When more than one shard
+    exists, every event is tagged with its ``"shard"`` id; a run with only
+    the main sidecar loads untagged, byte-identical to
+    :func:`repro.telemetry.load_events`, so single-writer consumers see no
+    change.
+    """
+    main_path = Path(main_path)
+    shards: Dict[str, List[Dict[str, Any]]] = {}
+    worker_paths = worker_shard_paths(main_path)
+    if main_path.exists() or worker_paths:
+        shards[MAIN_SHARD] = load_events(main_path)
+    for path in worker_paths:
+        shards[shard_id_for(path)] = load_events(path)
+    if len(shards) > 1:
+        for shard, events in shards.items():
+            for event in events:
+                event["shard"] = shard
+    return shards
+
+
+def load_run_events(main_path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load and causally merge a run's full shard set into one timeline."""
+    return merge_run_events(load_run_shards(main_path))
+
+
+# --------------------------------------------------------------------- #
+# Merge
+# --------------------------------------------------------------------- #
+class _Block:
+    """One worker shard's events for one executor chunk (or a preamble)."""
+
+    __slots__ = ("shard", "chunk", "parent_session", "events", "t0")
+
+    def __init__(self, shard: str, chunk: Optional[int],
+                 parent_session: Optional[str],
+                 events: List[Dict[str, Any]]) -> None:
+        self.shard = shard
+        self.chunk = chunk
+        self.parent_session = parent_session
+        self.events = events
+        self.t0 = float(events[0].get("t") or 0.0) if events else 0.0
+
+
+def _partition_worker_shard(shard: str,
+                            events: List[Dict[str, Any]]) -> List[_Block]:
+    """Split one worker shard into chunk blocks at its worker_chunk spans."""
+    blocks: List[_Block] = []
+    pending: List[Dict[str, Any]] = []
+    current: Optional[_Block] = None
+    for event in events:
+        is_chunk_root = (event.get("kind") == "span_start"
+                         and event.get("name") == "worker_chunk"
+                         and event.get("parent") is None)
+        if is_chunk_root:
+            chunk = event.get("chunk")
+            current = _Block(shard,
+                             None if chunk is None else int(chunk),
+                             event.get("parent_session"),
+                             pending + [event])
+            pending = []
+            blocks.append(current)
+        elif current is None:
+            pending.append(event)
+        else:
+            current.events.append(event)
+    if pending:
+        # A shard that never reached its first worker_chunk span (or stray
+        # trailing events): keep them as an unjoined block so nothing is
+        # silently dropped from the merged timeline.
+        blocks.append(_Block(shard, None, None, pending))
+    return blocks
+
+
+def _reparented(block: _Block,
+                parent_key: Optional[Tuple[Any, Any, Any]]
+                ) -> List[Dict[str, Any]]:
+    """The block's events, with top-level spans re-parented onto the join.
+
+    ``parent_key`` is the ``(shard, session, span)`` triple of the parent
+    chunk span the block joins under; top-level worker spans get it as
+    ``merge_parent`` (on a copy -- merging never mutates loaded events
+    beyond the shard tag).
+    """
+    if parent_key is None:
+        return list(block.events)
+    out = []
+    for event in block.events:
+        if event.get("kind") == "span_start" and event.get("parent") is None:
+            event = dict(event, merge_parent=list(parent_key))
+        out.append(event)
+    return out
+
+
+def merge_run_events(shards: Mapping[str, List[Dict[str, Any]]]
+                     ) -> List[Dict[str, Any]]:
+    """Fold a shard set into one causally ordered event list.
+
+    See the module docstring for the ordering rules.  A mapping with only
+    the main shard (or a single worker shard) passes through unchanged.
+    """
+    if not shards:
+        return []
+    if len(shards) == 1:
+        return list(next(iter(shards.values())))
+    parent = list(shards.get(MAIN_SHARD, []))
+    blocks: List[_Block] = []
+    for shard in sorted(shards):
+        if shard == MAIN_SHARD:
+            continue
+        blocks.extend(_partition_worker_shard(shard, shards[shard]))
+
+    parent_sessions = {e.get("session") for e in parent if "session" in e}
+    only_session = (next(iter(parent_sessions))
+                    if len(parent_sessions) == 1 else None)
+    by_join: Dict[Tuple[Any, Any], List[_Block]] = {}
+    for block in blocks:
+        if block.chunk is None:
+            continue
+        session = block.parent_session
+        if session is None:
+            session = only_session
+        by_join.setdefault((session, block.chunk), []).append(block)
+    for joined in by_join.values():
+        joined.sort(key=lambda b: (b.t0, b.shard))
+
+    merged: List[Dict[str, Any]] = []
+    spliced: set = set()
+    #: (session, chunk index) -> (shard, session, span) of the chunk span,
+    #: for joining orphan blocks whose parent chunk never closed.
+    chunk_keys: Dict[Tuple[Any, Any], Tuple[Any, Any, Any]] = {}
+    for event in parent:
+        kind, name = event.get("kind"), event.get("name")
+        if kind == "span_start" and name == "chunk":
+            index = event.get("index")
+            chunk_keys[(event.get("session"), index)] = (
+                MAIN_SHARD, event.get("session"), event.get("span"))
+            merged.append(event)
+            continue
+        if kind == "span_end" and name == "chunk":
+            session = event.get("session")
+            join = next((key for key, triple in chunk_keys.items()
+                         if triple[1] == session
+                         and triple[2] == event.get("span")), None)
+            if join is not None:
+                for block in by_join.get(join, []):
+                    merged.extend(_reparented(block, chunk_keys[join]))
+                    spliced.add(id(block))
+            merged.append(event)
+            continue
+        merged.append(event)
+
+    # Orphans: a worker whose parent chunk span never closed (killed
+    # parent), or blocks with no chunk provenance at all.  Append them in
+    # (session, chunk, time) order so the tail of a torn run still reads
+    # causally; re-parent onto the torn chunk span when one was started.
+    leftovers = [b for b in blocks if id(b) not in spliced]
+    leftovers.sort(key=lambda b: (b.parent_session or "",
+                                  -1 if b.chunk is None else b.chunk,
+                                  b.t0, b.shard))
+    for block in leftovers:
+        session = block.parent_session
+        if session is None:
+            session = only_session
+        parent_key = chunk_keys.get((session, block.chunk))
+        merged.extend(_reparented(block, parent_key))
+    return merged

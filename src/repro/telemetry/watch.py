@@ -1,0 +1,288 @@
+"""Live view over an in-flight run's telemetry shard set.
+
+``python -m repro.telemetry watch <store> <run_key>`` tails the run's main
+sidecar plus every per-worker shard as they are appended, folds the events
+into per-stream status (progress, accept / filter-reject / exchange rates,
+best energy, heartbeat age) and renders a refreshing table -- the operator
+surface a future solve-service daemon streams from via
+:func:`~repro.telemetry.recorder.NullRecorder.subscribe`.
+
+The tailing is *torn-tail tolerant*: a line only counts once its
+terminating newline is on disk (the same commit rule as
+:func:`~repro.telemetry.recorder.load_events`), a partial tail is buffered
+until the writer finishes it, and a shard that shrinks underfoot (the
+resuming parent repaired a torn tail) resets its reader instead of
+erroring.  New worker shards appearing mid-watch are picked up on the next
+poll.  Watching is read-only and out-of-process, so it can never perturb
+the run it observes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.telemetry.recorder import worker_shard_paths
+from repro.telemetry.shards import MAIN_SHARD, shard_id_for
+
+__all__ = ["ShardTailer", "RunWatch", "WorkerStatus", "watch_loop"]
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "" if value is None else f"{value:.2f}"
+
+
+class ShardTailer:
+    """Incremental reader of one JSONL shard: committed lines only.
+
+    Each :meth:`poll` returns the events whose terminating newline landed
+    since the previous poll.  The byte offset only ever advances past
+    complete lines, so a torn tail is re-read (cheaply -- it is the file's
+    last few bytes) until the writer commits or a repair truncates it; a
+    file that shrank below the offset rereads from the start, deduplication
+    being unnecessary because repairs only ever *remove* an uncommitted
+    tail.  A malformed committed line is skipped rather than fatal: a live
+    view must keep rendering even over a shard a concurrent writer is
+    actively appending to.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._offset = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            self._offset = 0
+        if size == self._offset:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            raw = handle.read(size - self._offset)
+        committed = raw.rfind(b"\n") + 1
+        if committed == 0:
+            return []
+        self._offset += committed
+        events: List[Dict[str, Any]] = []
+        for line in raw[:committed].splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            if isinstance(payload, dict):
+                events.append(payload)
+        return events
+
+
+class WorkerStatus:
+    """Rolling status of one event stream (the parent or one worker)."""
+
+    __slots__ = ("shard", "worker", "pid", "task", "trials_done", "probes",
+                 "last_iteration", "accept_rate", "filter_reject_rate",
+                 "exchange_rate", "best_energy", "last_event_t", "open_spans",
+                 "sessions")
+
+    def __init__(self, shard: str) -> None:
+        self.shard = shard
+        self.worker: Optional[str] = None
+        self.pid: Optional[int] = None
+        self.task: Optional[Any] = None
+        self.trials_done = 0
+        self.probes = 0
+        self.last_iteration: Optional[int] = None
+        self.accept_rate: Optional[float] = None
+        self.filter_reject_rate: Optional[float] = None
+        self.exchange_rate: Optional[float] = None
+        self.best_energy: Optional[float] = None
+        self.last_event_t: Optional[float] = None
+        self.open_spans = 0
+        self.sessions: List[Any] = []
+
+    # -- folding ------------------------------------------------------- #
+    def apply(self, event: Mapping[str, Any]) -> None:
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            self.last_event_t = float(t)
+        session = event.get("session")
+        if session is not None and session not in self.sessions:
+            self.sessions.append(session)
+            self.open_spans = 0  # a new session implies the old one died
+        if event.get("worker") is not None:
+            self.worker = event["worker"]
+        if event.get("pid") is not None:
+            self.pid = event["pid"]
+        kind = event.get("kind")
+        if kind == "span_start":
+            self.open_spans += 1
+            if event.get("name") in ("worker_chunk", "chunk"):
+                self.task = event.get("chunk", event.get("index"))
+        elif kind == "span_end":
+            self.open_spans = max(0, self.open_spans - 1)
+        elif kind == "counter":
+            if event.get("name") == "trials_completed":
+                self.trials_done += int(event.get("value") or 0)
+        elif kind == "probe":
+            self.probes += 1
+            if event.get("iteration") is not None:
+                self.last_iteration = int(event["iteration"])
+            values = event.get("values") or {}
+            for attr in ("accept_rate", "filter_reject_rate",
+                         "exchange_rate"):
+                mean = _mean_of(values.get(attr))
+                if mean is not None:
+                    setattr(self, attr, mean)
+            best = values.get("best_energy")
+            if isinstance(best, list) and best:
+                low = min(float(b) for b in best)
+                if self.best_energy is None or low < self.best_energy:
+                    self.best_energy = low
+
+    # -- rendering ------------------------------------------------------ #
+    def heartbeat_age(self, now: float) -> Optional[float]:
+        if self.last_event_t is None:
+            return None
+        return max(0.0, now - self.last_event_t)
+
+    def state(self, now: float, stall_after: float) -> str:
+        age = self.heartbeat_age(now)
+        if age is None:
+            return "silent"
+        if self.open_spans == 0:
+            return "idle"
+        if age > stall_after:
+            return "STALLED"
+        return "running"
+
+
+def _mean_of(value: Any) -> Optional[float]:
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, list) and value:
+        flat = [float(v) for v in value if isinstance(v, (int, float))]
+        return sum(flat) / len(flat) if flat else None
+    return None
+
+
+class RunWatch:
+    """Tail a run's shard set and fold it into per-worker status rows.
+
+    ``poll()`` drains every tailer (discovering newly appeared worker
+    shards first) and updates the per-stream :class:`WorkerStatus` folds;
+    ``render()`` turns them into the status table.  The watcher keys
+    streams by shard id, so a worker's resumed sessions fold into one row
+    -- exactly the operator's mental model of "that worker".
+    """
+
+    def __init__(self, main_path: Union[str, Path],
+                 stall_after: float = 10.0) -> None:
+        if stall_after <= 0:
+            raise ValueError("stall_after must be positive")
+        self.main_path = Path(main_path)
+        self.stall_after = float(stall_after)
+        self._tailers: Dict[str, ShardTailer] = {}
+        self._status: Dict[str, WorkerStatus] = {}
+        self.events_seen = 0
+
+    def _discover(self) -> None:
+        if MAIN_SHARD not in self._tailers:
+            self._tailers[MAIN_SHARD] = ShardTailer(self.main_path)
+        for path in worker_shard_paths(self.main_path):
+            shard = shard_id_for(path)
+            if shard not in self._tailers:
+                self._tailers[shard] = ShardTailer(path)
+
+    def poll(self) -> int:
+        """Drain all shards once; returns how many new events were folded."""
+        self._discover()
+        new = 0
+        for shard, tailer in sorted(self._tailers.items()):
+            events = tailer.poll()
+            if not events:
+                continue
+            status = self._status.get(shard)
+            if status is None:
+                status = self._status[shard] = WorkerStatus(shard)
+            for event in events:
+                status.apply(event)
+            new += len(events)
+        self.events_seen += new
+        return new
+
+    def statuses(self) -> List[WorkerStatus]:
+        """Current per-stream folds, main first then workers sorted."""
+        return [self._status[shard]
+                for shard in sorted(self._status,
+                                    key=lambda s: (s != MAIN_SHARD, s))]
+
+    def render(self, now: Optional[float] = None) -> str:
+        """The status table (one row per stream) as aligned text."""
+        from repro.analysis.reporting import format_table
+
+        if now is None:
+            now = time.time()
+        headers = ["stream", "state", "pid", "task", "trials", "probes",
+                   "iter", "accept", "reject", "exch", "best", "beat"]
+        rows: List[List[Any]] = []
+        for status in self.statuses():
+            age = status.heartbeat_age(now)
+            rows.append([
+                status.shard,
+                status.state(now, self.stall_after),
+                "" if status.pid is None else status.pid,
+                "" if status.task is None else status.task,
+                status.trials_done,
+                status.probes,
+                "" if status.last_iteration is None else status.last_iteration,
+                _fmt_rate(status.accept_rate),
+                _fmt_rate(status.filter_reject_rate),
+                _fmt_rate(status.exchange_rate),
+                "" if status.best_energy is None
+                else f"{status.best_energy:.6g}",
+                "" if age is None else f"{age:.1f}s",
+            ])
+        if not rows:
+            return "(no telemetry events yet)"
+        return format_table(headers, rows)
+
+    def stalled(self, now: Optional[float] = None) -> List[str]:
+        """Shard ids currently in the STALLED state."""
+        if now is None:
+            now = time.time()
+        return [status.shard for status in self.statuses()
+                if status.state(now, self.stall_after) == "STALLED"]
+
+
+def watch_loop(main_path: Union[str, Path], *, interval: float = 1.0,
+               stall_after: float = 10.0, once: bool = False,
+               max_polls: Optional[int] = None,
+               clock=time.time, sleep=time.sleep,
+               emit=print) -> RunWatch:
+    """Follow a shard set, re-rendering the table after every poll.
+
+    ``once`` polls and renders a single frame (the CI smoke mode);
+    otherwise the loop re-renders every ``interval`` seconds until
+    interrupted (or ``max_polls`` frames, mainly for tests).  Returns the
+    watcher so callers can inspect the final fold.
+    """
+    watch = RunWatch(main_path, stall_after=stall_after)
+    polls = 0
+    while True:
+        watch.poll()
+        now = clock()
+        emit(f"-- watch {watch.main_path.name} "
+             f"events={watch.events_seen} --")
+        emit(watch.render(now))
+        polls += 1
+        if once or (max_polls is not None and polls >= max_polls):
+            return watch
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:
+            return watch

@@ -1,0 +1,165 @@
+"""The live ``watch`` surface: shard tailing, status folds, CLI frames."""
+
+import json
+
+import pytest
+
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import run_trials
+from repro.store import CampaignStore
+from repro.telemetry.cli import main
+from repro.telemetry.watch import RunWatch, ShardTailer, watch_loop
+
+HYCIM_FAST = {"num_iterations": 60, "move_generator": "knapsack",
+              "use_hardware": False}
+
+
+def _line(payload):
+    return json.dumps(payload, sort_keys=True) + "\n"
+
+
+class TestShardTailer:
+    def test_incremental_committed_lines_only(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        tailer = ShardTailer(path)
+        assert tailer.poll() == []                 # missing file: silent
+        path.write_text(_line({"seq": 0}))
+        assert [e["seq"] for e in tailer.poll()] == [0]
+        assert tailer.poll() == []                 # nothing new
+        with path.open("a") as handle:
+            handle.write(_line({"seq": 1}))
+            handle.write('{"seq": 2')              # torn tail: not committed
+        assert [e["seq"] for e in tailer.poll()] == [1]
+        with path.open("a") as handle:             # writer finishes the line
+            handle.write(', "kind": "probe"}\n')
+        assert [e["seq"] for e in tailer.poll()] == [2]
+
+    def test_tail_repair_yields_nothing_new(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        path.write_text(_line({"seq": 0}) + '{"torn')
+        tailer = ShardTailer(path)
+        assert [e["seq"] for e in tailer.poll()] == [0]
+        # A resuming parent repaired the torn tail: the file now ends at
+        # exactly the committed offset, so there is nothing new (and
+        # crucially no duplicate re-read of line 0).
+        path.write_text(_line({"seq": 0}))
+        assert tailer.poll() == []
+
+    def test_shrunk_below_offset_resets(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        path.write_text(_line({"seq": 0}) + _line({"seq": 1}))
+        tailer = ShardTailer(path)
+        assert [e["seq"] for e in tailer.poll()] == [0, 1]
+        # File replaced with something shorter than the committed offset
+        # (e.g. a fresh run truncated it): re-read from the start.
+        path.write_text(_line({"seq": 7}))
+        assert [e["seq"] for e in tailer.poll()] == [7]
+
+
+class TestRunWatch:
+    def test_folds_live_run(self, tmp_path):
+        problem = generate_qkp_instance(num_items=12, seed=5, name="watched")
+        store = CampaignStore(tmp_path / "store")
+        batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=4,
+                           master_seed=7, backend="process", chunk_size=1,
+                           num_workers=2, store=store, telemetry=True)
+        watch = RunWatch(store.telemetry_path(batch.run_key))
+        assert watch.poll() > 0
+        assert watch.poll() == 0                    # drained
+        statuses = {s.shard: s for s in watch.statuses()}
+        assert "main" in statuses
+        workers = [s for k, s in statuses.items() if k != "main"]
+        assert workers
+        assert statuses["main"].trials_done == 4
+        assert sum(w.probes for w in workers) == 4  # final sweep probes
+        for worker in workers:
+            assert worker.pid == int(worker.shard[1:])
+            assert worker.best_energy is not None
+            assert worker.state(worker.last_event_t, 10.0) == "idle"
+        table = watch.render()
+        assert "main" in table and workers[0].shard in table
+
+    def test_stall_detection(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_line({"kind": "span_start", "name": "worker_chunk",
+                               "span": 1, "parent": None, "chunk": 0,
+                               "session": "s1", "seq": 0, "t": 1000.0}))
+        watch = RunWatch(path, stall_after=10.0)
+        watch.poll()
+        status = watch.statuses()[0]
+        assert status.state(1005.0, 10.0) == "running"
+        assert status.state(1030.0, 10.0) == "STALLED"
+        assert watch.stalled(now=1030.0) == ["main"]
+        # A fresh session on the same shard clears the dead one's open span.
+        with path.open("a") as handle:
+            handle.write(_line({"kind": "counter", "name": "x", "value": 1,
+                                "session": "s2", "seq": 0, "t": 1031.0}))
+        watch.poll()
+        assert watch.statuses()[0].state(1032.0, 10.0) == "idle"
+
+    def test_discovers_new_shards_mid_watch(self, tmp_path):
+        main_path = tmp_path / "run.jsonl"
+        main_path.write_text(_line({"kind": "counter", "name": "a",
+                                    "value": 1, "seq": 0, "t": 1.0}))
+        watch = RunWatch(main_path)
+        assert watch.poll() == 1
+        (tmp_path / "run.w99.jsonl").write_text(
+            _line({"kind": "probe", "name": "sweep", "iteration": 5,
+                   "values": {}, "worker": "w99", "seq": 0, "t": 2.0}))
+        assert watch.poll() == 1
+        assert {s.shard for s in watch.statuses()} == {"main", "w99"}
+
+
+class TestWatchCli:
+    def test_once_frame_over_store(self, tmp_path, capsys):
+        problem = generate_qkp_instance(num_items=12, seed=6, name="watch_cli")
+        store = CampaignStore(tmp_path / "store")
+        batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=2,
+                           master_seed=9, backend="process", chunk_size=1,
+                           num_workers=2, store=store, telemetry=True)
+        assert main(["watch", str(tmp_path / "store"), batch.run_key[:12],
+                     "--once"]) == 0
+        output = capsys.readouterr().out
+        assert "-- watch" in output
+        assert "stream" in output and "main" in output
+        assert "trials" in output and "beat" in output
+
+    def test_follow_mode_bounded_polls(self, tmp_path, capsys):
+        problem = generate_qkp_instance(num_items=12, seed=6, name="watch_f")
+        store = CampaignStore(tmp_path / "store")
+        batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=1,
+                           store=store, telemetry=True)
+        watch = watch_loop(store.telemetry_path(batch.run_key),
+                           interval=0.01, max_polls=3)
+        assert watch.events_seen > 0
+        frames = capsys.readouterr().out.count("-- watch")
+        assert frames == 3
+
+    def test_sidecar_absent_is_not_fatal(self, tmp_path, capsys):
+        """An in-flight run may not have flushed anything yet."""
+        problem = generate_qkp_instance(num_items=12, seed=6, name="watch_n")
+        store = CampaignStore(tmp_path / "store")
+        batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=1,
+                           store=store)   # no telemetry
+        assert main(["watch", str(tmp_path / "store"), batch.run_key,
+                     "--once"]) == 0
+        assert "no telemetry events yet" in capsys.readouterr().out
+
+    def test_summarize_still_fails_loudly_without_sidecar(self, tmp_path):
+        problem = generate_qkp_instance(num_items=12, seed=6, name="watch_n2")
+        store = CampaignStore(tmp_path / "store")
+        batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=1,
+                           store=store)
+        with pytest.raises(SystemExit, match="no telemetry"):
+            main(["summarize", str(tmp_path / "store"), batch.run_key])
+
+    def test_summarize_fails_loudly_on_empty_sidecar(self, tmp_path):
+        problem = generate_qkp_instance(num_items=12, seed=6, name="watch_n3")
+        store = CampaignStore(tmp_path / "store")
+        batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=1,
+                           store=store)
+        store.telemetry_path(batch.run_key).parent.mkdir(parents=True,
+                                                         exist_ok=True)
+        store.telemetry_path(batch.run_key).write_text("")
+        with pytest.raises(SystemExit, match="no telemetry events"):
+            main(["summarize", str(tmp_path / "store"), batch.run_key])

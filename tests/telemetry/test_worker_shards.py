@@ -1,0 +1,193 @@
+"""Cross-process telemetry: worker shards, causal merge, backend parity.
+
+The acceptance contract of the multi-writer telemetry layer:
+
+- a process-backend ``run_trials(telemetry=True)`` campaign leaves one
+  sidecar shard per pool worker, and the merged timeline contains the
+  workers' sweep probes *bitwise-equal in payload* to the same seeds run
+  serially;
+- ``summarize``'s deterministic sections (counter totals, probe
+  statistics) are identical across backends;
+- solver trajectories, store run keys and statistics fingerprints are
+  byte-identical with telemetry on or off;
+- single-writer runs load exactly as before (no shard tags), and
+  ``store.merge()`` carries a run's full shard set.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import generate_qkp_instance
+from repro.runtime import aggregate_trials, run_trials, statistics_fingerprint
+from repro.store import CampaignStore
+from repro.telemetry import InMemoryRecorder, load_events
+from repro.telemetry.analyze import counter_totals, probe_summary
+from repro.telemetry.shards import MAIN_SHARD, load_run_shards
+
+HYCIM_FAST = {"num_iterations": 60, "move_generator": "knapsack",
+              "use_hardware": False}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return generate_qkp_instance(num_items=14, density=0.5, max_weight=8,
+                                 seed=23, name="worker_shard_prob")
+
+
+def _run(problem, tmp_path, backend, subdir, **kwargs):
+    store = CampaignStore(tmp_path / subdir)
+    batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=4,
+                       master_seed=11, backend=backend, store=store,
+                       telemetry=True, chunk_size=1, **kwargs)
+    return store, batch
+
+
+def _probe_payloads(events):
+    """Order-independent probe payloads: (name, iteration, values-json)."""
+    return sorted(
+        (e["name"], e.get("iteration"),
+         json.dumps(e["values"], sort_keys=True))
+        for e in events if e.get("kind") == "probe")
+
+
+class TestWorkerShards:
+    def test_process_run_leaves_per_worker_shards(self, problem, tmp_path):
+        store, batch = _run(problem, tmp_path, "process", "proc",
+                            num_workers=2)
+        shards = store.telemetry_shard_paths(batch.run_key)
+        assert shards, "process-backend run left no worker shards"
+        for shard in shards:
+            events = load_events(shard)
+            assert events, f"{shard} committed no events"
+            # Every worker event is attributable without the filename.
+            assert {e["worker"] for e in events} == {shard.name.split(".")[-2]}
+            chunk_spans = [e for e in events if e.get("name") == "worker_chunk"
+                           and e["kind"] == "span_start"]
+            assert chunk_spans
+            for span in chunk_spans:
+                assert span["pid"] == int(span["worker"][1:])
+                assert span["parent_session"]
+                assert span["chunk"] == span["task"]
+                assert span["first_trial"] is not None
+
+    def test_merged_probes_bitwise_equal_to_serial(self, problem, tmp_path):
+        serial_store, serial = _run(problem, tmp_path, "serial", "ser")
+        proc_store, proc = _run(problem, tmp_path, "process", "proc2",
+                                num_workers=2)
+        serial_events = serial_store.load_telemetry(serial.run_key)
+        proc_events = proc_store.load_telemetry(proc.run_key)
+        serial_probes = _probe_payloads(serial_events)
+        proc_probes = _probe_payloads(proc_events)
+        assert serial_probes == proc_probes
+        assert serial_probes  # the comparison must not be vacuous
+        # All process-backend probes were recorded by workers, none dropped.
+        assert all(e.get("shard", "").startswith("w")
+                   for e in proc_events if e["kind"] == "probe")
+
+    def test_summarize_sections_identical_across_backends(self, problem,
+                                                          tmp_path):
+        serial_store, serial = _run(problem, tmp_path, "serial", "ser2")
+        proc_store, proc = _run(problem, tmp_path, "process", "proc3",
+                                num_workers=2)
+        serial_events = serial_store.load_telemetry(serial.run_key)
+        proc_events = proc_store.load_telemetry(proc.run_key)
+        assert counter_totals(serial_events) == counter_totals(proc_events)
+        assert probe_summary(serial_events) == probe_summary(proc_events)
+
+    def test_results_identical_with_telemetry_on_or_off(self, problem,
+                                                        tmp_path):
+        with_store, with_tel = _run(problem, tmp_path, "process", "tel-on",
+                                    num_workers=2)
+        without_store = CampaignStore(tmp_path / "tel-off")
+        without = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=4,
+                             master_seed=11, backend="process",
+                             store=without_store, chunk_size=1, num_workers=2)
+        assert with_tel.run_key == without.run_key
+        np.testing.assert_array_equal(with_tel.best_energies,
+                                      without.best_energies)
+        assert statistics_fingerprint(aggregate_trials(with_tel)) == \
+            statistics_fingerprint(aggregate_trials(without))
+
+    def test_single_writer_run_loads_untagged(self, problem, tmp_path):
+        store, batch = _run(problem, tmp_path, "vectorized", "vec")
+        assert store.telemetry_shard_paths(batch.run_key) == []
+        events = store.load_telemetry(batch.run_key)
+        assert events
+        assert all("shard" not in e for e in events)
+        # Byte-identical to reading the sidecar directly, as before.
+        assert events == load_events(store.telemetry_path(batch.run_key))
+
+    def test_shard_set_loads_keyed_and_tagged(self, problem, tmp_path):
+        store, batch = _run(problem, tmp_path, "process", "proc4",
+                            num_workers=2)
+        shards = load_run_shards(store.telemetry_path(batch.run_key))
+        assert MAIN_SHARD in shards
+        workers = sorted(k for k in shards if k != MAIN_SHARD)
+        assert workers
+        for key, events in shards.items():
+            assert {e["shard"] for e in events} == {key}
+
+    def test_merge_is_causal(self, problem, tmp_path):
+        """Worker blocks splice inside their parent chunk span."""
+        store, batch = _run(problem, tmp_path, "process", "proc5",
+                            num_workers=2)
+        events = store.load_telemetry(batch.run_key)
+        open_chunk = None
+        for event in events:
+            if event.get("name") == "chunk":
+                open_chunk = (event.get("index")
+                              if event["kind"] == "span_start" else None)
+            elif event.get("name") == "worker_chunk" and \
+                    event["kind"] == "span_start":
+                assert open_chunk is not None, \
+                    "worker_chunk outside any parent chunk span"
+                assert event["chunk"] == open_chunk
+                assert event["merge_parent"][0] == MAIN_SHARD
+        # Per-shard seq order survives the interleave.
+        per_shard = {}
+        for event in events:
+            per_shard.setdefault((event.get("shard"), event.get("session")),
+                                 []).append(event["seq"])
+        for seqs in per_shard.values():
+            assert seqs == sorted(seqs)
+
+    def test_store_merge_carries_worker_shards(self, problem, tmp_path):
+        source, batch = _run(problem, tmp_path, "process", "merge-src",
+                             num_workers=2)
+        dest = CampaignStore(tmp_path / "merge-dst")
+        dest.merge(source)
+        assert [p.name for p in dest.telemetry_shard_paths(batch.run_key)] \
+            == [p.name for p in source.telemetry_shard_paths(batch.run_key)]
+        assert dest.load_telemetry(batch.run_key) == \
+            source.load_telemetry(batch.run_key)
+        # Merging again (dest now has telemetry) must not duplicate events.
+        before = dest.load_telemetry(batch.run_key)
+        dest.merge(source)
+        assert dest.load_telemetry(batch.run_key) == before
+
+
+class TestUniformSpanAttribution:
+    def test_vectorized_trial_group_carries_worker_attrs(self, problem):
+        recorder = InMemoryRecorder()
+        run_trials(problem, ("hycim", HYCIM_FAST), num_trials=2,
+                   master_seed=3, backend="vectorized", telemetry=recorder)
+        groups = [e for e in recorder.events
+                  if e.get("name") == "trial_group"
+                  and e["kind"] == "span_start"]
+        assert groups
+        for span in groups:
+            assert span["worker"] == "main"
+            assert span["pid"] and span["hostname"]
+            assert span["task"] == 0
+
+    def test_serial_trial_carries_worker_attrs(self, problem):
+        recorder = InMemoryRecorder()
+        run_trials(problem, ("hycim", HYCIM_FAST), num_trials=2,
+                   master_seed=3, backend="serial", telemetry=recorder)
+        trials = [e for e in recorder.events if e.get("name") == "trial"
+                  and e["kind"] == "span_start"]
+        assert len(trials) == 2
+        assert [t["task"] for t in trials] == [0, 1]  # chunk_size=1 default
+        assert all(t["worker"] == "main" for t in trials)
