@@ -177,6 +177,11 @@ def hycim_batched_trials(
                                      chip_seeds=chip_seeds).solve_batch(
             starts, rngs, dynamics=dynamics, exchange_rng=exchange_rng,
             shared_rng=shared_rng, kernel=params.get("kernel"))
+        # What "auto" actually picked, read back from the engine's stamp
+        # (absent stamp == reference backend).
+        span.annotate(kernel_resolved=(
+            results[0].metadata.get("kernel", "reference")
+            if results else "reference"))
     return _stamp(results, seeds, span.elapsed)
 
 
@@ -236,6 +241,9 @@ def sa_batched_trials(
             result.feasible = problem.is_feasible(best)
             result.best_objective = (problem.objective(best)
                                      if result.feasible else None)
+        span.annotate(kernel_resolved=(
+            results[0].metadata.get("kernel", "reference")
+            if results else "reference"))
     return _stamp(results, seeds, span.elapsed)
 
 
@@ -317,10 +325,19 @@ def dqubo_batched_trials(
             solver.assemble_result(
                 raw.best_configuration, raw.best_energy, raw.energy_history,
                 raw.num_feasible_evaluations, raw.num_accepted_moves,
+                # Propagate the inner engine's kernel stamp so dqubo results
+                # carry the same backend provenance as hycim/sa ones.
                 extra_metadata={"vectorized": True,
-                                "num_replicas": len(inner)})
+                                "num_replicas": len(inner),
+                                **({"kernel": raw.metadata["kernel"]}
+                                   if "kernel" in raw.metadata else {})})
             for raw in inner
         ]
+        # assemble_result rebuilds metadata, so read the resolved backend
+        # from the inner engine results that still carry the stamp.
+        span.annotate(kernel_resolved=(
+            inner[0].metadata.get("kernel", "reference")
+            if inner else "reference"))
     return _stamp(results, seeds, span.elapsed)
 
 

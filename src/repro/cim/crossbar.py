@@ -44,6 +44,13 @@ from repro.cim.adc import ADCModel
 from repro.cim.device_axis import resolve_device_selection
 from repro.core.qubo import QUBOModel
 from repro.fefet.variability import VariabilityModel
+# NOTE: repro.kernels.bits is imported lazily inside the packed
+# conduction-count path: importing the repro.kernels package pulls in the
+# reference backend (and with it repro.batched, which imports this module),
+# so a module-scope import would make the package import order significant.
+
+#: Replica-chunk byte budget of the packed conduction-count temporaries.
+_PACKED_CHUNK_BYTES = 32 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -147,6 +154,9 @@ class FeFETCrossbar:
         # Bit planes: planes[b][j, i] in {0, 1} is bit b of |Q_ji| for sign s.
         self._pos_planes = self._slice_bits(self._pos_quantized)
         self._neg_planes = self._slice_bits(self._neg_quantized)
+        # Packed column masks of the planes, built lazily on the first ideal
+        # (noise-free, ADC-free, variation-free) evaluation.
+        self._plane_words: dict = {}
 
         # Static per-cell ON-current factors: one (bits, n, n) block per chip,
         # each chip sampling from its own seed in program order (positive
@@ -239,6 +249,62 @@ class FeFETCrossbar:
             raise ValueError(f"input length {vec.shape} != crossbar dimension {self._n}")
         return float(self.compute_energies(vec[None, :])[0])
 
+    def _packed_column_planes(self, sign: str) -> np.ndarray:
+        """``(bits, n, W)`` packed column masks of one sign's bit planes.
+
+        Word array ``[b][i]`` packs column ``i`` of plane ``b`` over the row
+        index ``j``, so ANDing it with a packed input state and popcounting
+        yields the column's conduction count (number of cells with both the
+        wordline and the stored bit active).  Built once per sign, cached.
+        """
+        cached = self._plane_words.get(sign)
+        if cached is None:
+            from repro.kernels.bits import pack_bits
+
+            planes = self._pos_planes if sign == "pos" else self._neg_planes
+            cached = np.stack([pack_bits(planes[b].T)
+                               for b in range(planes.shape[0])])
+            self._plane_words[sign] = cached
+        return cached
+
+    def conduction_counts(self, plane_words: np.ndarray,
+                          state_words: np.ndarray) -> np.ndarray:
+        """Per-column conduction counts of packed states against one plane.
+
+        ``plane_words`` is one ``(n, W)`` slice of
+        :meth:`_packed_column_planes`; ``state_words`` packs the input rows
+        ``(R, W)``.  Returns exact ``(R, n)`` int64 counts -- the integer
+        the ideal analog column current digitises to.
+        """
+        masked = plane_words[None, :, :] & state_words[:, None, :]
+        return np.bitwise_count(masked).sum(axis=2, dtype=np.int64)
+
+    def _accumulate_packed(self, sign: str, flat: np.ndarray) -> np.ndarray:
+        """Ideal-path add-shift-sum via packed AND + popcount per word.
+
+        Bit-exact with the dense matrix-product path: each plane's column
+        counts are integers ``<= n``, so the masked row sums and the
+        ``2**b`` shifts reproduce the float accumulation value for value.
+        """
+        from repro.kernels.bits import pack_bits, packed_width
+
+        plane_words = self._packed_column_planes(sign)
+        num_rows, n = flat.shape
+        state_words = pack_bits(flat)
+        total = np.zeros(num_rows)
+        # Chunk replicas so the (chunk, n, W) AND temporary stays cache-near.
+        per_row = max(1, n * packed_width(n) * 8)
+        chunk = max(1, _PACKED_CHUNK_BYTES // per_row)
+        for b in range(self.config.weight_bits):
+            plane = plane_words[b]
+            for start in range(0, num_rows, chunk):
+                stop = min(start + chunk, num_rows)
+                counts = self.conduction_counts(plane,
+                                                state_words[start:stop])
+                total[start:stop] += ((counts * flat[start:stop])
+                                      .sum(axis=1) * (2 ** b))
+        return total
+
     def _accumulate_devices(self, planes: np.ndarray,
                             factors: Optional[np.ndarray],
                             batch: np.ndarray,
@@ -255,6 +321,16 @@ class FeFETCrossbar:
         path applies them per evaluation.
         """
         num_chips, num_replicas, n = batch.shape
+        if (factors is None and self.config.current_noise_sigma == 0
+                and self._adc is None
+                and (2 ** self.config.weight_bits) * n * n < 2 ** 53):
+            # Fully ideal pipeline: every chip shares the exact bit planes
+            # and no per-plane noise/ADC step intervenes, so the whole
+            # add-shift-sum collapses to packed conduction counts.
+            sign = "pos" if planes is self._pos_planes else "neg"
+            flat = batch.reshape(num_chips * num_replicas, n)
+            return self._accumulate_packed(sign, flat).reshape(
+                num_chips, num_replicas)
         total = np.zeros((num_chips, num_replicas))
         for b in range(self.config.weight_bits):
             if factors is None:

@@ -4,8 +4,8 @@ See :mod:`repro.kernels.base` for the interface and the backend matrix.
 The factories here are what the engines call: given a backend name (or
 ``"auto"``) and the engine's loop state, they construct the matching
 :class:`~repro.kernels.base.SweepKernel`, falling back along
-``numba -> fused -> reference`` when ``"auto"`` meets an unsupported
-configuration or a missing optional dependency.
+``numba -> packed -> fused -> reference`` when ``"auto"`` meets an
+unsupported configuration or a missing optional dependency.
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ from repro.kernels.base import (
     resolve_kernel_backend,
 )
 from repro.kernels.fused import FusedHyCiMKernel, FusedSAKernel
+from repro.kernels.packed import PackedHyCiMKernel, PackedSAKernel
 from repro.kernels.reference import ReferenceHyCiMKernel, ReferenceSAKernel
 
 __all__ = [
@@ -31,6 +32,8 @@ __all__ = [
     "FusedSAKernel",
     "KernelUnavailableError",
     "KernelUnsupportedError",
+    "PackedHyCiMKernel",
+    "PackedSAKernel",
     "ReferenceHyCiMKernel",
     "ReferenceSAKernel",
     "SweepKernel",
@@ -43,7 +46,7 @@ __all__ = [
 #: ``"auto"`` tries backends in this order, falling through on
 #: KernelUnsupportedError / KernelUnavailableError; the reference backend
 #: supports everything, so "auto" never fails for support reasons.
-AUTO_ORDER = ("numba", "fused", "reference")
+AUTO_ORDER = ("numba", "packed", "fused", "reference")
 
 
 def _build(backend: Optional[str], builders: dict) -> SweepKernel:
@@ -83,6 +86,15 @@ def make_sa_kernel(kernel: Optional[str], *, matrix, offset, driver,
             accept_filter_batch=accept_filter_batch,
             constraints=feasibility_constraints, generators=generators)
 
+    def packed() -> SweepKernel:
+        return PackedSAKernel(
+            matrix=matrix, offset=offset, driver=driver,
+            single_flip=single_flip,
+            moves_per_iteration=moves_per_iteration, current=current,
+            current_energy=current_energy, accept_filter=accept_filter,
+            accept_filter_batch=accept_filter_batch,
+            constraints=feasibility_constraints, generators=generators)
+
     def numba() -> SweepKernel:
         from repro.kernels.jit import JitSAKernel
 
@@ -95,7 +107,7 @@ def make_sa_kernel(kernel: Optional[str], *, matrix, offset, driver,
             constraints=feasibility_constraints, generators=generators)
 
     return _build(kernel, {"reference": reference, "fused": fused,
-                           "numba": numba})
+                           "packed": packed, "numba": numba})
 
 
 def make_hycim_kernel(kernel: Optional[str], *, num_variables, driver,
@@ -126,6 +138,16 @@ def make_hycim_kernel(kernel: Optional[str], *, num_variables, driver,
             use_hardware_filters=use_hardware_filters,
             use_crossbar=use_crossbar, generators=generators)
 
+    def packed() -> SweepKernel:
+        return PackedHyCiMKernel(
+            matrix=matrix, driver=driver, single_flip=single_flip,
+            moves_per_iteration=moves_per_iteration, constraints=constraints,
+            current=current, current_energy=current_energy,
+            current_feasible=current_feasible,
+            raw_energy=raw_energy if use_delta else None,
+            use_hardware_filters=use_hardware_filters,
+            use_crossbar=use_crossbar, generators=generators)
+
     def numba() -> SweepKernel:
         from repro.kernels.jit import JitHyCiMKernel
 
@@ -139,4 +161,4 @@ def make_hycim_kernel(kernel: Optional[str], *, num_variables, driver,
             use_crossbar=use_crossbar, generators=generators)
 
     return _build(kernel, {"reference": reference, "fused": fused,
-                           "numba": numba})
+                           "packed": packed, "numba": numba})

@@ -1,0 +1,204 @@
+"""Bit-packing utilities for the packed sweep kernel.
+
+Replica configurations are 0/1 vectors; the packed backend stores them as
+``(M, ceil(n/64))`` uint64 **words** -- bit ``j`` of replica ``k`` lives at
+position ``j % 64`` of ``words[k, j // 64]`` -- and evaluates the QUBO
+local field by AND + popcount against precomputed **bit-plane masks** of
+the symmetrised coefficient matrix.
+
+The plane decomposition handles signed integer coefficients with a per-row
+offset: with ``m_i = min(0, min_j S[i, j])`` every entry of
+``enc = S - m_i`` is a non-negative integer, so ``enc`` splits into ``B``
+binary planes and
+
+    field_i(x) = sum_j S[i, j] x_j
+               = sum_b 2**b * popcount(mask_b[i] & words(x)) + m_i * |x|
+
+with ``|x|`` the state's popcount.  Every quantity on the right is an
+exact int64, so the float64 field value is *bit-identical* to the fused
+kernel's incrementally maintained ``x @ (Q + Q^T)`` cache whenever the
+coefficient data is integer-valued -- which is exactly the precondition
+:func:`build_plane_masks` enforces.
+
+Masks are laid out ``(n, B, W)`` so the per-proposal gather of the chosen
+rows is a single contiguous fancy index; popcounts use
+:func:`numpy.bitwise_count` (numpy >= 2.0).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.sparse import is_sparse_matrix
+from repro.kernels.base import KernelUnsupportedError
+
+__all__ = [
+    "MAX_MASK_BYTES",
+    "WORD_BITS",
+    "build_plane_masks",
+    "pack_bits",
+    "packed_dot",
+    "packed_width",
+    "popcount_rows",
+    "unpack_bits",
+]
+
+#: Bits per state word.
+WORD_BITS = 64
+
+#: Mask-table budget: beyond this the packed backend raises
+#: :class:`KernelUnsupportedError` and ``"auto"`` falls back to fused.
+MAX_MASK_BYTES = 256 * 1024 * 1024
+
+#: Largest exact integer magnitude a float64 holds (2**53); field values
+#: must stay below it for the popcount path to be bit-identical to floats.
+_EXACT_FLOAT_BOUND = float(2 ** 53)
+
+_SHIFTS = np.arange(WORD_BITS, dtype=np.uint64)
+
+
+def packed_width(num_variables: int) -> int:
+    """Words per replica: ``ceil(n / 64)``."""
+    return (int(num_variables) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bools: np.ndarray) -> np.ndarray:
+    """Pack an ``(M, n)`` 0/1 array into ``(M, W)`` uint64 words.
+
+    Bit ``j`` lands at position ``j % 64`` of word ``j // 64`` regardless
+    of platform endianness.
+    """
+    array = np.asarray(bools)
+    if array.ndim != 2:
+        raise ValueError(f"expected an (M, n) array, got shape {array.shape}")
+    num_rows, num_variables = array.shape
+    width = packed_width(num_variables)
+    flags = array.astype(np.uint8, copy=False) != 0
+    packed = np.packbits(flags, axis=-1, bitorder="little")
+    padded = np.zeros((num_rows, width * 8), dtype=np.uint8)
+    padded[:, :packed.shape[1]] = packed
+    # Little-endian byte order within each word matches the bit layout
+    # above; byte-swap on big-endian hosts instead of viewing natively.
+    words = padded.view("<u8")
+    return np.ascontiguousarray(words.astype(np.uint64, copy=False))
+
+
+def unpack_bits(words: np.ndarray, num_variables: int) -> np.ndarray:
+    """The ``(M, n)`` float 0/1 array a :func:`pack_bits` result encodes."""
+    words = np.asarray(words, dtype=np.uint64)
+    num_rows = words.shape[0]
+    bits = (words[:, :, None] >> _SHIFTS) & np.uint64(1)
+    return bits.reshape(num_rows, -1)[:, :num_variables].astype(float)
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a packed ``(M, W)`` array, as int64."""
+    return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+
+def packed_dot(masks: np.ndarray, words: np.ndarray,
+               plane_weights: np.ndarray,
+               offsets: np.ndarray) -> np.ndarray:
+    """Row-wise ``sum_j S[i, j] x_j`` from plane masks and packed states.
+
+    ``masks[i]`` is row ``i``'s ``(B, W)`` plane table, ``words`` the
+    ``(M, W)`` packed states (one row of ``masks`` per state row, i.e. the
+    caller has already gathered ``masks = all_masks[flips]``), ``offsets``
+    the per-row offsets ``m_i`` likewise gathered.  Returns exact int64.
+    """
+    counts = np.bitwise_count(masks & words[:, None, :])
+    per_plane = counts.sum(axis=2, dtype=np.int64)
+    return per_plane @ plane_weights + offsets * popcount_rows(words)
+
+
+def _as_row_vector(extrema, num_variables: int) -> np.ndarray:
+    """Axis-wise sparse/dense extrema as a flat ``(n,)`` float array."""
+    if hasattr(extrema, "todense"):
+        extrema = extrema.todense()
+    return np.asarray(extrema, dtype=float).reshape(num_variables)
+
+
+def build_plane_masks(symmetric, *, max_mask_bytes: int = MAX_MASK_BYTES
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bit-plane masks of a symmetrised coefficient matrix.
+
+    Returns ``(offsets, masks, plane_weights)``: per-row int64 offsets
+    ``m_i``, the ``(n, B, W)`` uint64 plane table and the ``(B,)`` int64
+    weights ``2**b``.  Raises :class:`KernelUnsupportedError` when the
+    matrix is not integer-valued, a field value could exceed the exact
+    float64 integer range, or the table would exceed ``max_mask_bytes`` --
+    the conditions under which the packed backend cannot guarantee
+    bit-identical trajectories (or reasonable memory), so ``"auto"`` falls
+    through to the fused backend.
+    """
+    sparse = is_sparse_matrix(symmetric)
+    if sparse:
+        matrix = symmetric.tocsr()
+        entries = np.asarray(matrix.data, dtype=float)
+        num_variables = int(matrix.shape[0])
+    else:
+        matrix = np.asarray(symmetric, dtype=float)
+        entries = matrix.ravel()
+        num_variables = int(matrix.shape[0])
+    if entries.size and not np.array_equal(entries, np.rint(entries)):
+        raise KernelUnsupportedError(
+            "packed kernels require integer-valued coefficients (popcount "
+            "field sums are exact only on integers); float matrices run on "
+            "the fused backend")
+    max_abs = float(np.abs(entries).max()) if entries.size else 0.0
+    if max_abs * num_variables >= _EXACT_FLOAT_BOUND:
+        raise KernelUnsupportedError(
+            "packed field values could exceed the exact float64 integer "
+            "range (max |coefficient| * n >= 2**53)")
+
+    width = packed_width(num_variables)
+    if num_variables and entries.size:
+        # scipy's axis-wise extrema account for implicit zeros, matching
+        # the dense semantics (a missing CSR entry is a zero coefficient).
+        row_min = _as_row_vector(matrix.min(axis=1), num_variables)
+        row_max = _as_row_vector(matrix.max(axis=1), num_variables)
+    else:
+        row_min = np.zeros(num_variables)
+        row_max = np.zeros(num_variables)
+    offsets = np.minimum(row_min, 0.0).astype(np.int64)
+    largest = int((row_max - offsets).max()) if num_variables else 0
+    num_planes = largest.bit_length()
+    if num_planes * num_variables * width * 8 > max_mask_bytes:
+        raise KernelUnsupportedError(
+            f"packed plane table would need {num_planes} planes x "
+            f"{num_variables} rows x {width} words "
+            f"(> {max_mask_bytes} bytes); this instance runs on the fused "
+            "backend")
+
+    # packbits output lands directly in the little-endian byte image of the
+    # word table (pad bytes pre-zeroed), viewed back as uint64 at the end --
+    # the same byte-order convention as :func:`pack_bits`.
+    mask_bytes = np.zeros((num_variables, num_planes, width * 8),
+                          dtype=np.uint8)
+    # Encoded entries fit ``largest``; peeling planes off the low end of the
+    # smallest sufficient unsigned dtype keeps the per-plane temporaries
+    # small (a uint8 pass over the block instead of an int64 shift).
+    encode_dtype = next(dtype for dtype in
+                        (np.uint8, np.uint16, np.uint32, np.uint64)
+                        if largest < 2 ** (8 * np.dtype(dtype).itemsize))
+    # Encode rows in chunks so the dense (chunk, n) temporary stays small
+    # even when the matrix arrives as CSR.
+    chunk = max(1, min(num_variables, (1 << 24) // max(1, num_variables)))
+    for start in range(0, num_variables, chunk):
+        stop = min(start + chunk, num_variables)
+        block = (matrix[start:stop].toarray() if sparse
+                 else matrix[start:stop])
+        encoded = (np.asarray(block, dtype=np.int64)
+                   - offsets[start:stop, None]).astype(encode_dtype)
+        for plane in range(num_planes):
+            bits = (encoded & encode_dtype(1)).astype(np.uint8, copy=False)
+            packed = np.packbits(bits, axis=-1, bitorder="little")
+            mask_bytes[start:stop, plane, :packed.shape[1]] = packed
+            encoded >>= encode_dtype(1)
+    masks = np.ascontiguousarray(
+        mask_bytes.view("<u8").reshape(num_variables, num_planes, width)
+        .astype(np.uint64, copy=False))
+    plane_weights = (np.int64(1) << np.arange(num_planes, dtype=np.int64))
+    return offsets, masks, plane_weights

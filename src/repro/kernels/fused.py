@@ -90,7 +90,11 @@ class _FusedCore(SweepKernel):
                                                      dtype=float))
         self._num_variables = int(self._diag.shape[0])
         self._rows = np.arange(current.shape[0])
+        self._init_constraints(current, constraints)
 
+    def _init_constraints(self, current: np.ndarray,
+                          constraints: Sequence[LinearConstraint]) -> None:
+        """Running-load state shared with the packed backend's model."""
         weights = [np.asarray(c.weight_vector, dtype=float)
                    for c in constraints]
         self._num_constraints = len(weights)

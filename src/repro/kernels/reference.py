@@ -90,6 +90,11 @@ class ReferenceSAKernel(SweepKernel):
         self._num_variables = self.matrix.shape[0]
         self._symmetric = (symmetrized_matrix(self.matrix) if self.single_flip
                            else None)
+        # Reused single-flip candidate buffer: refreshing it with np.copyto
+        # is value-identical to a fresh current.copy() per proposal but
+        # spares the O(M*n) allocation in the hot loop.
+        self._candidates = (np.empty_like(current) if self.single_flip
+                            else None)
 
     def run_block(self, start_iteration: int, num_iterations: int) -> None:
         driver = self.driver
@@ -105,7 +110,8 @@ class ReferenceSAKernel(SweepKernel):
                     # integer draw per replica (one vectorised draw from the
                     # shared stream in chip-faithful mode).
                     flips = driver.flip_indices(n)
-                    candidates = current.copy()
+                    candidates = self._candidates
+                    np.copyto(candidates, current)
                     candidates[rows, flips] = 1.0 - candidates[rows, flips]
                 else:
                     flips = None
@@ -192,6 +198,9 @@ class ReferenceHyCiMKernel(SweepKernel):
         self._num_variables = int(num_variables)
         self._symmetric = (symmetrized_matrix(matrix)
                            if self.use_delta else None)
+        # Reused single-flip candidate buffer (see ReferenceSAKernel).
+        self._candidates = (np.empty_like(current) if self.single_flip
+                            else None)
 
     def run_block(self, start_iteration: int, num_iterations: int) -> None:
         driver = self.driver
@@ -206,7 +215,8 @@ class ReferenceHyCiMKernel(SweepKernel):
             for _ in range(self.moves_per_iteration):
                 if self.single_flip:
                     flips = driver.flip_indices(n)
-                    candidates = current.copy()
+                    candidates = self._candidates
+                    np.copyto(candidates, current)
                     candidates[rows, flips] = 1.0 - candidates[rows, flips]
                 else:
                     candidates = driver.propose(self.move_generator, current)

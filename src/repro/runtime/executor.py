@@ -682,6 +682,21 @@ def run_trials(
 
     collected.sort(key=lambda pair: pair[0])
     results = [result for _, result in collected]
+    if store is not None and results and \
+            get_batched_trial_function(spec.solver) is not None:
+        # Stamp the *resolved* sweep-kernel backend (what "auto" actually
+        # picked) into the run's provenance snapshot.  Results carry the
+        # engine's stamp whether fresh or loaded; an engine run without a
+        # stamp is the reference backend, and results without the engine's
+        # "vectorized" marker came from the scalar trial path.
+        metadata = results[0].metadata or {}
+        if "kernel" in metadata:
+            resolved = str(metadata["kernel"])
+        elif metadata.get("vectorized"):
+            resolved = "reference"
+        else:
+            resolved = "scalar"
+        store.annotate_provenance(run_key, kernel_resolved=resolved)
     return TrialBatch(
         results=results,
         spec=spec,

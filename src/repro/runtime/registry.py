@@ -361,6 +361,7 @@ def _finalize(result: SolveResult, seed: int, elapsed: float) -> SolveResult:
 def _hycim_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
     with current_recorder().span("trial", solver="hycim", seed=int(seed),
+                                 kernel_resolved="scalar",
                                  **worker_attrs()) as span:
         dynamics = build_dynamics(params.get("dynamics"))
         _coupled_dynamics_guard(dynamics, "hycim")
@@ -398,6 +399,7 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
     CiM filter).  Pass ``respect_constraints=False`` to anneal the raw QUBO.
     """
     with current_recorder().span("trial", solver="sa", seed=int(seed),
+                                 kernel_resolved="scalar",
                                  **worker_attrs()) as span:
         dynamics = build_dynamics(params.get("dynamics"))
         _coupled_dynamics_guard(dynamics, "sa")
@@ -426,6 +428,7 @@ def _sa_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
 def _dqubo_trial(problem: CombinatorialProblem, params: Mapping[str, Any],
                  seed: int, initial: Optional[np.ndarray]) -> SolveResult:
     with current_recorder().span("trial", solver="dqubo", seed=int(seed),
+                                 kernel_resolved="scalar",
                                  **worker_attrs()) as span:
         dynamics = build_dynamics(params.get("dynamics"))
         _coupled_dynamics_guard(dynamics, "dqubo")

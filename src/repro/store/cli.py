@@ -153,10 +153,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
           f"of {manifest.num_trials_requested} requested")
     if manifest.provenance:
         origin = manifest.provenance
+        kernel = origin.get("kernel_resolved")
         print(f"provenance   : repro {origin.get('repro_version', '?')}, "
               f"numpy {origin.get('numpy_version', '?')}, "
               f"python {origin.get('python_version', '?')} "
-              f"on {origin.get('hostname', '?')}")
+              f"on {origin.get('hostname', '?')}"
+              + (f", kernel {kernel}" if kernel else ""))
     if results:
         rows = [[str(index), str(result.trial_seed),
                  f"{result.best_energy:.6g}",

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
@@ -148,6 +149,27 @@ class CampaignStore:
         self._runs[manifest.run_key] = manifest
         self._append_line(self.root / _MANIFEST, manifest.to_dict())
         return manifest
+
+    def annotate_provenance(self, run_key: str, **entries: str) -> RunManifest:
+        """Merge keys into a registered run's provenance snapshot.
+
+        The runtime uses this to stamp facts only known *after* the run
+        executed -- e.g. ``kernel_resolved``, the sweep-kernel backend
+        ``"auto"`` actually picked.  The manifest log is last-line-wins, so
+        the updated entry is re-appended with the merged provenance;
+        re-annotating with already-stored values appends nothing.
+        """
+        manifest = self._runs.get(run_key)
+        if manifest is None:
+            raise KeyError(f"run {run_key!r} is not registered")
+        merged = dict(manifest.provenance or {})
+        merged.update({key: str(value) for key, value in entries.items()})
+        if merged == (manifest.provenance or {}):
+            return manifest
+        updated = replace(manifest, provenance=merged)
+        self._runs[run_key] = updated
+        self._append_line(self.root / _MANIFEST, updated.to_dict())
+        return updated
 
     def runs(self) -> List[RunManifest]:
         """All registered runs, ordered by (problem, label, run_key)."""

@@ -126,9 +126,17 @@ def build_timeline(events: Sequence[Mapping[str, Any]]) -> List[str]:
         return (event.get("shard"), event.get("session"), event.get("span"))
 
     elapsed: Dict[Tuple[Any, Any, Any], float] = {}
+    late_attrs: Dict[Tuple[Any, Any, Any], Dict[str, Any]] = {}
     for event in events:
         if event.get("kind") == "span_end":
-            elapsed[span_key(event)] = float(event.get("elapsed") or 0.0)
+            key = span_key(event)
+            elapsed[key] = float(event.get("elapsed") or 0.0)
+            # Attrs annotated mid-span ride on span_end; surface them on
+            # the rendered span line next to the span_start attrs.
+            extra = {name: value for name, value in event.items()
+                     if name not in _SPAN_META and name != "elapsed"}
+            if extra:
+                late_attrs[key] = extra
     lines: List[str] = []
     depth: Dict[Tuple[Any, Any, Any], int] = {}
     open_by_stream: Dict[Tuple[Any, Any], List[Tuple[Any, Any, Any]]] = {}
@@ -157,6 +165,7 @@ def build_timeline(events: Sequence[Mapping[str, Any]]) -> List[str]:
             open_by_stream.setdefault(stream, []).append(key)
             attrs = {name: value for name, value in event.items()
                      if name not in _SPAN_META}
+            attrs.update(late_attrs.get(key, {}))
             note = (" " + " ".join(f"{n}={v}" for n, v in sorted(attrs.items()))
                     if attrs else "")
             duration = elapsed.get(key)

@@ -57,7 +57,9 @@ Event schema
 Every event is one JSON-serializable dict carrying ``kind`` (``span_start``,
 ``span_end``, ``counter`` or ``probe``), ``name``, a per-recorder monotonic
 ``seq`` and a wall-clock ``t`` (``time.time()``).  Span events add ``span``
-(id) / ``parent``; ``span_end`` adds ``elapsed`` seconds.  Counter events
+(id) / ``parent``; ``span_end`` adds ``elapsed`` seconds plus any attrs the
+span owner :meth:`~Span.annotate`-d mid-span (facts only known once the
+work ran, e.g. the resolved kernel backend).  Counter events
 add ``value`` and the cumulative ``total``.  Probe events add ``iteration``
 and a ``values`` mapping whose per-replica entries are ``(M,)`` lists,
 matching the axis contract of the batched engines (``M = 1`` for scalar
@@ -216,7 +218,7 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "span_id", "parent_id", "elapsed",
-                 "_recorder", "_started")
+                 "_recorder", "_started", "_late_attrs")
 
     def __init__(self, recorder: "NullRecorder", name: str,
                  attrs: Mapping[str, Any]) -> None:
@@ -226,6 +228,21 @@ class Span:
         self.span_id: Optional[int] = None
         self.parent_id: Optional[int] = None
         self.elapsed: Optional[float] = None
+        self._late_attrs: Optional[Dict[str, Any]] = None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attrs discovered *inside* the span (emitted on its end).
+
+        ``span_start`` fires before the work runs, so attributes only known
+        afterwards -- e.g. which backend ``kernel="auto"`` actually resolved
+        to -- are merged into the ``span_end`` event instead.  No-op on a
+        disabled recorder.  Later calls override earlier keys.
+        """
+        if not self._recorder.enabled:
+            return
+        if self._late_attrs is None:
+            self._late_attrs = {}
+        self._late_attrs.update(attrs)
 
     def __enter__(self) -> "Span":
         recorder = self._recorder
@@ -247,9 +264,12 @@ class Span:
             stack = recorder._span_stack
             if stack and stack[-1] == self.span_id:
                 stack.pop()
-            recorder.emit({"kind": "span_end", "name": self.name,
-                           "span": self.span_id, "parent": self.parent_id,
-                           "elapsed": self.elapsed})
+            event = {"kind": "span_end", "name": self.name,
+                     "span": self.span_id, "parent": self.parent_id,
+                     "elapsed": self.elapsed}
+            if self._late_attrs:
+                event.update(_jsonable(self._late_attrs))
+            recorder.emit(event)
         return False
 
 

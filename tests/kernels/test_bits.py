@@ -1,0 +1,121 @@
+"""Hypothesis properties for the packed kernel's bit-twiddling layer.
+
+Three invariants back the popcount arithmetic in :mod:`repro.kernels.bits`:
+
+1. packing is lossless -- ``unpack_bits(pack_bits(x), n) == x`` for every
+   0/1 batch, including widths that are not multiples of 64 (the padding
+   bits of the last word stay zero and never leak back);
+2. the plane-mask local field equals the dense dot product -- for arbitrary
+   integer matrices (negative entries included) the offset-plane
+   decomposition reproduces ``x @ S`` exactly, and the single-flip delta
+   assembled from it equals :func:`batched_energy_delta`;
+3. the same machinery over a row of constraint weights is an exact packed
+   dot product -- the popcount load equals ``x @ w``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batched.kernels import batched_energy_delta, symmetrized_matrix
+from repro.kernels.bits import (
+    build_plane_masks,
+    pack_bits,
+    packed_dot,
+    packed_width,
+    popcount_rows,
+    unpack_bits,
+)
+
+
+@st.composite
+def bit_batches(draw, max_variables=150, max_replicas=6):
+    """A random ``(M, n)`` 0/1 float batch, with n straddling word edges."""
+    n = draw(st.integers(1, max_variables))
+    m = draw(st.integers(1, max_replicas))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    return (rng.random((m, n)) < 0.5).astype(float)
+
+
+@st.composite
+def integer_model(draw, max_variables=24, max_replicas=5):
+    """A signed-integer matrix plus a binary batch and per-replica flips."""
+    n = draw(st.integers(2, max_variables))
+    m = draw(st.integers(1, max_replicas))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    matrix = rng.integers(-60, 60, size=(n, n)).astype(float)
+    batch = (rng.random((m, n)) < 0.5).astype(float)
+    flips = rng.integers(0, n, size=m)
+    return matrix, batch, flips
+
+
+class TestPackRoundTrip:
+    @given(bit_batches())
+    @settings(max_examples=80, deadline=None)
+    def test_pack_unpack_round_trip(self, batch):
+        words = pack_bits(batch)
+        assert words.shape == (batch.shape[0], packed_width(batch.shape[1]))
+        assert words.dtype == np.uint64
+        np.testing.assert_array_equal(unpack_bits(words, batch.shape[1]),
+                                      batch)
+
+    @given(bit_batches())
+    @settings(max_examples=80, deadline=None)
+    def test_popcount_rows_equals_sum(self, batch):
+        np.testing.assert_array_equal(
+            popcount_rows(pack_bits(batch)),
+            batch.sum(axis=1).astype(np.int64))
+
+    def test_word_edge_widths(self):
+        # The off-by-one widths around a word boundary, deterministically.
+        for n in (63, 64, 65, 127, 128, 129):
+            batch = np.eye(n)[: min(4, n)]
+            np.testing.assert_array_equal(
+                unpack_bits(pack_bits(batch), n), batch)
+
+
+class TestPlaneMaskField:
+    @given(integer_model())
+    @settings(max_examples=60, deadline=None)
+    def test_packed_field_equals_dense_dot(self, model):
+        matrix, batch, _ = model
+        symmetric = symmetrized_matrix(matrix)
+        offsets, masks, weights = build_plane_masks(symmetric)
+        words = pack_bits(batch)
+        for i in range(matrix.shape[0]):
+            rows = np.full(batch.shape[0], i)
+            field = packed_dot(masks[rows], words, weights, offsets[rows])
+            np.testing.assert_array_equal(field.astype(float),
+                                          batch @ symmetric[i])
+
+    @given(integer_model())
+    @settings(max_examples=60, deadline=None)
+    def test_packed_delta_equals_dense_delta(self, model):
+        matrix, batch, flips = model
+        symmetric = symmetrized_matrix(matrix)
+        offsets, masks, weights = build_plane_masks(symmetric)
+        words = pack_bits(batch)
+        rows = np.arange(batch.shape[0])
+        field = packed_dot(masks[flips], words, weights,
+                           offsets[flips]).astype(float)
+        bits = batch[rows, flips]
+        signs = 1.0 - 2.0 * bits
+        diag = np.diag(matrix)[flips]
+        delta = signs * (diag + field - 2.0 * diag * bits)
+        np.testing.assert_array_equal(
+            delta, batched_energy_delta(matrix, batch, flips))
+
+    @given(integer_model())
+    @settings(max_examples=40, deadline=None)
+    def test_packed_constraint_load_equals_dot_product(self, model):
+        # A constraint row w >= 0 packs into plane masks exactly like a
+        # matrix row; its popcount load must equal the dense dot product.
+        matrix, batch, _ = model
+        weights_matrix = np.abs(matrix)
+        offsets, masks, weights = build_plane_masks(weights_matrix)
+        words = pack_bits(batch)
+        row = np.zeros(batch.shape[0], dtype=int)
+        load = packed_dot(masks[row], words, weights, offsets[row])
+        np.testing.assert_array_equal(load.astype(float),
+                                      batch @ weights_matrix[0])
+        assert (offsets == 0).all()  # non-negative rows need no offset

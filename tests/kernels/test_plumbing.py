@@ -161,5 +161,21 @@ class TestConstructionFallbacks:
             make_sa_kernel("numba", **_kernel_args(problem))
 
     def test_auto_never_fails_for_support_reasons(self, problem):
+        # The QKP matrix is integer-valued, so auto lands on the fastest
+        # pure-NumPy backend (packed) unless numba is importable.
         kernel = make_sa_kernel("auto", **_kernel_args(problem))
+        assert kernel.backend in ("packed", "numba")
+
+    def test_auto_falls_back_to_fused_on_float_matrices(self, problem):
+        # Non-integer coefficients void the popcount exactness guarantee:
+        # packed refuses them, so auto lands on fused.
+        args = _kernel_args(problem)
+        args["matrix"] = args["matrix"] + 0.25
+        kernel = make_sa_kernel("auto", **args)
         assert kernel.backend in ("fused", "numba")
+
+    def test_explicit_packed_raises_on_float_matrices(self, problem):
+        args = _kernel_args(problem)
+        args["matrix"] = args["matrix"] + 0.25
+        with pytest.raises(KernelUnsupportedError, match="integer-valued"):
+            make_sa_kernel("packed", **args)

@@ -37,7 +37,9 @@ class TestProvenance:
         batch = run_trials(problem, ("hycim", HYCIM_FAST), num_trials=2,
                            master_seed=1, store=store)
         manifest = store.get_manifest(batch.run_key)
-        assert manifest.provenance == run_provenance()
+        # Environment snapshot plus the post-run kernel_resolved stamp.
+        assert manifest.provenance == dict(run_provenance(),
+                                           kernel_resolved="scalar")
         # the snapshot survives a round-trip through a fresh handle
         reread = CampaignStore(tmp_path / "store").get_manifest(batch.run_key)
         assert reread.provenance == manifest.provenance
@@ -105,7 +107,10 @@ class TestStoreCliJson:
                            master_seed=2, store=store)
         assert main(["inspect", str(tmp_path / "store"),
                      batch.run_key[:12]]) == 0
-        assert "provenance" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "provenance" in output
+        # the post-run kernel stamp rides the summary line
+        assert "kernel scalar" in output
 
 
 class TestMergeCarriesSidecars:

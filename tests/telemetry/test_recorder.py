@@ -114,6 +114,22 @@ class TestInMemoryRecorder:
         assert span.elapsed is not None
         assert recorder.events_of_kind("span_end")[0]["name"] == "doomed"
 
+    def test_annotate_rides_on_span_end(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("trial_group", solver="sa") as span:
+            span.annotate(kernel_resolved="packed",
+                          planes=np.int64(6))
+        end = recorder.events_of_kind("span_end")[0]
+        assert end["kernel_resolved"] == "packed"
+        assert end["planes"] == 6  # coerced like any other attr
+        json.dumps(end)
+        # span_start stays what it was at open time.
+        assert "kernel_resolved" not in recorder.events_of_kind("span_start")[0]
+
+    def test_annotate_is_silent_when_disabled(self):
+        with NullRecorder().span("quiet") as span:
+            span.annotate(kernel_resolved="packed")  # must not raise
+
 
 class TestAmbientRecorder:
     def test_default_is_null(self):

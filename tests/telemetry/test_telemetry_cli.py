@@ -134,6 +134,14 @@ class TestAnalyze:
         lines = build_timeline(recorder.events)
         assert any("[torn]" in line for line in lines)
 
+    def test_annotated_attrs_render_on_span_line(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("trial_group", solver="sa") as span:
+            span.annotate(kernel_resolved="packed")
+        lines = build_timeline(recorder.events)
+        assert any("trial_group" in line and "kernel_resolved=packed" in line
+                   for line in lines)
+
     def test_multi_session_separator(self, tmp_path):
         path = tmp_path / "two.jsonl"
         for _ in range(2):
